@@ -1,0 +1,50 @@
+"""Ablation: device memory layout (DESIGN.md section 5).
+
+Two layout choices from Section 3.4, measured on the cycle-level DRAM
+simulator:
+
+- even/odd bank partitioning of weights vs activations, against
+  co-locating both streams in the same banks;
+- the ro-ba-bg-ra-co-ch address mapping against a naive row-major
+  mapping, for sequential weight streams.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.dram.address import MappingScheme
+from repro.dram.calibrate import BandwidthCalibrator
+
+
+def build_rows():
+    cal = BandwidthCalibrator()
+    part = cal.interleaved_streams(nbytes_each=1 << 17, partitioned=True)
+    shared = cal.interleaved_streams(nbytes_each=1 << 17, partitioned=False)
+    seq = cal.sequential_read(nbytes=1 << 19)
+    naive = BandwidthCalibrator(scheme=MappingScheme.ROW_MAJOR).sequential_read(
+        nbytes=1 << 19
+    )
+    rows = [
+        ["weights+acts, partitioned banks", round(part.sustained_bandwidth / 1e9, 1)],
+        ["weights+acts, shared banks", round(shared.sustained_bandwidth / 1e9, 1)],
+        ["stream, ro-ba-bg-ra-co-ch", round(seq.sustained_bandwidth / 1e9, 1)],
+        ["stream, naive row-major", round(naive.sustained_bandwidth / 1e9, 1)],
+    ]
+    return rows, part, shared, seq, naive
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_ablation_bank_partition(benchmark, report):
+    rows, part, shared, seq, naive = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    report(
+        "ablation_bank_partition",
+        format_table(["layout", "sustained GB/s"], rows),
+    )
+    # Partitioning the banks wins for mixed weight/activation traffic.
+    assert part.sustained_bandwidth > 1.2 * shared.sustained_bandwidth
+    # The paper's mapping is the difference between ~512 GB/s and an
+    # order of magnitude less for contiguous accesses.
+    assert seq.sustained_bandwidth > 8 * naive.sustained_bandwidth
+    assert seq.efficiency > 0.85

@@ -1,0 +1,43 @@
+"""Extension bench: per-scheme MoE-layer energy (joules).
+
+Not a paper figure -- an extension quantifying the AMove-vs-PMove
+argument in energy rather than latency, built on Table 3's power
+modeling plus standard per-bit transport costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.analysis.report import format_table
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128
+from repro.workloads.distributions import mixture_popularity, sample_expert_counts
+
+
+def build_rows():
+    rng = np.random.default_rng(11)
+    popularity = mixture_popularity(128, rng, hot_fraction=0.9, n_hot=2)
+    counts = sample_expert_counts(128, 4096, 0, rng, popularity=popularity)
+    model = EnergyModel(nllb_moe_128())
+    table = model.compare(counts)
+    rows = [
+        [s.value, round(b.link_j, 4), round(b.memory_j, 4),
+         round(b.compute_j, 4), round(b.total_j, 4)]
+        for s, b in table.items()
+    ]
+    return rows, table
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_energy_per_scheme(benchmark, report):
+    rows, table = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "ablation_energy",
+        format_table(["scheme", "link J", "memory J", "compute J", "total J"], rows),
+    )
+    assert table[Scheme.MD_AM].link_j < table[Scheme.GPU_PM].link_j / 20
+    assert table[Scheme.MD_LB].total_j < table[Scheme.GPU_PM].total_j
+    assert table[Scheme.IDEAL].total_j <= min(
+        b.total_j for s, b in table.items() if s is not Scheme.IDEAL
+    )

@@ -1,0 +1,58 @@
+"""Ablation: the H selection policy (DESIGN.md section 5).
+
+Compares, on the same encoder-like MoE layer:
+
+- H = 0 (all experts on the NDP: pure MD+AM),
+- H = n_active (all experts via PMove on the GPU: pure GPU+PM),
+- Eq. 6's H at alpha = 1,
+- Eq. 6's H with the auto-tuned alpha (oracle sweep over the ladder).
+
+Shape: the Eq. 6 balanced point beats both extremes, and tuning alpha
+never hurts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.engine import MoELayerEngine, Platform
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128
+from repro.workloads.distributions import mixture_popularity, sample_expert_counts
+
+ALPHA_LADDER = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def build_rows():
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    rng = np.random.default_rng(5)
+    popularity = mixture_popularity(128, rng, hot_fraction=0.9, n_hot=2)
+    counts = sample_expert_counts(128, 4096, 0, rng, popularity=popularity)
+
+    all_ndp = engine.layer_time(Scheme.MD_AM, counts).seconds
+    all_gpu = engine.layer_time(Scheme.GPU_PM, counts).seconds
+    eq6 = engine.layer_time(Scheme.MD_LB, counts, alpha=1.0)
+    sweep = {
+        a: engine.layer_time(Scheme.MD_LB, counts, alpha=a).seconds
+        for a in ALPHA_LADDER
+    }
+    best_alpha = min(sweep, key=sweep.get)
+    rows = [
+        ["H=0 (all NDP)", "-", round(all_ndp * 1e3, 3)],
+        ["H=active (all GPU)", "-", round(all_gpu * 1e3, 3)],
+        ["Eq.6, alpha=1", eq6.h, round(eq6.seconds * 1e3, 3)],
+        [f"Eq.6, alpha={best_alpha:g} (tuned)", "-", round(sweep[best_alpha] * 1e3, 3)],
+    ]
+    return rows, all_ndp, all_gpu, eq6.seconds, sweep[best_alpha]
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_ablation_h_policy(benchmark, report):
+    rows, all_ndp, all_gpu, eq6, tuned = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    report("ablation_h_policy", format_table(["policy", "H", "layer ms"], rows))
+    assert eq6 < all_gpu
+    assert tuned <= eq6 * 1.001
+    assert tuned < all_ndp
+    assert tuned < all_gpu

@@ -1,0 +1,57 @@
+"""Ablation: dropless routing vs capacity-factor token dropping.
+
+The paper implements drop-less, padding-less routing (Section 4.1).
+The classic alternative caps each expert at a capacity factor and
+drops overflow tokens.  On skewed routing (Fig. 3), capacity-1.0
+drops a large share of the hot experts' tokens -- quality loss the
+dropless implementation avoids, at the cost of irregular expert
+batches (which is what MoNDE's NDP handles well).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.moe.moe_layer import MoELayer
+
+
+def build_rows():
+    rng = np.random.default_rng(9)
+    d, ff, e, k = 32, 64, 16, 1
+    bias = np.zeros(e)
+    bias[0] = 6.0  # skewed router: expert 0 is hot
+    tokens = rng.normal(size=(8, 32, d))
+
+    rows = []
+    stats = {}
+    for label, capacity in (("dropless", None), ("cap 1.0", 1.0), ("cap 0.5", 0.5)):
+        layer = MoELayer(
+            d, ff, e, k, np.random.default_rng(0),
+            popularity_bias=bias, capacity_factor=capacity,
+        )
+        layer(tokens)
+        info = layer.last_routing
+        total = 8 * 32 * k
+        dropped_pct = 100.0 * info.dropped_tokens / total
+        rows.append(
+            [label, info.dropped_tokens, round(dropped_pct, 1),
+             int(info.tokens_per_expert.max())]
+        )
+        stats[label] = info
+    return rows, stats
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_ablation_routing(benchmark, report):
+    rows, stats = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "ablation_routing",
+        format_table(["routing", "dropped tokens", "dropped %", "max expert load"], rows),
+    )
+    assert stats["dropless"].dropped_tokens == 0
+    assert stats["cap 1.0"].dropped_tokens > 0
+    assert stats["cap 0.5"].dropped_tokens > stats["cap 1.0"].dropped_tokens
+    # Dropless preserves the full hot-expert load.
+    assert stats["dropless"].tokens_per_expert.max() > stats[
+        "cap 1.0"
+    ].tokens_per_expert.max()

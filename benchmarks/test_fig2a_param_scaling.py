@@ -1,0 +1,47 @@
+"""Fig. 2(a): MoE memory scaling with the number of experts.
+
+Paper series: T5-L and NLLB-3.3B, dense and E in {64, 128, 256, 512},
+stacked non-expert vs expert memory, against the 4x A100 (320 GB) and
+4x V100 (128 GB) capacity lines.
+"""
+
+from repro.analysis.characterize import param_scaling
+from repro.analysis.report import format_table
+from repro.moe import nllb_moe_128, switch_large_128
+
+A100X4_GB = 320
+V100X4_GB = 128
+
+
+def build_rows():
+    rows = []
+    for base in (switch_large_128(), nllb_moe_128()):
+        for e in (0, 64, 128, 256, 512):
+            for r in param_scaling(base, [e]):
+                rows.append(
+                    [r.model, e, round(r.non_expert_gb, 2), round(r.expert_gb, 1),
+                     round(r.total_gb, 1)]
+                )
+    return rows
+
+
+def test_fig2a(benchmark, report):
+    rows = benchmark(build_rows)
+    report(
+        "fig2a_param_scaling",
+        format_table(["model", "E", "non-expert GB", "expert GB", "total GB"], rows),
+    )
+    by_model = {}
+    for model, e, non_e, exp, total in rows:
+        by_model.setdefault(model.split("-E")[0].split("-dense")[0], {})[e] = total
+    switch = [r for r in rows if "Switch" in r[0]]
+    nllb = [r for r in rows if "NLLB" in r[0]]
+    # Shape: E=128 Switch (~52 GB) exceeds V100x4; E>=256 NLLB exceeds
+    # A100x4 -- the paper's capacity-wall argument.
+    sw128 = next(r for r in switch if r[1] == 128)
+    assert sw128[4] > 50
+    nllb512 = next(r for r in nllb if r[1] == 512)
+    assert nllb512[4] > A100X4_GB
+    # Asymptotically linear in E.
+    sw = {r[1]: r[3] for r in switch}
+    assert abs(sw[512] / sw[256] - 2.0) < 0.01

@@ -1,0 +1,34 @@
+"""Fig. 2(b): single-expert vs activation memory across d_model.
+
+Paper series: expert size (quadratic), activation size for 6144 tokens
+(linear), and their ratio, for d_model in {768..4096}.
+"""
+
+from repro.analysis.characterize import dmodel_scaling
+from repro.analysis.report import format_table
+
+D_MODELS = [768, 1024, 1536, 2048, 2560, 4096]
+
+
+def build_rows():
+    return [
+        [r.d_model, round(r.expert_gb, 4), round(r.activation_gb, 4), round(r.ratio, 2)]
+        for r in dmodel_scaling(D_MODELS, n_tokens=6144)
+    ]
+
+
+def test_fig2b(benchmark, report):
+    rows = benchmark(build_rows)
+    report(
+        "fig2b_dmodel_scaling",
+        format_table(
+            ["d_model", "single expert GB", "act GB (6144 tok)", "expert/act"], rows
+        ),
+    )
+    ratios = [r[3] for r in rows]
+    # Quadratic-vs-linear: the ratio grows monotonically with d_model.
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    # Expert grows ~(4096/768)^2 = 28x across the sweep.
+    assert rows[-1][1] / rows[0][1] > 25
+    # Activations grow only linearly (~5.3x).
+    assert rows[-1][2] / rows[0][2] < 6

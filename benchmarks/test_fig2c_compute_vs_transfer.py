@@ -1,0 +1,44 @@
+"""Fig. 2(c): single-expert compute vs transfer latency on A100 + PCIe
+Gen4 x16, across routed-token counts and d_model in {1024, 2048}.
+
+Paper shape: transfer dwarfs compute for small token counts (up to
+~30x for one routed token); achieved TFLOPS stays far below the A100
+peak until thousands of tokens.
+"""
+
+from repro.analysis.characterize import compute_vs_transfer
+from repro.analysis.report import format_table
+
+TOKENS = [1, 4, 16, 64, 128, 256, 512, 1024, 2048]
+
+
+def build_rows():
+    rows = []
+    for d_model in (1024, 2048):
+        for r in compute_vs_transfer(TOKENS, d_model=d_model):
+            rows.append(
+                [d_model, r.tokens, round(r.compute_ms, 4), round(r.transfer_ms, 3),
+                 round(r.transfer_to_compute, 1), round(r.achieved_tflops, 2)]
+            )
+    return rows
+
+
+def test_fig2c(benchmark, report):
+    rows = benchmark(build_rows)
+    report(
+        "fig2c_compute_vs_transfer",
+        format_table(
+            ["d_model", "tokens", "compute ms", "transfer ms", "transfer/compute",
+             "TFLOPS"],
+            rows,
+        ),
+    )
+    d1024 = [r for r in rows if r[0] == 1024]
+    # One routed token: transfer is >20x the compute (paper: up to 30x).
+    assert d1024[0][4] > 20
+    # The gap narrows as tokens grow.
+    assert d1024[-1][4] < d1024[0][4] / 2
+    # TFLOPS is far below the 312 TFLOPS peak even at 2048 tokens.
+    assert all(r[5] < 312 * 0.8 for r in rows)
+    # Compute grows with tokens once out of the memory-bound floor.
+    assert d1024[-1][2] > d1024[0][2]

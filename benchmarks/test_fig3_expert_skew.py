@@ -1,0 +1,58 @@
+"""Fig. 3: token distribution across experts (NLLB-MoE, encoder
+layer 0, batch 4, top-2, E=128).
+
+Paper histogram (average experts per routed-token bucket):
+
+    tokens   0     1-3    4-7   8-15  16-31  32-63  64-127  128+
+    experts  25.48 72.56  24.63 1.86  0.08   1.2    0.67    1.52
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.moe import nllb_moe_128
+from repro.workloads import FIG3_BUCKETS, FIG3_REFERENCE, bucket_histogram
+from repro.workloads.scenarios import flores_like
+from repro.workloads.traces import RoutingTraceGenerator
+
+N_TRIALS = 16
+BUCKET_LABELS = ["0", "1-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+"]
+
+
+def build_histogram():
+    sc = flores_like(batch=4)
+    hists = []
+    actives = []
+    for seed in range(N_TRIALS):
+        gen = RoutingTraceGenerator(
+            nllb_moe_128(), batch=4, seq_len=512, profile=sc.profile, seed=seed
+        )
+        counts = gen.encoder_layer_counts(0)
+        hists.append(bucket_histogram(counts, FIG3_BUCKETS))
+        actives.append(int(np.count_nonzero(counts)))
+    return np.mean(hists, axis=0), float(np.mean(actives))
+
+
+def test_fig3(benchmark, report):
+    mean_hist, mean_active = benchmark(build_histogram)
+    rows = [
+        [label, round(float(ours), 2), ref]
+        for label, ours, ref in zip(BUCKET_LABELS, mean_hist, FIG3_REFERENCE)
+    ]
+    rows.append(["active experts", round(mean_active, 1), 102.5])
+    report(
+        "fig3_expert_skew",
+        format_table(["routed tokens", "experts (ours)", "experts (paper)"], rows),
+    )
+    total = mean_hist.sum()
+    cold = mean_hist[:3].sum()      # < 8 tokens
+    hot = mean_hist[5:].sum()       # >= 32 tokens
+    # Paper's load-bearing shape: the overwhelming majority of experts
+    # are cold, a handful are hot.
+    assert total == 128
+    assert cold > 0.75 * total
+    assert 1 <= hot <= 12
+    # A couple of mega-hot experts in the 128+ bucket.
+    assert 1 <= mean_hist[-1] <= 4
+    # Most experts receive at least one token at layer 0 (paper: ~103).
+    assert mean_active > 64

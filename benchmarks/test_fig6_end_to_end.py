@@ -1,0 +1,75 @@
+"""Fig. 6: end-to-end throughput normalized to the Ideal GPU.
+
+Paper grid: {SL-128, N-MoE} x {B=1, B=4} x {encoder, decoder} x
+{GPU+PM, MD+AM, MD+LB, Ideal}.  Text-quoted averages (across B):
+
+- MD+LB over GPU+PM: 3.1x (SL enc), 1.1x (SL dec), 6.7x (N-MoE enc),
+  1.9x (N-MoE dec).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.workloads import flores_like, xsum_like
+
+SCHEMES = (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.IDEAL)
+
+
+def build_grid():
+    rows = []
+    speedups = {}
+    for sc_fn, tag in ((xsum_like, "SL-128"), (flores_like, "N-MoE")):
+        for batch in (1, 4):
+            sc = sc_fn(batch=batch)
+            cfg = InferenceConfig(
+                model=sc.model, batch=batch, decode_steps=24, profile=sc.profile
+            )
+            rt = MoNDERuntime(cfg)
+            for part in ("encoder", "decoder"):
+                normalized = {
+                    s: rt.normalized_throughput(s, part) for s in SCHEMES
+                }
+                rows.append(
+                    [tag, batch, part]
+                    + [round(normalized[s], 3) for s in SCHEMES]
+                )
+                speedups.setdefault((tag, part), []).append(
+                    rt.speedup(Scheme.MD_LB, Scheme.GPU_PM, part)
+                )
+    return rows, speedups
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_fig6(benchmark, report):
+    rows, speedups = benchmark.pedantic(build_grid, rounds=1, iterations=1)
+    headers = ["model", "B", "part"] + [s.value for s in SCHEMES]
+    lines = [format_table(headers, rows), "", "MD+LB over GPU+PM (avg across B):"]
+    paper = {
+        ("SL-128", "encoder"): 3.1,
+        ("SL-128", "decoder"): 1.1,
+        ("N-MoE", "encoder"): 6.7,
+        ("N-MoE", "decoder"): 1.9,
+    }
+    check_rows = []
+    for key, values in speedups.items():
+        avg = sum(values) / len(values)
+        check_rows.append([key[0], key[1], round(avg, 2), paper[key]])
+    lines.append(format_table(["model", "part", "ours", "paper"], check_rows))
+    report("fig6_end_to_end", "\n".join(lines))
+
+    avg = {k: sum(v) / len(v) for k, v in speedups.items()}
+    # Shape bands: encoder gains large, decoder gains modest; NLLB
+    # gains exceed Switch gains on the encoder.
+    assert 2.0 < avg[("SL-128", "encoder")] < 7.0       # paper 3.1
+    assert 0.85 < avg[("SL-128", "decoder")] < 1.6      # paper 1.1
+    assert 4.0 < avg[("N-MoE", "encoder")] < 12.0       # paper 6.7
+    assert 1.1 < avg[("N-MoE", "decoder")] < 3.0        # paper 1.9
+    assert avg[("N-MoE", "encoder")] > avg[("SL-128", "encoder")]
+    # Normalized ordering holds in every encoder row: PM < AM < LB <= 1.
+    for row in rows:
+        if row[2] == "encoder":
+            pm, am, lb, ideal = row[3:]
+            assert pm < am < lb <= 1.0
+            assert ideal == 1.0

@@ -1,0 +1,50 @@
+"""Fig. 7(a): MD+LB speedup over GPU+PM across (d_model, E) variants.
+
+Paper series: Switch variants d768-E64, d768-E128, d1024-E128 at
+B in {1, 4}, encoder and decoder MoE speedup.  Shape: speedups grow
+with model scale (larger d_model and E), reaching ~2-3.5x for the
+encoder.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.moe.zoo import switch_variant
+from repro.workloads.traces import RoutingProfile
+
+VARIANTS = [(768, 64), (768, 128), (1024, 128)]
+
+
+def build_rows():
+    rows = []
+    ordered = {}
+    profile = RoutingProfile(decoder_min_hot_fraction=0.97)
+    for d_model, n_experts in VARIANTS:
+        model = switch_variant(d_model, n_experts)
+        for batch in (1, 4):
+            cfg = InferenceConfig(
+                model=model, batch=batch, decode_steps=12, profile=profile
+            )
+            rt = MoNDERuntime(cfg)
+            enc = rt.moe_speedup(Scheme.MD_LB, Scheme.GPU_PM, "encoder")
+            dec = rt.moe_speedup(Scheme.MD_LB, Scheme.GPU_PM, "decoder")
+            rows.append([f"d{d_model}-E{n_experts}", batch, round(enc, 2), round(dec, 2)])
+            ordered.setdefault((d_model, n_experts), []).append(enc)
+    return rows, ordered
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_fig7a(benchmark, report):
+    rows, ordered = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "fig7a_model_scaling",
+        format_table(["variant", "B", "enc MoE speedup", "dec MoE speedup"], rows),
+    )
+    avg = {k: sum(v) / len(v) for k, v in ordered.items()}
+    # Shape: larger models benefit more (robustness to d_model/E scaling).
+    assert avg[(768, 128)] > avg[(768, 64)]
+    assert avg[(1024, 128)] > avg[(768, 64)]
+    # All encoder speedups are material (> 1.3x).
+    assert all(r[2] > 1.3 for r in rows)

@@ -1,0 +1,66 @@
+"""Fig. 9: multi-MoNDE scaling (1/2/4/8 devices) for the MoE layers of
+NLLB-MoE, normalized to GPU+PM, at B in {1, 4, 16}.
+
+Paper shape: encoder throughput scales with device count (more
+aggregate bandwidth and compute); decoder throughput is flat across
+device counts (too few routed tokens to fill multiple NDPs).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.engine import Platform
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.workloads import flores_like
+
+DEVICES = (1, 2, 4, 8)
+BATCHES = (1, 4, 16)
+
+
+def build_rows():
+    rows = []
+    series = {}
+    for batch in BATCHES:
+        sc = flores_like(batch=batch)
+        baseline = MoNDERuntime(
+            InferenceConfig(model=sc.model, batch=batch, decode_steps=8,
+                            profile=sc.profile)
+        )
+        for part in ("encoder", "decoder"):
+            base_moe = baseline.result(Scheme.GPU_PM, part).moe_seconds
+            row = [batch, part]
+            for n in DEVICES:
+                rt = MoNDERuntime(
+                    InferenceConfig(model=sc.model, batch=batch, decode_steps=8,
+                                    profile=sc.profile),
+                    platform=Platform(n_monde_devices=n),
+                )
+                moe = rt.result(Scheme.MD_LB, part).moe_seconds
+                speedup = base_moe / moe
+                row.append(round(speedup, 2))
+                series[(batch, part, n)] = speedup
+            rows.append(row)
+    return rows, series
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_fig9(benchmark, report):
+    rows, series = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "fig9_multi_monde",
+        format_table(
+            ["B", "part"] + [f"{n}MD+LB" for n in DEVICES], rows
+        ),
+    )
+    # Encoder: more devices improve MoE throughput, saturating once
+    # the GPU-side hot experts and per-layer dispatch floor dominate.
+    for batch in (4, 16):
+        values = [series[(batch, "encoder", n)] for n in DEVICES]
+        assert max(values) > 1.2 * values[0]
+        assert values[-1] >= 0.95 * values[0]
+    # Decoder: gains are similar across device counts (the 1/4/16
+    # routed tokens cannot fill multiple NDP units).
+    for batch in BATCHES:
+        values = [series[(batch, "decoder", n)] for n in DEVICES]
+        assert max(values) / min(values) < 2.0

@@ -1,0 +1,62 @@
+"""NDP core microbenchmark: expert latency across routed-token counts.
+
+Companion to Fig. 2(c) on the device side: cold experts run at the
+weight-streaming floor; the compute-bound knee appears once the token
+count fills the MAC arrays.  Also exercises the functional systolic
+path end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.hw.gpu import GPUModel
+from repro.hw.specs import A100_PCIE, MONDE_DEVICE, PCIE_GEN4_X16
+from repro.hw.pcie import PCIeLink
+from repro.ndp.engine import NDPGemmEngine
+
+TOKENS = [1, 2, 4, 8, 16, 64, 256, 1024]
+D_MODEL, D_FF = 2048, 8192
+
+
+def build_rows():
+    ndp = NDPGemmEngine(MONDE_DEVICE.ndp, MONDE_DEVICE.effective_bandwidth)
+    gpu = GPUModel(A100_PCIE)
+    pcie = PCIeLink(PCIE_GEN4_X16)
+    expert_bytes = 2 * D_MODEL * D_FF * 2
+    rows = []
+    for t in TOKENS:
+        ndp_ms = ndp.expert_ffn_time(t, D_MODEL, D_FF) * 1e3
+        gpu_pm_ms = (
+            pcie.transfer_time(expert_bytes) + gpu.expert_ffn_time(t, D_MODEL, D_FF)
+        ) * 1e3
+        rows.append([t, round(ndp_ms, 3), round(gpu_pm_ms, 3),
+                     round(gpu_pm_ms / ndp_ms, 1)])
+    return rows
+
+
+def test_ndp_expert_latency(benchmark, report):
+    rows = benchmark(build_rows)
+    report(
+        "ndp_microbench",
+        format_table(
+            ["tokens", "NDP ms", "GPU+PMove ms", "PMove/NDP"], rows
+        ),
+    )
+    # Cold experts: NDP is an order of magnitude ahead of PMove+GPU.
+    assert rows[0][3] > 10
+    # The advantage erodes as experts get hot (NDP compute-bound).
+    assert rows[-1][3] < rows[0][3]
+    # Cold latencies sit at the streaming floor (flat across 1-4 tokens).
+    assert rows[2][1] == pytest.approx(rows[0][1], rel=0.15)
+
+
+def test_ndp_functional_throughput(benchmark):
+    """Benchmark the functional systolic path itself."""
+    engine = NDPGemmEngine(MONDE_DEVICE.ndp, MONDE_DEVICE.effective_bandwidth)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(4, 256))
+    b = rng.normal(size=(256, 512))
+
+    out, _ = benchmark(lambda: engine.run_gemm(a, b))
+    np.testing.assert_allclose(out, a @ b)

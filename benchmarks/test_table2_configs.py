@@ -1,0 +1,55 @@
+"""Table 2: workloads and system configurations."""
+
+from repro.analysis.report import format_table
+from repro.hw.specs import (
+    A100_PCIE,
+    MONDE_DEVICE,
+    PCIE_GEN4_X16,
+    XEON_4310,
+)
+from repro.moe import nllb_moe_128, switch_large_128
+
+
+def build_rows():
+    rows = []
+    for cfg, gating, task in (
+        (switch_large_128(), "top-1", "XSum LM"),
+        (nllb_moe_128(), "top-2", "FLORES-200 MT"),
+    ):
+        rows.append(
+            [cfg.name, round(cfg.non_expert_bytes / 1e9, 1),
+             round(cfg.total_expert_bytes / 1e9, 1), cfg.d_model, cfg.n_experts,
+             gating, task]
+        )
+    return rows
+
+
+def test_table2(benchmark, report):
+    rows = benchmark(build_rows)
+    platform = [
+        ["CPU", XEON_4310.name, f"{XEON_4310.mem_bandwidth/1e9:.0f} GB/s"],
+        ["GPU", A100_PCIE.name, f"{A100_PCIE.mem_capacity/2**30:.0f} GiB"],
+        ["MoNDE compute", "64x 4x4 systolic @1GHz",
+         f"{MONDE_DEVICE.ndp.total_buffer_bytes//1024} KB buffers"],
+        ["MoNDE memory", f"{MONDE_DEVICE.mem_bandwidth/1e9:.0f} GB/s",
+         f"{MONDE_DEVICE.mem_capacity/2**30:.0f} GiB"],
+        ["Interconnect", PCIE_GEN4_X16.name,
+         f"{PCIE_GEN4_X16.raw_bandwidth/1e9:.0f} GB/s raw"],
+    ]
+    text = (
+        format_table(
+            ["model", "non-expert GB", "expert GB", "d_model", "E", "gating", "task"],
+            rows,
+        )
+        + "\n\n"
+        + format_table(["component", "part", "key figure"], platform)
+    )
+    report("table2_configs", text)
+
+    # Paper values: 1.1 / 51.5 and 5.7 / 103.1 GB.
+    sl = rows[0]
+    assert abs(sl[1] - 1.1) < 0.2 and abs(sl[2] - 51.5) < 1.0
+    nm = rows[1]
+    assert abs(nm[1] - 5.7) < 0.5 and abs(nm[2] - 103.1) < 1.5
+    assert sl[3] == 1024 and nm[3] == 2048
+    assert sl[4] == nm[4] == 128

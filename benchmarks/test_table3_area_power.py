@@ -1,0 +1,35 @@
+"""Table 3: MoNDE NDP area and power breakdown (28 nm, 1 GHz)."""
+
+from repro.analysis.area_power import TABLE3_REFERENCE, AreaPowerModel
+from repro.analysis.report import format_table
+
+
+def build_rows():
+    model = AreaPowerModel()
+    rows = []
+    for name, area, power in model.table():
+        ref_area, ref_power = TABLE3_REFERENCE[name]
+        rows.append([name, round(area, 3), ref_area, round(power, 3), ref_power])
+    rows.append(
+        ["TOTAL", round(model.total_area_mm2, 3), 2.954,
+         round(model.total_power_w, 3), 1.810]
+    )
+    return rows, model
+
+
+def test_table3(benchmark, report):
+    rows, model = benchmark(build_rows)
+    text = format_table(
+        ["component", "area mm2", "paper", "power W", "paper"], rows
+    ) + (
+        f"\n\nDRAM-cell equivalent: {model.dram_cell_equivalent_gbit:.2f} Gb"
+        f" (paper ~0.9 Gb)\n"
+        f"Power overhead on 114.2 W base device:"
+        f" {model.power_overhead_fraction()*100:.1f}% (paper 1.6%)"
+    )
+    report("table3_area_power", text)
+    for name, area, ref_area, power, ref_power in rows[:-1]:
+        assert abs(area - ref_area) / ref_area < 0.02
+        assert abs(power - ref_power) / ref_power < 0.02
+    assert abs(model.total_area_mm2 - 3.0) < 0.1
+    assert abs(model.power_overhead_fraction() - 0.016) < 0.002

@@ -1,0 +1,96 @@
+"""Capacity planning with MoNDE: a what-if study a deployment team
+would actually run.
+
+Questions answered for NLLB-MoE serving:
+
+1. How many GPUs would parameters-in-HBM require, vs one MoNDE device?
+2. How does throughput scale with extra MoNDE devices (Fig. 9)?
+3. What does faster device memory buy (Fig. 7(b))?
+4. Where does the auto-tuned H land, and what happens without it?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.engine import Platform
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.hw.specs import A100_PCIE, MONDE_DEVICE
+from repro.workloads import flores_like
+
+
+def capacity_math() -> None:
+    print("=" * 64)
+    print("1. Memory capacity: GPUs vs one MoNDE device")
+    print("=" * 64)
+    scenario = flores_like()
+    model = scenario.model
+    total_gb = model.total_param_bytes / 1e9
+    gpu_gb = A100_PCIE.mem_capacity / 1e9
+    n_gpus = -(-int(total_gb) // int(gpu_gb * 0.9))
+    print(f"{model.name}: {total_gb:.1f} GB parameters "
+          f"({model.total_expert_bytes/1e9:.1f} GB experts)")
+    print(f"A100 80GB needed for residency: {n_gpus} GPUs")
+    print(f"One MoNDE device: {MONDE_DEVICE.mem_capacity/2**30:.0f} GiB "
+          f"@ {MONDE_DEVICE.mem_bandwidth/1e9:.0f} GB/s -> fits with room to spare")
+
+
+def device_scaling() -> None:
+    print()
+    print("=" * 64)
+    print("2. Throughput vs MoNDE device count (encoder, B=4)")
+    print("=" * 64)
+    scenario = flores_like(batch=4)
+    config = InferenceConfig(
+        model=scenario.model, batch=4, decode_steps=8, profile=scenario.profile
+    )
+    base = MoNDERuntime(config, platform=Platform()).result(
+        Scheme.GPU_PM, "encoder"
+    )
+    for n in (1, 2, 4, 8):
+        rt = MoNDERuntime(config, platform=Platform(n_monde_devices=n))
+        r = rt.result(Scheme.MD_LB, "encoder")
+        print(f"  {n} device(s): {r.throughput:8.0f} tok/s "
+              f"({base.moe_seconds / r.moe_seconds:.1f}x GPU+PM MoE throughput)")
+
+
+def bandwidth_sensitivity() -> None:
+    print()
+    print("=" * 64)
+    print("3. Sensitivity to device memory bandwidth (Fig. 7(b))")
+    print("=" * 64)
+    scenario = flores_like(batch=4)
+    config = InferenceConfig(
+        model=scenario.model, batch=4, decode_steps=8, profile=scenario.profile
+    )
+    for factor in (0.5, 1.0, 2.0):
+        platform = Platform(monde_spec=MONDE_DEVICE.scaled_bandwidth(factor))
+        rt = MoNDERuntime(config, platform=platform)
+        speedup = rt.moe_speedup(Scheme.MD_LB, Scheme.GPU_PM, "encoder")
+        print(f"  {factor:3.1f}x bandwidth "
+              f"({platform.monde_spec.effective_bandwidth/1e9:5.0f} GB/s): "
+              f"MD+LB = {speedup:.1f}x GPU+PM (encoder MoE)")
+
+
+def h_policy() -> None:
+    print()
+    print("=" * 64)
+    print("4. The H policy: auto-tuned alpha vs fixed")
+    print("=" * 64)
+    scenario = flores_like(batch=4)
+    for auto, label in ((True, "auto-tuned"), (False, "fixed alpha=1")):
+        config = InferenceConfig(
+            model=scenario.model, batch=4, decode_steps=8,
+            auto_tune=auto, profile=scenario.profile,
+        )
+        rt = MoNDERuntime(config)
+        r = rt.result(Scheme.MD_LB, "encoder")
+        print(f"  {label:14s}: mean H = {r.mean_h:.1f}, "
+              f"alpha = {r.alpha_used:g}, "
+              f"encoder MoE time = {r.moe_seconds*1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    capacity_math()
+    device_scaling()
+    bandwidth_sensitivity()
+    h_policy()

@@ -1,0 +1,96 @@
+"""Regenerate every paper table and figure in one run.
+
+Thin driver over the same code the benchmark harness uses; writes
+plain-text tables to stdout.  For the pytest-benchmark version with
+shape assertions, run  ``pytest benchmarks/ --benchmark-only -s``.
+
+Run:  python examples/paper_figures.py [--fast]
+"""
+
+import sys
+
+from repro.analysis.area_power import AreaPowerModel
+from repro.analysis.characterize import (
+    compute_vs_transfer,
+    dmodel_scaling,
+    param_scaling,
+)
+from repro.analysis.report import format_table
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128, switch_large_128
+from repro.workloads import flores_like, xsum_like
+
+
+def header(title: str) -> None:
+    print()
+    print("=" * 68)
+    print(title)
+    print("=" * 68)
+
+
+def fig2() -> None:
+    header("Fig. 2(a): parameter scaling with E")
+    rows = []
+    for base in (switch_large_128(), nllb_moe_128()):
+        for e in (0, 64, 128, 256, 512):
+            r = param_scaling(base, [e])[0]
+            rows.append([r.model, round(r.non_expert_gb, 1), round(r.expert_gb, 1)])
+    print(format_table(["model", "non-expert GB", "expert GB"], rows))
+
+    header("Fig. 2(b): expert vs activation size across d_model")
+    rows = [
+        [r.d_model, round(r.expert_gb, 3), round(r.activation_gb, 3), round(r.ratio, 2)]
+        for r in dmodel_scaling([768, 1024, 1536, 2048, 2560, 4096])
+    ]
+    print(format_table(["d_model", "expert GB", "act GB", "ratio"], rows))
+
+    header("Fig. 2(c): expert compute vs transfer (A100 + PCIe Gen4)")
+    rows = []
+    for d in (1024, 2048):
+        for r in compute_vs_transfer([1, 16, 256, 2048], d_model=d):
+            rows.append([d, r.tokens, round(r.compute_ms, 3), round(r.transfer_ms, 3)])
+    print(format_table(["d_model", "tokens", "compute ms", "transfer ms"], rows))
+
+
+def fig6(decode_steps: int) -> None:
+    header("Fig. 6: normalized end-to-end throughput")
+    rows = []
+    for sc_fn, tag in ((xsum_like, "SL-128"), (flores_like, "N-MoE")):
+        for batch in (1, 4):
+            sc = sc_fn(batch=batch)
+            rt = MoNDERuntime(
+                InferenceConfig(model=sc.model, batch=batch,
+                                decode_steps=decode_steps, profile=sc.profile)
+            )
+            for part in ("encoder", "decoder"):
+                rows.append(
+                    [tag, batch, part]
+                    + [
+                        round(rt.normalized_throughput(s, part), 3)
+                        for s in (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB)
+                    ]
+                )
+    print(format_table(
+        ["model", "B", "part", "GPU+PM", "MD+AM", "MD+LB"], rows
+    ))
+
+
+def table3() -> None:
+    header("Table 3: MoNDE NDP area and power")
+    model = AreaPowerModel()
+    rows = [[c.name, round(c.area_mm2, 3), round(c.power_w, 3)]
+            for c in model.components()]
+    rows.append(["TOTAL", round(model.total_area_mm2, 3),
+                 round(model.total_power_w, 3)])
+    print(format_table(["component", "area mm2", "power W"], rows))
+    print(f"\npower overhead vs 114.2 W base: "
+          f"{model.power_overhead_fraction()*100:.1f}%")
+
+
+if __name__ == "__main__":
+    fast = "--fast" in sys.argv
+    fig2()
+    fig6(decode_steps=4 if fast else 16)
+    table3()
+    print("\n(remaining figures: pytest benchmarks/ --benchmark-only -s)")

@@ -1,0 +1,72 @@
+"""Reproducible experiments: trace capture/replay and seed sweeps.
+
+Shows the reproducibility toolkit around the timing harness:
+
+1. capture a routing trace, save it to JSON, reload it, and replay the
+   exact expert loads through the layer engine;
+2. sweep the Fig. 6 headline metric over seeds and report a bootstrap
+   confidence interval.
+
+Run:  python examples/trace_replay_and_stats.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.analysis.stats import seed_sweep
+from repro.core.engine import MoELayerEngine, Platform
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.workloads import SavedTrace, capture_trace, flores_like
+from repro.workloads.traces import RoutingTraceGenerator
+
+
+def trace_replay() -> None:
+    print("=" * 64)
+    print("1. Capture -> save -> load -> replay a routing trace")
+    print("=" * 64)
+    scenario = flores_like(batch=4)
+    generator = RoutingTraceGenerator(
+        scenario.model, 4, 512, profile=scenario.profile, seed=123
+    )
+    trace = capture_trace(generator, n_decode_steps=2)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "flores-b4-seed123.json"
+        trace.save(path)
+        print(f"saved {path.name}: {path.stat().st_size} bytes, "
+              f"{len(trace.encoder_layers)} encoder MoE layers")
+        loaded = SavedTrace.load(path)
+
+    engine = MoELayerEngine(scenario.model, Platform())
+    print("\nreplaying encoder layers under MD+LB:")
+    for rank, counts in enumerate(loaded.encoder_layers):
+        result = engine.layer_time(Scheme.MD_LB, counts, alpha=2.0)
+        print(f"  layer {rank}: active={int(np.count_nonzero(counts)):3d} "
+              f"H={result.h} time={result.seconds*1e3:7.2f} ms")
+
+
+def stats_sweep() -> None:
+    print()
+    print("=" * 64)
+    print("2. Headline metric spread over workload seeds")
+    print("=" * 64)
+    scenario = flores_like(batch=4)
+
+    def metric(seed: int) -> float:
+        config = InferenceConfig(
+            model=scenario.model, batch=4, decode_steps=4,
+            profile=scenario.profile, seed=seed,
+        )
+        return MoNDERuntime(config).speedup(Scheme.MD_LB, Scheme.GPU_PM, "encoder")
+
+    result = seed_sweep(metric, seeds=range(5))
+    print(f"NLLB-MoE encoder, MD+LB over GPU+PM: {result.format()}")
+    print(f"(paper reports 6.7x on its measured routing)")
+
+
+if __name__ == "__main__":
+    trace_replay()
+    stats_sweep()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment lacks the ``wheel`` package, which modern
+``pip install -e .`` (PEP 660) requires.  ``python setup.py develop``
+performs the equivalent editable install without it.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analysis: characterization (Fig. 2), area/power (Table 3), reports."""
+
+from repro.analysis.area_power import (
+    AreaPower,
+    AreaPowerModel,
+    TABLE3_REFERENCE,
+)
+from repro.analysis.characterize import (
+    compute_vs_transfer,
+    dmodel_scaling,
+    param_scaling,
+)
+from repro.analysis.energy import EnergyBreakdown, EnergyModel
+from repro.analysis.report import format_markdown_table, format_table
+from repro.analysis.stats import SweepResult, bootstrap_ci, seed_sweep
+
+__all__ = [
+    "AreaPower",
+    "AreaPowerModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "SweepResult",
+    "TABLE3_REFERENCE",
+    "bootstrap_ci",
+    "compute_vs_transfer",
+    "dmodel_scaling",
+    "format_markdown_table",
+    "format_table",
+    "param_scaling",
+    "seed_sweep",
+]

@@ -1,0 +1,124 @@
+"""Area and power model for the MoNDE NDP core (Table 3).
+
+The paper synthesizes the NDP core in a 28 nm node at 1 GHz and
+reports per-component area/power; on-chip buffers come from a
+commercial memory compiler.  We reproduce Table 3 from *unit* costs
+(per-PE and per-KiB) calibrated to those numbers, so the model
+extrapolates to scaled NDP configurations (e.g. the Fig. 7(b)
+rate-matched compute scaling):
+
+===============  ==========  =========
+Component        Area (mm2)  Power (W)
+===============  ==========  =========
+Systolic PEs     2.042       0.993
+SIMD control     0.053       0.033
+Scratchpad       0.289       0.258
+Operand buffers  0.570       0.526
+===============  ==========  =========
+
+Total 2.954 mm2 (~0.9 Gb of DRAM-cell-equivalent area) and 1.81 W,
+a 1.6% power overhead on the 114.2 W base memory device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import MONDE_DEVICE, NDPCoreSpec
+
+#: Table 3 of the paper: component -> (area mm^2, power W).
+TABLE3_REFERENCE = {
+    "systolic_pe": (2.042, 0.993),
+    "simd_control": (0.053, 0.033),
+    "scratchpad": (0.289, 0.258),
+    "operand_buffers": (0.570, 0.526),
+}
+
+#: Paper-reported base memory-expander power (Micron power calculator
+#: scaled to the target LPDDR device).
+BASE_MEMORY_POWER_W = 114.2
+
+#: "3.0 mm^2 ... corresponds to approximately 0.9 Gb DRAM cells".
+DRAM_GBIT_PER_MM2 = 0.9 / 3.0
+
+# Unit costs calibrated to Table 3 at the paper's configuration
+# (1024 PEs; 88 KiB scratchpad; 176 KiB operand buffers).
+_PAPER_N_PES = 64 * 4 * 4
+_PAPER_SCRATCH_KIB = 88.0
+_PAPER_OPERAND_KIB = 176.0
+
+PE_AREA_MM2 = TABLE3_REFERENCE["systolic_pe"][0] / _PAPER_N_PES
+PE_POWER_W = TABLE3_REFERENCE["systolic_pe"][1] / _PAPER_N_PES
+CONTROL_AREA_FRACTION = (
+    TABLE3_REFERENCE["simd_control"][0] / TABLE3_REFERENCE["systolic_pe"][0]
+)
+CONTROL_POWER_FRACTION = (
+    TABLE3_REFERENCE["simd_control"][1] / TABLE3_REFERENCE["systolic_pe"][1]
+)
+SCRATCH_AREA_MM2_PER_KIB = TABLE3_REFERENCE["scratchpad"][0] / _PAPER_SCRATCH_KIB
+SCRATCH_POWER_W_PER_KIB = TABLE3_REFERENCE["scratchpad"][1] / _PAPER_SCRATCH_KIB
+OPERAND_AREA_MM2_PER_KIB = TABLE3_REFERENCE["operand_buffers"][0] / _PAPER_OPERAND_KIB
+OPERAND_POWER_W_PER_KIB = TABLE3_REFERENCE["operand_buffers"][1] / _PAPER_OPERAND_KIB
+
+
+@dataclass(frozen=True)
+class AreaPower:
+    """Area/power of one component."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+class AreaPowerModel:
+    """Analytical area/power for an :class:`NDPCoreSpec` at 28 nm / 1 GHz."""
+
+    def __init__(self, spec: NDPCoreSpec | None = None) -> None:
+        self.spec = spec or MONDE_DEVICE.ndp
+
+    def components(self) -> list[AreaPower]:
+        spec = self.spec
+        n_pes = spec.n_arrays * spec.array_rows * spec.array_cols
+        pe = AreaPower("systolic_pe", n_pes * PE_AREA_MM2, n_pes * PE_POWER_W)
+        control = AreaPower(
+            "simd_control",
+            pe.area_mm2 * CONTROL_AREA_FRACTION,
+            pe.power_w * CONTROL_POWER_FRACTION,
+        )
+        scratch_kib = spec.scratchpad_bytes / 1024.0
+        scratch = AreaPower(
+            "scratchpad",
+            scratch_kib * SCRATCH_AREA_MM2_PER_KIB,
+            scratch_kib * SCRATCH_POWER_W_PER_KIB,
+        )
+        operand_kib = (spec.act_buffer_bytes + spec.exp_buffer_bytes) / 1024.0
+        operand = AreaPower(
+            "operand_buffers",
+            operand_kib * OPERAND_AREA_MM2_PER_KIB,
+            operand_kib * OPERAND_POWER_W_PER_KIB,
+        )
+        return [pe, control, scratch, operand]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components())
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(c.power_w for c in self.components())
+
+    @property
+    def dram_cell_equivalent_gbit(self) -> float:
+        """How much DRAM capacity the NDP's silicon displaces."""
+        return self.total_area_mm2 * DRAM_GBIT_PER_MM2
+
+    def power_overhead_fraction(self, base_power_w: float = BASE_MEMORY_POWER_W) -> float:
+        """NDP power as a fraction of the base memory device power
+        (the paper reports 1.6%)."""
+        if base_power_w <= 0:
+            raise ValueError("base_power_w must be positive")
+        return self.total_power_w / base_power_w
+
+    def table(self) -> list[tuple[str, float, float]]:
+        """(component, area, power) rows, Table 3 layout."""
+        return [(c.name, c.area_mm2, c.power_w) for c in self.components()]

@@ -1,0 +1,138 @@
+"""MoE characterization: the Fig. 2 analyses.
+
+- :func:`param_scaling` -- Fig. 2(a): memory footprint vs E.
+- :func:`dmodel_scaling` -- Fig. 2(b): single-expert vs activation
+  size (and their ratio) vs d_model.
+- :func:`compute_vs_transfer` -- Fig. 2(c): single-expert GPU compute
+  time vs PCIe transfer time across routed-token counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gpu import GPUModel
+from repro.hw.pcie import PCIeLink
+from repro.hw.specs import A100_PCIE, BF16_BYTES, PCIE_GEN4_X16
+from repro.moe.config import MoEModelConfig
+
+
+@dataclass(frozen=True)
+class ParamScalingRow:
+    """One bar of Fig. 2(a)."""
+
+    model: str
+    n_experts: int
+    non_expert_gb: float
+    expert_gb: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.non_expert_gb + self.expert_gb
+
+
+def param_scaling(
+    base: MoEModelConfig, expert_counts: list[int]
+) -> list[ParamScalingRow]:
+    """Memory footprint of ``base`` across expert counts (0 = dense)."""
+    rows = []
+    for e in expert_counts:
+        cfg = base.with_experts(e)
+        rows.append(
+            ParamScalingRow(
+                model=cfg.name,
+                n_experts=e,
+                non_expert_gb=cfg.non_expert_bytes / 1e9,
+                expert_gb=cfg.total_expert_bytes / 1e9,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DmodelScalingRow:
+    """One point of Fig. 2(b)."""
+
+    d_model: int
+    expert_gb: float
+    activation_gb: float
+
+    @property
+    def ratio(self) -> float:
+        """Expert size over activation size: the PMove/AMove gap."""
+        if self.activation_gb == 0:
+            return float("inf")
+        return self.expert_gb / self.activation_gb
+
+
+def dmodel_scaling(
+    d_models: list[int],
+    n_tokens: int = 6144,
+    dtype_bytes: int = BF16_BYTES,
+) -> list[DmodelScalingRow]:
+    """Single-expert bytes (2 * d * 4d, quadratic) vs activation bytes
+    for ``n_tokens`` tokens (linear) across embedding dims."""
+    rows = []
+    for d in d_models:
+        expert_bytes = 2 * d * 4 * d * dtype_bytes
+        act_bytes = n_tokens * d * dtype_bytes
+        rows.append(
+            DmodelScalingRow(
+                d_model=d,
+                expert_gb=expert_bytes / 1e9,
+                activation_gb=act_bytes / 1e9,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ComputeTransferRow:
+    """One point of Fig. 2(c)."""
+
+    d_model: int
+    tokens: int
+    compute_ms: float
+    transfer_ms: float
+    achieved_tflops: float
+
+    @property
+    def transfer_dominates(self) -> bool:
+        return self.transfer_ms > self.compute_ms
+
+    @property
+    def transfer_to_compute(self) -> float:
+        if self.compute_ms == 0:
+            return float("inf")
+        return self.transfer_ms / self.compute_ms
+
+
+def compute_vs_transfer(
+    token_counts: list[int],
+    d_model: int,
+    d_ff: int | None = None,
+    gpu: GPUModel | None = None,
+    pcie: PCIeLink | None = None,
+    dtype_bytes: int = BF16_BYTES,
+) -> list[ComputeTransferRow]:
+    """Fig. 2(c): expert FFN compute time on the GPU vs the time to
+    PMove that expert over PCIe, across routed-token counts."""
+    gpu = gpu or GPUModel(A100_PCIE)
+    pcie = pcie or PCIeLink(PCIE_GEN4_X16)
+    d_ff = d_ff if d_ff is not None else 4 * d_model
+    expert_bytes = 2 * d_model * d_ff * dtype_bytes
+    transfer_ms = pcie.transfer_time(expert_bytes) * 1e3
+    rows = []
+    for tokens in token_counts:
+        compute = gpu.expert_ffn_time(tokens, d_model, d_ff, dtype_bytes)
+        flops = 2.0 * 2.0 * tokens * d_model * d_ff
+        rows.append(
+            ComputeTransferRow(
+                d_model=d_model,
+                tokens=tokens,
+                compute_ms=compute * 1e3,
+                transfer_ms=transfer_ms,
+                achieved_tflops=(flops / compute / 1e12) if compute > 0 else 0.0,
+            )
+        )
+    return rows

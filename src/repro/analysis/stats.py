@@ -1,0 +1,77 @@
+"""Seed-sweep statistics for experiment robustness.
+
+The paper reports averages over its datasets; our workloads are
+sampled, so headline numbers should come with spread.  This module
+runs a metric across seeds and reports mean, standard deviation, and a
+bootstrap confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Statistics of one metric over a seed sweep."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def format(self, precision: int = 2) -> str:
+        return (
+            f"{self.mean:.{precision}f} +/- {self.std:.{precision}f} "
+            f"(95% CI [{self.ci_low:.{precision}f}, {self.ci_high:.{precision}f}], "
+            f"n={self.n})"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    data = np.asarray(values, dtype=np.float64)
+    if len(data) == 1:
+        return float(data[0]), float(data[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(data), size=(n_resamples, len(data)))
+    means = data[idx].mean(axis=1)
+    lo = float(np.percentile(means, 100 * (1 - confidence) / 2))
+    hi = float(np.percentile(means, 100 * (1 + confidence) / 2))
+    return lo, hi
+
+
+def seed_sweep(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> SweepResult:
+    """Evaluate ``metric(seed)`` across seeds and summarize."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    values = tuple(float(metric(seed)) for seed in seeds)
+    lo, hi = bootstrap_ci(values, confidence=confidence)
+    return SweepResult(
+        values=values,
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        ci_low=lo,
+        ci_high=hi,
+    )

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``characterize``   Fig. 2 tables (parameter scaling, compute vs transfer).
+- ``evaluate``       Fig. 6-style scheme comparison for one workload.
+- ``skew``           Fig. 3 expert-load histogram for a routing trace.
+- ``area-power``     Table 3 NDP area/power breakdown.
+- ``dram``           DRAM bandwidth calibration table.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.area_power import AreaPowerModel
+from repro.analysis.characterize import compute_vs_transfer, param_scaling
+from repro.analysis.report import format_table
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.workloads import SCENARIOS
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.moe import nllb_moe_128, switch_large_128
+
+    rows = []
+    for base in (switch_large_128(), nllb_moe_128()):
+        for e in (0, 64, 128, 256, 512):
+            r = param_scaling(base, [e])[0]
+            rows.append([r.model, round(r.non_expert_gb, 1), round(r.expert_gb, 1)])
+    print(format_table(["model", "non-expert GB", "expert GB"], rows))
+    print()
+    rows = []
+    for d in (1024, 2048):
+        for r in compute_vs_transfer([1, 16, 256, 2048], d_model=d):
+            rows.append([d, r.tokens, round(r.compute_ms, 3), round(r.transfer_ms, 3)])
+    print(format_table(["d_model", "tokens", "compute ms", "transfer ms"], rows))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.workload](batch=args.batch)
+    config = InferenceConfig(
+        model=scenario.model,
+        batch=args.batch,
+        decode_steps=args.decode_steps,
+        profile=scenario.profile,
+    )
+    runtime = MoNDERuntime(config)
+    schemes = (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.IDEAL)
+    rows = []
+    for part in ("encoder", "decoder"):
+        for scheme in schemes:
+            result = runtime.result(scheme, part)
+            rows.append(
+                [part, scheme.value, round(result.seconds * 1e3, 2),
+                 round(result.throughput, 0),
+                 round(runtime.normalized_throughput(scheme, part), 3)]
+            )
+    print(scenario.describe())
+    print(format_table(["part", "scheme", "ms", "tok/s", "vs Ideal"], rows))
+    for part in ("encoder", "decoder"):
+        print(f"MD+LB over GPU+PM ({part}): "
+              f"{runtime.speedup(Scheme.MD_LB, Scheme.GPU_PM, part):.2f}x")
+    return 0
+
+
+def _cmd_skew(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.workloads import bucket_histogram
+    from repro.workloads.traces import RoutingTraceGenerator
+
+    scenario = SCENARIOS[args.workload](batch=args.batch)
+    gen = RoutingTraceGenerator(
+        scenario.model, args.batch, scenario.seq_len,
+        profile=scenario.profile, seed=args.seed,
+    )
+    labels = ["0", "1-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+"]
+    rows = []
+    for rank in range(scenario.model.n_moe_encoder_layers):
+        counts = gen.encoder_layer_counts(rank)
+        hist = bucket_histogram(counts)
+        rows.append([rank, int(np.count_nonzero(counts))] + hist.tolist())
+    print(format_table(["MoE layer", "active"] + labels, rows))
+    return 0
+
+
+def _cmd_area_power(args: argparse.Namespace) -> int:
+    model = AreaPowerModel()
+    rows = [[c.name, round(c.area_mm2, 3), round(c.power_w, 3)]
+            for c in model.components()]
+    rows.append(["TOTAL", round(model.total_area_mm2, 3), round(model.total_power_w, 3)])
+    print(format_table(["component", "area mm2", "power W"], rows))
+    print(f"power overhead: {model.power_overhead_fraction()*100:.1f}% "
+          f"of the 114.2 W base device")
+    return 0
+
+
+def _cmd_dram(args: argparse.Namespace) -> int:
+    from repro.dram.calibrate import BandwidthCalibrator
+
+    cal = BandwidthCalibrator()
+    seq = cal.sequential_read(nbytes=1 << 19)
+    rand = cal.random_read(nbytes=1 << 17)
+    part = cal.interleaved_streams(partitioned=True)
+    shared = cal.interleaved_streams(partitioned=False)
+    rows = [
+        [r.pattern, round(r.sustained_bandwidth / 1e9, 1), round(r.efficiency, 2)]
+        for r in (seq, rand, part, shared)
+    ]
+    print(format_table(["pattern", "GB/s", "efficiency"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MoNDE (DAC 2024) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("characterize", help="Fig. 2 characterization tables")
+
+    evaluate = sub.add_parser("evaluate", help="Fig. 6-style scheme comparison")
+    evaluate.add_argument("--workload", choices=sorted(SCENARIOS), default="flores")
+    evaluate.add_argument("--batch", type=int, default=4)
+    evaluate.add_argument("--decode-steps", type=int, default=16)
+
+    skew = sub.add_parser("skew", help="Fig. 3-style expert-load histogram")
+    skew.add_argument("--workload", choices=sorted(SCENARIOS), default="flores")
+    skew.add_argument("--batch", type=int, default=4)
+    skew.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("area-power", help="Table 3 NDP area/power")
+    sub.add_parser("dram", help="DRAM bandwidth calibration")
+    return parser
+
+
+_HANDLERS = {
+    "characterize": _cmd_characterize,
+    "evaluate": _cmd_evaluate,
+    "skew": _cmd_skew,
+    "area-power": _cmd_area_power,
+    "dram": _cmd_dram,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

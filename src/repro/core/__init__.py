@@ -1,0 +1,63 @@
+"""MoNDE core: the paper's contribution.
+
+- :mod:`repro.core.instructions` -- the 64-byte CXL NDP instruction
+  codec (Fig. 4(a)).
+- :mod:`repro.core.driver` -- the host-side device driver: memory
+  allocation in device address space, kernel launch, done polling
+  (Section 3.4).
+- :mod:`repro.core.analytical` -- Eq. 1-6: PMove/AMove data volumes,
+  the bandwidth-bound latency approximations, and the H formula.
+- :mod:`repro.core.load_balancer` -- GPU-MoNDE load balancing with the
+  auto-tuned alpha scaling factor (Section 3.3).
+- :mod:`repro.core.strategies` -- the evaluated schemes (Fig. 5/6).
+- :mod:`repro.core.engine` -- stream-timeline execution of one MoE
+  layer under each scheme, with explicit PMove/AMove/compute overlap.
+- :mod:`repro.core.runtime` -- end-to-end encoder/decoder inference
+  timing and throughput (Fig. 6-10).
+- :mod:`repro.core.multi_device` -- multi-MoNDE round-robin expert
+  distribution and the expert-parallel multi-GPU baseline.
+
+Submodules import lazily so that leaf packages (e.g. the ISA codec)
+can be used without pulling the whole system model.
+"""
+
+from typing import Any
+
+__all__ = [
+    "AMoveStrategy",
+    "AnalyticalModel",
+    "InferenceConfig",
+    "LoadBalancer",
+    "MoELayerEngine",
+    "MoNDEDriver",
+    "MoNDERuntime",
+    "NDPInstruction",
+    "Opcode",
+    "PMoveStrategy",
+    "Scheme",
+    "SchemeResult",
+]
+
+_LAZY = {
+    "AMoveStrategy": ("repro.core.strategies", "AMoveStrategy"),
+    "AnalyticalModel": ("repro.core.analytical", "AnalyticalModel"),
+    "InferenceConfig": ("repro.core.runtime", "InferenceConfig"),
+    "LoadBalancer": ("repro.core.load_balancer", "LoadBalancer"),
+    "MoELayerEngine": ("repro.core.engine", "MoELayerEngine"),
+    "MoNDEDriver": ("repro.core.driver", "MoNDEDriver"),
+    "MoNDERuntime": ("repro.core.runtime", "MoNDERuntime"),
+    "NDPInstruction": ("repro.core.instructions", "NDPInstruction"),
+    "Opcode": ("repro.core.instructions", "Opcode"),
+    "PMoveStrategy": ("repro.core.strategies", "PMoveStrategy"),
+    "Scheme": ("repro.core.strategies", "Scheme"),
+    "SchemeResult": ("repro.core.runtime", "SchemeResult"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,119 @@
+"""The paper's analytical model: Equations 1-6.
+
+Eq. 1  PMove volume   = 2 * E * d_model * d_ff           (elements)
+Eq. 2  AMove volume   = 2 * B * S * d_model              (elements)
+Eq. 3  t_GWF = t_PM + t_GPU ;  t_MDWF = t_AM + t_MD
+Eq. 4  t_PM ~= Expert_GPU / BW_PCIe ;  t_MD ~= Expert_MD / BW_MD
+Eq. 5  Expert_Activ = Expert_GPU + Expert_MD
+Eq. 6  H = alpha * BW_PCIe / (BW_MD + BW_PCIe) * Expert_Activ
+
+The H formula balances the two workflows of Eq. 3 under the
+bandwidth-bound approximation of Eq. 4; alpha micro-controls H when
+the NDP-side experts have raised compute intensity (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import BF16_BYTES
+
+
+def pmove_elements(n_experts: int, d_model: int, d_ff: int) -> int:
+    """Eq. 1: elements moved when every expert crosses the link."""
+    return 2 * n_experts * d_model * d_ff
+
+
+def amove_elements(batch: int, seq: int, d_model: int) -> int:
+    """Eq. 2: activation elements moved (input + output)."""
+    return 2 * batch * seq * d_model
+
+
+def pmove_bytes(
+    n_experts: int, d_model: int, d_ff: int, dtype_bytes: int = BF16_BYTES
+) -> int:
+    return pmove_elements(n_experts, d_model, d_ff) * dtype_bytes
+
+
+def amove_bytes(
+    batch: int, seq: int, d_model: int, dtype_bytes: int = BF16_BYTES
+) -> int:
+    return amove_elements(batch, seq, d_model) * dtype_bytes
+
+
+@dataclass(frozen=True)
+class WorkflowTimes:
+    """Eq. 3 terms for one MoE layer."""
+
+    t_pm: float
+    t_gpu: float
+    t_am: float
+    t_md: float
+
+    @property
+    def t_gwf(self) -> float:
+        return self.t_pm + self.t_gpu
+
+    @property
+    def t_mdwf(self) -> float:
+        return self.t_am + self.t_md
+
+    @property
+    def balanced(self) -> float:
+        """Layer latency when the two workflows overlap fully."""
+        return max(self.t_gwf, self.t_mdwf)
+
+
+class AnalyticalModel:
+    """Closed-form H selection (Eq. 4-6)."""
+
+    def __init__(self, bw_pcie: float, bw_md: float) -> None:
+        if bw_pcie <= 0 or bw_md <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.bw_pcie = bw_pcie
+        self.bw_md = bw_md
+
+    def t_pm(self, expert_gpu_bytes: float) -> float:
+        """Eq. 4 left: PMove latency of the GPU-assigned experts."""
+        return expert_gpu_bytes / self.bw_pcie
+
+    def t_md(self, expert_md_bytes: float) -> float:
+        """Eq. 4 right: NDP latency of the MoNDE-assigned experts
+        (bandwidth-bound weight streaming)."""
+        return expert_md_bytes / self.bw_md
+
+    @property
+    def gpu_share(self) -> float:
+        """BW_PCIe / (BW_MD + BW_PCIe): the fraction of activated
+        experts the GPU workflow should absorb (Eq. 6 without alpha)."""
+        return self.bw_pcie / (self.bw_md + self.bw_pcie)
+
+    def h_value(self, n_active_experts: int, alpha: float = 1.0) -> int:
+        """Eq. 6: number of hot experts assigned to the GPU workflow.
+
+        Clamped to [0, n_active_experts].  ``alpha`` is the auto-tuned
+        scaling factor (Section 3.3).
+        """
+        if n_active_experts < 0:
+            raise ValueError("n_active_experts must be non-negative")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        h = alpha * self.gpu_share * n_active_experts
+        return int(min(n_active_experts, max(0.0, round(h))))
+
+    def workflow_times(
+        self,
+        expert_gpu_bytes: float,
+        expert_md_bytes: float,
+        t_gpu: float = 0.0,
+        t_am: float = 0.0,
+    ) -> WorkflowTimes:
+        """Assemble Eq. 3 from the Eq. 4 approximations.  The paper's
+        two intuitions set t_GPU ~= t_AM ~= 0 for inference; pass
+        nonzero values to drop that assumption."""
+        return WorkflowTimes(
+            t_pm=self.t_pm(expert_gpu_bytes),
+            t_gpu=t_gpu,
+            t_am=t_am,
+            t_md=self.t_md(expert_md_bytes),
+        )

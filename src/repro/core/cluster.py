@@ -1,0 +1,107 @@
+"""Functional multi-MoNDE cluster (Section 3.3).
+
+Timing-side multi-device behaviour lives in the layer engine (round-
+robin expert distribution over per-device streams).  This module is
+the *functional* counterpart: a cluster of real :class:`MoNDEDevice`
+instances behind one interface that
+
+- places experts across devices round-robin by declared intensity,
+- scatters each expert's routed tokens to its owner device (AMove),
+- executes the per-device kernels through each device's driver, and
+- gathers outputs back in expert order (the paper retrieves outputs
+  from each device sequentially for the combine step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.driver import MoNDEDriver
+from repro.hw.specs import MONDE_DEVICE, MoNDEDeviceSpec
+from repro.ndp.device import MoNDEDevice
+
+
+@dataclass(frozen=True)
+class ExpertPlacement:
+    """Which device owns an expert."""
+
+    expert_id: int
+    device_id: int
+
+
+class MoNDECluster:
+    """N MoNDE devices with round-robin expert placement."""
+
+    def __init__(self, n_devices: int, spec: MoNDEDeviceSpec = MONDE_DEVICE) -> None:
+        if n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        self.drivers = [
+            MoNDEDriver(MoNDEDevice(spec, device_id=i)) for i in range(n_devices)
+        ]
+        self._placement: dict[int, int] = {}
+        self._next = 0
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.drivers)
+
+    def placement(self, expert_id: int) -> ExpertPlacement:
+        if expert_id not in self._placement:
+            raise KeyError(f"expert {expert_id} not placed")
+        return ExpertPlacement(expert_id, self._placement[expert_id])
+
+    def load_experts(
+        self,
+        experts: dict[int, tuple[np.ndarray, np.ndarray]],
+        intensities: dict[int, float] | None = None,
+        activation: str = "relu",
+    ) -> list[ExpertPlacement]:
+        """Place experts round-robin, most intense first (Section 3.3:
+        'distributing expert workloads sorted by compute intensity in
+        a round-robin manner')."""
+        order = sorted(
+            experts,
+            key=lambda e: (-(intensities or {}).get(e, 0.0), e),
+        )
+        placements = []
+        for expert_id in order:
+            device_id = self._next % self.n_devices
+            self._next += 1
+            w1, w2 = experts[expert_id]
+            self.drivers[device_id].load_expert(expert_id, w1, w2, activation)
+            self._placement[expert_id] = device_id
+            placements.append(ExpertPlacement(expert_id, device_id))
+        return placements
+
+    def run_moe_layer(
+        self, token_groups: dict[int, np.ndarray]
+    ) -> tuple[dict[int, np.ndarray], float]:
+        """Run each expert's token group on its owner device.
+
+        Returns per-expert outputs plus the modeled device-side time:
+        devices run concurrently, so the cluster time is the max of the
+        per-device sums (outputs are then gathered sequentially, which
+        the timing engine accounts for on the PCIe stream).
+        """
+        per_device: dict[int, dict[int, np.ndarray]] = {}
+        for expert_id, tokens in token_groups.items():
+            if expert_id not in self._placement:
+                raise KeyError(f"expert {expert_id} not placed on any device")
+            device_id = self._placement[expert_id]
+            per_device.setdefault(device_id, {})[expert_id] = tokens
+
+        outputs: dict[int, np.ndarray] = {}
+        device_seconds = []
+        for device_id, groups in per_device.items():
+            out, seconds = self.drivers[device_id].run_moe_layer(groups)
+            outputs.update(out)
+            device_seconds.append(seconds)
+        return outputs, max(device_seconds) if device_seconds else 0.0
+
+    def expert_count_per_device(self) -> list[int]:
+        counts = [0] * self.n_devices
+        for device_id in self._placement.values():
+            counts[device_id] += 1
+        return counts

@@ -1,0 +1,175 @@
+"""Host-side MoNDE device driver (Section 3.4).
+
+Implements the heterogeneous programming model of Fig. 4(a): the host
+allocates device memory for experts and activations, compiles
+``gemm`` / ``gemm+relu`` kernels into 64-byte CXL instructions, issues
+them through the CXL interface, and polls the memory-mapped done
+register.  The source-kernel style of the paper::
+
+    actin = actin.monde()          ->  driver.offload(actin)
+    monde.run_expert(0)            ->  driver.run_expert(0, actin)
+
+is exposed via :meth:`offload` and :meth:`run_expert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instructions import CXLFlit, Opcode
+from repro.ndp.controllers import CXLController, NDPController, encode_gemm
+from repro.ndp.device import Allocation, MoNDEDevice
+
+
+@dataclass(frozen=True)
+class ExpertHandle:
+    """Device-resident expert weights (two linear layers)."""
+
+    expert_id: int
+    w1: Allocation
+    w2: Allocation
+    d_model: int
+    d_ff: int
+    activation: str
+
+
+@dataclass(frozen=True)
+class DeviceTensor:
+    """An activation tensor living in MoNDE device memory."""
+
+    allocation: Allocation
+    shape: tuple[int, ...]
+
+
+class MoNDEDriver:
+    """The host driver for one MoNDE device."""
+
+    def __init__(self, device: MoNDEDevice | None = None) -> None:
+        self.device = device or MoNDEDevice()
+        self.ndp_controller = NDPController(self.device)
+        self.cxl = CXLController(self.ndp_controller)
+        self._experts: dict[int, ExpertHandle] = {}
+        self.kernel_launches = 0
+
+    # -- initialization (MoE layer setup) -------------------------------------
+
+    def load_expert(
+        self,
+        expert_id: int,
+        w1: np.ndarray,
+        w2: np.ndarray,
+        activation: str = "relu",
+    ) -> ExpertHandle:
+        """Place one expert's weights in device memory (even banks)."""
+        if w1.ndim != 2 or w2.ndim != 2 or w1.shape[1] != w2.shape[0]:
+            raise ValueError(f"inconsistent expert weights: {w1.shape}, {w2.shape}")
+        if w1.shape[0] != w2.shape[1]:
+            raise ValueError("expert must map d_model -> d_ff -> d_model")
+        if activation not in ("relu", "gelu"):
+            raise ValueError(f"unsupported fused activation {activation!r}")
+        a1 = self.device.store_tensor(w1, region="expert")
+        a2 = self.device.store_tensor(w2, region="expert")
+        handle = ExpertHandle(
+            expert_id=expert_id,
+            w1=a1,
+            w2=a2,
+            d_model=w1.shape[0],
+            d_ff=w1.shape[1],
+            activation=activation,
+        )
+        self._experts[expert_id] = handle
+        self.device.check_capacity()
+        return handle
+
+    def expert(self, expert_id: int) -> ExpertHandle:
+        if expert_id not in self._experts:
+            raise KeyError(f"expert {expert_id} not loaded")
+        return self._experts[expert_id]
+
+    # -- AMove ------------------------------------------------------------------
+
+    def offload(self, activations: np.ndarray) -> DeviceTensor:
+        """AMove host->device: place input activations in the odd-bank
+        activation region (the paper's ``actin.monde()``)."""
+        if activations.ndim != 2:
+            raise ValueError("activations must be (tokens, d_model)")
+        allocation = self.device.store_tensor(activations, region="activation")
+        return DeviceTensor(allocation=allocation, shape=activations.shape)
+
+    def to_host(self, tensor: DeviceTensor) -> np.ndarray:
+        """AMove device->host: read back an output activation."""
+        return self.device.read_tensor(tensor.allocation.addr).reshape(tensor.shape)
+
+    # -- kernels -------------------------------------------------------------------
+
+    def _issue(self, payload: bytes) -> None:
+        flit = CXLFlit(address=0, payload=payload, ndp_flag=True)
+        self.cxl.receive(flit)
+        self.kernel_launches += 1
+
+    def run_expert(self, expert_id: int, actin: DeviceTensor) -> tuple[DeviceTensor, float]:
+        """Run one expert FFN on the NDP over ``actin``.
+
+        Issues ``gemm+relu`` (or ``gemm+gelu``) for Linear1 and
+        ``gemm`` for Linear2, drains the instruction queue, polls the
+        done register, and returns (output handle, device seconds).
+        """
+        handle = self.expert(expert_id)
+        tokens, d_model = actin.shape
+        if d_model != handle.d_model:
+            raise ValueError(
+                f"activation dim {d_model} != expert d_model {handle.d_model}"
+            )
+        hidden = self.device.allocate(tokens * handle.d_ff * 2, region="activation")
+        out = self.device.allocate(tokens * handle.d_model * 2, region="activation")
+
+        op1 = Opcode.GEMM_RELU if handle.activation == "relu" else Opcode.GEMM_GELU
+        self._issue(
+            encode_gemm(
+                op1,
+                actin_addr=actin.allocation.addr,
+                wgt_addr=handle.w1.addr,
+                actout_addr=hidden.addr,
+                m=tokens,
+                n=handle.d_ff,
+                k=handle.d_model,
+                expert_id=expert_id,
+                device_id=self.device.device_id,
+            )
+        )
+        self._issue(
+            encode_gemm(
+                Opcode.GEMM,
+                actin_addr=hidden.addr,
+                wgt_addr=handle.w2.addr,
+                actout_addr=out.addr,
+                m=tokens,
+                n=handle.d_model,
+                k=handle.d_ff,
+                expert_id=expert_id,
+                device_id=self.device.device_id,
+            )
+        )
+        seconds = self.ndp_controller.drain()
+        if not self.cxl.poll_done():
+            raise RuntimeError("NDP did not raise the done register")
+        return DeviceTensor(allocation=out, shape=(tokens, handle.d_model)), seconds
+
+    def run_moe_layer(
+        self,
+        token_groups: dict[int, np.ndarray],
+    ) -> tuple[dict[int, np.ndarray], float]:
+        """Run several experts over their routed token groups; returns
+        per-expert outputs and the total device seconds."""
+        outputs: dict[int, np.ndarray] = {}
+        total = 0.0
+        for expert_id, tokens in token_groups.items():
+            if tokens.shape[0] == 0:
+                continue
+            actin = self.offload(tokens)
+            out, seconds = self.run_expert(expert_id, actin)
+            outputs[expert_id] = self.to_host(out)
+            total += seconds
+        return outputs, total

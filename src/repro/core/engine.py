@@ -1,0 +1,444 @@
+"""Stream-timeline execution of one MoE layer under each scheme.
+
+This module turns per-expert routed-token counts into a concrete
+schedule on the platform's hardware streams (Fig. 5):
+
+- ``gpu``     -- GPU compute stream (gating, expert FFNs, dense ops)
+- ``h2d``     -- PCIe host/device -> GPU direction (PMove weight
+                 fetches, AMove outputs returning)
+- ``d2h``     -- PCIe GPU -> host/device direction (AMove inputs)
+- ``monde``   -- MoNDE NDP compute (per activated cold expert)
+- ``cpu``     -- host CPU compute (the CPU+AM baseline)
+
+Each scheme builder returns a :class:`LayerResult` holding the layer
+makespan, the populated :class:`~repro.sim.stream.Timeline` (so tests
+and Fig. 5 regeneration can assert on overlap), and accounting
+(PMove/AMove bytes, H, cache hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.cache import ExpertCache
+from repro.core.load_balancer import LoadBalancer, Partition
+from repro.core.strategies import AMoveStrategy, PMoveStrategy, Scheme
+from repro.hw.cpu import CPUModel
+from repro.hw.gpu import GPUModel
+from repro.hw.pcie import PCIeLink
+from repro.hw.specs import (
+    A100_PCIE,
+    MONDE_DEVICE,
+    PCIE_GEN4_X16,
+    XEON_4310,
+    CPUSpec,
+    GPUSpec,
+    MoNDEDeviceSpec,
+    PCIeSpec,
+)
+from repro.moe.config import MoEModelConfig
+from repro.ndp.engine import NDPGemmEngine
+from repro.sim.stream import Segment, Timeline
+
+
+@dataclass(frozen=True)
+class Overheads:
+    """Host-framework costs charged per MoE layer invocation.
+
+    - ``moe_fixed``: router kernel launches, stream syncs, Python/C++
+      dispatch per MoE layer.
+    - ``per_routed_token``: token scatter (dispatch) + gather (combine)
+      cost per routing event.
+    - ``ndp_kernel``: host driver cost to issue one expert's kernels to
+      the NDP (two 64-B instructions over CXL + doorbell + completion
+      poll; the paper's PyTorch-level implementation pays this per
+      offloaded expert).
+
+    Defaults are calibrated so the Fig. 6 scheme ratios land on the
+    paper's quoted averages (see EXPERIMENTS.md).
+    """
+
+    moe_fixed: float = 300e-6
+    per_routed_token: float = 2.2e-6
+    ndp_kernel: float = 150e-6
+
+
+@dataclass
+class Platform:
+    """The evaluation platform of Table 2, as timing models."""
+
+    gpu_spec: GPUSpec = A100_PCIE
+    pcie_spec: PCIeSpec = PCIE_GEN4_X16
+    cpu_spec: CPUSpec = XEON_4310
+    monde_spec: MoNDEDeviceSpec = MONDE_DEVICE
+    n_monde_devices: int = 1
+    overheads: Overheads = field(default_factory=Overheads)
+
+    def __post_init__(self) -> None:
+        if self.n_monde_devices < 1:
+            raise ValueError("n_monde_devices must be >= 1")
+        self.gpu = GPUModel(self.gpu_spec)
+        self.pcie = PCIeLink(self.pcie_spec)
+        self.cpu = CPUModel(self.cpu_spec)
+        self.ndp_engines = [
+            NDPGemmEngine(self.monde_spec.ndp, self.monde_spec.effective_bandwidth)
+            for _ in range(self.n_monde_devices)
+        ]
+
+    @property
+    def aggregate_monde_bandwidth(self) -> float:
+        """Multi-MoNDE H uses the aggregate device bandwidth (3.3)."""
+        return self.n_monde_devices * self.monde_spec.effective_bandwidth
+
+
+@dataclass
+class LayerResult:
+    """Outcome of one MoE layer under one scheme."""
+
+    scheme: Scheme
+    seconds: float
+    timeline: Timeline
+    pmove_bytes: int = 0
+    amove_bytes: int = 0
+    h: int = 0
+    n_active: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    t_gwf: float = 0.0
+    t_mdwf: float = 0.0
+
+
+class MoELayerEngine:
+    """Builds per-scheme timelines for single MoE layer invocations."""
+
+    def __init__(self, model: MoEModelConfig, platform: Optional[Platform] = None) -> None:
+        if not model.is_moe:
+            raise ValueError(f"{model.name} has no MoE layers")
+        self.model = model
+        self.platform = platform or Platform()
+        self.pmove = PMoveStrategy(model.d_model, model.d_ff, model.dtype_bytes)
+        self.amove = AMoveStrategy(model.d_model, model.dtype_bytes)
+        self.balancer = LoadBalancer(
+            self.platform.pcie_spec.effective_bandwidth,
+            self.platform.aggregate_monde_bandwidth,
+        )
+
+    # -- shared pieces -------------------------------------------------------
+
+    def _gating_time(self, n_tokens: int) -> float:
+        """Router GEMM (T x E) + top-k on the GPU."""
+        gpu = self.platform.gpu
+        return gpu.gemm_time(n_tokens, self.model.n_experts, self.model.d_model) + (
+            gpu.spec.kernel_launch_overhead
+        )
+
+    def _framework_overhead(self, counts: np.ndarray) -> float:
+        ov = self.platform.overheads
+        routed = int(np.asarray(counts).sum())
+        return ov.moe_fixed + ov.per_routed_token * routed
+
+    def _gpu_expert_time(self, tokens: int) -> float:
+        return self.platform.gpu.expert_ffn_time(
+            tokens, self.model.d_model, self.model.d_ff, self.model.dtype_bytes
+        )
+
+    def _ndp_expert_time(self, tokens: int, engine: NDPGemmEngine) -> float:
+        compute = engine.expert_ffn_time(tokens, self.model.d_model, self.model.d_ff)
+        return compute + self.platform.overheads.ndp_kernel
+
+    def _cpu_expert_time(self, tokens: int) -> float:
+        return self.platform.cpu.expert_ffn_time(
+            tokens, self.model.d_model, self.model.d_ff, self.model.dtype_bytes
+        )
+
+    def _new_timeline(self) -> Timeline:
+        return Timeline(["gpu", "h2d", "d2h", "monde", "cpu"])
+
+    # -- GPU-side workflow (PMove + GPU compute) -------------------------------
+
+    def _schedule_gpu_workflow(
+        self,
+        timeline: Timeline,
+        counts: np.ndarray,
+        expert_ids: np.ndarray,
+        layer_id: int,
+        cache: Optional[ExpertCache],
+        start_after: float = 0.0,
+    ) -> tuple[float, int, int, int]:
+        """Schedule PMove transfers + GPU expert compute for the given
+        experts; returns (finish time, pmove bytes, hits, misses).
+
+        Transfers serialize on the h2d stream; each expert's compute
+        follows its own transfer, overlapping subsequent transfers --
+        the on-demand pipelined PMove of Fig. 5's GPU+PM row.
+        """
+        pcie = self.platform.pcie
+        expert_bytes = self.pmove.expert_bytes
+        hits = misses = 0
+        pmove_bytes = 0
+        finish = start_after
+        for expert in expert_ids:
+            tokens = int(counts[expert])
+            if tokens == 0:
+                continue
+            cached = False
+            if cache is not None:
+                h, m = cache.access(layer_id, np.asarray([expert]))
+                cached = h == 1
+                hits += h
+                misses += m
+            gate = start_after
+            deps: list[Segment] = []
+            if not cached:
+                transfer = timeline.enqueue(
+                    "h2d",
+                    pcie.transfer_time(expert_bytes),
+                    label="p",
+                    not_before=gate,
+                )
+                pmove_bytes += expert_bytes
+                deps = [transfer]
+            compute = timeline.enqueue(
+                "gpu",
+                self._gpu_expert_time(tokens),
+                label="e",
+                after=deps,
+                not_before=gate,
+            )
+            finish = max(finish, compute.end)
+        return finish, pmove_bytes, hits, misses
+
+    # -- MoNDE-side workflow (AMove + NDP compute) ------------------------------
+
+    def _schedule_monde_workflow(
+        self,
+        timeline: Timeline,
+        counts: np.ndarray,
+        expert_ids: np.ndarray,
+        start_after: float = 0.0,
+    ) -> tuple[float, int]:
+        """Schedule AMove + NDP compute for the given experts over the
+        platform's MoNDE devices (round-robin by intensity when more
+        than one); returns (finish time, amove bytes)."""
+        pcie = self.platform.pcie
+        engines = self.platform.ndp_engines
+        n_dev = len(engines)
+
+        active = [e for e in expert_ids if counts[e] > 0]
+        if not active:
+            return start_after, 0
+        # Round-robin by compute intensity (Section 3.3).
+        order = sorted(active, key=lambda e: (-counts[e], e))
+        per_device: list[list[int]] = [[] for _ in range(n_dev)]
+        for i, expert in enumerate(order):
+            per_device[i % n_dev].append(expert)
+
+        amove_bytes = 0
+        finishes: list[float] = []
+        out_deps: list[tuple[int, Segment]] = []
+        for dev, experts in enumerate(per_device):
+            if not experts:
+                continue
+            dev_counts = np.asarray([counts[e] for e in experts])
+            in_bytes = self.amove.input_bytes(dev_counts)
+            amove_bytes += in_bytes
+            stream_name = "monde" if dev == 0 else f"monde{dev}"
+            # Input activations transferred separately to each device.
+            ain = timeline.enqueue(
+                "d2h", pcie.transfer_time(in_bytes), label="a", not_before=start_after
+            )
+            prev: list[Segment] = [ain]
+            for expert in experts:
+                seg = timeline.enqueue(
+                    stream_name,
+                    self._ndp_expert_time(int(counts[expert]), engines[dev]),
+                    label="e",
+                    after=prev,
+                )
+                prev = [seg]
+            out_deps.append((dev, prev[0]))
+
+        # Outputs retrieved sequentially from each device (Section 3.3).
+        for dev, last in sorted(out_deps, key=lambda t: t[0]):
+            experts = per_device[dev]
+            dev_counts = np.asarray([counts[e] for e in experts])
+            out_bytes = self.amove.output_bytes(dev_counts)
+            amove_bytes += out_bytes
+            aout = timeline.enqueue(
+                "h2d", pcie.transfer_time(out_bytes), label="a", after=[last]
+            )
+            finishes.append(aout.end)
+        return max(finishes), amove_bytes
+
+    # -- schemes ---------------------------------------------------------------
+
+    def layer_time(
+        self,
+        scheme: Scheme,
+        counts: np.ndarray,
+        layer_id: int = 0,
+        cache: Optional[ExpertCache] = None,
+        alpha: float = 1.0,
+        n_tokens: Optional[int] = None,
+    ) -> LayerResult:
+        """Latency of one MoE layer under ``scheme`` for the routed
+        ``counts`` (length-E array of token counts per expert)."""
+        counts = np.asarray(counts)
+        if counts.shape != (self.model.n_experts,):
+            raise ValueError(
+                f"counts must have shape ({self.model.n_experts},), got {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("token counts must be non-negative")
+        tokens = (
+            int(n_tokens)
+            if n_tokens is not None
+            else max(1, int(counts.sum()) // max(1, self.model.top_k))
+        )
+        if scheme is Scheme.IDEAL:
+            return self._ideal(counts, tokens)
+        if scheme is Scheme.GPU_PM:
+            return self._gpu_pm(counts, tokens, layer_id, cache)
+        if scheme is Scheme.MD_AM:
+            return self._md_am(counts, tokens)
+        if scheme is Scheme.MD_LB:
+            return self._md_lb(counts, tokens, layer_id, cache, alpha)
+        if scheme is Scheme.CPU_AM:
+            return self._cpu_am(counts, tokens)
+        raise ValueError(f"scheme {scheme} is not a single-layer scheme")
+
+    def _prologue(self, timeline: Timeline, counts: np.ndarray, tokens: int) -> Segment:
+        """Gating + framework dispatch on the GPU stream."""
+        gating = timeline.enqueue("gpu", self._gating_time(tokens), label="g")
+        dispatch = timeline.enqueue(
+            "gpu", self._framework_overhead(counts), label="d", after=[gating]
+        )
+        return dispatch
+
+    def _ideal(self, counts: np.ndarray, tokens: int) -> LayerResult:
+        timeline = self._new_timeline()
+        prologue = self._prologue(timeline, counts, tokens)
+        finish = prologue.end
+        for expert in np.flatnonzero(counts > 0):
+            seg = timeline.enqueue(
+                "gpu", self._gpu_expert_time(int(counts[expert])), label="e"
+            )
+            finish = seg.end
+        return LayerResult(
+            scheme=Scheme.IDEAL,
+            seconds=max(finish, prologue.end),
+            timeline=timeline,
+            n_active=int((counts > 0).sum()),
+        )
+
+    def _gpu_pm(
+        self,
+        counts: np.ndarray,
+        tokens: int,
+        layer_id: int,
+        cache: Optional[ExpertCache],
+    ) -> LayerResult:
+        timeline = self._new_timeline()
+        prologue = self._prologue(timeline, counts, tokens)
+        active = np.flatnonzero(counts > 0)
+        finish, pmove_bytes, hits, misses = self._schedule_gpu_workflow(
+            timeline, counts, active, layer_id, cache, start_after=prologue.end
+        )
+        return LayerResult(
+            scheme=Scheme.GPU_PM,
+            seconds=max(finish, prologue.end),
+            timeline=timeline,
+            pmove_bytes=pmove_bytes,
+            n_active=len(active),
+            cache_hits=hits,
+            cache_misses=misses,
+            t_gwf=max(finish, prologue.end),
+        )
+
+    def _md_am(self, counts: np.ndarray, tokens: int) -> LayerResult:
+        timeline = self._new_timeline()
+        prologue = self._prologue(timeline, counts, tokens)
+        active = np.flatnonzero(counts > 0)
+        finish, amove_bytes = self._schedule_monde_workflow(
+            timeline, counts, active, start_after=prologue.end
+        )
+        return LayerResult(
+            scheme=Scheme.MD_AM,
+            seconds=max(finish, prologue.end),
+            timeline=timeline,
+            amove_bytes=amove_bytes,
+            n_active=len(active),
+            t_mdwf=max(finish, prologue.end),
+        )
+
+    def _md_lb(
+        self,
+        counts: np.ndarray,
+        tokens: int,
+        layer_id: int,
+        cache: Optional[ExpertCache],
+        alpha: float,
+    ) -> LayerResult:
+        timeline = self._new_timeline()
+        prologue = self._prologue(timeline, counts, tokens)
+        partition: Partition = self.balancer.partition(counts, alpha=alpha)
+        gpu_finish, pmove_bytes, hits, misses = self._schedule_gpu_workflow(
+            timeline,
+            counts,
+            partition.hot_experts,
+            layer_id,
+            cache,
+            start_after=prologue.end,
+        )
+        monde_finish, amove_bytes = self._schedule_monde_workflow(
+            timeline, counts, partition.cold_experts, start_after=prologue.end
+        )
+        finish = max(gpu_finish, monde_finish, prologue.end)
+        return LayerResult(
+            scheme=Scheme.MD_LB,
+            seconds=finish,
+            timeline=timeline,
+            pmove_bytes=pmove_bytes,
+            amove_bytes=amove_bytes,
+            h=partition.h,
+            n_active=partition.n_active,
+            cache_hits=hits,
+            cache_misses=misses,
+            t_gwf=gpu_finish,
+            t_mdwf=monde_finish,
+        )
+
+    def _cpu_am(self, counts: np.ndarray, tokens: int) -> LayerResult:
+        timeline = self._new_timeline()
+        prologue = self._prologue(timeline, counts, tokens)
+        active = np.flatnonzero(counts > 0)
+        if len(active) == 0:
+            return LayerResult(
+                scheme=Scheme.CPU_AM, seconds=prologue.end, timeline=timeline
+            )
+        pcie = self.platform.pcie
+        in_bytes = self.amove.input_bytes(counts[active])
+        ain = timeline.enqueue(
+            "d2h", pcie.transfer_time(in_bytes), label="a", not_before=prologue.end
+        )
+        prev: list[Segment] = [ain]
+        for expert in active:
+            seg = timeline.enqueue(
+                "cpu", self._cpu_expert_time(int(counts[expert])), label="e", after=prev
+            )
+            prev = [seg]
+        out_bytes = self.amove.output_bytes(counts[active])
+        aout = timeline.enqueue(
+            "h2d", pcie.transfer_time(out_bytes), label="a", after=prev
+        )
+        return LayerResult(
+            scheme=Scheme.CPU_AM,
+            seconds=aout.end,
+            timeline=timeline,
+            amove_bytes=in_bytes + out_bytes,
+            n_active=len(active),
+        )

@@ -1,0 +1,206 @@
+"""The 64-byte MoNDE NDP CXL instruction (Fig. 4(a)).
+
+Layout (512 bits, MSB first)::
+
+    | op (4b) | actin addr (64b) | actin size (64b)
+    | wgt addr (64b) | wgt size (64b)
+    | actout addr (64b) | actout size (64b) | auxiliary (124b) |
+
+The auxiliary field carries the NDP flag that the CXL controller uses
+to distinguish NDP instructions from ordinary memory traffic inside
+Request-with-Data (RwD) flits, plus the GEMM geometry and expert id::
+
+    aux (124b) = isNDP (1) | act fn (2) | m (24) | n (24) | k (24)
+               | expert id (16) | device id (8) | reserved (25)
+
+Two kernels are defined (Section 3.4): ``gemm`` and ``gemm+relu``
+(with a GeLU variant for GeLU models).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+INSTRUCTION_BYTES = 64
+
+_OP_BITS = 4
+_ADDR_BITS = 64
+_SIZE_BITS = 64
+_AUX_BITS = 124
+
+_AUX_NDP_BITS = 1
+_AUX_ACT_BITS = 2
+_AUX_DIM_BITS = 24
+_AUX_EXPERT_BITS = 16
+_AUX_DEVICE_BITS = 8
+_AUX_RESERVED_BITS = (
+    _AUX_BITS
+    - _AUX_NDP_BITS
+    - _AUX_ACT_BITS
+    - 3 * _AUX_DIM_BITS
+    - _AUX_EXPERT_BITS
+    - _AUX_DEVICE_BITS
+)
+
+_TOTAL_BITS = _OP_BITS + 3 * (_ADDR_BITS + _SIZE_BITS) + _AUX_BITS
+assert _TOTAL_BITS == 8 * INSTRUCTION_BYTES, _TOTAL_BITS
+
+
+class Opcode(enum.IntEnum):
+    """4-bit opcode space (values above GEMM_GELU are reserved)."""
+
+    NOP = 0
+    GEMM = 1
+    GEMM_RELU = 2
+    GEMM_GELU = 3
+
+
+class FusedActivation(enum.IntEnum):
+    """2-bit fused-epilogue selector in the auxiliary field."""
+
+    NONE = 0
+    RELU = 1
+    GELU = 2
+
+
+_OP_TO_ACT = {
+    Opcode.GEMM: FusedActivation.NONE,
+    Opcode.GEMM_RELU: FusedActivation.RELU,
+    Opcode.GEMM_GELU: FusedActivation.GELU,
+}
+
+
+def _check(value: int, bits: int, label: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{label}={value} does not fit in {bits} bits")
+    return value
+
+
+@dataclass(frozen=True)
+class NDPInstruction:
+    """One decoded 64-byte NDP instruction."""
+
+    opcode: Opcode
+    actin_addr: int
+    actin_size: int
+    wgt_addr: int
+    wgt_size: int
+    actout_addr: int
+    actout_size: int
+    m: int
+    n: int
+    k: int
+    expert_id: int = 0
+    device_id: int = 0
+    is_ndp: bool = True
+
+    def __post_init__(self) -> None:
+        _check(int(self.opcode), _OP_BITS, "opcode")
+        for label in ("actin_addr", "wgt_addr", "actout_addr"):
+            _check(getattr(self, label), _ADDR_BITS, label)
+        for label in ("actin_size", "wgt_size", "actout_size"):
+            _check(getattr(self, label), _SIZE_BITS, label)
+        for label in ("m", "n", "k"):
+            _check(getattr(self, label), _AUX_DIM_BITS, label)
+        _check(self.expert_id, _AUX_EXPERT_BITS, "expert_id")
+        _check(self.device_id, _AUX_DEVICE_BITS, "device_id")
+
+    @property
+    def fused_activation(self) -> FusedActivation:
+        return _OP_TO_ACT.get(self.opcode, FusedActivation.NONE)
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Pack into the 64-byte wire format."""
+        aux = 1 if self.is_ndp else 0
+        aux = (aux << _AUX_ACT_BITS) | int(self.fused_activation)
+        aux = (aux << _AUX_DIM_BITS) | self.m
+        aux = (aux << _AUX_DIM_BITS) | self.n
+        aux = (aux << _AUX_DIM_BITS) | self.k
+        aux = (aux << _AUX_EXPERT_BITS) | self.expert_id
+        aux = (aux << _AUX_DEVICE_BITS) | self.device_id
+        aux = aux << _AUX_RESERVED_BITS
+
+        word = int(self.opcode)
+        for value, bits in (
+            (self.actin_addr, _ADDR_BITS),
+            (self.actin_size, _SIZE_BITS),
+            (self.wgt_addr, _ADDR_BITS),
+            (self.wgt_size, _SIZE_BITS),
+            (self.actout_addr, _ADDR_BITS),
+            (self.actout_size, _SIZE_BITS),
+            (aux, _AUX_BITS),
+        ):
+            word = (word << bits) | value
+        return word.to_bytes(INSTRUCTION_BYTES, "big")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "NDPInstruction":
+        """Unpack from the 64-byte wire format."""
+        if len(raw) != INSTRUCTION_BYTES:
+            raise ValueError(f"instruction must be {INSTRUCTION_BYTES} bytes, got {len(raw)}")
+        word = int.from_bytes(raw, "big")
+
+        def take(bits: int) -> int:
+            nonlocal word
+            value = word & ((1 << bits) - 1)
+            word >>= bits
+            return value
+
+        take(_AUX_RESERVED_BITS)
+        device_id = take(_AUX_DEVICE_BITS)
+        expert_id = take(_AUX_EXPERT_BITS)
+        k = take(_AUX_DIM_BITS)
+        n = take(_AUX_DIM_BITS)
+        m = take(_AUX_DIM_BITS)
+        act = take(_AUX_ACT_BITS)
+        is_ndp = bool(take(_AUX_NDP_BITS))
+        actout_size = take(_SIZE_BITS)
+        actout_addr = take(_ADDR_BITS)
+        wgt_size = take(_SIZE_BITS)
+        wgt_addr = take(_ADDR_BITS)
+        actin_size = take(_SIZE_BITS)
+        actin_addr = take(_ADDR_BITS)
+        opcode = Opcode(take(_OP_BITS))
+
+        instruction = cls(
+            opcode=opcode,
+            actin_addr=actin_addr,
+            actin_size=actin_size,
+            wgt_addr=wgt_addr,
+            wgt_size=wgt_size,
+            actout_addr=actout_addr,
+            actout_size=actout_size,
+            m=m,
+            n=n,
+            k=k,
+            expert_id=expert_id,
+            device_id=device_id,
+            is_ndp=is_ndp,
+        )
+        if int(instruction.fused_activation) != act:
+            raise ValueError(
+                f"aux activation field {act} inconsistent with opcode {opcode!r}"
+            )
+        return instruction
+
+
+@dataclass(frozen=True)
+class CXLFlit:
+    """A CXL.mem Request-with-Data message carrying a 64-byte payload.
+
+    The CXL controller identifies NDP instructions by the ``ndp_flag``
+    defined in the reserved bits of the message flit (Section 3.1).
+    """
+
+    address: int
+    payload: bytes
+    ndp_flag: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != INSTRUCTION_BYTES:
+            raise ValueError("RwD payload must be 64 bytes")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")

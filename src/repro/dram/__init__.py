@@ -1,0 +1,44 @@
+"""A Ramulator-style cycle-level DRAM simulator.
+
+The paper models the MoNDE memory with Ramulator [Kim+, IEEE CAL'15]
+over an LPDDR device (Section 4.1).  This package reimplements that
+substrate: explicit bank state machines, bank-group timing, a FR-FCFS
+memory controller per channel, and the paper's ro-ba-bg-ra-co-ch
+address mapping with even/odd bank partitioning between expert
+parameters and activations (Section 3.4, "Memory Allocation").
+
+The simulator is used two ways:
+
+- directly, in micro-benchmarks and tests (sustained bandwidth,
+  row-hit rates, partitioning ablations), and
+- as the calibration source for the effective-bandwidth constants the
+  system-level NDP model consumes (:class:`~repro.dram.calibrate.BandwidthCalibrator`).
+"""
+
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.bank import Bank, BankState
+from repro.dram.calibrate import BandwidthCalibrator, CalibrationResult
+from repro.dram.channel import Channel
+from repro.dram.config import LPDDR5X_8533, DRAMOrganization
+from repro.dram.controller import MemoryController, SchedulerPolicy
+from repro.dram.request import Command, CommandKind, Request, RequestKind
+from repro.dram.timing import DRAMTiming
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BankState",
+    "BandwidthCalibrator",
+    "CalibrationResult",
+    "Channel",
+    "Command",
+    "CommandKind",
+    "DRAMOrganization",
+    "DRAMTiming",
+    "LPDDR5X_8533",
+    "MappingScheme",
+    "MemoryController",
+    "Request",
+    "RequestKind",
+    "SchedulerPolicy",
+]

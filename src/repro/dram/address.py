@@ -1,0 +1,152 @@
+"""Physical-address-to-DRAM-coordinate mapping.
+
+Section 3.4 of the paper: data in the MoNDE memory space is mapped
+``ro-ba-bg-ra-co-ch`` (fields listed MSB -> LSB) "in order to fully
+utilize the DRAM bandwidth for contiguous memory accesses".  With the
+channel bits lowest, consecutive 64-byte blocks interleave across all
+channels; the column bits next keep each channel streaming within an
+open row; bank / bank-group bits above that expose bank-level
+parallelism for row-activation overlap; row bits change slowest.
+
+A naive ``ROW_MAJOR`` scheme (channel highest, column lowest) is also
+provided as the ablation baseline: contiguous data then lives in a
+single channel and crosses rows within one bank, destroying both
+channel parallelism and row locality for streams.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dram.config import DRAMOrganization
+from repro.dram.request import DecodedAddress
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+class MappingScheme(enum.Enum):
+    #: The paper's mapping: row | bank | bankgroup | rank | column | channel.
+    RO_BA_BG_RA_CO_CH = "ro-ba-bg-ra-co-ch"
+    #: Naive mapping: channel | rank | bankgroup | bank | row | column.
+    ROW_MAJOR = "row-major"
+
+
+class AddressMapper:
+    """Bit-sliced address decoder for a :class:`DRAMOrganization`.
+
+    All geometry dimensions must be powers of two (as in real parts);
+    the 6 lowest bits (64-byte access offset) are dropped first.
+    """
+
+    def __init__(
+        self,
+        organization: DRAMOrganization,
+        scheme: MappingScheme = MappingScheme.RO_BA_BG_RA_CO_CH,
+    ) -> None:
+        org = organization
+        for name, value in (
+            ("n_channels", org.n_channels),
+            ("n_ranks", org.n_ranks),
+            ("n_bankgroups", org.n_bankgroups),
+            ("banks_per_group", org.banks_per_group),
+            ("n_rows", org.n_rows),
+            ("columns_per_row", org.columns_per_row),
+            ("access_bytes", org.access_bytes),
+        ):
+            if not _is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        self.organization = org
+        self.scheme = scheme
+        self._offset_bits = _log2(org.access_bytes)
+        self._bits = {
+            "ch": _log2(org.n_channels),
+            "ra": _log2(org.n_ranks),
+            "bg": _log2(org.n_bankgroups),
+            "ba": _log2(org.banks_per_group),
+            "ro": _log2(org.n_rows),
+            "co": _log2(org.columns_per_row),
+        }
+        if scheme is MappingScheme.RO_BA_BG_RA_CO_CH:
+            self._order_lsb_to_msb = ["ch", "co", "ra", "bg", "ba", "ro"]
+        elif scheme is MappingScheme.ROW_MAJOR:
+            self._order_lsb_to_msb = ["co", "ro", "ba", "bg", "ra", "ch"]
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown mapping scheme: {scheme}")
+
+    @property
+    def address_bits(self) -> int:
+        """Total decodable address bits (including the access offset)."""
+        return self._offset_bits + sum(self._bits.values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        return 1 << self.address_bits
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decode a byte address into DRAM coordinates."""
+        if addr < 0:
+            raise ValueError(f"address must be non-negative, got {addr}")
+        if addr >= self.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} beyond device capacity {self.capacity_bytes:#x}"
+            )
+        block = addr >> self._offset_bits
+        fields: dict[str, int] = {}
+        for name in self._order_lsb_to_msb:
+            width = self._bits[name]
+            fields[name] = block & ((1 << width) - 1)
+            block >>= width
+        return DecodedAddress(
+            channel=fields["ch"],
+            rank=fields["ra"],
+            bankgroup=fields["bg"],
+            bank=fields["ba"],
+            row=fields["ro"],
+            column=fields["co"],
+        )
+
+    def encode(
+        self,
+        channel: int,
+        rank: int,
+        bankgroup: int,
+        bank: int,
+        row: int,
+        column: int,
+    ) -> int:
+        """Inverse of :meth:`decode` (round-trips exactly)."""
+        fields = {
+            "ch": channel, "ra": rank, "bg": bankgroup,
+            "ba": bank, "ro": row, "co": column,
+        }
+        limits = {
+            "ch": self.organization.n_channels,
+            "ra": self.organization.n_ranks,
+            "bg": self.organization.n_bankgroups,
+            "ba": self.organization.banks_per_group,
+            "ro": self.organization.n_rows,
+            "co": self.organization.columns_per_row,
+        }
+        for name, value in fields.items():
+            if not 0 <= value < limits[name]:
+                raise ValueError(f"{name}={value} out of range [0, {limits[name]})")
+        block = 0
+        for name in reversed(self._order_lsb_to_msb):
+            block = (block << self._bits[name]) | fields[name]
+        return block << self._offset_bits
+
+    def sequential_stream(self, base: int, nbytes: int) -> list[int]:
+        """Addresses of the 64-byte blocks covering ``[base, base+nbytes)``."""
+        if base % self.organization.access_bytes != 0:
+            raise ValueError("base must be access-aligned")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        step = self.organization.access_bytes
+        count = -(-nbytes // step)
+        return [base + i * step for i in range(count)]

@@ -1,0 +1,84 @@
+"""Per-bank DRAM state machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.dram.timing import DRAMTiming
+
+
+class BankState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+class Bank:
+    """One DRAM bank: an open-row register plus next-allowed-command
+    timestamps maintained under the JEDEC core timing constraints."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.open_row: Optional[int] = None
+        self.earliest_act = 0
+        self.earliest_pre = 0
+        self.earliest_col = 0  # RD or WR
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+
+    @property
+    def state(self) -> BankState:
+        return BankState.CLOSED if self.open_row is None else BankState.OPEN
+
+    def next_command_ready(self, row: int) -> tuple[str, int]:
+        """What command does a request for ``row`` need next, and at
+        which cycle is the bank ready for it?  Returns ("RDWR"|"ACT"|"PRE", cycle)."""
+        if self.open_row == row:
+            return "RDWR", self.earliest_col
+        if self.open_row is None:
+            return "ACT", self.earliest_act
+        return "PRE", self.earliest_pre
+
+    def activate(self, cycle: int, row: int, timing: DRAMTiming) -> None:
+        if self.open_row is not None:
+            raise RuntimeError(f"bank {self.index}: ACT while row {self.open_row} open")
+        if cycle < self.earliest_act:
+            raise RuntimeError(f"bank {self.index}: ACT at {cycle} < {self.earliest_act}")
+        self.open_row = row
+        self.earliest_col = cycle + timing.tRCD
+        self.earliest_pre = cycle + timing.tRAS
+        self.earliest_act = cycle + timing.tRC
+
+    def precharge(self, cycle: int, timing: DRAMTiming) -> None:
+        if self.open_row is None:
+            raise RuntimeError(f"bank {self.index}: PRE while closed")
+        if cycle < self.earliest_pre:
+            raise RuntimeError(f"bank {self.index}: PRE at {cycle} < {self.earliest_pre}")
+        self.open_row = None
+        self.earliest_act = max(self.earliest_act, cycle + timing.tRP)
+
+    def read(self, cycle: int, timing: DRAMTiming) -> int:
+        """Issue RD; returns the data-complete cycle."""
+        self._check_col(cycle)
+        # Keep the row open long enough to finish the burst before PRE.
+        self.earliest_pre = max(self.earliest_pre, cycle + timing.burst_cycles)
+        self.row_hits += 1
+        return cycle + timing.tCL + timing.burst_cycles
+
+    def write(self, cycle: int, timing: DRAMTiming) -> int:
+        """Issue WR; returns the data-complete cycle (write recovery
+        pushes out the next PRE)."""
+        self._check_col(cycle)
+        done = cycle + timing.tCWL + timing.burst_cycles
+        self.earliest_pre = max(self.earliest_pre, done + timing.tWR)
+        self.row_hits += 1
+        return done
+
+    def _check_col(self, cycle: int) -> None:
+        if self.open_row is None:
+            raise RuntimeError(f"bank {self.index}: column command while closed")
+        if cycle < self.earliest_col:
+            raise RuntimeError(
+                f"bank {self.index}: column command at {cycle} < {self.earliest_col}"
+            )

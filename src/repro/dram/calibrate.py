@@ -1,0 +1,145 @@
+"""Bandwidth calibration: cycle-level DRAM runs -> effective-bandwidth
+constants for the system-level models.
+
+The paper couples a Ramulator memory model to a cycle-level expert
+simulator, then feeds the resulting NDP latencies into an end-to-end
+estimate (Section 4.1).  We do the same: the calibrator streams
+representative access patterns through :class:`MemoryController` and
+reports sustained bandwidth, which the NDP GEMM engine then uses for
+its memory-side timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.address import MappingScheme
+from repro.dram.config import DRAMConfig, LPDDR5X_8533
+from repro.dram.controller import ControllerStats, MemoryController
+from repro.dram.request import Request, RequestKind
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration pattern."""
+
+    pattern: str
+    nbytes: int
+    sustained_bandwidth: float
+    peak_bandwidth: float
+    row_hit_rate: float
+    total_cycles: int
+
+    @property
+    def efficiency(self) -> float:
+        if self.peak_bandwidth == 0:
+            return 0.0
+        return self.sustained_bandwidth / self.peak_bandwidth
+
+
+class BandwidthCalibrator:
+    """Generates access patterns and measures sustained bandwidth."""
+
+    def __init__(
+        self,
+        config: DRAMConfig = LPDDR5X_8533,
+        scheme: MappingScheme = MappingScheme.RO_BA_BG_RA_CO_CH,
+    ) -> None:
+        self.config = config
+        self.scheme = scheme
+
+    def _controller(self) -> MemoryController:
+        return MemoryController(self.config, scheme=self.scheme)
+
+    def _run(self, pattern: str, addrs: list[int], kinds: list[RequestKind]) -> CalibrationResult:
+        controller = self._controller()
+        requests = [Request(addr=a, kind=k) for a, k in zip(addrs, kinds)]
+        stats = controller.simulate(requests)
+        return CalibrationResult(
+            pattern=pattern,
+            nbytes=len(requests) * self.config.organization.access_bytes,
+            sustained_bandwidth=controller.sustained_bandwidth(stats),
+            peak_bandwidth=self.config.peak_bandwidth,
+            row_hit_rate=stats.row_hit_rate,
+            total_cycles=stats.total_cycles,
+        )
+
+    def sequential_read(self, nbytes: int = 1 << 20, base: int = 0) -> CalibrationResult:
+        """Stream ``nbytes`` of contiguous reads (expert-weight fetch)."""
+        step = self.config.organization.access_bytes
+        count = nbytes // step
+        addrs = [base + i * step for i in range(count)]
+        return self._run("sequential-read", addrs, [RequestKind.READ] * count)
+
+    def random_read(self, nbytes: int = 1 << 20, seed: int = 7) -> CalibrationResult:
+        """Uniform-random 64B reads over the full address space."""
+        rng = np.random.default_rng(seed)
+        org = self.config.organization
+        step = org.access_bytes
+        count = nbytes // step
+        mapper_capacity = org.n_channels * org.channel_capacity_bytes
+        blocks = rng.integers(0, mapper_capacity // step, size=count, dtype=np.int64)
+        addrs = [int(b) * step for b in blocks]
+        return self._run("random-read", addrs, [RequestKind.READ] * count)
+
+    def interleaved_streams(
+        self,
+        nbytes_each: int = 1 << 19,
+        partitioned: bool = True,
+    ) -> CalibrationResult:
+        """Two interleaved streams: expert weights (reads) and
+        activations (alternating read/write), either placed in
+        disjoint even/odd banks (the paper's Section 3.4 layout) or
+        overlapping in the same banks (ablation baseline).
+
+        Partitioning is expressed through the *row* placement: the
+        unpartitioned layout puts the two streams in different rows of
+        the same banks, so interleaved access ping-pongs rows (a row
+        conflict per switch); the partitioned layout gives each stream
+        its own banks so both keep their rows open.
+        """
+        from repro.dram.address import AddressMapper
+
+        mapper = AddressMapper(self.config.organization, self.scheme)
+        org = self.config.organization
+        count = nbytes_each // org.access_bytes
+        weight_addrs: list[int] = []
+        act_addrs: list[int] = []
+        cols = org.columns_per_row
+        for i in range(count):
+            channel = i % org.n_channels
+            per_channel_i = i // org.n_channels
+            column = per_channel_i % cols
+            row = per_channel_i // cols
+            if partitioned:
+                # Weights in even banks-in-group, activations in odd.
+                weight_addrs.append(
+                    mapper.encode(channel, 0, 0, 0, row % org.n_rows, column)
+                )
+                act_addrs.append(
+                    mapper.encode(channel, 0, 0, 1, row % org.n_rows, column)
+                )
+            else:
+                # Same bank, disjoint row ranges -> conflicts on switch.
+                weight_addrs.append(
+                    mapper.encode(channel, 0, 0, 0, (2 * row) % org.n_rows, column)
+                )
+                act_addrs.append(
+                    mapper.encode(channel, 0, 0, 0, (2 * row + 1) % org.n_rows, column)
+                )
+        addrs: list[int] = []
+        kinds: list[RequestKind] = []
+        for i in range(count):
+            addrs.append(weight_addrs[i])
+            kinds.append(RequestKind.READ)
+            addrs.append(act_addrs[i])
+            kinds.append(RequestKind.READ if i % 2 == 0 else RequestKind.WRITE)
+        label = "interleaved-partitioned" if partitioned else "interleaved-shared"
+        return self._run(label, addrs, kinds)
+
+    def effective_bandwidth(self, nbytes: int = 1 << 20) -> float:
+        """Sustained sequential-stream bandwidth -- the constant the
+        system-level NDP timing model consumes."""
+        return self.sequential_read(nbytes).sustained_bandwidth

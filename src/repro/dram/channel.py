@@ -1,0 +1,144 @@
+"""One DRAM channel: banks plus shared command/data-bus constraints."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMConfig
+from repro.dram.request import Command, CommandKind
+from repro.dram.timing import DRAMTiming
+
+
+class Channel:
+    """Bank array plus the cross-bank constraints of one channel:
+
+    - one command per cycle on the command bus,
+    - data-bus occupancy (one burst at a time),
+    - tCCD_S / tCCD_L column-to-column spacing (bank-group aware),
+    - tRRD / tFAW activation pacing,
+    - write-to-read turnaround (tWTR).
+    """
+
+    def __init__(self, index: int, config: DRAMConfig) -> None:
+        self.index = index
+        self.config = config
+        org = config.organization
+        self.banks = [Bank(i) for i in range(org.n_banks)]
+        self._cmd_bus_next = 0
+        self._data_bus_next = 0
+        self._last_col_cycle = -(10**9)
+        self._last_col_bankgroup = -1
+        self._last_was_write = False
+        self._read_after_write_ok = 0
+        self._act_history: deque[int] = deque(maxlen=4)
+        self._last_act_cycle = -(10**9)
+        self.commands: list[Command] = []
+        self.record_commands = False
+
+    @property
+    def timing(self) -> DRAMTiming:
+        return self.config.timing
+
+    def bank_index(self, rank: int, bankgroup: int, bank: int) -> int:
+        org = self.config.organization
+        return (
+            rank * org.n_bankgroups * org.banks_per_group
+            + bankgroup * org.banks_per_group
+            + bank
+        )
+
+    def bankgroup_of(self, bank_index: int) -> int:
+        return (bank_index // self.config.organization.banks_per_group) % (
+            self.config.organization.n_bankgroups
+        )
+
+    # -- earliest-issue queries ------------------------------------------
+
+    def earliest_act(self, bank_index: int) -> int:
+        t = self.timing
+        ready = max(self.banks[bank_index].earliest_act, self._cmd_bus_next)
+        ready = max(ready, self._last_act_cycle + t.tRRD)
+        if len(self._act_history) == self._act_history.maxlen:
+            ready = max(ready, self._act_history[0] + t.tFAW)
+        return ready
+
+    def earliest_pre(self, bank_index: int) -> int:
+        return max(self.banks[bank_index].earliest_pre, self._cmd_bus_next)
+
+    def earliest_col(self, bank_index: int, is_write: bool) -> int:
+        t = self.timing
+        ready = max(self.banks[bank_index].earliest_col, self._cmd_bus_next)
+        same_group = self.bankgroup_of(bank_index) == self._last_col_bankgroup
+        ccd = t.tCCD_L if same_group else t.tCCD_S
+        ready = max(ready, self._last_col_cycle + ccd)
+        # Data-bus constraint is pipelined behind the CAS latency: the
+        # *data* of this command must start after the previous burst
+        # ends, so the command itself may issue tCL/tCWL earlier.
+        cas = t.tCWL if is_write else t.tCL
+        ready = max(ready, self._data_bus_next - cas)
+        if not is_write and self._last_was_write:
+            ready = max(ready, self._read_after_write_ok - cas)
+        return ready
+
+    # -- command issue ---------------------------------------------------
+
+    def issue_activate(self, cycle: int, bank_index: int, row: int) -> None:
+        self.banks[bank_index].activate(cycle, row, self.timing)
+        self._after_cmd(cycle)
+        self._act_history.append(cycle)
+        self._last_act_cycle = cycle
+        self._record(cycle, CommandKind.ACTIVATE, bank_index, row=row)
+
+    def issue_precharge(self, cycle: int, bank_index: int) -> None:
+        self.banks[bank_index].precharge(cycle, self.timing)
+        self._after_cmd(cycle)
+        self._record(cycle, CommandKind.PRECHARGE, bank_index)
+
+    def issue_read(self, cycle: int, bank_index: int, column: int) -> int:
+        done = self.banks[bank_index].read(cycle, self.timing)
+        self._after_col(cycle, bank_index, is_write=False)
+        self._record(cycle, CommandKind.READ, bank_index, column=column)
+        return done
+
+    def issue_write(self, cycle: int, bank_index: int, column: int) -> int:
+        done = self.banks[bank_index].write(cycle, self.timing)
+        self._after_col(cycle, bank_index, is_write=True)
+        self._record(cycle, CommandKind.WRITE, bank_index, column=column)
+        return done
+
+    # -- internals ---------------------------------------------------------
+
+    def _after_cmd(self, cycle: int) -> None:
+        self._cmd_bus_next = cycle + 1
+
+    def _after_col(self, cycle: int, bank_index: int, is_write: bool) -> None:
+        t = self.timing
+        self._after_cmd(cycle)
+        self._last_col_cycle = cycle
+        self._last_col_bankgroup = self.bankgroup_of(bank_index)
+        data_start = cycle + (t.tCWL if is_write else t.tCL)
+        self._data_bus_next = data_start + t.burst_cycles
+        if is_write:
+            self._read_after_write_ok = data_start + t.burst_cycles + t.tWTR
+        self._last_was_write = is_write
+
+    def _record(
+        self,
+        cycle: int,
+        kind: CommandKind,
+        bank_index: int,
+        row: int = -1,
+        column: int = -1,
+    ) -> None:
+        if self.record_commands:
+            self.commands.append(
+                Command(
+                    cycle=cycle,
+                    kind=kind,
+                    channel=self.index,
+                    bank_index=bank_index,
+                    row=row,
+                    column=column,
+                )
+            )

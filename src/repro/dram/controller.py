@@ -1,0 +1,219 @@
+"""FR-FCFS memory controller over one or more channels.
+
+FR-FCFS (first-ready, first-come-first-served) prefers requests whose
+row is already open (row hits) and otherwise issues the command that
+can go out earliest across banks, with an age cap to prevent
+starvation -- the policy Ramulator defaults to and the one assumed by
+the paper's bandwidth reasoning.
+
+Scheduling works bank-by-bank over a lookahead window:
+
+1. For every bank with pending requests in the window, select its
+   *representative* request: the oldest row hit if one exists, else
+   the oldest request for that bank.
+2. For each representative, compute the next command it needs (RD/WR,
+   ACT, or PRE) and the earliest cycle the channel can issue it.  A
+   PRE is suppressed while any window request still needs the open row.
+3. Issue the candidate with the smallest ready cycle (column commands
+   win ties, then age).  This naturally overlaps row activation and
+   precharge under ongoing data transfers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.channel import Channel
+from repro.dram.config import DRAMConfig
+from repro.dram.request import Request, RequestKind
+
+
+class SchedulerPolicy(enum.Enum):
+    FR_FCFS = "fr-fcfs"
+    FCFS = "fcfs"
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics for one simulation run."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activates: int = 0
+    precharges: int = 0
+    total_cycles: int = 0
+    refresh_cycles: int = 0
+    busy_channel_cycles: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryController:
+    """Schedules 64-byte requests over the channels of a DRAM config."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        scheme: MappingScheme = MappingScheme.RO_BA_BG_RA_CO_CH,
+        policy: SchedulerPolicy = SchedulerPolicy.FR_FCFS,
+        window: int = 64,
+        starvation_cap: int = 512,
+    ) -> None:
+        if window < 1:
+            raise ValueError("scheduler window must be >= 1")
+        self.config = config
+        self.mapper = AddressMapper(config.organization, scheme)
+        self.policy = policy
+        self.window = window
+        self.starvation_cap = starvation_cap
+        self.channels = [Channel(i, config) for i in range(config.organization.n_channels)]
+
+    # -- simulation --------------------------------------------------------
+
+    def simulate(self, requests: list[Request]) -> ControllerStats:
+        """Run all requests to completion; fills in per-request
+        ``complete_cycle`` and returns aggregate stats.
+
+        Channels are timing-independent, so each channel's queue is
+        drained separately and stats are merged.
+        """
+        stats = ControllerStats()
+        org = self.config.organization
+        per_channel: list[list[Request]] = [[] for _ in range(org.n_channels)]
+        for req in requests:
+            req.decoded = self.mapper.decode(req.addr)
+            per_channel[req.decoded.channel].append(req)
+
+        final_cycle = 0
+        for channel, queue in zip(self.channels, per_channel):
+            if not queue:
+                continue
+            last = self._drain_channel(channel, queue, stats)
+            final_cycle = max(final_cycle, last)
+            stats.busy_channel_cycles[channel.index] = last
+        # Refresh duty-cycle derate: every tREFI window loses tRFC
+        # cycles of availability (first-order streaming model).
+        overhead = self.config.timing.refresh_overhead
+        if overhead > 0 and final_cycle > 0:
+            stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
+            final_cycle += stats.refresh_cycles
+        stats.total_cycles = final_cycle
+        stats.requests = len(requests)
+        stats.reads = sum(1 for r in requests if r.kind is RequestKind.READ)
+        stats.writes = stats.requests - stats.reads
+        return stats
+
+    def sustained_bandwidth(self, stats: ControllerStats) -> float:
+        """Bytes/s implied by a run's request count and cycle span."""
+        if stats.total_cycles == 0:
+            return 0.0
+        nbytes = stats.requests * self.config.organization.access_bytes
+        return nbytes / self.config.timing.cycles_to_seconds(stats.total_cycles)
+
+    # -- per-channel scheduling -------------------------------------------
+
+    def _drain_channel(
+        self, channel: Channel, queue: list[Request], stats: ControllerStats
+    ) -> int:
+        org = self.config.organization
+        flat = lambda d: d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+        pending = list(queue)
+        last_complete = 0
+        head_skips = 0
+        while pending:
+            window = pending[: self.window]
+            fcfs = self.policy is SchedulerPolicy.FCFS
+            forced = head_skips >= self.starvation_cap
+            if fcfs or forced:
+                window = pending[:1]
+
+            live_rows = {(flat(r.decoded), r.decoded.row) for r in window}
+
+            # Representative request per bank: oldest row hit, else oldest.
+            rep: dict[int, tuple[int, Request]] = {}
+            for age, req in enumerate(window):
+                bank_index = flat(req.decoded)
+                bank = channel.banks[bank_index]
+                current = rep.get(bank_index)
+                is_hit = bank.open_row == req.decoded.row
+                if current is None:
+                    rep[bank_index] = (age, req)
+                elif is_hit and channel.banks[bank_index].open_row != current[1].decoded.row:
+                    rep[bank_index] = (age, req)
+
+            best = None  # (ready, col_pref, age, cmd, bank_index, req)
+            for bank_index, (age, req) in rep.items():
+                bank = channel.banks[bank_index]
+                cmd, _ = bank.next_command_ready(req.decoded.row)
+                if cmd == "RDWR":
+                    is_write = req.kind is RequestKind.WRITE
+                    ready = channel.earliest_col(bank_index, is_write)
+                    # Column commands pipeline behind CAS latency, so a
+                    # one-cycle slip never bubbles the data bus; let
+                    # equally-ready ACT/PRE win ties to hide row switches.
+                    key = (ready, 1, age)
+                elif cmd == "ACT":
+                    ready = channel.earliest_act(bank_index)
+                    key = (ready, 0, age)
+                else:  # PRE
+                    if not forced and (bank_index, bank.open_row) in live_rows:
+                        continue
+                    ready = channel.earliest_pre(bank_index)
+                    key = (ready, 0, age)
+                if best is None or key < best[0]:
+                    best = (key, cmd, bank_index, req)
+
+            if best is None:
+                # Every bank is gated behind a live open row (possible
+                # only under forced/FCFS narrowing); fall back to the
+                # head request's needed command unconditionally.
+                req = window[0]
+                bank_index = flat(req.decoded)
+                cmd, _ = channel.banks[bank_index].next_command_ready(req.decoded.row)
+                best = ((0, 0, 0), cmd, bank_index, req)
+
+            _, cmd, bank_index, req = best
+            decoded = req.decoded
+            bank = channel.banks[bank_index]
+
+            if cmd == "PRE":
+                cycle = channel.earliest_pre(bank_index)
+                channel.issue_precharge(cycle, bank_index)
+                stats.precharges += 1
+                if req.row_hit is None:
+                    req.row_hit = False
+                    stats.row_conflicts += 1
+            elif cmd == "ACT":
+                cycle = channel.earliest_act(bank_index)
+                channel.issue_activate(cycle, bank_index, decoded.row)
+                stats.activates += 1
+                if req.row_hit is None:
+                    req.row_hit = False
+                    stats.row_misses += 1
+            else:
+                is_write = req.kind is RequestKind.WRITE
+                cycle = channel.earliest_col(bank_index, is_write)
+                if is_write:
+                    done = channel.issue_write(cycle, bank_index, decoded.column)
+                else:
+                    done = channel.issue_read(cycle, bank_index, decoded.column)
+                if req.row_hit is None:
+                    req.row_hit = True
+                    stats.row_hits += 1
+                req.complete_cycle = done
+                last_complete = max(last_complete, done)
+                pending.remove(req)
+                if pending and req is not window[0]:
+                    head_skips += 1
+                else:
+                    head_skips = 0
+        return last_complete

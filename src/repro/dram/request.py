@@ -1,0 +1,73 @@
+"""Memory request and DRAM command types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RequestKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class CommandKind(enum.Enum):
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address decoded into DRAM coordinates."""
+
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    def flat_bank_index(self, n_bankgroups: int, banks_per_group: int) -> int:
+        """Bank index flattened over (rank, bankgroup, bank-in-group)."""
+        return (
+            self.rank * n_bankgroups * banks_per_group
+            + self.bankgroup * banks_per_group
+            + self.bank
+        )
+
+
+@dataclass
+class Request:
+    """One 64-byte memory request presented to the controller."""
+
+    addr: int
+    kind: RequestKind
+    arrive_cycle: int = 0
+    decoded: Optional[DecodedAddress] = None
+    complete_cycle: Optional[int] = None
+    row_hit: Optional[bool] = field(default=None)
+
+    @property
+    def is_done(self) -> bool:
+        return self.complete_cycle is not None
+
+    def latency(self) -> int:
+        """Cycles from arrival to data completion."""
+        if self.complete_cycle is None:
+            raise RuntimeError("request has not completed")
+        return self.complete_cycle - self.arrive_cycle
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command issued by the controller (for traces/tests)."""
+
+    cycle: int
+    kind: CommandKind
+    channel: int
+    bank_index: int
+    row: int = -1
+    column: int = -1

@@ -1,0 +1,129 @@
+"""DRAM timing parameters.
+
+All parameters are stored in *controller cycles*.  Use
+:meth:`DRAMTiming.from_nanoseconds` to build a parameter set from
+datasheet nanosecond values at a given controller clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Core DRAM timing constraints, in controller clock cycles.
+
+    Attributes mirror the usual JEDEC names:
+
+    - ``tRCD``: ACT -> column command (same bank).
+    - ``tRP``: PRE -> ACT (same bank).
+    - ``tCL``: RD -> first data beat.
+    - ``tCWL``: WR -> first data beat.
+    - ``tRAS``: ACT -> PRE (same bank).
+    - ``tRC``: ACT -> ACT (same bank) = tRAS + tRP.
+    - ``tCCD_S`` / ``tCCD_L``: column-to-column, different / same
+      bank group.
+    - ``tRRD``: ACT -> ACT (different banks).
+    - ``tFAW``: rolling window that may contain at most 4 ACTs.
+    - ``tWR``: write recovery (last write data -> PRE).
+    - ``tWTR``: write-to-read turnaround.
+    - ``burst_cycles``: data-bus occupancy of one 64-byte access.
+    - ``tREFI`` / ``tRFC``: refresh interval and refresh cycle time
+      (0 disables refresh).  The controller folds refresh in as a
+      duty-cycle derate: every tREFI window loses tRFC cycles of
+      availability, the standard first-order model for streaming
+      workloads.
+    """
+
+    clock_hz: float
+    tRCD: int
+    tRP: int
+    tCL: int
+    tCWL: int
+    tRAS: int
+    tCCD_S: int
+    tCCD_L: int
+    tRRD: int
+    tFAW: int
+    tWR: int
+    tWTR: int
+    burst_cycles: int = 1
+    tREFI: int = 0
+    tRFC: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tRCD", "tRP", "tCL", "tCWL", "tRAS",
+            "tCCD_S", "tCCD_L", "tRRD", "tFAW", "tWR", "tWTR",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.burst_cycles < 1:
+            raise ValueError("burst_cycles must be >= 1")
+        if self.tCCD_L < self.tCCD_S:
+            raise ValueError("tCCD_L must be >= tCCD_S")
+        if self.tREFI < 0 or self.tRFC < 0:
+            raise ValueError("tREFI/tRFC must be non-negative")
+        if self.tREFI and self.tRFC >= self.tREFI:
+            raise ValueError("tRFC must be below tREFI")
+
+    @property
+    def tRC(self) -> int:
+        return self.tRAS + self.tRP
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time lost to refresh: tRFC / tREFI."""
+        if self.tREFI == 0:
+            return 0.0
+        return self.tRFC / self.tREFI
+
+    @property
+    def cycle_time(self) -> float:
+        """Seconds per controller cycle."""
+        return 1.0 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles * self.cycle_time
+
+    @classmethod
+    def from_nanoseconds(
+        cls,
+        clock_hz: float,
+        tRCD_ns: float,
+        tRP_ns: float,
+        tCL_ns: float,
+        tCWL_ns: float,
+        tRAS_ns: float,
+        tCCD_S_ns: float,
+        tCCD_L_ns: float,
+        tRRD_ns: float,
+        tFAW_ns: float,
+        tWR_ns: float,
+        tWTR_ns: float,
+        burst_cycles: int = 1,
+    ) -> "DRAMTiming":
+        """Convert datasheet nanosecond constraints to cycles
+        (rounding up, as a real controller must; a tiny epsilon guards
+        against float noise turning exact multiples into an extra
+        cycle)."""
+        to_cycles = lambda ns: int(math.ceil(ns * 1e-9 * clock_hz - 1e-9))
+        return cls(
+            clock_hz=clock_hz,
+            tRCD=to_cycles(tRCD_ns),
+            tRP=to_cycles(tRP_ns),
+            tCL=to_cycles(tCL_ns),
+            tCWL=to_cycles(tCWL_ns),
+            tRAS=to_cycles(tRAS_ns),
+            tCCD_S=to_cycles(tCCD_S_ns),
+            tCCD_L=to_cycles(tCCD_L_ns),
+            tRRD=to_cycles(tRRD_ns),
+            tFAW=to_cycles(tFAW_ns),
+            tWR=to_cycles(tWR_ns),
+            tWTR=to_cycles(tWTR_ns),
+            burst_cycles=burst_cycles,
+        )

@@ -1,0 +1,53 @@
+"""Calibrated hardware timing models.
+
+This package provides the non-NDP half of the evaluation platform in
+Table 2 of the paper:
+
+- :mod:`repro.hw.specs` -- device specification dataclasses and the
+  catalog of concrete parts (A100 PCIe, PCIe Gen4 x16, Xeon Silver
+  4310, the MoNDE CXL device).
+- :mod:`repro.hw.gpu` -- a roofline GPU model with small-GEMM
+  de-rating and kernel-launch overhead.
+- :mod:`repro.hw.pcie` -- PCIe/CXL link transfer timing.
+- :mod:`repro.hw.cpu` -- CPU expert-computation timing with NUMA and
+  streaming de-rating (the CPU+AM baseline of Fig. 8).
+
+All models speak seconds and bytes; bf16 (2 bytes/element) is the
+default datatype as in the paper.
+"""
+
+from repro.hw.cpu import CPUModel
+from repro.hw.gpu import GPUModel
+from repro.hw.pcie import PCIeLink
+from repro.hw.specs import (
+    A100_PCIE,
+    BF16_BYTES,
+    MONDE_DEVICE,
+    PCIE_GEN4_X16,
+    XEON_4310,
+    CPUSpec,
+    GPUSpec,
+    MoNDEDeviceSpec,
+    NDPCoreSpec,
+    PCIeSpec,
+    gemm_bytes,
+    gemm_flops,
+)
+
+__all__ = [
+    "A100_PCIE",
+    "BF16_BYTES",
+    "CPUModel",
+    "CPUSpec",
+    "GPUModel",
+    "GPUSpec",
+    "MONDE_DEVICE",
+    "MoNDEDeviceSpec",
+    "NDPCoreSpec",
+    "PCIE_GEN4_X16",
+    "PCIeLink",
+    "PCIeSpec",
+    "XEON_4310",
+    "gemm_bytes",
+    "gemm_flops",
+]

@@ -1,0 +1,41 @@
+"""CPU expert-computation timing (the CPU+AM baseline of Fig. 8).
+
+The paper compares MoNDE's NDP against running cold experts on the
+host CPU.  The CPU reads expert weights from its local DDR at a
+de-rated streaming bandwidth (NUMA and prefetch effects), and pays a
+per-kernel dispatch overhead that is large relative to the NDP's
+device-side dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import BF16_BYTES, CPUSpec, gemm_bytes, gemm_flops
+
+
+class CPUModel:
+    """Roofline-with-overheads timing model for a CPU socket."""
+
+    def __init__(self, spec: CPUSpec) -> None:
+        self.spec = spec
+
+    def gemm_time(self, m: int, n: int, k: int, dtype_bytes: int = BF16_BYTES) -> float:
+        """Model one GEMM with operands in host DRAM."""
+        if m == 0 or n == 0 or k == 0:
+            return 0.0
+        compute = gemm_flops(m, n, k) / self.spec.peak_flops
+        memory = gemm_bytes(m, n, k, dtype_bytes) / self.spec.effective_bandwidth
+        return max(compute, memory) + self.spec.op_overhead
+
+    def expert_ffn_time(
+        self,
+        tokens: int,
+        d_model: int,
+        d_ff: int,
+        dtype_bytes: int = BF16_BYTES,
+    ) -> float:
+        """Time for one expert FFN (two GEMMs) over ``tokens`` rows."""
+        if tokens == 0:
+            return 0.0
+        return self.gemm_time(tokens, d_ff, d_model, dtype_bytes) + self.gemm_time(
+            tokens, d_model, d_ff, dtype_bytes
+        )

@@ -1,0 +1,36 @@
+"""PCIe / CXL link transfer timing.
+
+Both PMove (expert parameters, GB-scale) and AMove (activations,
+KB-to-MB scale) cross this link; its asymmetry between the two data
+volumes is the core of the paper's argument (Eq. 1 vs Eq. 2).
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import PCIeSpec
+
+
+class PCIeLink:
+    """Timing model for one direction of a host<->device link."""
+
+    def __init__(self, spec: PCIeSpec) -> None:
+        self.spec = spec
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across the link.
+
+        Per-transfer latency covers DMA descriptor setup and doorbell;
+        bandwidth is the framing-de-rated sustained rate.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.spec.latency + nbytes / self.spec.effective_bandwidth
+
+    def bandwidth_bound_time(self, nbytes: float) -> float:
+        """Pure bandwidth term (no setup latency); used by the
+        analytical load-balancing model, Eq. 4 of the paper."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return nbytes / self.spec.effective_bandwidth

@@ -1,0 +1,243 @@
+"""Device specifications and the concrete parts catalog.
+
+The constants here mirror Table 2 of the paper ("Workloads and system
+configurations"):
+
+- GPU: 1x NVIDIA A100 PCIe.
+- CPU: Intel Xeon Silver 4310, 187 GB/s memory bandwidth.
+- Interconnect: PCIe Gen4 x16.
+- MoNDE: 64 units of 4x4 systolic arrays, 264 KB buffers @ 1 GHz;
+  512 GB/s memory bandwidth, 512 GB capacity (8 LPDDR channels of
+  68 GB/s per Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GiB = 1024**3
+GB = 10**9
+MB = 10**6
+KB = 10**3
+
+#: Bytes per bfloat16 element (the paper's inference datatype).
+BF16_BYTES = 2
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Floating-point operations for C[m,n] = A[m,k] @ B[k,n].
+
+    Each output element takes k multiply-adds = 2k flops.
+    """
+    if min(m, n, k) < 0:
+        raise ValueError(f"GEMM dims must be non-negative, got {(m, n, k)}")
+    return 2.0 * m * n * k
+
+
+def gemm_bytes(m: int, n: int, k: int, dtype_bytes: int = BF16_BYTES) -> float:
+    """Minimum DRAM traffic for a GEMM: read A and B, write C once."""
+    if min(m, n, k) < 0:
+        raise ValueError(f"GEMM dims must be non-negative, got {(m, n, k)}")
+    return float(dtype_bytes) * (m * k + k * n + m * n)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU for the roofline timing model.
+
+    ``peak_flops`` is the dense bf16/TF32-class tensor-core peak;
+    ``mem_bandwidth`` the HBM bandwidth.  ``m_saturate`` is the GEMM
+    M-dimension at which the tensor cores reach ``base_efficiency`` of
+    peak -- below it, achievable compute throughput falls off linearly
+    (cold experts with 1-7 tokens run far below peak, Section 2.2).
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    kernel_launch_overhead: float = 8e-6
+    base_efficiency: float = 0.75
+    m_saturate: int = 128
+    min_efficiency: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("peak_flops and mem_bandwidth must be positive")
+        if not 0 < self.base_efficiency <= 1:
+            raise ValueError("base_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """A host<->device link (PCIe or CXL over PCIe PHY).
+
+    ``raw_bandwidth`` is the line rate; ``efficiency`` folds in TLP /
+    flit framing and DMA overheads, giving the sustained copy
+    bandwidth; ``latency`` is the per-transfer setup time.
+    """
+
+    name: str
+    raw_bandwidth: float
+    efficiency: float = 0.80
+    latency: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.raw_bandwidth <= 0:
+            raise ValueError("raw_bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.raw_bandwidth * self.efficiency
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU socket used as the expert-compute fallback (CPU+AM).
+
+    ``stream_efficiency`` de-rates the nominal DRAM bandwidth for
+    real-world GEMM streaming; ``numa_penalty`` further de-rates it for
+    remote-socket accesses, which the paper calls out as a CPU
+    limitation (Section 4.2, "Comparison with the CPU").
+    ``op_overhead`` is the per-kernel dispatch cost (thread wake-up,
+    task scheduling), substantially higher than a device-side NDP
+    dispatch.
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    stream_efficiency: float = 0.45
+    numa_penalty: float = 0.80
+    op_overhead: float = 25e-6
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("peak_flops and mem_bandwidth must be positive")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.mem_bandwidth * self.stream_efficiency * self.numa_penalty
+
+
+@dataclass(frozen=True)
+class NDPCoreSpec:
+    """The MoNDE NDP core (Section 3.1).
+
+    64 SIMD-controlled 4x4 MAC arrays at 1 GHz process 4x256-wide tiles
+    in an output-stationary manner.  Each MAC does one multiply-
+    accumulate (2 flops) per cycle.
+    """
+
+    n_arrays: int = 64
+    array_rows: int = 4
+    array_cols: int = 4
+    clock_hz: float = 1e9
+    scratchpad_bytes: int = 88 * 1024
+    act_buffer_bytes: int = 88 * 1024
+    exp_buffer_bytes: int = 88 * 1024
+    dispatch_overhead: float = 2e-6
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.n_arrays * self.array_rows * self.array_cols
+
+    @property
+    def peak_flops(self) -> float:
+        """2 flops (mul+add) per MAC per cycle."""
+        return 2.0 * self.macs_per_cycle * self.clock_hz
+
+    @property
+    def tile_rows(self) -> int:
+        """Token rows processed per SIMD step (the `4` in 4x256)."""
+        return self.array_rows
+
+    @property
+    def tile_cols(self) -> int:
+        """Output columns per SIMD step across all arrays (the `256`)."""
+        return self.n_arrays * self.array_cols
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        return self.scratchpad_bytes + self.act_buffer_bytes + self.exp_buffer_bytes
+
+
+@dataclass(frozen=True)
+class MoNDEDeviceSpec:
+    """The full MoNDE CXL memory device (Section 3.1, Table 2).
+
+    8 LPDDR channels x 64 GB / 68 GB/s each = 512 GB @ ~512 GB/s.
+    """
+
+    name: str = "MoNDE CXL-NDP device"
+    n_channels: int = 8
+    channel_bandwidth: float = 68 * GB
+    channel_capacity: float = 64 * GiB
+    ndp: NDPCoreSpec = NDPCoreSpec()
+    mem_efficiency: float = 0.93
+
+    @property
+    def mem_bandwidth(self) -> float:
+        return self.n_channels * self.channel_bandwidth
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained streaming bandwidth after DRAM protocol overheads.
+
+        The cycle-level DRAM simulator (:mod:`repro.dram`) measures this
+        directly; the default here matches its sequential-stream result.
+        """
+        return self.mem_bandwidth * self.mem_efficiency
+
+    @property
+    def mem_capacity(self) -> float:
+        return self.n_channels * self.channel_capacity
+
+    def scaled_bandwidth(self, factor: float) -> "MoNDEDeviceSpec":
+        """A copy with memory bandwidth (and rate-matched NDP compute)
+        scaled by ``factor`` -- the Fig. 7(b) sensitivity knob."""
+        if factor <= 0:
+            raise ValueError(f"bandwidth scale factor must be positive, got {factor}")
+        scaled_ndp = replace(self.ndp, n_arrays=max(1, round(self.ndp.n_arrays * factor)))
+        return replace(
+            self,
+            name=f"{self.name} ({factor:g}x BW)",
+            channel_bandwidth=self.channel_bandwidth * factor,
+            ndp=scaled_ndp,
+        )
+
+
+# --------------------------------------------------------------------------
+# Concrete parts catalog (Table 2 platform).
+# --------------------------------------------------------------------------
+
+#: NVIDIA A100 PCIe 80GB: 312 TFLOPS bf16 tensor-core peak, 1935 GB/s HBM2e.
+A100_PCIE = GPUSpec(
+    name="NVIDIA A100 PCIe",
+    peak_flops=312e12,
+    mem_bandwidth=1935 * GB,
+    mem_capacity=80 * GiB,
+)
+
+#: PCIe Gen4 x16: 32 GB/s per direction raw, ~25.6 GB/s sustained.
+PCIE_GEN4_X16 = PCIeSpec(name="PCIe Gen4 x16", raw_bandwidth=32 * GB)
+
+#: Intel Xeon Silver 4310 (12C/24T): 187 GB/s nominal DDR4-3200
+#: bandwidth (Table 2).  ``peak_flops`` is the *achievable* PyTorch
+#: bf16 GEMM throughput, not the AVX-512 datasheet peak: bf16 on
+#: Ice Lake-SP has no AMX and runs through fp32 conversion, landing a
+#: 12-core Silver at a few hundred GFLOP/s -- this is what makes hot
+#: experts catastrophically slow on the CPU and drives the paper's
+#: 9.1x encoder-side gap in Fig. 8.
+XEON_4310 = CPUSpec(
+    name="Intel Xeon Silver 4310",
+    peak_flops=0.25e12,
+    mem_bandwidth=187 * GB,
+    stream_efficiency=0.80,
+    numa_penalty=0.95,
+)
+
+#: The MoNDE device with the paper's default parameters.
+MONDE_DEVICE = MoNDEDeviceSpec()

@@ -1,0 +1,59 @@
+"""Pure-NumPy Mixture-of-Experts Transformer substrate.
+
+This is the functional half of the reproduction: a working MoE
+Transformer (Fig. 1 of the paper) with top-k gating, dropless
+token routing, expert FFNs, attention, and encoder/decoder stacks.
+The paper's evaluation models (Switch-Large-128, NLLB-MoE) appear in
+:mod:`repro.moe.zoo` at both full scale (for parameter accounting and
+timing) and reduced scale (for functional tests and examples).
+"""
+
+from repro.moe.attention import KVCache, MultiHeadAttention
+from repro.moe.config import MoEModelConfig
+from repro.moe.functional import gelu, layer_norm, relu, softmax
+from repro.moe.gating import Router, RoutingPlan
+from repro.moe.layers import FeedForward, LayerNorm, Linear
+from repro.moe.moe_layer import MoELayer, RoutingInfo
+from repro.moe.transformer import (
+    Decoder,
+    DecoderBlock,
+    Encoder,
+    EncoderBlock,
+    MoESeq2Seq,
+)
+from repro.moe.zoo import (
+    MODEL_ZOO,
+    nllb_moe_128,
+    nllb_moe_tiny,
+    switch_large_128,
+    switch_large_tiny,
+    switch_variant,
+)
+
+__all__ = [
+    "Decoder",
+    "DecoderBlock",
+    "Encoder",
+    "EncoderBlock",
+    "FeedForward",
+    "KVCache",
+    "LayerNorm",
+    "Linear",
+    "MODEL_ZOO",
+    "MoELayer",
+    "MoEModelConfig",
+    "MoESeq2Seq",
+    "MultiHeadAttention",
+    "Router",
+    "RoutingInfo",
+    "RoutingPlan",
+    "gelu",
+    "layer_norm",
+    "nllb_moe_128",
+    "nllb_moe_tiny",
+    "relu",
+    "softmax",
+    "switch_large_128",
+    "switch_large_tiny",
+    "switch_variant",
+]

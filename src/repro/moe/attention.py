@@ -1,0 +1,110 @@
+"""Multi-head attention with optional causal masking and KV caching.
+
+Attention layers hold the "dense" (non-expert) parameters which every
+evaluated scheme keeps resident in GPU memory (Section 3.2); they are
+implemented functionally here so the reproduction runs real numerics
+end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.moe.functional import softmax
+from repro.moe.layers import Linear
+
+
+class KVCache:
+    """Per-layer key/value cache for auto-regressive decoding."""
+
+    def __init__(self) -> None:
+        self.keys: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new timesteps and return the full cached (K, V)."""
+        if self.keys is None:
+            self.keys, self.values = k, v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=1)
+            self.values = np.concatenate([self.values, v], axis=1)
+        return self.keys, self.values
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[1]
+
+
+class MultiHeadAttention:
+    """Standard scaled-dot-product multi-head attention.
+
+    Shapes are (batch, seq, d_model).  Supports self-attention (with
+    optional causal mask and KV cache) and cross-attention (pass
+    ``context``).
+    """
+
+    def __init__(self, d_model: int, n_heads: int, rng: np.random.Generator) -> None:
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        self.wq = Linear(d_model, d_model, rng)
+        self.wk = Linear(d_model, d_model, rng)
+        self.wv = Linear(d_model, d_model, rng)
+        self.wo = Linear(d_model, d_model, rng)
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """(B, S, d_model) -> (B, H, S, head_dim)."""
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, S, head_dim) -> (B, S, d_model)."""
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        causal: bool = False,
+        cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != self.d_model:
+            raise ValueError(f"expected (B, S, {self.d_model}), got {x.shape}")
+        kv_input = x if context is None else context
+        q = self._split(self.wq(x))
+        k_new = self.wk(kv_input)
+        v_new = self.wv(kv_input)
+        if cache is not None:
+            if context is not None:
+                # Cross-attention K/V is static; compute once.
+                if cache.keys is None:
+                    cache.append(k_new, v_new)
+                k_full, v_full = cache.keys, cache.values
+            else:
+                k_full, v_full = cache.append(k_new, v_new)
+        else:
+            k_full, v_full = k_new, v_new
+        k = self._split(k_full)
+        v = self._split(v_full)
+
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if causal:
+            s_q, s_k = scores.shape[-2], scores.shape[-1]
+            # Query i may attend keys [0, offset + i]; offset accounts
+            # for previously cached timesteps during decoding.
+            offset = s_k - s_q
+            mask = np.zeros((s_q, s_k))
+            for i in range(s_q):
+                mask[i, offset + i + 1 :] = -np.inf
+            scores = scores + mask
+        attn = softmax(scores, axis=-1)
+        return self.wo(self._merge(attn @ v))
+
+    @property
+    def n_params(self) -> int:
+        return sum(w.n_params for w in (self.wq, self.wk, self.wv, self.wo))

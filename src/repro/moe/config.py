@@ -1,0 +1,165 @@
+"""Model configuration and parameter accounting.
+
+The byte-level accounting here regenerates Fig. 2(a)/(b) and the
+Non-Expert / Expert parameter columns of Table 2, and feeds every
+PMove/AMove volume calculation in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.specs import BF16_BYTES
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Static description of an MoE encoder-decoder Transformer.
+
+    ``moe_every``: every ``moe_every``-th block's FFN is an MoE layer
+    (Switch uses 2, NLLB-MoE uses 4).  ``n_experts == 0`` describes a
+    dense model (used for the Fig. 2(a) dense baselines).
+    """
+
+    name: str
+    d_model: int
+    d_ff: int
+    n_heads: int
+    n_encoder_layers: int
+    n_decoder_layers: int
+    n_experts: int
+    top_k: int
+    moe_every: int
+    vocab_size: int
+    activation: str = "relu"
+    dtype_bytes: int = BF16_BYTES
+
+    def __post_init__(self) -> None:
+        if self.d_model < 1 or self.d_ff < 1:
+            raise ValueError("model dims must be >= 1")
+        if self.n_experts < 0:
+            raise ValueError("n_experts must be >= 0")
+        if self.n_experts > 0 and not 1 <= self.top_k <= self.n_experts:
+            raise ValueError(f"top_k must be in [1, {self.n_experts}]")
+        if self.moe_every < 1:
+            raise ValueError("moe_every must be >= 1")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_moe(self) -> bool:
+        return self.n_experts > 0
+
+    def is_moe_block(self, layer_index: int) -> bool:
+        """Blocks 1-indexed by convention: every ``moe_every``-th block
+        hosts the MoE FFN (e.g. 1, 3, 5... are dense for moe_every=2)."""
+        if not self.is_moe:
+            return False
+        return (layer_index + 1) % self.moe_every == 0
+
+    def n_moe_blocks(self, n_layers: int) -> int:
+        return sum(1 for i in range(n_layers) if self.is_moe_block(i))
+
+    @property
+    def n_moe_encoder_layers(self) -> int:
+        return self.n_moe_blocks(self.n_encoder_layers)
+
+    @property
+    def n_moe_decoder_layers(self) -> int:
+        return self.n_moe_blocks(self.n_decoder_layers)
+
+    # -- parameter accounting ----------------------------------------------
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of one expert FFN (weights only; biases are
+        negligible and folded out of the byte accounting, as in Eq. 1)."""
+        return 2 * self.d_model * self.d_ff
+
+    @property
+    def expert_bytes(self) -> int:
+        """Bytes of one expert -- the PMove unit of Eq. 1."""
+        return self.expert_params * self.dtype_bytes
+
+    @property
+    def moe_layer_expert_bytes(self) -> int:
+        """All experts of one MoE layer."""
+        return self.n_experts * self.expert_bytes
+
+    @property
+    def total_expert_params(self) -> int:
+        n_moe_layers = self.n_moe_encoder_layers + self.n_moe_decoder_layers
+        return n_moe_layers * self.n_experts * self.expert_params
+
+    @property
+    def total_expert_bytes(self) -> int:
+        return self.total_expert_params * self.dtype_bytes
+
+    @property
+    def non_expert_params(self) -> int:
+        """Embeddings, attention, layernorms, routers, and the dense
+        FFNs of non-MoE blocks -- everything kept GPU-resident."""
+        embed = self.vocab_size * self.d_model
+        attn = 4 * self.d_model * self.d_model
+        ffn = 2 * self.d_model * self.d_ff
+        ln = 2 * self.d_model
+
+        total = embed
+        for i in range(self.n_encoder_layers):
+            total += attn + 2 * ln
+            if self.is_moe_block(i):
+                total += self.d_model * self.n_experts  # router
+            else:
+                total += ffn
+        for i in range(self.n_decoder_layers):
+            total += 2 * attn + 3 * ln  # self-attn + cross-attn
+            if self.is_moe_block(i):
+                total += self.d_model * self.n_experts
+            else:
+                total += ffn
+        return total
+
+    @property
+    def non_expert_bytes(self) -> int:
+        return self.non_expert_params * self.dtype_bytes
+
+    @property
+    def total_param_bytes(self) -> int:
+        return self.non_expert_bytes + self.total_expert_bytes
+
+    # -- activation accounting ----------------------------------------------
+
+    def activation_bytes(self, n_tokens: int) -> int:
+        """Bytes of one activation tensor for ``n_tokens`` tokens --
+        the AMove unit of Eq. 2 covers this both ways (2 * B * S *
+        d_model elements)."""
+        return n_tokens * self.d_model * self.dtype_bytes
+
+    def amove_bytes(self, n_tokens: int) -> int:
+        """Eq. 2: input + output activations for ``n_tokens`` tokens."""
+        return 2 * self.activation_bytes(n_tokens)
+
+    def pmove_bytes_all_experts(self) -> int:
+        """Eq. 1: every expert of one MoE layer over the link."""
+        return 2 * self.n_experts * self.d_model * self.d_ff * self.dtype_bytes
+
+    # -- variants ------------------------------------------------------------
+
+    def with_experts(self, n_experts: int, top_k: int | None = None) -> "MoEModelConfig":
+        """A copy with a different expert count (Fig. 2(a) scaling)."""
+        return replace(
+            self,
+            name=f"{self.name}-E{n_experts}" if n_experts else f"{self.name}-dense",
+            n_experts=n_experts,
+            top_k=top_k if top_k is not None else min(self.top_k, max(1, n_experts)),
+        )
+
+    def with_d_model(self, d_model: int, d_ff: int | None = None) -> "MoEModelConfig":
+        """A copy with a different embedding dim (Fig. 2(b) scaling);
+        d_ff scales with it (4x) unless given explicitly."""
+        return replace(
+            self,
+            name=f"{self.name}-d{d_model}",
+            d_model=d_model,
+            d_ff=d_ff if d_ff is not None else 4 * d_model,
+        )

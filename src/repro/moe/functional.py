@@ -1,0 +1,46 @@
+"""Stateless neural-network math used across the MoE substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by
+    production Transformer implementations)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+ACTIVATIONS = {"relu": relu, "gelu": gelu}
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Layer normalization over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def causal_mask(n: int) -> np.ndarray:
+    """(n, n) additive attention mask: 0 on/below diagonal, -inf above."""
+    mask = np.zeros((n, n), dtype=np.float64)
+    mask[np.triu_indices(n, k=1)] = -np.inf
+    return mask

@@ -1,0 +1,134 @@
+"""Top-k gating / routing network (Fig. 1 right, Section 2.1).
+
+For each token, the router computes a probability distribution over
+the ``E`` experts and routes the token to the top-k.  The routing is
+*dropless and padding-less* (Section 4.1): every token is processed by
+exactly k experts, with no capacity limit and no padding to a fixed
+expert batch -- tokens are simply grouped per expert.
+
+A per-expert ``popularity_bias`` can be added to the router logits to
+emulate the strongly skewed expert loads measured on trained models
+(Fig. 3); randomly initialized routers are far more uniform than
+trained ones, so synthetic experiments use this knob (see
+:mod:`repro.workloads.distributions` for the calibrated generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.moe.functional import softmax
+from repro.moe.layers import Linear
+
+
+@dataclass
+class RoutingPlan:
+    """Result of routing a flat batch of ``T`` tokens to ``E`` experts.
+
+    - ``expert_indices``: (T, k) chosen expert ids per token.
+    - ``combine_weights``: (T, k) normalized gate probabilities.
+    - ``tokens_per_expert``: (E,) number of routed tokens per expert
+      (a token routed to two experts counts once for each).
+    - ``expert_token_ids``: for each expert, the token ids routed to it
+      (in token order) -- the dropless dispatch plan.
+    """
+
+    expert_indices: np.ndarray
+    combine_weights: np.ndarray
+    tokens_per_expert: np.ndarray
+    expert_token_ids: list[np.ndarray]
+
+    @property
+    def n_tokens(self) -> int:
+        return self.expert_indices.shape[0]
+
+    @property
+    def top_k(self) -> int:
+        return self.expert_indices.shape[1]
+
+    @property
+    def n_experts(self) -> int:
+        return len(self.expert_token_ids)
+
+    @property
+    def active_experts(self) -> np.ndarray:
+        """Expert ids with at least one routed token (Eq. 5's
+        Expert_Activ counts these)."""
+        return np.flatnonzero(self.tokens_per_expert > 0)
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by tests and examples)."""
+        t, k = self.expert_indices.shape
+        if self.combine_weights.shape != (t, k):
+            raise AssertionError("combine_weights shape mismatch")
+        if int(self.tokens_per_expert.sum()) != t * k:
+            raise AssertionError("tokens_per_expert must sum to T*k (dropless)")
+        for expert, ids in enumerate(self.expert_token_ids):
+            if len(ids) != self.tokens_per_expert[expert]:
+                raise AssertionError(f"expert {expert} token list length mismatch")
+        if not np.allclose(self.combine_weights.sum(axis=1), 1.0):
+            raise AssertionError("combine weights must be normalized per token")
+
+
+class Router:
+    """Learned linear router with softmax gating and top-k selection."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_experts: int,
+        top_k: int,
+        rng: np.random.Generator,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        if top_k < 1 or top_k > n_experts:
+            raise ValueError(f"top_k must be in [1, {n_experts}], got {top_k}")
+        self.d_model = d_model
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.gate = Linear(d_model, n_experts, rng, bias=False)
+        if popularity_bias is not None:
+            popularity_bias = np.asarray(popularity_bias, dtype=np.float64)
+            if popularity_bias.shape != (n_experts,):
+                raise ValueError(
+                    f"popularity_bias must have shape ({n_experts},), "
+                    f"got {popularity_bias.shape}"
+                )
+        self.popularity_bias = popularity_bias
+
+    def logits(self, tokens: np.ndarray) -> np.ndarray:
+        """Raw gate logits for a flat (T, d_model) token batch."""
+        out = self.gate(tokens)
+        if self.popularity_bias is not None:
+            out = out + self.popularity_bias
+        return out
+
+    def route(self, tokens: np.ndarray) -> RoutingPlan:
+        """Compute the dropless routing plan for a flat token batch."""
+        if tokens.ndim != 2 or tokens.shape[1] != self.d_model:
+            raise ValueError(f"expected (T, {self.d_model}), got {tokens.shape}")
+        probs = softmax(self.logits(tokens), axis=-1)
+        # Top-k expert ids per token, highest probability first.
+        top = np.argsort(-probs, axis=1)[:, : self.top_k]
+        top_probs = np.take_along_axis(probs, top, axis=1)
+        combine = top_probs / top_probs.sum(axis=1, keepdims=True)
+
+        counts = np.zeros(self.n_experts, dtype=np.int64)
+        token_ids: list[list[int]] = [[] for _ in range(self.n_experts)]
+        for token_id in range(top.shape[0]):
+            for expert in top[token_id]:
+                counts[expert] += 1
+                token_ids[int(expert)].append(token_id)
+        return RoutingPlan(
+            expert_indices=top,
+            combine_weights=combine,
+            tokens_per_expert=counts,
+            expert_token_ids=[np.asarray(ids, dtype=np.int64) for ids in token_ids],
+        )
+
+    @property
+    def n_params(self) -> int:
+        return self.gate.n_params

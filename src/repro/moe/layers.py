@@ -1,0 +1,89 @@
+"""Parameterized layers: Linear, LayerNorm, dense FeedForward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moe.functional import ACTIVATIONS, layer_norm
+
+
+class Linear:
+    """Dense affine layer y = x @ W + b with W of shape (d_in, d_out)."""
+
+    def __init__(
+        self,
+        d_in: int,
+        d_out: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        if d_in < 1 or d_out < 1:
+            raise ValueError(f"layer dims must be >= 1, got ({d_in}, {d_out})")
+        scale = 1.0 / np.sqrt(d_in)
+        self.weight = rng.normal(0.0, scale, size=(d_in, d_out))
+        self.bias = np.zeros(d_out) if bias else None
+        self.d_in = d_in
+        self.d_out = d_out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.d_in:
+            raise ValueError(
+                f"input feature dim {x.shape[-1]} != layer d_in {self.d_in}"
+            )
+        y = x @ self.weight
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    @property
+    def n_params(self) -> int:
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return n
+
+
+class LayerNorm:
+    """Learnable layer normalization."""
+
+    def __init__(self, d: int) -> None:
+        self.gamma = np.ones(d)
+        self.beta = np.zeros(d)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return layer_norm(x, self.gamma, self.beta)
+
+    @property
+    def n_params(self) -> int:
+        return self.gamma.size + self.beta.size
+
+
+class FeedForward:
+    """The standard Transformer FFN: Linear -> activation -> Linear.
+
+    This is exactly one "expert" in the MoE layer (Fig. 1 right);
+    dense (non-MoE) blocks use one of these unconditionally.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ) -> None:
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}"
+            )
+        self.linear1 = Linear(d_model, d_ff, rng)
+        self.linear2 = Linear(d_ff, d_model, rng)
+        self.activation_name = activation
+        self._activation = ACTIVATIONS[activation]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.linear2(self._activation(self.linear1(x)))
+
+    @property
+    def n_params(self) -> int:
+        return self.linear1.n_params + self.linear2.n_params

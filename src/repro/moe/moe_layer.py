@@ -1,0 +1,111 @@
+"""The MoE FFN layer: gate -> dropless dispatch -> experts -> combine.
+
+Implements the layer in Fig. 1 (right).  The default routing is
+dropless and padding-less as in the paper's implementation
+(Section 4.1); a capacity-factor mode with token dropping is provided
+as the ablation baseline (``capacity_factor`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.moe.gating import Router, RoutingPlan
+from repro.moe.layers import FeedForward
+
+
+@dataclass
+class RoutingInfo:
+    """Per-forward routing record consumed by the timing models."""
+
+    tokens_per_expert: np.ndarray
+    dropped_tokens: int
+    plan: RoutingPlan
+
+    @property
+    def n_active_experts(self) -> int:
+        return int((self.tokens_per_expert > 0).sum())
+
+
+class MoELayer:
+    """Mixture-of-Experts FFN with ``E`` experts and top-k routing."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        n_experts: int,
+        top_k: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        popularity_bias: Optional[np.ndarray] = None,
+        capacity_factor: Optional[float] = None,
+    ) -> None:
+        if n_experts < 1:
+            raise ValueError(f"n_experts must be >= 1, got {n_experts}")
+        if capacity_factor is not None and capacity_factor <= 0:
+            raise ValueError(f"capacity_factor must be positive, got {capacity_factor}")
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.router = Router(d_model, n_experts, top_k, rng, popularity_bias)
+        self.experts = [
+            FeedForward(d_model, d_ff, rng, activation) for _ in range(n_experts)
+        ]
+        self.last_routing: Optional[RoutingInfo] = None
+
+    def _capacity(self, n_tokens: int) -> Optional[int]:
+        if self.capacity_factor is None:
+            return None
+        return max(1, int(self.capacity_factor * n_tokens * self.top_k / self.n_experts))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Forward a (B, S, d_model) or (T, d_model) batch."""
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x[None, ...]
+        if x.ndim != 3 or x.shape[-1] != self.d_model:
+            raise ValueError(f"expected (B, S, {self.d_model}), got {x.shape}")
+        b, s, d = x.shape
+        flat = x.reshape(b * s, d)
+        plan = self.router.route(flat)
+        capacity = self._capacity(b * s)
+
+        out = np.zeros_like(flat)
+        dropped = 0
+        effective_counts = np.zeros(self.n_experts, dtype=np.int64)
+        for expert_id, token_ids in enumerate(plan.expert_token_ids):
+            if len(token_ids) == 0:
+                continue
+            kept = token_ids
+            if capacity is not None and len(token_ids) > capacity:
+                kept = token_ids[:capacity]
+                dropped += len(token_ids) - capacity
+            effective_counts[expert_id] = len(kept)
+            expert_out = self.experts[expert_id](flat[kept])
+            # Combine: weight each token's expert output by its gate.
+            slot = np.argmax(plan.expert_indices[kept] == expert_id, axis=1)
+            weights = plan.combine_weights[kept, slot][:, None]
+            np.add.at(out, kept, weights * expert_out)
+
+        self.last_routing = RoutingInfo(
+            tokens_per_expert=effective_counts,
+            dropped_tokens=dropped,
+            plan=plan,
+        )
+        result = out.reshape(b, s, d)
+        return result[0] if squeeze else result
+
+    @property
+    def n_params(self) -> int:
+        return self.router.n_params + sum(e.n_params for e in self.experts)
+
+    @property
+    def expert_param_count(self) -> int:
+        """Parameters of a single expert (the PMove unit)."""
+        return self.experts[0].n_params

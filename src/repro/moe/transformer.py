@@ -1,0 +1,257 @@
+"""Encoder/decoder Transformer blocks and the full seq2seq model.
+
+Dense<->MoE block interleaving follows Fig. 1: every ``moe_every``-th
+block's FFN is an MoE layer, the rest are ordinary dense FFNs.  The
+model is runnable end to end (embedding -> encoder -> auto-regressive
+decoder -> logits) and records per-layer routing for the timing
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.moe.attention import KVCache, MultiHeadAttention
+from repro.moe.config import MoEModelConfig
+from repro.moe.layers import FeedForward, LayerNorm, Linear
+from repro.moe.moe_layer import MoELayer, RoutingInfo
+
+
+@dataclass
+class ForwardRecord:
+    """Routing observed during one forward pass, per MoE layer."""
+
+    encoder_routing: list[RoutingInfo] = field(default_factory=list)
+    decoder_routing: list[RoutingInfo] = field(default_factory=list)
+
+    def tokens_per_expert(self, part: str) -> list[np.ndarray]:
+        if part == "encoder":
+            return [r.tokens_per_expert for r in self.encoder_routing]
+        if part == "decoder":
+            return [r.tokens_per_expert for r in self.decoder_routing]
+        raise ValueError(f"part must be 'encoder' or 'decoder', got {part!r}")
+
+
+class EncoderBlock:
+    """Self-attention + (dense | MoE) FFN with pre-norm residuals."""
+
+    def __init__(
+        self,
+        config: MoEModelConfig,
+        is_moe: bool,
+        rng: np.random.Generator,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        self.attention = MultiHeadAttention(config.d_model, config.n_heads, rng)
+        self.norm1 = LayerNorm(config.d_model)
+        self.norm2 = LayerNorm(config.d_model)
+        self.is_moe = is_moe
+        if is_moe:
+            self.ffn: MoELayer | FeedForward = MoELayer(
+                config.d_model,
+                config.d_ff,
+                config.n_experts,
+                config.top_k,
+                rng,
+                activation=config.activation,
+                popularity_bias=popularity_bias,
+            )
+        else:
+            self.ffn = FeedForward(config.d_model, config.d_ff, rng, config.activation)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attention(self.norm1(x))
+        x = x + self.ffn(self.norm2(x))
+        return x
+
+
+class DecoderBlock:
+    """Causal self-attention + cross-attention + (dense | MoE) FFN."""
+
+    def __init__(
+        self,
+        config: MoEModelConfig,
+        is_moe: bool,
+        rng: np.random.Generator,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        self.self_attention = MultiHeadAttention(config.d_model, config.n_heads, rng)
+        self.cross_attention = MultiHeadAttention(config.d_model, config.n_heads, rng)
+        self.norm1 = LayerNorm(config.d_model)
+        self.norm2 = LayerNorm(config.d_model)
+        self.norm3 = LayerNorm(config.d_model)
+        self.is_moe = is_moe
+        if is_moe:
+            self.ffn: MoELayer | FeedForward = MoELayer(
+                config.d_model,
+                config.d_ff,
+                config.n_experts,
+                config.top_k,
+                rng,
+                activation=config.activation,
+                popularity_bias=popularity_bias,
+            )
+        else:
+            self.ffn = FeedForward(config.d_model, config.d_ff, rng, config.activation)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        context: np.ndarray,
+        self_cache: Optional[KVCache] = None,
+        cross_cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
+        x = x + self.self_attention(self.norm1(x), causal=True, cache=self_cache)
+        x = x + self.cross_attention(self.norm2(x), context=context, cache=cross_cache)
+        x = x + self.ffn(self.norm3(x))
+        return x
+
+
+class Encoder:
+    """Stack of encoder blocks."""
+
+    def __init__(
+        self,
+        config: MoEModelConfig,
+        rng: np.random.Generator,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        self.blocks = [
+            EncoderBlock(config, config.is_moe_block(i), rng, popularity_bias)
+            for i in range(config.n_encoder_layers)
+        ]
+        self.final_norm = LayerNorm(config.d_model)
+
+    def __call__(
+        self, x: np.ndarray, record: Optional[ForwardRecord] = None
+    ) -> np.ndarray:
+        for block in self.blocks:
+            x = block(x)
+            if record is not None and block.is_moe:
+                assert isinstance(block.ffn, MoELayer)
+                assert block.ffn.last_routing is not None
+                record.encoder_routing.append(block.ffn.last_routing)
+        return self.final_norm(x)
+
+
+class Decoder:
+    """Stack of decoder blocks with per-block KV caches."""
+
+    def __init__(
+        self,
+        config: MoEModelConfig,
+        rng: np.random.Generator,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        self.blocks = [
+            DecoderBlock(config, config.is_moe_block(i), rng, popularity_bias)
+            for i in range(config.n_decoder_layers)
+        ]
+        self.final_norm = LayerNorm(config.d_model)
+
+    def new_caches(self) -> tuple[list[KVCache], list[KVCache]]:
+        n = len(self.blocks)
+        return [KVCache() for _ in range(n)], [KVCache() for _ in range(n)]
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        context: np.ndarray,
+        self_caches: Optional[list[KVCache]] = None,
+        cross_caches: Optional[list[KVCache]] = None,
+        record: Optional[ForwardRecord] = None,
+    ) -> np.ndarray:
+        for i, block in enumerate(self.blocks):
+            x = block(
+                x,
+                context,
+                self_cache=self_caches[i] if self_caches else None,
+                cross_cache=cross_caches[i] if cross_caches else None,
+            )
+            if record is not None and block.is_moe:
+                assert isinstance(block.ffn, MoELayer)
+                assert block.ffn.last_routing is not None
+                record.decoder_routing.append(block.ffn.last_routing)
+        return self.final_norm(x)
+
+
+class MoESeq2Seq:
+    """Full encoder-decoder MoE Transformer (T5/NLLB style).
+
+    Runs real numerics; intended for the reduced-scale zoo configs.
+    ``popularity_bias`` (per-expert logit offsets) is shared by all
+    routers to emulate trained-model expert skew.
+    """
+
+    def __init__(
+        self,
+        config: MoEModelConfig,
+        seed: int = 0,
+        popularity_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.embedding = rng.normal(0, 0.02, size=(config.vocab_size, config.d_model))
+        self.encoder = Encoder(config, rng, popularity_bias)
+        self.decoder = Decoder(config, rng, popularity_bias)
+        self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
+
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        return self.embedding[token_ids]
+
+    def encode(
+        self, token_ids: np.ndarray, record: Optional[ForwardRecord] = None
+    ) -> np.ndarray:
+        return self.encoder(self.embed(token_ids), record=record)
+
+    def decode_step(
+        self,
+        token_ids: np.ndarray,
+        context: np.ndarray,
+        self_caches: list[KVCache],
+        cross_caches: list[KVCache],
+        record: Optional[ForwardRecord] = None,
+    ) -> np.ndarray:
+        """One auto-regressive step; returns (B, 1, vocab) logits."""
+        x = self.decoder(
+            self.embed(token_ids),
+            context,
+            self_caches=self_caches,
+            cross_caches=cross_caches,
+            record=record,
+        )
+        return self.lm_head(x)
+
+    def greedy_decode(
+        self,
+        src_token_ids: np.ndarray,
+        max_new_tokens: int,
+        bos_id: int = 0,
+        eos_id: Optional[int] = None,
+        record: Optional[ForwardRecord] = None,
+    ) -> np.ndarray:
+        """Greedy auto-regressive generation.
+
+        Returns (B, <=max_new_tokens) generated ids (excluding BOS).
+        """
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        context = self.encode(src_token_ids, record=record)
+        self_caches, cross_caches = self.decoder.new_caches()
+        batch = src_token_ids.shape[0]
+        current = np.full((batch, 1), bos_id, dtype=np.int64)
+        outputs = []
+        for _ in range(max_new_tokens):
+            logits = self.decode_step(
+                current, context, self_caches, cross_caches, record=record
+            )
+            current = logits[:, -1, :].argmax(axis=-1)[:, None]
+            outputs.append(current)
+            if eos_id is not None and np.all(current == eos_id):
+                break
+        return np.concatenate(outputs, axis=1)

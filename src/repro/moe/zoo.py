@@ -1,0 +1,182 @@
+"""Model zoo: the paper's evaluation models plus reduced-scale twins.
+
+Full-scale configs are used for parameter accounting and timing (no
+weights are materialized); the ``*_tiny`` variants keep the same
+structure (layer interleave, top-k, expert count ratios) at sizes a
+laptop can execute functionally.
+
+Table 2 cross-check (reproduced by ``tests/moe/test_zoo.py``):
+
+- Switch-Large-128: non-expert ~1.1 GB, expert ~51.5 GB, d_model 1024,
+  E=128, top-1 gating.
+- NLLB-MoE: non-expert ~5.7 GB, expert ~103.1 GB, d_model 2048, E=128,
+  top-2 gating.
+"""
+
+from __future__ import annotations
+
+from repro.moe.config import MoEModelConfig
+
+
+def switch_large_128() -> MoEModelConfig:
+    """Switch Transformers-Large with 128 experts (top-1 routing).
+
+    T5-Large geometry: d_model=1024, d_ff=4096, 24+24 layers; the MoE
+    FFN replaces every other block's FFN (12+12 MoE layers).
+    """
+    return MoEModelConfig(
+        name="Switch-Large-128",
+        d_model=1024,
+        d_ff=4096,
+        n_heads=16,
+        n_encoder_layers=24,
+        n_decoder_layers=24,
+        n_experts=128,
+        top_k=1,
+        moe_every=2,
+        vocab_size=32128,
+        activation="relu",
+    )
+
+
+def nllb_moe_128() -> MoEModelConfig:
+    """NLLB-MoE (the 54B machine-translation model), 128 experts,
+    top-2 routing, MoE every 4th block."""
+    return MoEModelConfig(
+        name="NLLB-MoE",
+        d_model=2048,
+        d_ff=8192,
+        n_heads=16,
+        n_encoder_layers=24,
+        n_decoder_layers=24,
+        n_experts=128,
+        top_k=2,
+        moe_every=4,
+        vocab_size=256204,
+        activation="relu",
+    )
+
+
+def t5_large_dense() -> MoEModelConfig:
+    """Dense T5-Large (the Fig. 2(a) non-MoE reference, ~3 GB)."""
+    return MoEModelConfig(
+        name="T5-Large",
+        d_model=1024,
+        d_ff=4096,
+        n_heads=16,
+        n_encoder_layers=24,
+        n_decoder_layers=24,
+        n_experts=0,
+        top_k=1,
+        moe_every=2,
+        vocab_size=32128,
+    )
+
+
+def nllb_dense_3b() -> MoEModelConfig:
+    """Dense NLLB-3.3B (the Fig. 2(a) non-MoE reference)."""
+    return MoEModelConfig(
+        name="NLLB-3.3B",
+        d_model=2048,
+        d_ff=8192,
+        n_heads=16,
+        n_encoder_layers=24,
+        n_decoder_layers=24,
+        n_experts=0,
+        top_k=1,
+        moe_every=4,
+        vocab_size=256204,
+    )
+
+
+def switch_variant(d_model: int, n_experts: int) -> MoEModelConfig:
+    """The Fig. 7(a) sensitivity variants: Switch Transformers with
+    (d_model, E) in {(768, 64), (768, 128), (1024, 128)}.
+
+    d768 uses the Switch-Base geometry (12+12 layers, d_ff=3072).
+    """
+    if d_model == 768:
+        layers, d_ff = 12, 3072
+    elif d_model == 1024:
+        layers, d_ff = 24, 4096
+    else:
+        layers, d_ff = 24, 4 * d_model
+    return MoEModelConfig(
+        name=f"Switch-d{d_model}-E{n_experts}",
+        d_model=d_model,
+        d_ff=d_ff,
+        n_heads=d_model // 64,
+        n_encoder_layers=layers,
+        n_decoder_layers=layers,
+        n_experts=n_experts,
+        top_k=1,
+        moe_every=2,
+        vocab_size=32128,
+    )
+
+
+def gpt_moe_decoder_only() -> MoEModelConfig:
+    """A decoder-only (GPT-style) MoE LLM.
+
+    The paper notes MoNDE applies to encoder-only and decoder-only
+    LLMs alike (Section 4.1); this config exercises the decoder-only
+    path: 24 decoder blocks, MoE every other block, top-2 routing,
+    GPT-2-scale vocabulary.
+    """
+    return MoEModelConfig(
+        name="GPT-MoE-64",
+        d_model=2048,
+        d_ff=8192,
+        n_heads=16,
+        n_encoder_layers=0,
+        n_decoder_layers=24,
+        n_experts=64,
+        top_k=2,
+        moe_every=2,
+        vocab_size=50257,
+        activation="gelu",
+    )
+
+
+def switch_large_tiny() -> MoEModelConfig:
+    """Functionally-runnable twin of Switch-Large-128: same interleave
+    and gating, 8 experts, d_model=64."""
+    return MoEModelConfig(
+        name="Switch-Large-tiny",
+        d_model=64,
+        d_ff=256,
+        n_heads=4,
+        n_encoder_layers=4,
+        n_decoder_layers=4,
+        n_experts=8,
+        top_k=1,
+        moe_every=2,
+        vocab_size=512,
+    )
+
+
+def nllb_moe_tiny() -> MoEModelConfig:
+    """Functionally-runnable twin of NLLB-MoE: top-2, MoE every 4th."""
+    return MoEModelConfig(
+        name="NLLB-MoE-tiny",
+        d_model=64,
+        d_ff=256,
+        n_heads=4,
+        n_encoder_layers=4,
+        n_decoder_layers=4,
+        n_experts=8,
+        top_k=2,
+        moe_every=4,
+        vocab_size=512,
+    )
+
+
+MODEL_ZOO = {
+    "switch-large-128": switch_large_128,
+    "nllb-moe-128": nllb_moe_128,
+    "t5-large": t5_large_dense,
+    "nllb-3.3b": nllb_dense_3b,
+    "gpt-moe-64": gpt_moe_decoder_only,
+    "switch-large-tiny": switch_large_tiny,
+    "nllb-moe-tiny": nllb_moe_tiny,
+}

@@ -1,0 +1,46 @@
+"""The MoNDE NDP core (Section 3.1) and its controllers (Section 3.4).
+
+Cycle-level model of the near-data compute inside the CXL memory
+device:
+
+- :mod:`repro.ndp.systolic` -- 4x4 MAC arrays under a SIMD controller
+  (64 arrays process a 4x256 output tile per pass), with functional
+  NumPy execution and exact cycle counts.
+- :mod:`repro.ndp.buffers` -- scratchpad and operand buffers with
+  capacity tracking and double buffering.
+- :mod:`repro.ndp.tiling` -- output-stationary tile schedule for
+  C = A x B expert GEMMs ("fat and wide" cold-expert shapes).
+- :mod:`repro.ndp.engine` -- the GEMM engine: walks the tile schedule,
+  charges compute cycles against the systolic cluster and memory
+  cycles against the (DRAM-calibrated) device bandwidth, overlapping
+  the two as double buffering allows.
+- :mod:`repro.ndp.controllers` -- the NDP controller (instruction
+  queue, memory-mapped registers, done flag) and CXL controller
+  (RwD-flit unwrapping, NDP-flag detection).
+- :mod:`repro.ndp.device` -- the full MoNDE device: allocator over the
+  device address space (expert weights in even banks, activations in
+  odd), functional memory, and kernel execution.
+"""
+
+from repro.ndp.buffers import Buffer, DoubleBuffer
+from repro.ndp.controllers import CXLController, MMIORegisters, NDPController
+from repro.ndp.device import DeviceMemoryLayout, MoNDEDevice
+from repro.ndp.engine import GEMMExecution, NDPGemmEngine
+from repro.ndp.systolic import MACArray, SystolicCluster
+from repro.ndp.tiling import OutputStationaryTiler, Tile
+
+__all__ = [
+    "Buffer",
+    "CXLController",
+    "DeviceMemoryLayout",
+    "DoubleBuffer",
+    "GEMMExecution",
+    "MACArray",
+    "MMIORegisters",
+    "MoNDEDevice",
+    "NDPController",
+    "NDPGemmEngine",
+    "OutputStationaryTiler",
+    "SystolicCluster",
+    "Tile",
+]

@@ -1,0 +1,64 @@
+"""On-chip buffer models: capacity tracking and double buffering.
+
+The MoNDE NDP core has 264 KB of on-chip SRAM (Table 2): a scratchpad
+plus activation and expert (weight) operand buffers.  The engine uses
+these models to size K-chunks and to decide whether operand fetch can
+overlap compute (double buffering halves the usable capacity but
+allows the next tile's operands to stream during computation).
+"""
+
+from __future__ import annotations
+
+
+class Buffer:
+    """A simple capacity-checked on-chip buffer."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be >= 1 byte")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.peak_bytes = 0
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation must be non-negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"{self.name}: allocating {nbytes} B exceeds capacity "
+                f"({self.used_bytes}/{self.capacity_bytes} B used)"
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.used_bytes:
+            raise ValueError(f"{self.name}: freeing {nbytes} B of {self.used_bytes} B")
+        self.used_bytes -= nbytes
+
+    def reset(self) -> None:
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+
+class DoubleBuffer:
+    """Ping-pong pair over one physical buffer: each half holds one
+    tile's operands so fetch of tile i+1 overlaps compute of tile i."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        self.physical = Buffer(name, capacity_bytes)
+        self.half_capacity = capacity_bytes // 2
+
+    def fits_tile(self, nbytes: int) -> bool:
+        return nbytes <= self.half_capacity
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.physical.capacity_bytes

@@ -1,0 +1,159 @@
+"""NDP and CXL controllers (Fig. 4(a) items 1 and 2).
+
+The CXL controller unwraps host RwD flits: flits with the NDP flag
+set carry 64-byte NDP instructions and are forwarded to the NDP
+controller's memory-mapped instruction buffer; all other flits are
+ordinary memory writes.  The NDP controller decodes queued
+instructions, drives the GEMM engine, writes outputs back to device
+memory, and raises the memory-mapped done register.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.instructions import (
+    CXLFlit,
+    FusedActivation,
+    NDPInstruction,
+    Opcode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ndp.device import MoNDEDevice
+
+
+class MMIORegisters:
+    """The NDP controller's memory-mapped register file."""
+
+    DONE = "done"
+    STATUS = "status"
+    INST_COUNT = "inst_count"
+
+    def __init__(self) -> None:
+        self._regs: dict[str, int] = {self.DONE: 0, self.STATUS: 0, self.INST_COUNT: 0}
+
+    def read(self, name: str) -> int:
+        if name not in self._regs:
+            raise KeyError(f"unknown MMIO register {name!r}")
+        return self._regs[name]
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._regs:
+            raise KeyError(f"unknown MMIO register {name!r}")
+        self._regs[name] = value
+
+
+class NDPController:
+    """Decodes NDP instructions and triggers expert computation.
+
+    Timing: each executed instruction charges the GEMM engine's
+    cycle-level latency; :attr:`busy_seconds` accumulates the total so
+    the host can retrieve device-side execution time.
+    """
+
+    def __init__(self, device: "MoNDEDevice", inst_buffer_capacity: int = 256) -> None:
+        if inst_buffer_capacity < 1:
+            raise ValueError("instruction buffer must hold at least 1 entry")
+        self.device = device
+        self.inst_buffer: deque[NDPInstruction] = deque()
+        self.inst_buffer_capacity = inst_buffer_capacity
+        self.mmio = MMIORegisters()
+        self.busy_seconds = 0.0
+        self.instructions_executed = 0
+
+    def enqueue(self, raw: bytes) -> None:
+        """Queue one encoded instruction (host-side MMIO write)."""
+        if len(self.inst_buffer) >= self.inst_buffer_capacity:
+            raise BufferError("NDP instruction buffer full")
+        self.inst_buffer.append(NDPInstruction.decode(raw))
+        self.mmio.write(MMIORegisters.DONE, 0)
+        self.mmio.write(MMIORegisters.INST_COUNT, len(self.inst_buffer))
+
+    def drain(self) -> float:
+        """Execute every queued instruction; returns the device-side
+        seconds consumed and raises the done register."""
+        elapsed = 0.0
+        while self.inst_buffer:
+            inst = self.inst_buffer.popleft()
+            elapsed += self._execute(inst)
+        self.mmio.write(MMIORegisters.DONE, 1)
+        self.mmio.write(MMIORegisters.INST_COUNT, 0)
+        self.busy_seconds += elapsed
+        return elapsed
+
+    def _execute(self, inst: NDPInstruction) -> float:
+        if inst.opcode is Opcode.NOP:
+            return 0.0
+        if inst.opcode not in (Opcode.GEMM, Opcode.GEMM_RELU, Opcode.GEMM_GELU):
+            raise ValueError(f"reserved opcode {inst.opcode!r}")
+        a = self.device.read_tensor(inst.actin_addr).reshape(inst.m, inst.k)
+        b = self.device.read_tensor(inst.wgt_addr).reshape(inst.k, inst.n)
+        activation: Optional[str] = None
+        if inst.fused_activation is FusedActivation.RELU:
+            activation = "relu"
+        elif inst.fused_activation is FusedActivation.GELU:
+            activation = "gelu"
+        out, execution = self.device.engine.run_gemm(a, b, activation=activation)
+        self.device.write_tensor(inst.actout_addr, out)
+        self.instructions_executed += 1
+        return execution.seconds + self.device.engine.spec.dispatch_overhead
+
+
+class CXLController:
+    """Front-end protocol handler: routes RwD flits."""
+
+    def __init__(self, ndp_controller: NDPController) -> None:
+        self.ndp_controller = ndp_controller
+        self.ndp_flits = 0
+        self.mem_flits = 0
+
+    def receive(self, flit: CXLFlit) -> None:
+        """Accept one host flit: NDP-flagged payloads go to the NDP
+        instruction buffer, the rest are device memory writes."""
+        if flit.ndp_flag:
+            self.ndp_flits += 1
+            self.ndp_controller.enqueue(flit.payload)
+        else:
+            self.mem_flits += 1
+            self.ndp_controller.device.write_raw(flit.address, flit.payload)
+
+    def poll_done(self) -> bool:
+        return bool(self.ndp_controller.mmio.read(MMIORegisters.DONE))
+
+
+def make_flit(address: int, payload: bytes, ndp: bool) -> CXLFlit:
+    """Convenience wrapper used by the host driver."""
+    return CXLFlit(address=address, payload=payload, ndp_flag=ndp)
+
+
+def encode_gemm(
+    opcode: Opcode,
+    actin_addr: int,
+    wgt_addr: int,
+    actout_addr: int,
+    m: int,
+    n: int,
+    k: int,
+    dtype_bytes: int = 2,
+    expert_id: int = 0,
+    device_id: int = 0,
+) -> bytes:
+    """Build and encode one GEMM instruction with sizes derived from
+    the geometry (helper shared by driver and tests)."""
+    inst = NDPInstruction(
+        opcode=opcode,
+        actin_addr=actin_addr,
+        actin_size=m * k * dtype_bytes,
+        wgt_addr=wgt_addr,
+        wgt_size=k * n * dtype_bytes,
+        actout_addr=actout_addr,
+        actout_size=m * n * dtype_bytes,
+        m=m,
+        n=n,
+        k=k,
+        expert_id=expert_id,
+        device_id=device_id,
+    )
+    return inst.encode()

@@ -1,0 +1,108 @@
+"""DRAM <-> NDP co-simulation validation.
+
+The NDP GEMM engine charges memory cycles against a single effective-
+bandwidth constant calibrated from the cycle-level DRAM simulator.
+This module closes the loop: it expands a tile schedule into the
+actual 64-byte request stream (weights from the even-bank expert
+region, activations from the odd-bank activation region, outputs
+written back) and replays it through the FR-FCFS controller, so tests
+can bound the error of the engine's bandwidth abstraction.
+
+This is the same validation step the paper's methodology implies:
+Ramulator supplies memory behaviour, the expert simulator consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import LPDDR5X_8533, DRAMConfig
+from repro.dram.controller import MemoryController
+from repro.dram.request import Request, RequestKind
+from repro.ndp.device import DeviceMemoryLayout
+from repro.ndp.engine import NDPGemmEngine
+
+
+@dataclass(frozen=True)
+class CosimResult:
+    """Engine estimate vs cycle-simulated memory time for one GEMM."""
+
+    m: int
+    n: int
+    k: int
+    engine_mem_cycles: int
+    dram_cycles: int
+    dram_bytes: int
+
+    @property
+    def relative_error(self) -> float:
+        """(engine - dram) / dram; positive = engine pessimistic."""
+        if self.dram_cycles == 0:
+            return 0.0
+        return (self.engine_mem_cycles - self.dram_cycles) / self.dram_cycles
+
+
+class GEMMCosim:
+    """Replays a GEMM's DRAM traffic through the cycle simulator."""
+
+    def __init__(
+        self,
+        engine: NDPGemmEngine,
+        dram_config: DRAMConfig = LPDDR5X_8533,
+    ) -> None:
+        self.engine = engine
+        self.dram_config = dram_config
+
+    def request_stream(self, m: int, n: int, k: int) -> list[Request]:
+        """The 64-byte request stream of the tile schedule, with
+        weights/activations placed per the Section 3.4 layout."""
+        layout = DeviceMemoryLayout(self.dram_config)
+        dt = self.engine.tiler.dtype_bytes
+        wgt_alloc = layout.allocate(max(1, k * n * dt), region="expert")
+        act_alloc = layout.allocate(max(1, m * k * dt), region="activation")
+        out_alloc = layout.allocate(max(1, m * n * dt), region="activation")
+        wgt_addrs = layout.block_addresses(wgt_alloc)
+        act_addrs = layout.block_addresses(act_alloc)
+        out_addrs = layout.block_addresses(out_alloc)
+
+        access = self.dram_config.organization.access_bytes
+        requests: list[Request] = []
+        wgt_pos = act_pos = out_pos = 0
+        for tile in self.engine.tiler.tiles(m, n, k):
+            for nbytes, addrs, pos_name, kind in (
+                (tile.wgt_bytes, wgt_addrs, "wgt", RequestKind.READ),
+                (tile.act_bytes, act_addrs, "act", RequestKind.READ),
+                (tile.out_bytes, out_addrs, "out", RequestKind.WRITE),
+            ):
+                if nbytes == 0:
+                    continue
+                blocks = -(-nbytes // access)
+                if pos_name == "wgt":
+                    start, wgt_pos = wgt_pos, (wgt_pos + blocks) % len(addrs)
+                elif pos_name == "act":
+                    start, act_pos = act_pos, (act_pos + blocks) % len(addrs)
+                else:
+                    start, out_pos = out_pos, (out_pos + blocks) % len(addrs)
+                for i in range(blocks):
+                    addr = addrs[(start + i) % len(addrs)]
+                    requests.append(Request(addr=addr, kind=kind))
+        return requests
+
+    def run(self, m: int, n: int, k: int) -> CosimResult:
+        """Compare the engine's memory-cycle estimate with a full
+        cycle-level replay of the same traffic."""
+        execution = self.engine.gemm_execution(m, n, k)
+        requests = self.request_stream(m, n, k)
+        controller = MemoryController(self.dram_config)
+        stats = controller.simulate(requests)
+        # Convert DRAM-controller cycles to NDP-clock cycles.
+        dram_seconds = self.dram_config.timing.cycles_to_seconds(stats.total_cycles)
+        dram_ndp_cycles = int(round(dram_seconds * self.engine.spec.clock_hz))
+        return CosimResult(
+            m=m,
+            n=n,
+            k=k,
+            engine_mem_cycles=execution.memory_cycles,
+            dram_cycles=dram_ndp_cycles,
+            dram_bytes=len(requests) * self.dram_config.organization.access_bytes,
+        )

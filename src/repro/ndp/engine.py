@@ -1,0 +1,219 @@
+"""The NDP GEMM engine: cycle-level timing plus functional execution.
+
+This is the "cycle-level expert computation simulator" of Section 4.1:
+it walks the output-stationary tile schedule, charging each tile
+
+- compute cycles on the systolic cluster (K + pipeline skew), and
+- memory cycles against the device's DRAM bandwidth (as calibrated by
+  the cycle-level DRAM simulator),
+
+overlapping the two under double buffering: the engine's total is the
+pipelined makespan  fill + sum(max(compute_i, mem_i)) + drain, exactly
+the behaviour of an operand-prefetching tile pipeline.
+
+For the paper's dimensions the design point is rate-matched: a 4x256
+stripe needs K compute cycles and K*256*2 bytes of weights, which at
+512 B/cycle is also ~K cycles -- the hardware neither starves nor
+stalls for M <= 4 (cold experts), which is the paper's efficiency
+argument for small-height PE arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hw.specs import BF16_BYTES, NDPCoreSpec
+from repro.moe.functional import ACTIVATIONS
+from repro.ndp.buffers import DoubleBuffer
+from repro.ndp.systolic import SystolicCluster
+from repro.ndp.tiling import OutputStationaryTiler
+
+
+@dataclass(frozen=True)
+class GEMMExecution:
+    """Timing breakdown of one GEMM on the NDP core."""
+
+    m: int
+    n: int
+    k: int
+    n_tiles: int
+    compute_cycles: int
+    memory_cycles: int
+    pipelined_cycles: int
+    dram_bytes: int
+    seconds: float
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.memory_cycles >= self.compute_cycles
+
+    @property
+    def achieved_flops(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return 2.0 * self.m * self.n * self.k / self.seconds
+
+
+class NDPGemmEngine:
+    """Cycle-level GEMM timing and functional execution for one device.
+
+    ``mem_bandwidth`` is the *effective* device bandwidth in bytes/s
+    (pass the DRAM calibrator's sequential-stream result, or the spec
+    default which matches it).
+    """
+
+    def __init__(
+        self,
+        spec: NDPCoreSpec,
+        mem_bandwidth: float,
+        dtype_bytes: int = BF16_BYTES,
+    ) -> None:
+        if mem_bandwidth <= 0:
+            raise ValueError("mem_bandwidth must be positive")
+        self.spec = spec
+        self.mem_bandwidth = mem_bandwidth
+        self.dtype_bytes = dtype_bytes
+        self.cluster = SystolicCluster(spec.n_arrays, spec.array_rows, spec.array_cols)
+        self.wgt_buffer = DoubleBuffer("exp-buffer", spec.exp_buffer_bytes)
+        self.tiler = OutputStationaryTiler(
+            tile_rows=self.cluster.tile_rows,
+            tile_cols=self.cluster.tile_cols,
+            wgt_buffer_bytes=spec.exp_buffer_bytes,
+            dtype_bytes=dtype_bytes,
+        )
+        #: Bytes the DRAM can stream per NDP clock cycle.
+        self.bytes_per_cycle = mem_bandwidth / spec.clock_hz
+
+    # -- timing --------------------------------------------------------------
+
+    def gemm_execution(self, m: int, n: int, k: int) -> GEMMExecution:
+        """Cycle-level timing for C[m,n] = A[m,k] @ B[k,n].
+
+        Walks the tile schedule in grouped form: within one
+        (n-stripe, k-chunk) the m-stripe tiles are identical except for
+        the first (which also fetches the weight chunk) and a possible
+        ragged last stripe, so each group is costed once and
+        multiplied.  Identical in result to iterating
+        ``self.tiler.tiles`` tile by tile, but O(n/256 * k/chunk).
+        """
+        if m == 0 or n == 0 or k == 0:
+            return GEMMExecution(m, n, k, 0, 0, 0, 0, 0, 0.0)
+        dt = self.tiler.dtype_bytes
+        rows = self.tiler.tile_rows
+        bpc = self.bytes_per_cycle
+
+        def mem_cycles(nbytes: int) -> int:
+            return int(np.ceil(nbytes / bpc))
+
+        n_full_m, m_rem = divmod(m, rows)
+        m_stripes = n_full_m + (1 if m_rem else 0)
+
+        compute_total = 0
+        mem_total = 0
+        pipelined = 0
+        dram_bytes = 0
+        n_tiles = 0
+        first_mem = 0
+        for n0 in range(0, n, self.tiler.tile_cols):
+            nn = min(self.tiler.tile_cols, n - n0)
+            chunk = self.tiler.k_chunk(nn)
+            n_chunks = -(-k // chunk)
+            for ki, k0 in enumerate(range(0, k, chunk)):
+                kk = min(chunk, k - k0)
+                last_chunk = ki == n_chunks - 1
+                compute_cycles = self.cluster.stripe_cycles(kk)
+                # Tile variants within this (n-stripe, k-chunk) group.
+                variants: list[tuple[int, int, int]] = []  # (count, mm, wgt)
+                wgt = kk * nn * dt
+                if m_stripes == 1:
+                    variants.append((1, m, wgt))
+                else:
+                    variants.append((1, rows, wgt))
+                    full_rest = n_full_m - 1
+                    if full_rest > 0:
+                        variants.append((full_rest, rows, 0))
+                    if m_rem:
+                        variants.append((1, m_rem, 0))
+                for count, mm, wgt_bytes in variants:
+                    act = mm * kk * dt
+                    out = mm * nn * dt if last_chunk else 0
+                    tile_bytes = act + wgt_bytes + out
+                    mc = mem_cycles(tile_bytes)
+                    if n_tiles == 0:
+                        first_mem = mc
+                    compute_total += count * compute_cycles
+                    mem_total += count * mc
+                    pipelined += count * max(compute_cycles, mc)
+                    dram_bytes += count * tile_bytes
+                    n_tiles += count
+        # Pipeline fill (the first operand fetch) is not hidden by the
+        # steady-state overlap; the last tile's compute (drain) is
+        # already inside the final max() term.
+        total = first_mem + pipelined
+        seconds = total / self.spec.clock_hz
+        return GEMMExecution(
+            m=m,
+            n=n,
+            k=k,
+            n_tiles=n_tiles,
+            compute_cycles=compute_total,
+            memory_cycles=mem_total,
+            pipelined_cycles=total,
+            dram_bytes=dram_bytes,
+            seconds=seconds,
+        )
+
+    def gemm_time(self, m: int, n: int, k: int) -> float:
+        """Seconds for one GEMM, excluding host dispatch."""
+        return self.gemm_execution(m, n, k).seconds
+
+    def expert_ffn_time(self, tokens: int, d_model: int, d_ff: int) -> float:
+        """Seconds for one expert FFN (gemm + gemm+relu kernels) over
+        ``tokens`` routed tokens, including the NDP dispatch overhead."""
+        if tokens == 0:
+            return 0.0
+        t1 = self.gemm_time(tokens, d_ff, d_model)
+        t2 = self.gemm_time(tokens, d_model, d_ff)
+        return t1 + t2 + self.spec.dispatch_overhead
+
+    def expert_batch_time(
+        self, token_counts: list[int] | np.ndarray, d_model: int, d_ff: int
+    ) -> float:
+        """Seconds for a batch of expert FFNs run back to back on one
+        NDP core (the MD+AM workflow's device-side total)."""
+        return float(
+            sum(self.expert_ffn_time(int(t), d_model, d_ff) for t in token_counts if t)
+        )
+
+    # -- functional ------------------------------------------------------------
+
+    def run_gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        activation: Optional[str] = None,
+    ) -> tuple[np.ndarray, GEMMExecution]:
+        """Functionally execute a GEMM tile-by-tile through the
+        systolic cluster (bit-identical to a plain matmul) and return
+        (result, timing).  ``activation`` fuses relu/gelu into the
+        epilogue, the paper's ``gemm+relu`` kernel."""
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"bad GEMM operands: {a.shape} x {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        rows = self.cluster.tile_rows
+        cols = self.cluster.tile_cols
+        for m0 in range(0, m, rows):
+            for n0 in range(0, n, cols):
+                stripe = self.cluster.compute_stripe(
+                    a[m0 : m0 + rows], b[:, n0 : n0 + cols]
+                )
+                out[m0 : m0 + rows, n0 : n0 + cols] = stripe
+        if activation is not None:
+            fn: Callable[[np.ndarray], np.ndarray] = ACTIVATIONS[activation]
+            out = fn(out)
+        return out, self.gemm_execution(m, n, k)

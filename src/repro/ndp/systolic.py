@@ -1,0 +1,105 @@
+"""Systolic MAC arrays and the SIMD-controlled cluster.
+
+Section 3.1: "our NDP core design adopts small-height 4x4 multiply-
+and-accumulate (MAC) processing element (PE) arrays.  We use 64 of
+such arrays that are controlled by a SIMD controller. [...] the MoNDE
+NDP core processes 4x256 matrix operations in a consecutive
+tile-by-tile, output-stationary manner."
+
+Each :class:`MACArray` computes a 4 (rows) x 4 (cols) output tile,
+accumulating over K; the :class:`SystolicCluster` drives 64 arrays in
+lockstep over a 4 x 256 output stripe.  Cycle counts follow the
+standard output-stationary pipeline: K beats of accumulation plus the
+skew fill/drain of (rows + cols - 2) cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MACArray:
+    """One 4x4 output-stationary MAC array."""
+
+    def __init__(self, rows: int = 4, cols: int = 4) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("array dims must be >= 1")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def skew_cycles(self) -> int:
+        """Pipeline fill/drain for skewed operand feeding."""
+        return self.rows + self.cols - 2
+
+    def tile_cycles(self, k: int) -> int:
+        """Cycles to accumulate a (rows x cols) output tile over depth k."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return 0
+        return k + self.skew_cycles
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional tile multiply: (m<=rows, k) x (k, n<=cols).
+
+        Models exactly what the PE grid accumulates; oversized
+        operands are rejected the way the hardware would.
+        """
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("operands must be 2-D tiles")
+        if a.shape[0] > self.rows or b.shape[1] > self.cols:
+            raise ValueError(
+                f"tile ({a.shape[0]}x{b.shape[1]}) exceeds array ({self.rows}x{self.cols})"
+            )
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dims mismatch: {a.shape} x {b.shape}")
+        return a @ b
+
+
+class SystolicCluster:
+    """64 MAC arrays in SIMD lockstep: one 4 x 256 output stripe pass.
+
+    All arrays share the same activation rows (broadcast) and each
+    array owns a disjoint 4-column slice of the weight matrix, so a
+    pass produces ``rows x (n_arrays * cols)`` outputs in
+    ``k + skew`` cycles.
+    """
+
+    def __init__(self, n_arrays: int = 64, rows: int = 4, cols: int = 4) -> None:
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        self.n_arrays = n_arrays
+        self.array = MACArray(rows, cols)
+
+    @property
+    def tile_rows(self) -> int:
+        return self.array.rows
+
+    @property
+    def tile_cols(self) -> int:
+        return self.n_arrays * self.array.cols
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.n_arrays * self.array.rows * self.array.cols
+
+    def stripe_cycles(self, k: int) -> int:
+        """Cycles for one 4 x 256 output stripe of depth ``k`` (SIMD:
+        all arrays finish together)."""
+        return self.array.tile_cycles(k)
+
+    def compute_stripe(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional stripe multiply: (m<=4, k) x (k, n<=256).
+
+        Dispatches column slices to the arrays exactly as the SIMD
+        controller does, then concatenates the per-array outputs.
+        """
+        if b.shape[1] > self.tile_cols:
+            raise ValueError(
+                f"stripe width {b.shape[1]} exceeds cluster width {self.tile_cols}"
+            )
+        outputs = []
+        for start in range(0, b.shape[1], self.array.cols):
+            outputs.append(self.array.compute(a, b[:, start : start + self.array.cols]))
+        return np.concatenate(outputs, axis=1)

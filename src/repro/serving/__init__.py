@@ -1,0 +1,27 @@
+"""Serving-load simulation on top of the scheme runtimes.
+
+The paper evaluates isolated encoder passes and decoder generations.
+A deployment cares about the next level up: sustained request traffic.
+This package drives the per-scheme costs from
+:class:`~repro.core.runtime.MoNDERuntime` through a discrete-event
+server model (Poisson arrivals, bounded queue, one inference engine)
+and reports throughput, utilization, and latency percentiles -- the
+numbers a capacity planner would derive from the paper's results.
+"""
+
+from repro.serving.simulator import (
+    CostModel,
+    ServingResult,
+    ServingSimulator,
+    load_sweep,
+)
+from repro.serving.workload import Request, RequestGenerator
+
+__all__ = [
+    "CostModel",
+    "Request",
+    "RequestGenerator",
+    "ServingResult",
+    "ServingSimulator",
+    "load_sweep",
+]

@@ -1,0 +1,197 @@
+"""Discrete-event serving simulator.
+
+One inference server processes requests FIFO (no preemption): each
+request costs an encoder pass over its prompt plus an auto-regressive
+decode of its generated tokens, with per-token costs supplied by a
+:class:`CostModel` built from the scheme runtimes.  Queueing dynamics
+come from the shared :class:`~repro.sim.engine.SimEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import Platform
+from repro.core.runtime import InferenceConfig, MoNDERuntime
+from repro.core.strategies import Scheme
+from repro.moe.config import MoEModelConfig
+from repro.serving.workload import Request
+from repro.sim.engine import SimEngine
+from repro.workloads.traces import RoutingProfile
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-request service time: encode + decode, scaled by length.
+
+    Calibrated once per (model, scheme) from the runtime at a
+    reference geometry, then scaled linearly in prompt/decode length
+    -- adequate for queueing studies where relative scheme costs and
+    load response matter, not per-token microstructure.
+    """
+
+    encode_seconds_per_token: float
+    decode_seconds_per_token: float
+
+    def service_time(self, request: Request) -> float:
+        return (
+            self.encode_seconds_per_token * request.prompt_tokens
+            + self.decode_seconds_per_token * request.decode_tokens
+        )
+
+    @classmethod
+    def from_runtime(
+        cls,
+        model: MoEModelConfig,
+        scheme: Scheme,
+        platform: Optional[Platform] = None,
+        profile: Optional[RoutingProfile] = None,
+        ref_batch: int = 1,
+        ref_decode_steps: int = 8,
+    ) -> "CostModel":
+        config = InferenceConfig(
+            model=model,
+            batch=ref_batch,
+            decode_steps=ref_decode_steps,
+            profile=profile,
+        )
+        runtime = MoNDERuntime(config, platform=platform)
+        enc = runtime.encoder_result(scheme)
+        dec = runtime.decoder_result(scheme)
+        return cls(
+            encode_seconds_per_token=enc.seconds / enc.n_tokens,
+            decode_seconds_per_token=dec.seconds / dec.n_tokens,
+        )
+
+
+@dataclass
+class CompletedRequest:
+    """Bookkeeping for one finished request."""
+
+    request: Request
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.request.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start - self.request.arrival
+
+
+@dataclass
+class ServingResult:
+    """Aggregate serving metrics for one simulation."""
+
+    scheme: Scheme
+    completed: list[CompletedRequest] = field(default_factory=list)
+    rejected: int = 0
+    horizon: float = 0.0
+    busy_seconds: float = 0.0
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.n_completed / self.horizon
+
+    @property
+    def utilization(self) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.horizon)
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.percentile([c.latency for c in self.completed], q))
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([c.latency for c in self.completed]))
+
+
+class ServingSimulator:
+    """FIFO single-server queue over a scheme's cost model."""
+
+    def __init__(self, cost_model: CostModel, scheme: Scheme, queue_limit: int = 512) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.cost_model = cost_model
+        self.scheme = scheme
+        self.queue_limit = queue_limit
+
+    def run(self, requests: list[Request]) -> ServingResult:
+        """Simulate the full request list; returns aggregate metrics."""
+        engine = SimEngine()
+        result = ServingResult(scheme=self.scheme)
+        queue: list[Request] = []
+        state = {"busy": False}
+
+        def start_service(request: Request) -> None:
+            state["busy"] = True
+            start = engine.now
+            service = self.cost_model.service_time(request)
+            result.busy_seconds += service
+
+            def finish() -> None:
+                result.completed.append(
+                    CompletedRequest(request=request, start=start, finish=engine.now)
+                )
+                if queue:
+                    start_service(queue.pop(0))
+                else:
+                    state["busy"] = False
+
+            engine.schedule_in(service, finish)
+
+        def arrive(request: Request) -> None:
+            if state["busy"]:
+                if len(queue) >= self.queue_limit:
+                    result.rejected += 1
+                    return
+                queue.append(request)
+            else:
+                start_service(request)
+
+        for request in sorted(requests, key=lambda r: r.arrival):
+            engine.schedule(request.arrival, lambda r=request: arrive(r))
+        result.horizon = engine.run()
+        return result
+
+
+def load_sweep(
+    cost_model: CostModel,
+    scheme: Scheme,
+    rates: list[float],
+    n_requests: int = 200,
+    seed: int = 0,
+    mean_prompt_tokens: int = 512,
+    mean_decode_tokens: int = 32,
+) -> list[tuple[float, ServingResult]]:
+    """Run the simulator across offered loads (the classic
+    latency-vs-throughput hockey stick)."""
+    from repro.serving.workload import RequestGenerator
+
+    results = []
+    for rate in rates:
+        generator = RequestGenerator(
+            rate,
+            mean_prompt_tokens=mean_prompt_tokens,
+            mean_decode_tokens=mean_decode_tokens,
+            seed=seed,
+        )
+        sim = ServingSimulator(cost_model, scheme)
+        results.append((rate, sim.run(generator.generate(n_requests))))
+    return results

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel and stream timeline calculus.
+
+Two complementary abstractions are provided:
+
+- :class:`~repro.sim.engine.SimEngine` -- a classic discrete-event
+  engine (priority queue of timestamped callbacks) used where event
+  interleaving matters.
+- :class:`~repro.sim.stream.Timeline` / :class:`~repro.sim.stream.Stream`
+  -- a deterministic "stream calculus" in the style of CUDA streams:
+  work items enqueued on a stream serialize, items on different streams
+  overlap, and cross-stream dependencies are expressed as explicit
+  completion-time joins.  The MoNDE execution engine (Fig. 5 of the
+  paper) is built on this.
+"""
+
+from repro.sim.engine import SimEngine
+from repro.sim.events import Event, EventQueue
+from repro.sim.stream import Segment, Stream, Timeline
+from repro.sim.trace import TraceRecorder, render_gantt
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Segment",
+    "SimEngine",
+    "Stream",
+    "Timeline",
+    "TraceRecorder",
+    "render_gantt",
+]

@@ -1,0 +1,85 @@
+"""A minimal deterministic discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimEngine:
+    """Discrete-event engine with deterministic same-time ordering.
+
+    Typical use::
+
+        engine = SimEngine()
+        engine.schedule(10.0, lambda: engine.schedule_in(5.0, done))
+        engine.run()
+        assert engine.now == 15.0
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        return self._queue.push(time, action, label)
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self._now + delay, action, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the final simulated time.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.action()
+                self.events_processed += 1
+                fired += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue = EventQueue()
+        self._now = 0.0
+        self.events_processed = 0

@@ -1,0 +1,75 @@
+"""Event primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A timestamped callback.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker so that events scheduled at the same
+    simulated time fire in scheduling order (deterministic replay).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Supports cancellation: :meth:`cancel` marks an event dead without
+    paying the O(n) cost of removal; dead events are skipped on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._dead: set[int] = set()
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._dead)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark ``event`` as cancelled; it will be skipped when popped."""
+        self._dead.add(event.seq)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._dead:
+                self._dead.discard(event.seq)
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest live event without popping."""
+        while self._heap:
+            event = self._heap[0]
+            if event.seq in self._dead:
+                heapq.heappop(self._heap)
+                self._dead.discard(event.seq)
+                continue
+            return event.time
+        return None

@@ -1,0 +1,81 @@
+"""Trace recording and ASCII Gantt rendering for stream timelines.
+
+Used to regenerate the paper's Fig. 5 (qualitative workflow comparison
+between Ideal, GPU+PM, MD+AM and MD+LB) as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.stream import Segment, Timeline
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates labelled (time, message) trace points."""
+
+    points: list[tuple[float, str]] = field(default_factory=list)
+
+    def record(self, time: float, message: str) -> None:
+        self.points.append((time, message))
+
+    def formatted(self) -> str:
+        lines = [f"[{t:12.6f}s] {msg}" for t, msg in sorted(self.points)]
+        return "\n".join(lines)
+
+
+def render_gantt(
+    timeline: Timeline,
+    width: int = 72,
+    horizon: Optional[float] = None,
+    label_chars: int = 1,
+) -> str:
+    """Render a timeline as an ASCII Gantt chart.
+
+    Each stream becomes one row; each segment is drawn with the first
+    ``label_chars`` characters of its label (or ``#``).  Example::
+
+        gpu   |ggg...eeee|
+        pcie  |...ppppp..|
+        monde |...eeeee..|
+    """
+    span = horizon if horizon is not None else timeline.makespan()
+    if span <= 0:
+        return "(empty timeline)"
+
+    streams = timeline.streams
+    name_width = max((len(n) for n in streams), default=0)
+    lines = []
+    for name, stream in streams.items():
+        row = [" "] * width
+        for seg in stream.segments:
+            lo = int(round(seg.start / span * (width - 1)))
+            hi = int(round(seg.end / span * (width - 1)))
+            hi = max(hi, lo)  # zero-duration segments still get one cell
+            mark = (seg.label[:label_chars] or "#") if seg.label else "#"
+            for i in range(lo, min(hi + 1, width)):
+                row[i] = mark[0]
+        lines.append(f"{name:<{name_width}} |{''.join(row)}|")
+    lines.append(f"{'':<{name_width}}  0{'':{width - 10}}{span:.3e}s")
+    return "\n".join(lines)
+
+
+def overlap_fraction(a: list[Segment], b: list[Segment]) -> float:
+    """Fraction of the busy time of ``a`` that overlaps segments of ``b``.
+
+    Used in tests to assert that the load-balanced scheme actually
+    overlaps GPU and NDP work (the point of Fig. 5's MD+LB row).
+    """
+    total = sum(seg.duration for seg in a)
+    if total == 0:
+        return 0.0
+    overlap = 0.0
+    for sa in a:
+        for sb in b:
+            lo = max(sa.start, sb.start)
+            hi = min(sa.end, sb.end)
+            if hi > lo:
+                overlap += hi - lo
+    return overlap / total

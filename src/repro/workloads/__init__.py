@@ -1,0 +1,41 @@
+"""Synthetic workloads: routing traces and batch generators.
+
+The paper evaluates on XSum (language modeling, Switch-Large) and
+FLORES-200 (machine translation, NLLB-MoE).  Neither dataset nor the
+trained routers are available offline, so this package generates
+routing traces whose *expert skew* is calibrated to the paper's
+measurement (Fig. 3): a few hot experts take most tokens while the
+majority are cold (0-7 tokens) -- the property MoNDE exploits.
+"""
+
+from repro.workloads.distributions import (
+    FIG3_BUCKETS,
+    FIG3_REFERENCE,
+    bucket_histogram,
+    sample_expert_counts,
+    zipf_popularity,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    flores_like,
+    xsum_like,
+)
+from repro.workloads.serialization import SavedTrace, capture_trace
+from repro.workloads.traces import RoutingProfile, RoutingTraceGenerator
+
+__all__ = [
+    "FIG3_BUCKETS",
+    "FIG3_REFERENCE",
+    "RoutingProfile",
+    "RoutingTraceGenerator",
+    "SCENARIOS",
+    "SavedTrace",
+    "Scenario",
+    "bucket_histogram",
+    "capture_trace",
+    "flores_like",
+    "sample_expert_counts",
+    "xsum_like",
+    "zipf_popularity",
+]

@@ -1,0 +1,132 @@
+"""Expert-load distributions calibrated to the paper's Fig. 3.
+
+Fig. 3 measures the average token distribution across experts for
+NLLB-MoE (encoder layer 0, batch 4, top-2, E=128, FLORES-200
+Eng->Fra): binned by routed-token count, the average number of experts
+per bin is::
+
+    tokens   0     1-3    4-7   8-15  16-31  32-63  64-127  128+
+    experts  25.48 72.56  24.63 1.86  0.08   1.2    0.67    1.52
+
+i.e. ~96% of experts are cold (<8 tokens) while ~1.5 hot experts
+absorb the bulk of the 4096 routing events.  A Zipf popularity over
+experts reproduces this shape; the exponent is the skew knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fig. 3 bucket edges (inclusive lower bounds; last bucket open).
+FIG3_BUCKETS = [0, 1, 4, 8, 16, 32, 64, 128]
+
+#: Fig. 3 measured average experts per bucket (see module docstring).
+FIG3_REFERENCE = [25.48, 72.56, 24.63, 1.86, 0.08, 1.2, 0.67, 1.52]
+
+
+def zipf_popularity(
+    n_experts: int,
+    exponent: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Zipf-distributed expert popularity, randomly permuted so hot
+    experts land at arbitrary expert ids (as in trained routers).
+
+    ``exponent`` 0 gives uniform routing; ~1 is Fig. 3-like; >1.5
+    concentrates almost all tokens on a handful of experts (deep
+    decoder layers).
+    """
+    if n_experts < 1:
+        raise ValueError("n_experts must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n_experts + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    if rng is not None:
+        rng.shuffle(weights)
+    return weights
+
+
+def mixture_popularity(
+    n_experts: int,
+    rng: np.random.Generator,
+    hot_fraction: float = 0.90,
+    n_hot: int = 2,
+    tail_shape: float = 0.55,
+) -> np.ndarray:
+    """Hot/cold mixture popularity matching Fig. 3's bimodal shape.
+
+    ``n_hot`` experts share ``hot_fraction`` of all routing events
+    (geometrically weighted among themselves); the remaining experts
+    receive Gamma(``tail_shape``)-distributed weights -- an
+    overdispersed thin tail, so some cold experts get a few tokens and
+    others none, exactly the 0 / 1-3 / 4-7 spread the paper measures.
+
+    Raising ``hot_fraction`` and lowering ``tail_shape`` models the
+    sharper concentration of deeper layers.
+    """
+    if n_experts < 1:
+        raise ValueError("n_experts must be >= 1")
+    if not 0.0 <= hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be in [0, 1)")
+    if not 1 <= n_hot <= n_experts:
+        raise ValueError(f"n_hot must be in [1, {n_experts}]")
+    if tail_shape <= 0:
+        raise ValueError("tail_shape must be positive")
+    weights = np.zeros(n_experts, dtype=np.float64)
+    hot_ids = rng.choice(n_experts, size=n_hot, replace=False)
+    hot_weights = 0.6 ** np.arange(n_hot)
+    weights[hot_ids] = hot_fraction * hot_weights / hot_weights.sum()
+    cold_ids = np.setdiff1d(np.arange(n_experts), hot_ids)
+    if len(cold_ids) > 0:
+        tail = rng.gamma(tail_shape, 1.0, size=len(cold_ids))
+        total = tail.sum()
+        if total <= 0:
+            tail = np.full(len(cold_ids), 1.0)
+            total = tail.sum()
+        weights[cold_ids] = (1.0 - hot_fraction) * tail / total
+    return weights
+
+
+def sample_expert_counts(
+    n_experts: int,
+    n_events: int,
+    exponent: float,
+    rng: np.random.Generator,
+    popularity: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample routed-token counts per expert for ``n_events`` routing
+    events (= tokens * top_k) under a Zipf popularity."""
+    if n_events < 0:
+        raise ValueError("n_events must be non-negative")
+    if popularity is None:
+        popularity = zipf_popularity(n_experts, exponent, rng)
+    if popularity.shape != (n_experts,):
+        raise ValueError("popularity shape mismatch")
+    if n_events == 0:
+        return np.zeros(n_experts, dtype=np.int64)
+    return rng.multinomial(n_events, popularity).astype(np.int64)
+
+
+def bucket_histogram(counts: np.ndarray, buckets: list[int] | None = None) -> np.ndarray:
+    """Bin per-expert token counts into Fig. 3's buckets; returns the
+    number of experts per bucket."""
+    edges = FIG3_BUCKETS if buckets is None else buckets
+    counts = np.asarray(counts)
+    out = np.zeros(len(edges), dtype=np.int64)
+    for value in counts:
+        placed = 0
+        for i, lo in enumerate(edges):
+            if value >= lo:
+                placed = i
+        out[placed] += 1
+    return out
+
+
+def hot_cold_split(counts: np.ndarray, threshold: int = 8) -> tuple[int, int]:
+    """Number of (hot, cold) experts at Fig. 3's hot/cold boundary."""
+    counts = np.asarray(counts)
+    hot = int((counts >= threshold).sum())
+    cold = int(((counts > 0) & (counts < threshold)).sum())
+    return hot, cold

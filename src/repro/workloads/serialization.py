@@ -1,0 +1,102 @@
+"""Routing-trace serialization.
+
+Traces drive every timing experiment, so being able to persist and
+replay them matters for reproducibility: a saved trace pins the exact
+expert loads a result was measured on, independent of generator
+version or seed behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class SavedTrace:
+    """A serializable routing trace for one (model, batch) workload."""
+
+    model_name: str
+    n_experts: int
+    batch: int
+    seq_len: int
+    encoder_layers: list[np.ndarray] = field(default_factory=list)
+    #: decoder_steps[step][moe_layer_rank]
+    decoder_steps: list[list[np.ndarray]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for counts in self.encoder_layers:
+            if counts.shape != (self.n_experts,):
+                raise ValueError("encoder layer counts shape mismatch")
+            if np.any(counts < 0):
+                raise ValueError("negative token counts")
+        for step in self.decoder_steps:
+            for counts in step:
+                if counts.shape != (self.n_experts,):
+                    raise ValueError("decoder step counts shape mismatch")
+                if np.any(counts < 0):
+                    raise ValueError("negative token counts")
+
+    # -- codec -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "model": self.model_name,
+            "n_experts": self.n_experts,
+            "batch": self.batch,
+            "seq_len": self.seq_len,
+            "encoder_layers": [c.tolist() for c in self.encoder_layers],
+            "decoder_steps": [
+                [c.tolist() for c in step] for step in self.decoder_steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SavedTrace":
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version: {version}")
+        trace = cls(
+            model_name=data["model"],
+            n_experts=int(data["n_experts"]),
+            batch=int(data["batch"]),
+            seq_len=int(data["seq_len"]),
+            encoder_layers=[
+                np.asarray(c, dtype=np.int64) for c in data["encoder_layers"]
+            ],
+            decoder_steps=[
+                [np.asarray(c, dtype=np.int64) for c in step]
+                for step in data["decoder_steps"]
+            ],
+        )
+        trace.validate()
+        return trace
+
+    def save(self, path: str | pathlib.Path) -> None:
+        self.validate()
+        pathlib.Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "SavedTrace":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def capture_trace(generator, n_decode_steps: int = 0) -> SavedTrace:
+    """Snapshot a :class:`RoutingTraceGenerator` into a SavedTrace."""
+    trace = SavedTrace(
+        model_name=generator.model.name,
+        n_experts=generator.model.n_experts,
+        batch=generator.batch,
+        seq_len=generator.seq_len,
+        encoder_layers=generator.encoder_trace(),
+    )
+    if n_decode_steps > 0:
+        trace.decoder_steps = generator.decoder_trace(n_decode_steps)
+    trace.validate()
+    return trace

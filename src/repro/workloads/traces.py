@@ -1,0 +1,158 @@
+"""Routing-trace generation for the timing models.
+
+A :class:`RoutingTraceGenerator` produces per-layer token counts for
+encoder passes and per-step counts for auto-regressive decoding, with
+two properties measured on trained MoE models:
+
+- *Depth-dependent skew*: early layers route broadly (Fig. 3's layer 0
+  activates ~100 of 128 experts), deeper layers concentrate sharply.
+- *Temporal persistence*: each layer's expert popularity is fixed
+  across decode steps, so decoders touch the same hot experts step
+  after step (the property that makes the GPU expert buffer effective
+  and keeps decoder PMove small -- Fig. 6's modest decoder gains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.moe.config import MoEModelConfig
+from repro.workloads.distributions import mixture_popularity, sample_expert_counts
+
+
+@dataclass(frozen=True)
+class RoutingProfile:
+    """Skew schedule across MoE-layer depth.
+
+    Expert popularity follows the Fig. 3-calibrated hot/cold mixture
+    (:func:`repro.workloads.distributions.mixture_popularity`).  The
+    hot experts' event share ramps from ``hot_fraction_first`` at the
+    first MoE layer to ``hot_fraction_last`` at the deepest, and the
+    cold tail sparsifies (``tail_shape_first`` -> ``tail_shape_last``);
+    decoder layers are floored at ``decoder_min_hot_fraction``.
+    """
+
+    hot_fraction_first: float = 0.88
+    hot_fraction_last: float = 0.975
+    tail_shape_first: float = 0.55
+    tail_shape_last: float = 0.30
+    n_hot: int = 2
+    decoder_min_hot_fraction: float = 0.94
+
+    def _ramp(self, first: float, last: float, rank: int, n_layers: int) -> float:
+        if n_layers <= 1:
+            return last
+        frac = rank / (n_layers - 1)
+        return first + frac * (last - first)
+
+    def popularity(
+        self,
+        n_experts: int,
+        rank: int,
+        n_layers: int,
+        decoder: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        hot = self._ramp(self.hot_fraction_first, self.hot_fraction_last, rank, n_layers)
+        if decoder:
+            hot = max(hot, self.decoder_min_hot_fraction)
+        tail = self._ramp(self.tail_shape_first, self.tail_shape_last, rank, n_layers)
+        return mixture_popularity(
+            n_experts, rng, hot_fraction=hot, n_hot=self.n_hot, tail_shape=tail
+        )
+
+
+class RoutingTraceGenerator:
+    """Deterministic (seeded) routing traces for one model + batch."""
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        batch: int,
+        seq_len: int,
+        profile: RoutingProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        if batch < 1 or seq_len < 1:
+            raise ValueError("batch and seq_len must be >= 1")
+        if not model.is_moe:
+            raise ValueError(f"model {model.name} has no experts to route")
+        self.model = model
+        self.batch = batch
+        self.seq_len = seq_len
+        self.profile = profile or RoutingProfile()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        # Fixed per-layer popularity: one vector per (part, MoE rank).
+        self._popularity: dict[tuple[str, int], np.ndarray] = {}
+
+    _PART_CODES = {"encoder": 0xE, "decoder": 0xD}
+
+    def _layer_popularity(self, part: str, rank: int, n_layers: int) -> np.ndarray:
+        key = (part, rank)
+        if key not in self._popularity:
+            # Stable per-part code: str hash() is salted per process
+            # and would make traces irreproducible across runs.
+            rng = np.random.default_rng((self.seed, self._PART_CODES[part], rank))
+            self._popularity[key] = self.profile.popularity(
+                self.model.n_experts,
+                rank,
+                n_layers,
+                decoder=(part == "decoder"),
+                rng=rng,
+            )
+        return self._popularity[key]
+
+    # -- encoder -------------------------------------------------------------
+
+    @property
+    def encoder_tokens(self) -> int:
+        return self.batch * self.seq_len
+
+    def encoder_layer_counts(self, moe_layer_rank: int) -> np.ndarray:
+        """Token counts per expert for one encoder MoE layer pass."""
+        n_layers = max(1, self.model.n_moe_encoder_layers)
+        popularity = self._layer_popularity("encoder", moe_layer_rank, n_layers)
+        events = self.encoder_tokens * self.model.top_k
+        return sample_expert_counts(
+            self.model.n_experts, events, 0.0, self._rng, popularity=popularity
+        )
+
+    def encoder_trace(self) -> list[np.ndarray]:
+        """Counts for every encoder MoE layer, shallow to deep."""
+        return [
+            self.encoder_layer_counts(rank)
+            for rank in range(self.model.n_moe_encoder_layers)
+        ]
+
+    # -- decoder -------------------------------------------------------------
+
+    @property
+    def decoder_tokens_per_step(self) -> int:
+        """Auto-regressive decoding routes one token per sequence."""
+        return self.batch
+
+    def decoder_step_counts(self, moe_layer_rank: int, step: int) -> np.ndarray:
+        """Token counts per expert for one decoder MoE layer at one
+        auto-regressive step."""
+        n_layers = max(1, self.model.n_moe_decoder_layers)
+        popularity = self._layer_popularity("decoder", moe_layer_rank, n_layers)
+        events = self.decoder_tokens_per_step * self.model.top_k
+        rng = np.random.default_rng((self.seed, moe_layer_rank, step, 0xD))
+        return sample_expert_counts(
+            self.model.n_experts, events, 0.0, rng, popularity=popularity
+        )
+
+    def decoder_trace(self, n_steps: int) -> list[list[np.ndarray]]:
+        """Counts[step][moe_layer_rank] for an ``n_steps`` generation."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        return [
+            [
+                self.decoder_step_counts(rank, step)
+                for rank in range(self.model.n_moe_decoder_layers)
+            ]
+            for step in range(n_steps)
+        ]

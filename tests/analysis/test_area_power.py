@@ -1,0 +1,69 @@
+"""Table 3: area and power of the MoNDE NDP core."""
+
+import pytest
+
+from repro.analysis.area_power import (
+    BASE_MEMORY_POWER_W,
+    TABLE3_REFERENCE,
+    AreaPowerModel,
+)
+from repro.hw.specs import MONDE_DEVICE, NDPCoreSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel()
+
+
+def test_components_match_table3(model):
+    by_name = {c.name: c for c in model.components()}
+    for name, (area, power) in TABLE3_REFERENCE.items():
+        assert by_name[name].area_mm2 == pytest.approx(area, rel=0.01), name
+        assert by_name[name].power_w == pytest.approx(power, rel=0.01), name
+
+
+def test_total_area_is_3mm2(model):
+    """Paper: 'adds 3.0 mm^2 of area overhead'."""
+    assert model.total_area_mm2 == pytest.approx(3.0, abs=0.1)
+
+
+def test_dram_equivalent_capacity(model):
+    """'corresponds to approximately 0.9 Gb DRAM cells'."""
+    assert model.dram_cell_equivalent_gbit == pytest.approx(0.9, abs=0.05)
+
+
+def test_power_overhead_is_1_6_percent(model):
+    """'our NDP unit incurs only 1.6% of power overhead'."""
+    assert model.power_overhead_fraction() == pytest.approx(0.016, abs=0.002)
+    assert BASE_MEMORY_POWER_W == pytest.approx(114.2)
+
+
+def test_scaling_with_arrays():
+    """Doubling the MAC arrays doubles PE area/power but not buffers."""
+    base = AreaPowerModel(MONDE_DEVICE.ndp)
+    import dataclasses
+
+    doubled = AreaPowerModel(
+        dataclasses.replace(MONDE_DEVICE.ndp, n_arrays=128)
+    )
+    b = {c.name: c for c in base.components()}
+    d = {c.name: c for c in doubled.components()}
+    assert d["systolic_pe"].area_mm2 == pytest.approx(2 * b["systolic_pe"].area_mm2)
+    assert d["scratchpad"].area_mm2 == pytest.approx(b["scratchpad"].area_mm2)
+
+
+def test_table_rows(model):
+    rows = model.table()
+    assert len(rows) == 4
+    assert {r[0] for r in rows} == set(TABLE3_REFERENCE)
+
+
+def test_power_overhead_validation(model):
+    with pytest.raises(ValueError):
+        model.power_overhead_fraction(base_power_w=0)
+
+
+def test_default_spec_is_monde():
+    assert AreaPowerModel().spec == MONDE_DEVICE.ndp
+    custom = NDPCoreSpec(n_arrays=8)
+    assert AreaPowerModel(custom).spec.n_arrays == 8

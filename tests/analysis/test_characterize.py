@@ -1,0 +1,62 @@
+"""Fig. 2 characterization helpers."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    compute_vs_transfer,
+    dmodel_scaling,
+    param_scaling,
+)
+from repro.moe import switch_large_128
+
+
+def test_param_scaling_fig2a():
+    rows = param_scaling(switch_large_128(), [0, 64, 128, 256, 512])
+    assert rows[0].expert_gb == 0.0  # dense
+    # Linear growth in E.
+    assert rows[2].expert_gb == pytest.approx(2 * rows[1].expert_gb)
+    assert rows[4].expert_gb == pytest.approx(8 * rows[1].expert_gb)
+    # Switch-Large-128 exceeds a 4x V100 node (128 GB), as in Fig. 2(a).
+    assert rows[2].total_gb > 50
+
+
+def test_param_scaling_non_expert_stable():
+    rows = param_scaling(switch_large_128(), [64, 512])
+    assert rows[0].non_expert_gb == pytest.approx(rows[1].non_expert_gb, rel=0.05)
+
+
+def test_dmodel_scaling_fig2b():
+    rows = dmodel_scaling([768, 1024, 1536, 2048, 2560, 4096])
+    # Expert grows quadratically, activations linearly -> ratio grows.
+    ratios = [r.ratio for r in rows]
+    for a, b in zip(ratios, ratios[1:]):
+        assert b > a
+    # At d=4096 a single expert is ~5x the 6144-token activation
+    # (Fig. 2(b)'s right-axis ratio reaches ~6).
+    assert rows[-1].ratio > 4
+    assert rows[0].ratio < 1.5
+
+
+def test_dmodel_scaling_values():
+    rows = dmodel_scaling([1024], n_tokens=6144)
+    assert rows[0].expert_gb == pytest.approx(2 * 1024 * 4096 * 2 / 1e9)
+    assert rows[0].activation_gb == pytest.approx(6144 * 1024 * 2 / 1e9)
+
+
+def test_compute_vs_transfer_fig2c_shape():
+    """Transfer dwarfs compute for few tokens (paper: up to ~30x for a
+    single routed token) and the gap narrows with more tokens."""
+    rows = compute_vs_transfer([1, 4, 16, 64, 256, 1024, 2048], d_model=1024)
+    assert rows[0].transfer_dominates
+    assert rows[0].transfer_to_compute > 10
+    gaps = [r.transfer_to_compute for r in rows]
+    assert gaps[-1] < gaps[0]
+    # Achieved TFLOPS grows with tokens (Fig. 2(c) right axis).
+    tflops = [r.achieved_tflops for r in rows]
+    assert tflops[-1] > tflops[0]
+
+
+def test_compute_vs_transfer_dmodel_2048():
+    rows = compute_vs_transfer([1], d_model=2048)
+    # 67 MB expert over 25.6 GB/s ~ 2.6 ms.
+    assert rows[0].transfer_ms == pytest.approx(2.6, abs=0.4)

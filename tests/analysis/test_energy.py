@@ -1,0 +1,79 @@
+"""Energy model extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128
+from repro.moe.zoo import t5_large_dense
+from tests.conftest import make_counts
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel(nllb_moe_128())
+
+
+@pytest.fixture
+def cold_counts():
+    return make_counts(128, {e: 3 for e in range(40)})
+
+
+def test_amove_saves_link_energy_on_cold_layers(model, cold_counts):
+    """The headline claim, in joules: cold experts cost far less link
+    energy under AMove than PMove."""
+    pm = model.layer_energy(Scheme.GPU_PM, cold_counts)
+    am = model.layer_energy(Scheme.MD_AM, cold_counts)
+    assert am.link_j < pm.link_j / 50
+    assert am.total_j < pm.total_j
+
+
+def test_ideal_has_no_link_energy(model, cold_counts):
+    ideal = model.layer_energy(Scheme.IDEAL, cold_counts)
+    assert ideal.link_j == 0.0
+    assert ideal.total_j > 0
+
+
+def test_md_lb_between_extremes(model):
+    counts = make_counts(128, {0: 1500, 1: 900, **{e: 3 for e in range(10, 40)}})
+    pm = model.layer_energy(Scheme.GPU_PM, counts)
+    am = model.layer_energy(Scheme.MD_AM, counts)
+    lb = model.layer_energy(Scheme.MD_LB, counts)
+    assert min(am.total_j, pm.total_j) * 0.5 < lb.total_j < pm.total_j
+    assert lb.link_j < pm.link_j
+
+
+def test_cpu_am_memory_energy_exceeds_md_am(model, cold_counts):
+    cpu = model.layer_energy(Scheme.CPU_AM, cold_counts)
+    md = model.layer_energy(Scheme.MD_AM, cold_counts)
+    assert cpu.memory_j > md.memory_j
+    assert cpu.compute_j > md.compute_j
+
+
+def test_energy_scales_with_active_experts(model):
+    few = model.layer_energy(Scheme.GPU_PM, make_counts(128, {0: 3, 1: 3}))
+    many = model.layer_energy(
+        Scheme.GPU_PM, make_counts(128, {e: 3 for e in range(50)})
+    )
+    assert many.total_j > 10 * few.total_j
+
+
+def test_compare_covers_all_schemes(model, cold_counts):
+    table = model.compare(cold_counts)
+    assert set(table) == {
+        Scheme.IDEAL, Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.CPU_AM
+    }
+    for breakdown in table.values():
+        assert breakdown.total_j == pytest.approx(
+            breakdown.link_j + breakdown.memory_j + breakdown.compute_j
+        )
+
+
+def test_validation(model):
+    with pytest.raises(ValueError):
+        EnergyModel(t5_large_dense())
+    with pytest.raises(ValueError):
+        model.layer_energy(Scheme.IDEAL, np.zeros(4))
+    with pytest.raises(ValueError):
+        model.layer_energy(Scheme.MULTI_GPU, np.zeros(128))

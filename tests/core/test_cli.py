@@ -1,0 +1,50 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_characterize(capsys):
+    assert main(["characterize"]) == 0
+    out = capsys.readouterr().out
+    assert "Switch-Large-128" in out and "NLLB-MoE" in out
+    assert "transfer ms" in out
+
+
+def test_area_power(capsys):
+    assert main(["area-power"]) == 0
+    out = capsys.readouterr().out
+    assert "systolic_pe" in out
+    assert "1.6%" in out
+
+
+def test_skew(capsys):
+    assert main(["skew", "--workload", "flores", "--batch", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "active" in out and "128+" in out
+
+
+def test_evaluate_small(capsys):
+    assert main([
+        "evaluate", "--workload", "xsum", "--batch", "1", "--decode-steps", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "md+lb" in out and "vs Ideal" in out
+    assert "MD+LB over GPU+PM" in out
+
+
+def test_dram(capsys):
+    assert main(["dram"]) == 0
+    out = capsys.readouterr().out
+    assert "sequential-read" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

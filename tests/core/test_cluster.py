@@ -1,0 +1,77 @@
+"""Functional multi-MoNDE cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import MoNDECluster
+
+D, FF = 32, 64
+
+
+@pytest.fixture
+def experts(rng):
+    return {
+        e: (rng.normal(size=(D, FF)), rng.normal(size=(FF, D))) for e in range(6)
+    }
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+def test_round_robin_placement_balanced(experts):
+    cluster = MoNDECluster(n_devices=3)
+    cluster.load_experts(experts)
+    assert cluster.expert_count_per_device() == [2, 2, 2]
+
+
+def test_intensity_ordering_places_hot_apart(experts):
+    """The two most intense experts land on different devices."""
+    cluster = MoNDECluster(n_devices=2)
+    intensities = {0: 100.0, 1: 90.0, 2: 1.0, 3: 1.0, 4: 1.0, 5: 1.0}
+    cluster.load_experts(experts, intensities=intensities)
+    assert cluster.placement(0).device_id != cluster.placement(1).device_id
+
+
+def test_layer_outputs_match_reference(experts, rng):
+    cluster = MoNDECluster(n_devices=2)
+    cluster.load_experts(experts)
+    groups = {e: rng.normal(size=(3, D)) for e in (0, 2, 5)}
+    outputs, seconds = cluster.run_moe_layer(groups)
+    assert seconds > 0
+    for e, tokens in groups.items():
+        w1, w2 = experts[e]
+        np.testing.assert_allclose(outputs[e], np.maximum(tokens @ w1, 0) @ w2)
+
+
+def test_cluster_time_is_max_over_devices(experts, rng):
+    one = MoNDECluster(n_devices=1)
+    one.load_experts(experts)
+    many = MoNDECluster(n_devices=6)
+    many.load_experts(experts)
+    groups = {e: rng.normal(size=(2, D)) for e in range(6)}
+    _, t_one = one.run_moe_layer(groups)
+    _, t_many = many.run_moe_layer(groups)
+    assert t_many < t_one
+
+
+def test_unplaced_expert_rejected(experts, rng):
+    cluster = MoNDECluster(n_devices=2)
+    cluster.load_experts({0: experts[0]})
+    with pytest.raises(KeyError):
+        cluster.run_moe_layer({1: rng.normal(size=(1, D))})
+    with pytest.raises(KeyError):
+        cluster.placement(9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MoNDECluster(n_devices=0)
+
+
+def test_empty_layer(experts):
+    cluster = MoNDECluster(n_devices=2)
+    cluster.load_experts(experts)
+    outputs, seconds = cluster.run_moe_layer({})
+    assert outputs == {} and seconds == 0.0

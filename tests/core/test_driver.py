@@ -1,0 +1,122 @@
+"""Host driver: the Section 3.4 programming model end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import MoNDEDriver
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+@pytest.fixture
+def driver():
+    return MoNDEDriver()
+
+
+def load(driver, rng, expert_id=0, d=32, ff=64, activation="relu"):
+    w1 = rng.normal(size=(d, ff))
+    w2 = rng.normal(size=(ff, d))
+    return driver.load_expert(expert_id, w1, w2, activation=activation), w1, w2
+
+
+def test_expert_weights_in_even_banks(driver, rng):
+    handle, _, _ = load(driver, rng)
+    layout = driver.device.layout
+    for alloc in (handle.w1, handle.w2):
+        for addr in layout.block_addresses(alloc):
+            assert layout.mapper.decode(addr).bank % 2 == 0
+
+
+def test_offloaded_activations_in_odd_banks(driver, rng):
+    tensor = driver.offload(rng.normal(size=(4, 32)))
+    layout = driver.device.layout
+    for addr in layout.block_addresses(tensor.allocation):
+        assert layout.mapper.decode(addr).bank % 2 == 1
+
+
+def test_run_expert_matches_reference(driver, rng):
+    handle, w1, w2 = load(driver, rng)
+    x = rng.normal(size=(7, 32))
+    actin = driver.offload(x)
+    out, seconds = driver.run_expert(0, actin)
+    result = driver.to_host(out)
+    np.testing.assert_allclose(result, np.maximum(x @ w1, 0) @ w2)
+    assert seconds > 0
+    assert driver.kernel_launches == 2  # gemm+relu then gemm
+
+
+def test_run_expert_gelu(driver, rng):
+    from repro.moe.functional import gelu
+
+    handle, w1, w2 = load(driver, rng, activation="gelu")
+    x = rng.normal(size=(3, 32))
+    out, _ = driver.run_expert(0, driver.offload(x))
+    np.testing.assert_allclose(driver.to_host(out), gelu(x @ w1) @ w2)
+
+
+def test_done_register_protocol(driver, rng):
+    load(driver, rng)
+    x = rng.normal(size=(2, 32))
+    driver.run_expert(0, driver.offload(x))
+    assert driver.cxl.poll_done()
+
+
+def test_run_moe_layer_multiple_experts(driver, rng):
+    _, w1a, w2a = load(driver, rng, expert_id=0)
+    _, w1b, w2b = load(driver, rng, expert_id=1)
+    groups = {
+        0: rng.normal(size=(3, 32)),
+        1: rng.normal(size=(2, 32)),
+        2: np.zeros((0, 32)),  # empty group skipped
+    }
+    outputs, total = driver.run_moe_layer(groups)
+    assert set(outputs) == {0, 1}
+    np.testing.assert_allclose(
+        outputs[0], np.maximum(groups[0] @ w1a, 0) @ w2a
+    )
+    np.testing.assert_allclose(
+        outputs[1], np.maximum(groups[1] @ w1b, 0) @ w2b
+    )
+    assert total > 0
+
+
+def test_unknown_expert_rejected(driver, rng):
+    x = driver.offload(rng.normal(size=(1, 32)))
+    with pytest.raises(KeyError):
+        driver.run_expert(9, x)
+
+
+def test_dimension_mismatch_rejected(driver, rng):
+    load(driver, rng, d=32, ff=64)
+    bad = driver.offload(rng.normal(size=(2, 16)).repeat(2, axis=1)[:, :16])
+    with pytest.raises(ValueError):
+        driver.run_expert(0, bad)
+
+
+def test_bad_expert_weights_rejected(driver, rng):
+    with pytest.raises(ValueError):
+        driver.load_expert(0, rng.normal(size=(8, 16)), rng.normal(size=(8, 16)))
+    with pytest.raises(ValueError):
+        driver.load_expert(0, rng.normal(size=(8, 16)), rng.normal(size=(16, 9)))
+    with pytest.raises(ValueError):
+        driver.load_expert(
+            0, rng.normal(size=(8, 16)), rng.normal(size=(16, 8)), activation="swish"
+        )
+
+
+def test_timing_scales_with_expert_size(rng):
+    """Bigger experts take longer on the NDP (bandwidth-bound)."""
+    driver = MoNDEDriver()
+    d, ff = 256, 1024
+    w1 = rng.normal(size=(d, ff))
+    w2 = rng.normal(size=(ff, d))
+    driver.load_expert(0, w1, w2)
+    small_d, small_ff = 64, 128
+    driver.load_expert(1, rng.normal(size=(small_d, small_ff)),
+                       rng.normal(size=(small_ff, small_d)))
+    _, t_big = driver.run_expert(0, driver.offload(rng.normal(size=(2, d))))
+    _, t_small = driver.run_expert(1, driver.offload(rng.normal(size=(2, small_d))))
+    assert t_big > t_small

@@ -1,0 +1,96 @@
+"""Layer engine edge cases and internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MoELayerEngine, Overheads, Platform
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128, switch_large_128
+from tests.conftest import make_counts
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MoELayerEngine(nllb_moe_128(), Platform())
+
+
+def test_single_active_expert_all_schemes(engine):
+    counts = make_counts(128, {42: 7})
+    for scheme in (Scheme.IDEAL, Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB,
+                   Scheme.CPU_AM):
+        result = engine.layer_time(scheme, counts)
+        assert result.seconds > 0
+        assert result.n_active == 1
+
+
+def test_all_experts_active(engine):
+    counts = np.ones(128, dtype=np.int64)
+    pm = engine.layer_time(Scheme.GPU_PM, counts)
+    assert pm.n_active == 128
+    assert pm.pmove_bytes == 128 * engine.pmove.expert_bytes
+
+
+def test_layer_time_independent_of_history(engine):
+    """Without a cache, layer_time is a pure function of counts."""
+    counts = make_counts(128, {0: 100, 5: 3})
+    first = engine.layer_time(Scheme.MD_LB, counts).seconds
+    for _ in range(3):
+        engine.layer_time(Scheme.GPU_PM, make_counts(128, {9: 50}))
+    second = engine.layer_time(Scheme.MD_LB, counts).seconds
+    assert first == second
+
+
+def test_n_tokens_override_affects_gating(engine):
+    counts = make_counts(128, {0: 8})
+    small = engine.layer_time(Scheme.IDEAL, counts, n_tokens=4).seconds
+    large = engine.layer_time(Scheme.IDEAL, counts, n_tokens=65536).seconds
+    assert large > small
+
+
+def test_alpha_monotone_h(engine):
+    counts = make_counts(128, {e: 10 for e in range(60)})
+    hs = [
+        engine.layer_time(Scheme.MD_LB, counts, alpha=a).h
+        for a in (0.5, 1.0, 2.0, 4.0)
+    ]
+    assert hs == sorted(hs)
+    assert hs[-1] > hs[0]
+
+
+def test_overheads_additive(engine):
+    """Doubling the fixed framework overhead adds exactly the delta."""
+    counts = make_counts(128, {0: 4})
+    base = engine.layer_time(Scheme.IDEAL, counts).seconds
+    heavy_platform = Platform(overheads=Overheads(moe_fixed=600e-6))
+    heavy = MoELayerEngine(nllb_moe_128(), heavy_platform)
+    delta = heavy.layer_time(Scheme.IDEAL, counts).seconds - base
+    assert delta == pytest.approx(600e-6 - 300e-6, rel=0.01)
+
+
+def test_smaller_model_is_faster():
+    counts = make_counts(128, {e: 4 for e in range(30)})
+    big = MoELayerEngine(nllb_moe_128(), Platform())
+    small = MoELayerEngine(switch_large_128(), Platform())
+    for scheme in (Scheme.GPU_PM, Scheme.MD_AM):
+        assert (
+            small.layer_time(scheme, counts).seconds
+            < big.layer_time(scheme, counts).seconds
+        )
+
+
+def test_timeline_streams_disjoint_per_scheme(engine):
+    counts = make_counts(128, {0: 100, 1: 3})
+    ideal = engine.layer_time(Scheme.IDEAL, counts)
+    assert not ideal.timeline.stream("cpu").segments
+    assert not ideal.timeline.stream("monde").segments
+    cpu = engine.layer_time(Scheme.CPU_AM, counts)
+    assert not cpu.timeline.stream("monde").segments
+    am = engine.layer_time(Scheme.MD_AM, counts)
+    assert not am.timeline.stream("cpu").segments
+
+
+def test_makespan_equals_reported_seconds(engine):
+    counts = make_counts(128, {0: 500, **{e: 2 for e in range(10, 30)}})
+    for scheme in (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.CPU_AM):
+        result = engine.layer_time(scheme, counts)
+        assert result.seconds == pytest.approx(result.timeline.makespan(), rel=1e-9)

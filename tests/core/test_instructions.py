@@ -1,0 +1,119 @@
+"""64-byte CXL NDP instruction codec (Fig. 4(a))."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.instructions import (
+    INSTRUCTION_BYTES,
+    CXLFlit,
+    FusedActivation,
+    NDPInstruction,
+    Opcode,
+)
+
+
+def make_inst(**kw) -> NDPInstruction:
+    defaults = dict(
+        opcode=Opcode.GEMM,
+        actin_addr=0x1000,
+        actin_size=4096,
+        wgt_addr=0x200000,
+        wgt_size=1 << 20,
+        actout_addr=0x3000,
+        actout_size=8192,
+        m=4,
+        n=8192,
+        k=2048,
+        expert_id=17,
+        device_id=2,
+    )
+    defaults.update(kw)
+    return NDPInstruction(**defaults)
+
+
+def test_wire_format_is_64_bytes():
+    assert len(make_inst().encode()) == INSTRUCTION_BYTES == 64
+
+
+def test_roundtrip():
+    inst = make_inst()
+    assert NDPInstruction.decode(inst.encode()) == inst
+
+
+def test_roundtrip_all_opcodes():
+    for op in (Opcode.NOP, Opcode.GEMM, Opcode.GEMM_RELU, Opcode.GEMM_GELU):
+        inst = make_inst(opcode=op)
+        assert NDPInstruction.decode(inst.encode()).opcode == op
+
+
+def test_fused_activation_mapping():
+    assert make_inst(opcode=Opcode.GEMM).fused_activation is FusedActivation.NONE
+    assert make_inst(opcode=Opcode.GEMM_RELU).fused_activation is FusedActivation.RELU
+    assert make_inst(opcode=Opcode.GEMM_GELU).fused_activation is FusedActivation.GELU
+
+
+def test_max_field_values_roundtrip():
+    inst = make_inst(
+        actin_addr=(1 << 64) - 1,
+        actin_size=(1 << 64) - 1,
+        m=(1 << 24) - 1,
+        n=(1 << 24) - 1,
+        k=(1 << 24) - 1,
+        expert_id=(1 << 16) - 1,
+        device_id=255,
+    )
+    assert NDPInstruction.decode(inst.encode()) == inst
+
+
+def test_field_overflow_rejected():
+    with pytest.raises(ValueError):
+        make_inst(m=1 << 24)
+    with pytest.raises(ValueError):
+        make_inst(actin_addr=1 << 64)
+    with pytest.raises(ValueError):
+        make_inst(expert_id=1 << 16)
+    with pytest.raises(ValueError):
+        make_inst(device_id=256)
+
+
+def test_decode_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        NDPInstruction.decode(b"\x00" * 63)
+
+
+def test_is_ndp_flag_roundtrip():
+    inst = make_inst(is_ndp=False)
+    assert not NDPInstruction.decode(inst.encode()).is_ndp
+
+
+def test_flit_validation():
+    with pytest.raises(ValueError):
+        CXLFlit(address=0, payload=b"short")
+    with pytest.raises(ValueError):
+        CXLFlit(address=-1, payload=b"\x00" * 64)
+    flit = CXLFlit(address=0x40, payload=b"\x00" * 64, ndp_flag=True)
+    assert flit.ndp_flag
+
+
+@given(
+    op=st.sampled_from([Opcode.GEMM, Opcode.GEMM_RELU, Opcode.GEMM_GELU]),
+    actin=st.integers(0, (1 << 64) - 1),
+    wgt=st.integers(0, (1 << 64) - 1),
+    out=st.integers(0, (1 << 64) - 1),
+    m=st.integers(0, (1 << 24) - 1),
+    n=st.integers(0, (1 << 24) - 1),
+    k=st.integers(0, (1 << 24) - 1),
+    expert=st.integers(0, (1 << 16) - 1),
+    device=st.integers(0, 255),
+    ndp=st.booleans(),
+)
+def test_roundtrip_property(op, actin, wgt, out, m, n, k, expert, device, ndp):
+    inst = NDPInstruction(
+        opcode=op, actin_addr=actin, actin_size=m * k * 2, wgt_addr=wgt,
+        wgt_size=k * n * 2, actout_addr=out, actout_size=m * n * 2,
+        m=m, n=n, k=k, expert_id=expert, device_id=device, is_ndp=ndp,
+    )
+    raw = inst.encode()
+    assert len(raw) == 64
+    assert NDPInstruction.decode(raw) == inst

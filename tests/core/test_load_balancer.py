@@ -1,0 +1,126 @@
+"""GPU-MoNDE load balancer and the alpha auto-tuner (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load_balancer import (
+    AlphaAutoTuner,
+    LoadBalancer,
+    round_robin_by_intensity,
+)
+
+
+@pytest.fixture
+def balancer() -> LoadBalancer:
+    return LoadBalancer(bw_pcie=25.6e9, bw_md=476e9)
+
+
+def test_hot_experts_go_to_gpu(balancer):
+    counts = np.zeros(128, dtype=int)
+    counts[5] = 1000   # hottest
+    counts[9] = 500
+    for e in range(20, 60):
+        counts[e] = 2
+    part = balancer.partition(counts)
+    assert part.h >= 1
+    assert part.hot_experts[0] == 5
+    if part.h >= 2:
+        assert part.hot_experts[1] == 9
+    assert 5 not in part.cold_experts
+
+
+def test_partition_covers_active_exactly(balancer):
+    rng = np.random.default_rng(0)
+    counts = rng.integers(0, 10, size=128)
+    part = balancer.partition(counts)
+    combined = np.concatenate([part.hot_experts, part.cold_experts])
+    np.testing.assert_array_equal(np.sort(combined), np.flatnonzero(counts > 0))
+    assert part.n_active == int((counts > 0).sum())
+
+
+def test_alpha_scales_h(balancer):
+    counts = np.zeros(128, dtype=int)
+    counts[:100] = 5
+    h1 = balancer.partition(counts, alpha=1.0).h
+    h2 = balancer.partition(counts, alpha=2.0).h
+    assert h2 > h1
+
+
+def test_no_active_experts(balancer):
+    part = balancer.partition(np.zeros(16, dtype=int))
+    assert part.h == 0
+    assert len(part.hot_experts) == 0 and len(part.cold_experts) == 0
+
+
+def test_deterministic_tie_break(balancer):
+    counts = np.zeros(16, dtype=int)
+    counts[[3, 7, 11]] = 5
+    a = balancer.partition(counts)
+    b = balancer.partition(counts)
+    np.testing.assert_array_equal(a.hot_experts, b.hot_experts)
+    np.testing.assert_array_equal(a.cold_experts, b.cold_experts)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 1000), alpha=st.floats(0.1, 4.0))
+def test_partition_property(seed, alpha):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 50, size=64)
+    balancer = LoadBalancer(25.6e9, 476e9)
+    part = balancer.partition(counts, alpha=alpha)
+    # Hot experts all have >= tokens than every cold expert.
+    if len(part.hot_experts) and len(part.cold_experts):
+        assert counts[part.hot_experts].min() >= counts[part.cold_experts].max()
+
+
+def test_round_robin_by_intensity():
+    counts = np.array([10, 50, 20, 40, 30, 0])
+    ids = np.flatnonzero(counts > 0)
+    shards = round_robin_by_intensity(counts, ids, 2)
+    # Sorted by tokens desc: 1(50), 3(40), 4(30), 2(20), 0(10)
+    np.testing.assert_array_equal(shards[0], [1, 4, 0])
+    np.testing.assert_array_equal(shards[1], [3, 2])
+
+
+def test_round_robin_single_device():
+    counts = np.array([1, 2, 3])
+    shards = round_robin_by_intensity(counts, np.arange(3), 1)
+    assert len(shards) == 1 and len(shards[0]) == 3
+
+
+def test_round_robin_validation():
+    with pytest.raises(ValueError):
+        round_robin_by_intensity(np.array([1]), np.array([0]), 0)
+
+
+def test_auto_tuner_moves_toward_better_alpha():
+    """With a cost function minimized at alpha=2, the tuner walks up."""
+
+    def evaluate(counts: np.ndarray, alpha: float, context=None) -> float:
+        return abs(alpha - 2.0)
+
+    tuner = AlphaAutoTuner(evaluate=evaluate, alpha=1.0, period=4)
+    counts = np.ones(8)
+    for _ in range(16):
+        tuner.observe(counts)
+    assert tuner.alpha == 2.0
+    assert tuner.retunes >= 1
+
+
+def test_auto_tuner_stays_at_local_optimum():
+    def evaluate(counts: np.ndarray, alpha: float, context=None) -> float:
+        return (alpha - 1.0) ** 2
+
+    tuner = AlphaAutoTuner(evaluate=evaluate, alpha=1.0, period=2)
+    for _ in range(8):
+        tuner.observe(np.ones(4))
+    assert tuner.alpha == 1.0
+
+
+def test_auto_tuner_window_bounded():
+    tuner = AlphaAutoTuner(evaluate=lambda c, a, ctx=None: 0.0, window=3, period=100)
+    for _ in range(10):
+        tuner.observe(np.ones(2))
+    assert len(tuner._history) == 3

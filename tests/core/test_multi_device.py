@@ -1,0 +1,76 @@
+"""Multi-GPU expert parallelism (Fig. 10) and expert sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MoELayerEngine, Platform
+from repro.core.multi_device import multi_gpu_layer_time, shard_experts
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128
+from tests.conftest import make_counts
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MoELayerEngine(nllb_moe_128(), Platform())
+
+
+def test_shard_experts_partition():
+    shards = shard_experts(128, 2)
+    assert len(shards) == 2
+    assert len(shards[0]) == 64 and len(shards[1]) == 64
+    combined = np.concatenate(shards)
+    np.testing.assert_array_equal(np.sort(combined), np.arange(128))
+
+
+def test_shard_uneven():
+    shards = shard_experts(10, 3)
+    assert sum(len(s) for s in shards) == 10
+
+
+def test_shard_validation():
+    with pytest.raises(ValueError):
+        shard_experts(8, 0)
+
+
+def test_multi_gpu_no_pmove(engine):
+    counts = make_counts(128, {0: 100, 64: 100, 100: 50})
+    result = multi_gpu_layer_time(engine, counts, n_gpus=2)
+    assert result.pmove_bytes == 0
+    assert result.amove_bytes > 0  # all-to-all exchange
+    assert result.scheme is Scheme.MULTI_GPU
+
+
+def test_multi_gpu_uses_both_gpu_streams(engine):
+    counts = make_counts(128, {0: 100, 127: 100})
+    result = multi_gpu_layer_time(engine, counts, n_gpus=2)
+    gpu0 = [s for s in result.timeline.stream("gpu").segments if s.label == "e"]
+    gpu1 = result.timeline.stream("gpu1").segments
+    assert gpu0 and gpu1
+
+
+def test_single_gpu_has_no_exchange(engine):
+    counts = make_counts(128, {0: 10})
+    result = multi_gpu_layer_time(engine, counts, n_gpus=1)
+    assert result.amove_bytes == 0
+
+
+def test_multi_gpu_beats_gpu_pm_on_encoder_load(engine):
+    """Resident experts beat on-demand PMove for broad activations."""
+    counts = make_counts(128, {e: 30 for e in range(100)})
+    pm = engine.layer_time(Scheme.GPU_PM, counts)
+    mg = multi_gpu_layer_time(engine, counts, n_gpus=2)
+    assert mg.seconds < pm.seconds
+
+
+def test_multi_gpu_idles_on_decoder_load(engine):
+    """With 2 activated experts on the same shard, the second GPU
+    idles -- the paper's decoder inefficiency argument."""
+    counts = make_counts(128, {0: 4, 1: 4})  # both on GPU0's shard
+    result = multi_gpu_layer_time(engine, counts, n_gpus=2)
+    assert not result.timeline.stream("gpu1").segments
+
+
+def test_counts_shape_validated(engine):
+    with pytest.raises(ValueError):
+        multi_gpu_layer_time(engine, np.zeros(4), n_gpus=2)

@@ -1,0 +1,59 @@
+"""Public API surface: lazy exports and package metadata."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_top_level_exports():
+    from repro.core.runtime import InferenceConfig as Direct
+
+    assert repro.InferenceConfig is Direct
+    assert repro.MoNDERuntime.__name__ == "MoNDERuntime"
+    assert repro.Scheme.MD_LB.value == "md+lb"
+    assert repro.SchemeResult.__name__ == "SchemeResult"
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_core_lazy_exports():
+    import repro.core as core
+
+    assert core.NDPInstruction.__name__ == "NDPInstruction"
+    assert core.AnalyticalModel.__name__ == "AnalyticalModel"
+    with pytest.raises(AttributeError):
+        core.nope
+
+
+def test_all_declared_exports_resolve():
+    import repro.core as core
+
+    for name in core.__all__:
+        assert getattr(core, name) is not None
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_subpackage_init_exports_resolve():
+    import repro.analysis
+    import repro.dram
+    import repro.hw
+    import repro.moe
+    import repro.ndp
+    import repro.serving
+    import repro.sim
+    import repro.workloads
+
+    for pkg in (
+        repro.analysis, repro.dram, repro.hw, repro.moe,
+        repro.ndp, repro.serving, repro.sim, repro.workloads,
+    ):
+        for name in pkg.__all__:
+            assert getattr(pkg, name) is not None, (pkg.__name__, name)

@@ -1,0 +1,56 @@
+"""PMove/AMove strategies and scheme taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import AMoveStrategy, PMoveStrategy, Scheme
+
+
+def test_scheme_monde_flag():
+    assert Scheme.MD_AM.uses_monde and Scheme.MD_LB.uses_monde
+    assert not Scheme.GPU_PM.uses_monde
+    assert not Scheme.IDEAL.uses_monde
+    assert not Scheme.CPU_AM.uses_monde
+
+
+def test_pmove_counts_only_activated_experts():
+    pm = PMoveStrategy(d_model=2048, d_ff=8192)
+    counts = np.array([5, 0, 3, 0, 1])
+    assert pm.transfer_bytes(counts) == 3 * pm.expert_bytes
+
+
+def test_pmove_expert_bytes():
+    pm = PMoveStrategy(d_model=1024, d_ff=4096)
+    assert pm.expert_bytes == 2 * 1024 * 4096 * 2
+
+
+def test_pmove_respects_cache_mask():
+    pm = PMoveStrategy(d_model=1024, d_ff=4096)
+    counts = np.array([5, 2, 3])
+    cached = np.array([True, False, True])
+    assert pm.transfer_bytes(counts, cached) == 1 * pm.expert_bytes
+
+
+def test_pmove_zero_activation():
+    pm = PMoveStrategy(d_model=1024, d_ff=4096)
+    assert pm.transfer_bytes(np.zeros(8, dtype=int)) == 0
+
+
+def test_amove_counts_routed_tokens_both_ways():
+    am = AMoveStrategy(d_model=2048)
+    counts = np.array([5, 0, 3])
+    assert am.input_bytes(counts) == 8 * 2048 * 2
+    assert am.output_bytes(counts) == 8 * 2048 * 2
+    assert am.transfer_bytes(counts) == 2 * 8 * 2048 * 2
+
+
+def test_amove_matches_eq2_for_topk():
+    """Sum of routed counts is B*S*top_k, so the per-expert accounting
+    reduces to Eq. 2 scaled by top_k."""
+    from repro.core.analytical import amove_bytes
+
+    am = AMoveStrategy(d_model=1024)
+    b, s, k = 2, 16, 2
+    counts = np.zeros(8, dtype=int)
+    counts[0] = b * s * k  # all events on one expert
+    assert am.transfer_bytes(counts) == k * amove_bytes(b, s, 1024)

@@ -1,0 +1,117 @@
+"""Address mapping: the ro-ba-bg-ra-co-ch scheme of Section 3.4."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.config import LPDDR5X_8533, DRAMOrganization
+
+ORG = LPDDR5X_8533.organization
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(ORG)
+
+
+def test_consecutive_blocks_interleave_channels(mapper):
+    """With channel bits lowest, consecutive 64B blocks hit
+    consecutive channels -- the contiguous-bandwidth property."""
+    decoded = [mapper.decode(i * 64) for i in range(ORG.n_channels)]
+    assert [d.channel for d in decoded] == list(range(ORG.n_channels))
+
+
+def test_within_channel_blocks_walk_columns(mapper):
+    """After the channel interleave, the next bits walk columns of the
+    same row (row hits for streams)."""
+    stride = ORG.n_channels * 64
+    decoded = [mapper.decode(i * stride) for i in range(ORG.columns_per_row)]
+    assert [d.column for d in decoded] == list(range(ORG.columns_per_row))
+    assert len({(d.row, d.bank, d.bankgroup) for d in decoded}) == 1
+
+
+def test_row_bits_change_slowest(mapper):
+    """The row only increments after a full sweep of banks."""
+    sweep = ORG.n_channels * ORG.columns_per_row * ORG.n_banks * 64
+    assert mapper.decode(sweep - 64).row == 0
+    assert mapper.decode(sweep).row == 1
+
+
+def test_row_major_keeps_channel_fixed():
+    naive = AddressMapper(ORG, MappingScheme.ROW_MAJOR)
+    decoded = [naive.decode(i * 64) for i in range(64)]
+    assert len({d.channel for d in decoded}) == 1
+
+
+def test_encode_decode_roundtrip_exhaustive_small():
+    org = DRAMOrganization(
+        n_channels=2, n_ranks=1, n_bankgroups=2, banks_per_group=2,
+        n_rows=4, row_bytes=256, access_bytes=64,
+    )
+    mapper = AddressMapper(org)
+    seen = set()
+    for block in range(org.total_capacity_bytes // 64):
+        addr = block * 64
+        d = mapper.decode(addr)
+        assert mapper.encode(d.channel, d.rank, d.bankgroup, d.bank, d.row, d.column) == addr
+        seen.add((d.channel, d.rank, d.bankgroup, d.bank, d.row, d.column))
+    # Bijective: every coordinate tuple hit exactly once.
+    assert len(seen) == org.total_capacity_bytes // 64
+
+
+_MAX_BLOCK = ORG.total_capacity_bytes // 64 - 1
+
+
+@given(block=st.integers(0, _MAX_BLOCK))
+def test_decode_encode_roundtrip_property(block):
+    mapper = AddressMapper(ORG)
+    addr = block * 64
+    d = mapper.decode(addr)
+    assert mapper.encode(d.channel, d.rank, d.bankgroup, d.bank, d.row, d.column) == addr
+
+
+@given(block=st.integers(0, _MAX_BLOCK))
+def test_decoded_fields_in_range(block):
+    mapper = AddressMapper(ORG)
+    d = mapper.decode(block * 64)
+    assert 0 <= d.channel < ORG.n_channels
+    assert 0 <= d.bankgroup < ORG.n_bankgroups
+    assert 0 <= d.bank < ORG.banks_per_group
+    assert 0 <= d.row < ORG.n_rows
+    assert 0 <= d.column < ORG.columns_per_row
+
+
+def test_encode_rejects_out_of_range(mapper):
+    with pytest.raises(ValueError):
+        mapper.encode(ORG.n_channels, 0, 0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        mapper.encode(0, 0, 0, 0, ORG.n_rows, 0)
+
+
+def test_decode_rejects_negative(mapper):
+    with pytest.raises(ValueError):
+        mapper.decode(-64)
+
+
+def test_decode_rejects_beyond_capacity(mapper):
+    with pytest.raises(ValueError):
+        mapper.decode(ORG.total_capacity_bytes)
+
+
+def test_non_power_of_two_geometry_rejected():
+    bad = DRAMOrganization(n_channels=3)
+    with pytest.raises(ValueError):
+        AddressMapper(bad)
+
+
+def test_sequential_stream_helper(mapper):
+    addrs = mapper.sequential_stream(0, 1024)
+    assert len(addrs) == 16
+    assert addrs[1] - addrs[0] == 64
+    with pytest.raises(ValueError):
+        mapper.sequential_stream(13, 64)
+
+
+def test_capacity_matches_organization(mapper):
+    assert mapper.capacity_bytes == ORG.total_capacity_bytes

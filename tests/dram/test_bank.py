@@ -1,0 +1,88 @@
+"""Bank state machine: JEDEC core timing constraints."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.config import LPDDR5X_8533
+
+T = LPDDR5X_8533.timing
+
+
+@pytest.fixture
+def bank() -> Bank:
+    return Bank(0)
+
+
+def test_initial_state_closed(bank):
+    assert bank.state is BankState.CLOSED
+    assert bank.next_command_ready(5)[0] == "ACT"
+
+
+def test_activate_opens_row(bank):
+    bank.activate(0, row=7, timing=T)
+    assert bank.state is BankState.OPEN
+    assert bank.open_row == 7
+    assert bank.next_command_ready(7) == ("RDWR", T.tRCD)
+    assert bank.next_command_ready(8)[0] == "PRE"
+
+
+def test_act_respects_trcd(bank):
+    bank.activate(0, 1, T)
+    with pytest.raises(RuntimeError):
+        bank.read(T.tRCD - 1, T)
+    done = bank.read(T.tRCD, T)
+    assert done == T.tRCD + T.tCL + T.burst_cycles
+
+
+def test_act_respects_tras_before_pre(bank):
+    bank.activate(0, 1, T)
+    with pytest.raises(RuntimeError):
+        bank.precharge(T.tRAS - 1, T)
+    bank.precharge(T.tRAS, T)
+    assert bank.state is BankState.CLOSED
+
+
+def test_pre_respects_trp_before_act(bank):
+    bank.activate(0, 1, T)
+    bank.precharge(T.tRAS, T)
+    with pytest.raises(RuntimeError):
+        bank.activate(T.tRAS + T.tRP - 1, 2, T)
+    bank.activate(T.tRAS + T.tRP, 2, T)
+    assert bank.open_row == 2
+
+
+def test_act_to_act_respects_trc(bank):
+    bank.activate(0, 1, T)
+    # Even after an immediate PRE at tRAS, same-bank ACT waits for tRC.
+    bank.precharge(T.tRAS, T)
+    assert bank.earliest_act >= T.tRC
+
+
+def test_double_activate_rejected(bank):
+    bank.activate(0, 1, T)
+    with pytest.raises(RuntimeError):
+        bank.activate(T.tRC, 2, T)
+
+
+def test_precharge_closed_rejected(bank):
+    with pytest.raises(RuntimeError):
+        bank.precharge(100, T)
+
+
+def test_column_command_on_closed_rejected(bank):
+    with pytest.raises(RuntimeError):
+        bank.read(100, T)
+
+
+def test_write_recovery_pushes_precharge(bank):
+    bank.activate(0, 1, T)
+    done = bank.write(T.tRCD, T)
+    assert done == T.tRCD + T.tCWL + T.burst_cycles
+    assert bank.earliest_pre >= done + T.tWR
+
+
+def test_row_hit_counters(bank):
+    bank.activate(0, 1, T)
+    bank.read(T.tRCD, T)
+    bank.read(T.tRCD + 1, T)
+    assert bank.row_hits == 2

@@ -1,0 +1,79 @@
+"""Channel-level constraints: command bus, data bus, tFAW/tRRD."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.config import LPDDR5X_8533
+
+T = LPDDR5X_8533.timing
+
+
+@pytest.fixture
+def channel() -> Channel:
+    return Channel(0, LPDDR5X_8533)
+
+
+def test_one_command_per_cycle(channel):
+    channel.issue_activate(0, 0, 0)
+    assert channel.earliest_act(1) >= 1
+
+
+def test_trrd_between_activates(channel):
+    channel.issue_activate(0, 0, 0)
+    assert channel.earliest_act(1) >= T.tRRD
+
+
+def test_tfaw_limits_activation_burst(channel):
+    """A fifth ACT must wait for the tFAW window."""
+    cycle = 0
+    for bank in range(4):
+        cycle = channel.earliest_act(bank)
+        channel.issue_activate(cycle, bank, 0)
+    fifth = channel.earliest_act(4)
+    assert fifth >= channel._act_history[0] + T.tFAW
+
+
+def test_data_bus_pipelines_behind_cas(channel):
+    """Back-to-back reads to different bank groups issue every
+    burst_cycles, not every tCL: the data bus constraint is pipelined
+    behind the CAS latency."""
+    channel.issue_activate(0, 0, 0)                   # bg 0
+    second_bank = channel.bank_index(0, 1, 0)         # bg 1
+    channel.issue_activate(T.tRRD, second_bank, 0)
+    # Wait until both banks are column-ready, then read back to back.
+    both_ready = max(
+        channel.earliest_col(0, is_write=False),
+        channel.earliest_col(second_bank, is_write=False),
+    )
+    channel.issue_read(both_ready, 0, 0)
+    second_rd = channel.earliest_col(second_bank, is_write=False)
+    assert second_rd - both_ready <= max(T.tCCD_S, T.burst_cycles) + 1
+
+
+def test_write_to_read_turnaround(channel):
+    channel.issue_activate(0, 0, 0)
+    wr = channel.earliest_col(0, is_write=True)
+    channel.issue_write(wr, 0, 0)
+    rd = channel.earliest_col(0, is_write=False)
+    # The read's *data* must wait out tWTR after the write burst.
+    assert rd + T.tCL >= wr + T.tCWL + T.burst_cycles + T.tWTR
+
+
+def test_bankgroup_mapping(channel):
+    org = LPDDR5X_8533.organization
+    for rank in range(org.n_ranks):
+        for bg in range(org.n_bankgroups):
+            for bank in range(org.banks_per_group):
+                idx = channel.bank_index(rank, bg, bank)
+                assert channel.bankgroup_of(idx) == bg
+
+
+def test_command_recording(channel):
+    channel.record_commands = True
+    channel.issue_activate(0, 0, 5)
+    rd = channel.earliest_col(0, is_write=False)
+    channel.issue_read(rd, 0, 3)
+    kinds = [c.kind.name for c in channel.commands]
+    assert kinds == ["ACTIVATE", "READ"]
+    assert channel.commands[0].row == 5
+    assert channel.commands[1].column == 3

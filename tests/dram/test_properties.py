@@ -1,0 +1,77 @@
+"""Property-based DRAM controller invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import MappingScheme
+from repro.dram.config import LPDDR5X_8533
+from repro.dram.controller import MemoryController, SchedulerPolicy
+from repro.dram.request import Request, RequestKind
+
+_MAX_BLOCK = LPDDR5X_8533.organization.total_capacity_bytes // 64 - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, _MAX_BLOCK), min_size=1, max_size=120),
+    write_mask=st.integers(0, 2**32 - 1),
+    scheme=st.sampled_from(list(MappingScheme)),
+    policy=st.sampled_from(list(SchedulerPolicy)),
+)
+def test_all_requests_always_complete(blocks, write_mask, scheme, policy):
+    """No deadlock, no starvation: any request mix drains, every
+    completion is at or after arrival + CAS latency."""
+    ctrl = MemoryController(LPDDR5X_8533, scheme=scheme, policy=policy)
+    reqs = [
+        Request(
+            addr=b * 64,
+            kind=RequestKind.WRITE if (write_mask >> (i % 32)) & 1 else RequestKind.READ,
+        )
+        for i, b in enumerate(blocks)
+    ]
+    stats = ctrl.simulate(reqs)
+    assert stats.requests == len(reqs)
+    assert all(r.is_done for r in reqs)
+    timing = LPDDR5X_8533.timing
+    for r in reqs:
+        min_cas = timing.tCWL if r.kind is RequestKind.WRITE else timing.tCL
+        assert r.latency() >= min_cas
+    # Stats account for every request exactly once.
+    assert stats.row_hits + stats.row_misses + stats.row_conflicts == len(reqs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(blocks=st.lists(st.integers(0, 4096), min_size=2, max_size=80))
+def test_commands_non_decreasing_per_channel(blocks):
+    """The command bus serializes: issue cycles never go backwards."""
+    ctrl = MemoryController(LPDDR5X_8533)
+    for ch in ctrl.channels:
+        ch.record_commands = True
+    reqs = [Request(addr=b * 64, kind=RequestKind.READ) for b in blocks]
+    ctrl.simulate(reqs)
+    for ch in ctrl.channels:
+        cycles = [c.cycle for c in ch.commands]
+        assert cycles == sorted(cycles)
+        # One command per cycle.
+        assert len(cycles) == len(set(cycles))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_completion_order_data_bus_exclusive(seed):
+    """No two data bursts overlap on one channel's data bus."""
+    rng = np.random.default_rng(seed)
+    ctrl = MemoryController(LPDDR5X_8533)
+    blocks = rng.integers(0, 1 << 20, size=64)
+    reqs = [Request(addr=int(b) * 64, kind=RequestKind.READ) for b in blocks]
+    ctrl.simulate(reqs)
+    by_channel: dict[int, list[int]] = {}
+    for r in reqs:
+        assert r.decoded is not None and r.complete_cycle is not None
+        by_channel.setdefault(r.decoded.channel, []).append(r.complete_cycle)
+    burst = LPDDR5X_8533.timing.burst_cycles
+    for completions in by_channel.values():
+        completions.sort()
+        for a, b in zip(completions, completions[1:]):
+            assert b - a >= burst

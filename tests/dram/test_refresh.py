@@ -1,0 +1,54 @@
+"""Refresh modeling (duty-cycle derate)."""
+
+import pytest
+
+from repro.dram.config import LPDDR5X_8533, LPDDR5X_8533_REFRESH
+from repro.dram.controller import MemoryController
+from repro.dram.request import Request, RequestKind
+from repro.dram.timing import DRAMTiming
+
+
+def seq_reads(n: int) -> list[Request]:
+    return [Request(addr=i * 64, kind=RequestKind.READ) for i in range(n)]
+
+
+def test_default_config_has_no_refresh():
+    assert LPDDR5X_8533.timing.refresh_overhead == 0.0
+
+
+def test_refresh_variant_overhead_fraction():
+    timing = LPDDR5X_8533_REFRESH.timing
+    # tRFC 280 ns / tREFI 3.9 us ~ 7.2%.
+    assert timing.refresh_overhead == pytest.approx(0.072, abs=0.01)
+
+
+def test_refresh_costs_expected_bandwidth():
+    base = MemoryController(LPDDR5X_8533)
+    refr = MemoryController(LPDDR5X_8533_REFRESH)
+    bw_base = base.sustained_bandwidth(base.simulate(seq_reads(4096)))
+    bw_refr = refr.sustained_bandwidth(refr.simulate(seq_reads(4096)))
+    expected = 1.0 - LPDDR5X_8533_REFRESH.timing.refresh_overhead
+    assert bw_refr / bw_base == pytest.approx(expected, abs=0.01)
+
+
+def test_refresh_cycles_reported():
+    ctrl = MemoryController(LPDDR5X_8533_REFRESH)
+    stats = ctrl.simulate(seq_reads(1024))
+    assert stats.refresh_cycles > 0
+    base = MemoryController(LPDDR5X_8533).simulate(seq_reads(1024))
+    assert stats.total_cycles == base.total_cycles + stats.refresh_cycles
+
+
+def test_refresh_validation():
+    with pytest.raises(ValueError):
+        DRAMTiming(
+            clock_hz=1e9, tRCD=1, tRP=1, tCL=1, tCWL=1, tRAS=1,
+            tCCD_S=1, tCCD_L=1, tRRD=1, tFAW=1, tWR=1, tWTR=1,
+            tREFI=10, tRFC=10,
+        )
+    with pytest.raises(ValueError):
+        DRAMTiming(
+            clock_hz=1e9, tRCD=1, tRP=1, tCL=1, tCWL=1, tRAS=1,
+            tCCD_S=1, tCCD_L=1, tRRD=1, tFAW=1, tWR=1, tWTR=1,
+            tREFI=-1,
+        )

@@ -1,0 +1,71 @@
+"""DRAM timing parameter handling."""
+
+import pytest
+
+from repro.dram.config import LPDDR5X_8533
+from repro.dram.timing import DRAMTiming
+
+
+def test_from_nanoseconds_rounds_up():
+    t = DRAMTiming.from_nanoseconds(
+        clock_hz=1e9,
+        tRCD_ns=18.2,
+        tRP_ns=18.0,
+        tCL_ns=20.0,
+        tCWL_ns=11.0,
+        tRAS_ns=42.0,
+        tCCD_S_ns=1.0,
+        tCCD_L_ns=2.0,
+        tRRD_ns=7.5,
+        tFAW_ns=30.0,
+        tWR_ns=34.0,
+        tWTR_ns=12.0,
+    )
+    assert t.tRCD == 19  # ceil(18.2)
+    assert t.tRP == 18
+    assert t.tRAS == 42
+
+
+def test_trc_is_tras_plus_trp():
+    t = LPDDR5X_8533.timing
+    assert t.tRC == t.tRAS + t.tRP
+
+
+def test_cycle_time():
+    t = LPDDR5X_8533.timing
+    assert t.cycle_time == pytest.approx(1.0 / t.clock_hz)
+    assert t.cycles_to_seconds(1000) == pytest.approx(1000 / t.clock_hz)
+
+
+def test_ccd_ordering_enforced():
+    with pytest.raises(ValueError):
+        DRAMTiming(
+            clock_hz=1e9, tRCD=1, tRP=1, tCL=1, tCWL=1, tRAS=1,
+            tCCD_S=4, tCCD_L=2, tRRD=1, tFAW=1, tWR=1, tWTR=1,
+        )
+
+
+def test_negative_param_rejected():
+    with pytest.raises(ValueError):
+        DRAMTiming(
+            clock_hz=1e9, tRCD=-1, tRP=1, tCL=1, tCWL=1, tRAS=1,
+            tCCD_S=1, tCCD_L=1, tRRD=1, tFAW=1, tWR=1, tWTR=1,
+        )
+
+
+def test_lpddr5x_config_matches_paper():
+    """Section 3.1: 8 channels, 68 GB/s each, 64 GB each."""
+    org = LPDDR5X_8533.organization
+    assert org.n_channels == 8
+    assert LPDDR5X_8533.channel_peak_bandwidth == pytest.approx(68.26e9, rel=0.01)
+    assert LPDDR5X_8533.peak_bandwidth == pytest.approx(8 * 68.26e9, rel=0.01)
+    assert org.channel_capacity_bytes == 64 * 1024**3
+
+
+def test_organization_validation():
+    from repro.dram.config import DRAMOrganization
+
+    with pytest.raises(ValueError):
+        DRAMOrganization(row_bytes=100, access_bytes=64)
+    with pytest.raises(ValueError):
+        DRAMOrganization(n_channels=0)

@@ -1,0 +1,52 @@
+"""CPU expert-compute model (the CPU+AM baseline of Fig. 8)."""
+
+import pytest
+
+from repro.hw.cpu import CPUModel
+from repro.hw.specs import MONDE_DEVICE, XEON_4310
+from repro.ndp.engine import NDPGemmEngine
+
+
+@pytest.fixture
+def cpu() -> CPUModel:
+    return CPUModel(XEON_4310)
+
+
+def test_zero_work_is_free(cpu):
+    assert cpu.gemm_time(0, 1, 1) == 0.0
+    assert cpu.expert_ffn_time(0, 2048, 8192) == 0.0
+
+
+def test_op_overhead_floor(cpu):
+    assert cpu.gemm_time(1, 1, 1) >= XEON_4310.op_overhead
+
+
+def test_cold_expert_is_bandwidth_bound(cpu):
+    """Streaming a 67 MB expert dominates over its tiny compute."""
+    t = cpu.gemm_time(1, 8192, 2048)
+    stream = 2 * (2048 * 8192) / XEON_4310.effective_bandwidth
+    assert t == pytest.approx(stream + XEON_4310.op_overhead, rel=0.05)
+
+
+def test_monotonic_in_tokens(cpu):
+    times = [cpu.expert_ffn_time(t, 2048, 8192) for t in (1, 16, 256, 2048)]
+    for a, b in zip(times, times[1:]):
+        assert b >= a
+
+
+def test_ndp_beats_cpu_on_cold_experts(cpu):
+    """Fig. 8's premise: the NDP's higher internal bandwidth beats the
+    CPU's NUMA-derated DRAM for bandwidth-bound cold experts."""
+    ndp = NDPGemmEngine(MONDE_DEVICE.ndp, MONDE_DEVICE.effective_bandwidth)
+    cpu_time = cpu.expert_ffn_time(4, 2048, 8192)
+    ndp_time = ndp.expert_ffn_time(4, 2048, 8192)
+    assert cpu_time / ndp_time > 3.0
+
+
+def test_cpu_derating_stack():
+    eff = XEON_4310.effective_bandwidth
+    assert eff == pytest.approx(
+        XEON_4310.mem_bandwidth
+        * XEON_4310.stream_efficiency
+        * XEON_4310.numa_penalty
+    )

@@ -1,0 +1,66 @@
+"""PCIe link timing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.pcie import PCIeLink
+from repro.hw.specs import PCIE_GEN4_X16, PCIeSpec
+
+
+@pytest.fixture
+def link() -> PCIeLink:
+    return PCIeLink(PCIE_GEN4_X16)
+
+
+def test_zero_bytes_is_free(link):
+    assert link.transfer_time(0) == 0.0
+
+
+def test_transfer_includes_latency(link):
+    assert link.transfer_time(1) >= PCIE_GEN4_X16.latency
+
+
+def test_large_transfer_approaches_bandwidth(link):
+    nbytes = 10 * 10**9
+    time = link.transfer_time(nbytes)
+    implied_bw = nbytes / time
+    assert implied_bw == pytest.approx(PCIE_GEN4_X16.effective_bandwidth, rel=0.01)
+
+
+def test_bandwidth_bound_excludes_latency(link):
+    nbytes = 1 << 20
+    assert link.bandwidth_bound_time(nbytes) == pytest.approx(
+        nbytes / PCIE_GEN4_X16.effective_bandwidth
+    )
+    assert link.bandwidth_bound_time(nbytes) < link.transfer_time(nbytes)
+
+
+def test_negative_bytes_rejected(link):
+    with pytest.raises(ValueError):
+        link.transfer_time(-1)
+    with pytest.raises(ValueError):
+        link.bandwidth_bound_time(-1)
+
+
+def test_expert_transfer_matches_fig2c_scale(link):
+    """A d_model=1024 expert (16 MiB bf16) takes ~0.66 ms on Gen4 x16,
+    the scale Fig. 2(c) reports."""
+    expert_bytes = 2 * 1024 * 4096 * 2
+    t = link.transfer_time(expert_bytes)
+    assert 0.4e-3 < t < 1.0e-3
+
+
+@given(a=st.integers(0, 10**9), b=st.integers(0, 10**9))
+def test_transfer_time_is_superadditive_in_splits(a, b):
+    """Splitting a transfer never makes it faster (extra latency)."""
+    link = PCIeLink(PCIE_GEN4_X16)
+    whole = link.transfer_time(a + b)
+    split = link.transfer_time(a) + link.transfer_time(b)
+    assert split >= whole - 1e-12
+
+
+def test_custom_spec_efficiency():
+    spec = PCIeSpec(name="x", raw_bandwidth=10e9, efficiency=0.5, latency=0.0)
+    link = PCIeLink(spec)
+    assert link.transfer_time(5e9) == pytest.approx(1.0)

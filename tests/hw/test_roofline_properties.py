@@ -1,0 +1,62 @@
+"""Property-based invariants of the hardware timing models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cpu import CPUModel
+from repro.hw.gpu import GPUModel
+from repro.hw.pcie import PCIeLink
+from repro.hw.specs import A100_PCIE, PCIE_GEN4_X16, XEON_4310
+
+dims = st.integers(1, 8192)
+
+
+@settings(max_examples=40)
+@given(m=dims, n=dims, k=dims)
+def test_gpu_gemm_time_positive_and_bounded_below(m, n, k):
+    gpu = GPUModel(A100_PCIE)
+    t = gpu.gemm_time(m, n, k)
+    assert t >= A100_PCIE.kernel_launch_overhead
+    # Never faster than peak-compute or HBM-stream bounds.
+    flops = 2.0 * m * n * k
+    assert t >= flops / A100_PCIE.peak_flops
+    bytes_ = 2.0 * (m * k + k * n + m * n)
+    assert t >= bytes_ / A100_PCIE.mem_bandwidth
+
+
+@settings(max_examples=40)
+@given(m=dims, n=dims, k=dims, factor=st.integers(2, 4))
+def test_gpu_time_monotone_in_each_dim(m, n, k, factor):
+    gpu = GPUModel(A100_PCIE)
+    base = gpu.gemm_time(m, n, k)
+    assert gpu.gemm_time(m * factor, n, k) >= base
+    assert gpu.gemm_time(m, n * factor, k) >= base
+    assert gpu.gemm_time(m, n, k * factor) >= base
+
+
+@settings(max_examples=40)
+@given(m=dims, n=dims, k=dims)
+def test_cpu_never_faster_than_gpu_compute(m, n, k):
+    """The Xeon's effective GEMM throughput is far below the A100's;
+    for compute-bound shapes the CPU must be slower."""
+    gpu = GPUModel(A100_PCIE)
+    cpu = CPUModel(XEON_4310)
+    if m >= 512:  # clearly compute-bound on both
+        assert cpu.gemm_time(m, n, k) > gpu.gemm_time(m, n, k)
+
+
+@settings(max_examples=40)
+@given(nbytes=st.integers(1, 10**10))
+def test_pcie_time_monotone(nbytes):
+    link = PCIeLink(PCIE_GEN4_X16)
+    assert link.transfer_time(nbytes) >= link.transfer_time(nbytes // 2)
+
+
+@settings(max_examples=30)
+@given(tokens=st.integers(1, 4096))
+def test_expert_ffn_time_exceeds_either_gemm(tokens):
+    gpu = GPUModel(A100_PCIE)
+    both = gpu.expert_ffn_time(tokens, 1024, 4096)
+    assert both > gpu.gemm_time(tokens, 4096, 1024)
+    assert both > gpu.gemm_time(tokens, 1024, 4096)

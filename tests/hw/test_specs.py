@@ -1,0 +1,111 @@
+"""Device spec catalog: Table 2 platform parameters."""
+
+import pytest
+
+from repro.hw.specs import (
+    A100_PCIE,
+    MONDE_DEVICE,
+    PCIE_GEN4_X16,
+    XEON_4310,
+    GPUSpec,
+    MoNDEDeviceSpec,
+    NDPCoreSpec,
+    PCIeSpec,
+    gemm_bytes,
+    gemm_flops,
+)
+
+
+def test_gemm_flops():
+    assert gemm_flops(2, 3, 4) == 2 * 2 * 3 * 4
+    assert gemm_flops(0, 5, 5) == 0
+
+
+def test_gemm_flops_rejects_negative():
+    with pytest.raises(ValueError):
+        gemm_flops(-1, 2, 3)
+
+
+def test_gemm_bytes_counts_all_operands():
+    # A(2x4) + B(4x3) + C(2x3) in bf16.
+    assert gemm_bytes(2, 3, 4) == 2 * (8 + 12 + 6)
+
+
+def test_monde_device_matches_table2():
+    """512 GB/s bandwidth, 512 GB capacity (Table 2)."""
+    assert MONDE_DEVICE.mem_bandwidth == pytest.approx(544e9)  # 8 x 68 GB/s
+    assert MONDE_DEVICE.mem_capacity == 512 * 1024**3
+    assert MONDE_DEVICE.effective_bandwidth == pytest.approx(544e9 * 0.93)
+
+
+def test_ndp_core_matches_paper():
+    """64 units of 4x4 systolic arrays, 264 KB buffers @ 1 GHz."""
+    ndp = MONDE_DEVICE.ndp
+    assert ndp.n_arrays == 64
+    assert ndp.array_rows == 4 and ndp.array_cols == 4
+    assert ndp.clock_hz == 1e9
+    assert ndp.total_buffer_bytes == 264 * 1024
+    assert ndp.macs_per_cycle == 1024
+    assert ndp.peak_flops == pytest.approx(2.048e12)
+    assert ndp.tile_rows == 4
+    assert ndp.tile_cols == 256
+
+
+def test_a100_spec():
+    assert A100_PCIE.peak_flops == pytest.approx(312e12)
+    assert A100_PCIE.mem_bandwidth == pytest.approx(1935e9)
+
+
+def test_pcie_gen4_effective_bandwidth():
+    assert PCIE_GEN4_X16.raw_bandwidth == 32e9
+    assert PCIE_GEN4_X16.effective_bandwidth == pytest.approx(25.6e9)
+
+
+def test_xeon_spec_table2_bandwidth():
+    assert XEON_4310.mem_bandwidth == pytest.approx(187e9)
+    assert XEON_4310.effective_bandwidth < XEON_4310.mem_bandwidth
+
+
+def test_monde_bandwidth_vs_cpu_ratio():
+    """Paper: MoNDE memory bandwidth is ~2.7x the CPU's."""
+    ratio = MONDE_DEVICE.mem_bandwidth / XEON_4310.mem_bandwidth
+    assert 2.5 < ratio < 3.1
+
+
+def test_scaled_bandwidth_rate_matches_compute():
+    """Fig. 7(b): bandwidth scaling rate-matches NDP compute."""
+    doubled = MONDE_DEVICE.scaled_bandwidth(2.0)
+    assert doubled.mem_bandwidth == pytest.approx(2 * MONDE_DEVICE.mem_bandwidth)
+    assert doubled.ndp.n_arrays == 2 * MONDE_DEVICE.ndp.n_arrays
+    halved = MONDE_DEVICE.scaled_bandwidth(0.5)
+    assert halved.ndp.n_arrays == MONDE_DEVICE.ndp.n_arrays // 2
+
+
+def test_scaled_bandwidth_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        MONDE_DEVICE.scaled_bandwidth(0.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        GPUSpec(name="bad", peak_flops=0, mem_bandwidth=1, mem_capacity=1)
+    with pytest.raises(ValueError):
+        PCIeSpec(name="bad", raw_bandwidth=1, efficiency=1.5)
+    with pytest.raises(ValueError):
+        GPUSpec(
+            name="bad",
+            peak_flops=1,
+            mem_bandwidth=1,
+            mem_capacity=1,
+            base_efficiency=0.0,
+        )
+
+
+def test_ndp_spec_is_frozen_default():
+    spec = NDPCoreSpec()
+    with pytest.raises(AttributeError):
+        spec.n_arrays = 32  # type: ignore[misc]
+
+
+def test_device_spec_default_name():
+    assert "MoNDE" in MoNDEDeviceSpec().name

@@ -1,0 +1,52 @@
+"""The shipped examples must stay runnable."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "ndp_programming_model.py",
+        "capacity_planning.py",
+        "dram_exploration.py",
+        "paper_figures.py",
+    } <= names
+
+
+def test_ndp_programming_model_runs():
+    out = run_example("ndp_programming_model.py")
+    assert "matches NumPy reference: True" in out
+    assert "done register raised: True" in out
+    assert "(even banks)" in out and "(odd banks)" in out
+
+
+def test_dram_exploration_runs():
+    out = run_example("dram_exploration.py")
+    assert "GB/s" in out
+    assert "partitioned banks" in out
+    assert "latency min/p50/p99/max" in out
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "Functional MoE inference" in out
+    assert "MD+LB is" in out

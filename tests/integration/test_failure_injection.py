@@ -1,0 +1,141 @@
+"""Failure/degradation injection: the system responds sensibly when a
+component underperforms or misbehaves."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MoELayerEngine, Overheads, Platform
+from repro.core.strategies import Scheme
+from repro.hw.specs import MONDE_DEVICE, PCIE_GEN4_X16
+from repro.moe import nllb_moe_128
+from tests.conftest import make_counts
+
+
+@pytest.fixture
+def counts():
+    return make_counts(128, {0: 800, **{e: 3 for e in range(20, 50)}})
+
+
+def test_crippled_monde_shifts_balance_to_gpu(counts):
+    """A 10x slower MoNDE device should push the optimal H up: the
+    all-NDP scheme degrades far more than the balanced one."""
+    slow_spec = MONDE_DEVICE.scaled_bandwidth(0.1)
+    fast = MoELayerEngine(nllb_moe_128(), Platform())
+    slow = MoELayerEngine(nllb_moe_128(), Platform(monde_spec=slow_spec))
+
+    am_degradation = (
+        slow.layer_time(Scheme.MD_AM, counts).seconds
+        / fast.layer_time(Scheme.MD_AM, counts).seconds
+    )
+    best_slow_lb = min(
+        slow.layer_time(Scheme.MD_LB, counts, alpha=a).seconds
+        for a in (1.0, 4.0, 16.0, 64.0)
+    )
+    lb_degradation = best_slow_lb / fast.layer_time(Scheme.MD_LB, counts).seconds
+    assert am_degradation > 3.0
+    assert lb_degradation < am_degradation
+
+
+def test_crippled_pcie_hurts_pmove_more_than_amove(counts):
+    """A degraded link (e.g. x4 bifurcation) magnifies PMove pain."""
+    slow_pcie = dataclasses.replace(PCIE_GEN4_X16, raw_bandwidth=8e9)
+    base = MoELayerEngine(nllb_moe_128(), Platform())
+    slow = MoELayerEngine(nllb_moe_128(), Platform(pcie_spec=slow_pcie))
+    pm_hit = (
+        slow.layer_time(Scheme.GPU_PM, counts).seconds
+        / base.layer_time(Scheme.GPU_PM, counts).seconds
+    )
+    am_hit = (
+        slow.layer_time(Scheme.MD_AM, counts).seconds
+        / base.layer_time(Scheme.MD_AM, counts).seconds
+    )
+    assert pm_hit > 2.5
+    assert am_hit < 1.3
+
+
+def test_zero_size_expert_buffer_degrades_decoder():
+    """Without the GPU expert buffer, decoding pays full PMove."""
+    from repro.core.cache import ExpertCache
+    from repro.workloads import flores_like
+    from repro.workloads.traces import RoutingTraceGenerator
+
+    sc = flores_like(batch=4)
+    engine = MoELayerEngine(sc.model, Platform())
+    gen = RoutingTraceGenerator(sc.model, 4, 512, profile=sc.profile, seed=0)
+
+    def run(capacity: float) -> float:
+        cache = ExpertCache(capacity, engine.pmove.expert_bytes)
+        total = 0.0
+        for step in range(8):
+            for rank in range(6):
+                counts = gen.decoder_step_counts(rank, step)
+                total += engine.layer_time(
+                    Scheme.GPU_PM, counts, layer_id=rank, cache=cache
+                ).seconds
+        return total
+
+    assert run(0) > 1.5 * run(8 * 1024**3)
+
+
+def test_corrupted_instruction_rejected():
+    """A flit whose aux activation bits disagree with the opcode (bit
+    corruption on the link) is refused at decode."""
+    from repro.core.instructions import NDPInstruction, Opcode
+
+    inst = NDPInstruction(
+        opcode=Opcode.GEMM_RELU, actin_addr=0, actin_size=0, wgt_addr=0,
+        wgt_size=0, actout_addr=0, actout_size=0, m=1, n=1, k=1,
+    )
+    raw = bytearray(inst.encode())
+    # Flip bit 122 of the trailing word: the upper bit of the aux
+    # fused-activation field, making it disagree with the opcode.
+    raw[-16] ^= 0x04
+    with pytest.raises(ValueError):
+        NDPInstruction.decode(bytes(raw))
+
+
+def test_overcommitted_device_capacity_detected():
+    """Loading more expert bytes than the device holds raises."""
+    import dataclasses as dc
+
+    from repro.hw.specs import MoNDEDeviceSpec
+    from repro.ndp.device import MoNDEDevice
+
+    tiny = dc.replace(MONDE_DEVICE, channel_capacity=1024.0)
+    device = MoNDEDevice(tiny)
+    device.allocate(100_000, region="expert")
+    with pytest.raises(MemoryError):
+        device.check_capacity()
+
+
+def test_pathological_overheads_still_rank_sanely(counts):
+    """Even with huge framework overheads, Ideal stays fastest."""
+    heavy = Overheads(moe_fixed=5e-3, per_routed_token=10e-6, ndp_kernel=1e-3)
+    engine = MoELayerEngine(nllb_moe_128(), Platform(overheads=heavy))
+    ideal = engine.layer_time(Scheme.IDEAL, counts).seconds
+    for scheme in (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.CPU_AM):
+        assert engine.layer_time(scheme, counts).seconds >= ideal
+
+
+def test_hot_heavy_routing_erodes_pure_ndp_advantage():
+    """Skew is load-bearing in a specific way: the NDP wins on
+    bandwidth-bound *cold* experts.  Concentrating the same routing
+    events onto one compute-heavy expert erodes MD+AM's advantage over
+    GPU+PM (the NDP becomes MAC-bound), while the balanced scheme
+    keeps its edge by moving that expert to the GPU."""
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    cold_heavy = make_counts(128, {e: 4 for e in range(40)})
+    hot_heavy = make_counts(128, {0: 2000, **{e: 1 for e in range(89, 128)}})
+
+    def am_advantage(counts):
+        return (
+            engine.layer_time(Scheme.GPU_PM, counts).seconds
+            / engine.layer_time(Scheme.MD_AM, counts).seconds
+        )
+
+    assert am_advantage(cold_heavy) > 2 * am_advantage(hot_heavy)
+    lb = engine.layer_time(Scheme.MD_LB, hot_heavy, alpha=8.0).seconds
+    am = engine.layer_time(Scheme.MD_AM, hot_heavy).seconds
+    assert lb < am

@@ -1,0 +1,79 @@
+"""Cross-scheme invariants over randomized workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import MoELayerEngine, Platform
+from repro.core.strategies import Scheme
+from repro.moe import nllb_moe_128
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MoELayerEngine(nllb_moe_128(), Platform())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_active=st.integers(1, 64),
+    max_tokens=st.integers(1, 512),
+)
+def test_ideal_lower_bounds_everything(seed, n_active, max_tokens):
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(128, dtype=np.int64)
+    experts = rng.choice(128, size=n_active, replace=False)
+    counts[experts] = rng.integers(1, max_tokens + 1, size=n_active)
+    ideal = engine.layer_time(Scheme.IDEAL, counts).seconds
+    for scheme in (Scheme.GPU_PM, Scheme.MD_AM, Scheme.CPU_AM):
+        assert engine.layer_time(scheme, counts).seconds >= ideal * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_md_lb_never_worse_than_best_pure_scheme_with_oracle_alpha(seed):
+    """With the best alpha from a small ladder, MD+LB is at least as
+    good as min(GPU+PM, MD+AM) up to the prologue difference."""
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(128, dtype=np.int64)
+    experts = rng.choice(128, size=30, replace=False)
+    counts[experts] = rng.integers(1, 200, size=30)
+    pm = engine.layer_time(Scheme.GPU_PM, counts).seconds
+    am = engine.layer_time(Scheme.MD_AM, counts).seconds
+    lb = min(
+        engine.layer_time(Scheme.MD_LB, counts, alpha=a).seconds
+        for a in (0.25, 1.0, 4.0, 16.0, 64.0)
+    )
+    assert lb <= min(pm, am) * 1.05
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500), scale=st.integers(2, 5))
+def test_scaling_token_counts_never_reduces_time(seed, scale):
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(128, dtype=np.int64)
+    experts = rng.choice(128, size=16, replace=False)
+    counts[experts] = rng.integers(1, 64, size=16)
+    for scheme in (Scheme.IDEAL, Scheme.MD_AM, Scheme.CPU_AM):
+        base = engine.layer_time(scheme, counts).seconds
+        scaled = engine.layer_time(scheme, counts * scale).seconds
+        assert scaled >= base
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_pmove_bytes_match_strategy(seed):
+    engine = MoELayerEngine(nllb_moe_128(), Platform())
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(128, dtype=np.int64)
+    experts = rng.choice(128, size=10, replace=False)
+    counts[experts] = 1
+    result = engine.layer_time(Scheme.GPU_PM, counts)
+    assert result.pmove_bytes == engine.pmove.transfer_bytes(counts)
+    am = engine.layer_time(Scheme.MD_AM, counts)
+    assert am.amove_bytes == engine.amove.transfer_bytes(counts[counts > 0])

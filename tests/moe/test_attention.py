@@ -1,0 +1,95 @@
+"""Multi-head attention: masking, caching, cross-attention."""
+
+import numpy as np
+import pytest
+
+from repro.moe.attention import KVCache, MultiHeadAttention
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def attn(rng):
+    return MultiHeadAttention(d_model=32, n_heads=4, rng=rng)
+
+
+def test_output_shape(attn, rng):
+    x = rng.normal(size=(2, 7, 32))
+    assert attn(x).shape == (2, 7, 32)
+
+
+def test_d_model_must_divide_heads(rng):
+    with pytest.raises(ValueError):
+        MultiHeadAttention(d_model=30, n_heads=4, rng=rng)
+
+
+def test_rejects_wrong_input(attn):
+    with pytest.raises(ValueError):
+        attn(np.zeros((2, 7, 16)))
+
+
+def test_causal_mask_blocks_future(attn, rng):
+    """Changing future tokens must not affect earlier outputs."""
+    x = rng.normal(size=(1, 6, 32))
+    out1 = attn(x, causal=True)
+    x2 = x.copy()
+    x2[0, 4:, :] += 10.0
+    out2 = attn(x2, causal=True)
+    np.testing.assert_allclose(out1[0, :4], out2[0, :4], rtol=1e-9)
+
+
+def test_non_causal_attends_everywhere(attn, rng):
+    x = rng.normal(size=(1, 6, 32))
+    out1 = attn(x)
+    x2 = x.copy()
+    x2[0, 5, :] += 10.0
+    out2 = attn(x2)
+    assert not np.allclose(out1[0, 0], out2[0, 0])
+
+
+def test_kv_cache_matches_full_forward(attn, rng):
+    """Step-by-step decoding with a KV cache equals one causal pass."""
+    x = rng.normal(size=(1, 5, 32))
+    full = attn(x, causal=True)
+    cache = KVCache()
+    steps = [attn(x[:, i : i + 1, :], causal=True, cache=cache) for i in range(5)]
+    stepped = np.concatenate(steps, axis=1)
+    np.testing.assert_allclose(stepped, full, rtol=1e-8)
+    assert cache.length == 5
+
+
+def test_cross_attention_uses_context(attn, rng):
+    x = rng.normal(size=(1, 3, 32))
+    ctx1 = rng.normal(size=(1, 9, 32))
+    ctx2 = rng.normal(size=(1, 9, 32))
+    assert not np.allclose(attn(x, context=ctx1), attn(x, context=ctx2))
+
+
+def test_cross_attention_cache_computed_once(attn, rng):
+    """Cross-attention K/V is cached after the first step."""
+    x1 = rng.normal(size=(1, 1, 32))
+    x2 = rng.normal(size=(1, 1, 32))
+    ctx = rng.normal(size=(1, 4, 32))
+    cache = KVCache()
+    out1 = attn(x1, context=ctx, cache=cache)
+    length_after_first = cache.length
+    attn(x2, context=ctx, cache=cache)
+    assert cache.length == length_after_first == 4
+    # Identical to uncached cross-attention.
+    np.testing.assert_allclose(out1, attn(x1, context=ctx), rtol=1e-9)
+
+
+def test_param_count(attn):
+    assert attn.n_params == 4 * (32 * 32 + 32)
+
+
+def test_permutation_equivariance_without_mask(attn, rng):
+    """Self-attention without mask is permutation-equivariant."""
+    x = rng.normal(size=(1, 5, 32))
+    perm = np.array([3, 0, 4, 1, 2])
+    out = attn(x)
+    out_perm = attn(x[:, perm, :])
+    np.testing.assert_allclose(out_perm, out[:, perm, :], rtol=1e-8)

@@ -1,0 +1,124 @@
+"""Model configs and the zoo: Table 2 / Fig. 2(a) accounting."""
+
+import pytest
+
+from repro.moe.config import MoEModelConfig
+from repro.moe.zoo import (
+    MODEL_ZOO,
+    nllb_dense_3b,
+    nllb_moe_128,
+    switch_large_128,
+    switch_variant,
+    t5_large_dense,
+)
+
+
+def test_switch_large_matches_table2():
+    cfg = switch_large_128()
+    assert cfg.d_model == 1024 and cfg.n_experts == 128 and cfg.top_k == 1
+    assert cfg.non_expert_bytes / 1e9 == pytest.approx(1.1, abs=0.15)
+    assert cfg.total_expert_bytes / 1e9 == pytest.approx(51.5, rel=0.02)
+
+
+def test_nllb_moe_matches_table2():
+    cfg = nllb_moe_128()
+    assert cfg.d_model == 2048 and cfg.n_experts == 128 and cfg.top_k == 2
+    assert cfg.non_expert_bytes / 1e9 == pytest.approx(5.7, abs=0.4)
+    assert cfg.total_expert_bytes / 1e9 == pytest.approx(103.1, rel=0.02)
+
+
+def test_switch_is_34x_t5_large():
+    """Section 2.2: Switch-Large demands ~34x T5-Large's memory."""
+    ratio = switch_large_128().total_param_bytes / t5_large_dense().total_param_bytes
+    assert 25 < ratio < 45
+
+
+def test_expert_bytes_unit():
+    cfg = nllb_moe_128()
+    assert cfg.expert_bytes == 2 * 2048 * 8192 * 2  # ~67 MB
+
+
+def test_moe_block_interleave():
+    cfg = switch_large_128()
+    assert not cfg.is_moe_block(0)
+    assert cfg.is_moe_block(1)
+    assert cfg.n_moe_encoder_layers == 12
+    nllb = nllb_moe_128()
+    assert nllb.n_moe_encoder_layers == 6
+    assert nllb.n_moe_decoder_layers == 6
+
+
+def test_dense_model_has_no_moe():
+    cfg = t5_large_dense()
+    assert not cfg.is_moe
+    assert cfg.total_expert_bytes == 0
+    assert all(not cfg.is_moe_block(i) for i in range(cfg.n_encoder_layers))
+
+
+def test_with_experts_scaling_is_linear():
+    """Fig. 2(a): expert memory scales asymptotically linearly in E."""
+    base = switch_large_128()
+    sizes = [base.with_experts(e).total_expert_bytes for e in (64, 128, 256, 512)]
+    for small, large in zip(sizes, sizes[1:]):
+        assert large == 2 * small
+
+
+def test_with_experts_zero_is_dense():
+    dense = switch_large_128().with_experts(0)
+    assert not dense.is_moe
+    assert "dense" in dense.name
+
+
+def test_with_d_model_quadratic_expert_growth():
+    """Fig. 2(b): expert size grows quadratically with d_model while
+    activations grow linearly."""
+    base = switch_variant(768, 64)
+    e1 = base.with_d_model(1024).expert_bytes
+    e2 = base.with_d_model(2048).expert_bytes
+    assert e2 == 4 * e1
+    a1 = base.with_d_model(1024).activation_bytes(6144)
+    a2 = base.with_d_model(2048).activation_bytes(6144)
+    assert a2 == 2 * a1
+
+
+def test_amove_eq2():
+    cfg = nllb_moe_128()
+    b, s = 4, 512
+    assert cfg.amove_bytes(b * s) == 2 * b * s * 2048 * 2
+
+
+def test_pmove_eq1():
+    cfg = nllb_moe_128()
+    assert cfg.pmove_bytes_all_experts() == 2 * 128 * 2048 * 8192 * 2
+
+
+def test_nllb_dense_reference():
+    cfg = nllb_dense_3b()
+    assert cfg.total_param_bytes / 1e9 == pytest.approx(6.6, abs=1.0)  # ~3.3B bf16
+
+
+def test_variants_fig7a():
+    for d, e in [(768, 64), (768, 128), (1024, 128)]:
+        cfg = switch_variant(d, e)
+        assert cfg.d_model == d and cfg.n_experts == e
+        assert cfg.top_k == 1
+
+
+def test_zoo_entries_constructible():
+    for name, fn in MODEL_ZOO.items():
+        cfg = fn()
+        assert isinstance(cfg, MoEModelConfig)
+        assert cfg.total_param_bytes > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MoEModelConfig(
+            name="bad", d_model=0, d_ff=1, n_heads=1, n_encoder_layers=1,
+            n_decoder_layers=1, n_experts=1, top_k=1, moe_every=1, vocab_size=10,
+        )
+    with pytest.raises(ValueError):
+        MoEModelConfig(
+            name="bad", d_model=8, d_ff=8, n_heads=1, n_encoder_layers=1,
+            n_decoder_layers=1, n_experts=4, top_k=5, moe_every=1, vocab_size=10,
+        )

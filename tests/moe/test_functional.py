@@ -1,0 +1,73 @@
+"""Stateless NN math."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.moe.functional import causal_mask, gelu, layer_norm, relu, softmax
+
+finite_arrays = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 12)),
+    elements=st.floats(-50, 50),
+)
+
+
+def test_relu_clamps_negative():
+    x = np.array([-2.0, 0.0, 3.0])
+    np.testing.assert_array_equal(relu(x), [0.0, 0.0, 3.0])
+
+
+def test_gelu_known_values():
+    assert gelu(np.array([0.0]))[0] == 0.0
+    assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+    assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_gelu_between_zero_and_identity_for_positive():
+    x = np.linspace(0.1, 5, 50)
+    y = gelu(x)
+    assert np.all(y <= x) and np.all(y >= 0)
+
+
+@given(finite_arrays)
+def test_softmax_rows_sum_to_one(x):
+    s = softmax(x, axis=-1)
+    np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-9)
+    assert np.all(s >= 0)
+
+
+def test_softmax_stability_with_large_logits():
+    x = np.array([[1000.0, 1000.0, -1000.0]])
+    s = softmax(x)
+    assert np.isfinite(s).all()
+    np.testing.assert_allclose(s[0, :2], [0.5, 0.5])
+
+
+@given(finite_arrays)
+def test_layer_norm_standardizes(x):
+    d = x.shape[-1]
+    out = layer_norm(x, np.ones(d), np.zeros(d))
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    # Variance ~1 unless the row is (near-)constant, where the eps
+    # in the denominator dominates.
+    row_var = x.var(axis=-1)
+    for i in range(x.shape[0]):
+        if row_var[i] > 1e-3:
+            assert out[i].var() == pytest.approx(1.0, rel=1e-2)
+
+
+def test_layer_norm_gamma_beta():
+    x = np.random.default_rng(0).normal(size=(3, 8))
+    out = layer_norm(x, 2 * np.ones(8), 3 * np.ones(8))
+    base = layer_norm(x, np.ones(8), np.zeros(8))
+    np.testing.assert_allclose(out, 2 * base + 3)
+
+
+def test_causal_mask_shape_and_values():
+    m = causal_mask(4)
+    assert m.shape == (4, 4)
+    assert np.all(np.tril(m) == 0)
+    assert np.all(np.isneginf(m[np.triu_indices(4, k=1)]))

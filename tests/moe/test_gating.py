@@ -1,0 +1,115 @@
+"""Top-k router and the dropless routing plan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe.gating import Router
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def make_router(rng, d=16, e=8, k=2, bias=None):
+    return Router(d, e, k, rng, popularity_bias=bias)
+
+
+def test_plan_shapes(rng):
+    router = make_router(rng)
+    plan = router.route(rng.normal(size=(10, 16)))
+    assert plan.expert_indices.shape == (10, 2)
+    assert plan.combine_weights.shape == (10, 2)
+    assert plan.n_tokens == 10 and plan.top_k == 2 and plan.n_experts == 8
+
+
+def test_dropless_conservation(rng):
+    """Every routing event lands on exactly one expert slot."""
+    router = make_router(rng)
+    plan = router.route(rng.normal(size=(33, 16)))
+    assert plan.tokens_per_expert.sum() == 33 * 2
+    plan.validate()
+
+
+def test_top1_routing(rng):
+    router = make_router(rng, k=1)
+    plan = router.route(rng.normal(size=(5, 16)))
+    np.testing.assert_allclose(plan.combine_weights, 1.0)
+
+
+def test_combine_weights_normalized_and_ordered(rng):
+    router = make_router(rng, k=3)
+    plan = router.route(rng.normal(size=(20, 16)))
+    np.testing.assert_allclose(plan.combine_weights.sum(axis=1), 1.0)
+    # Top-k ordering: first expert has the highest gate.
+    assert np.all(plan.combine_weights[:, 0] >= plan.combine_weights[:, -1])
+
+
+def test_expert_token_ids_consistent(rng):
+    router = make_router(rng)
+    tokens = rng.normal(size=(12, 16))
+    plan = router.route(tokens)
+    for expert, ids in enumerate(plan.expert_token_ids):
+        for token in ids:
+            assert expert in plan.expert_indices[token]
+
+
+def test_no_duplicate_experts_per_token(rng):
+    router = make_router(rng, k=3)
+    plan = router.route(rng.normal(size=(50, 16)))
+    for row in plan.expert_indices:
+        assert len(set(row.tolist())) == 3
+
+
+def test_popularity_bias_skews_routing(rng):
+    """A strong bias toward expert 0 routes (almost) all tokens there."""
+    bias = np.zeros(8)
+    bias[0] = 50.0
+    router = make_router(rng, k=1, bias=bias)
+    plan = router.route(rng.normal(size=(40, 16)))
+    assert plan.tokens_per_expert[0] == 40
+
+
+def test_active_experts(rng):
+    bias = np.full(8, -50.0)
+    bias[2] = 50.0
+    router = make_router(rng, k=1, bias=bias)
+    plan = router.route(rng.normal(size=(10, 16)))
+    np.testing.assert_array_equal(plan.active_experts, [2])
+
+
+def test_bad_top_k_rejected(rng):
+    with pytest.raises(ValueError):
+        Router(16, 8, 0, rng)
+    with pytest.raises(ValueError):
+        Router(16, 8, 9, rng)
+
+
+def test_bad_bias_shape_rejected(rng):
+    with pytest.raises(ValueError):
+        Router(16, 8, 1, rng, popularity_bias=np.zeros(7))
+
+
+def test_bad_input_shape_rejected(rng):
+    router = make_router(rng)
+    with pytest.raises(ValueError):
+        router.route(rng.normal(size=(5, 17)))
+
+
+@settings(max_examples=25)
+@given(
+    n_tokens=st.integers(1, 64),
+    e=st.integers(2, 16),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 100),
+)
+def test_routing_invariants_property(n_tokens, e, k, seed):
+    k = min(k, e)
+    rng = np.random.default_rng(seed)
+    router = Router(8, e, k, rng)
+    plan = router.route(rng.normal(size=(n_tokens, 8)))
+    plan.validate()
+    assert plan.tokens_per_expert.sum() == n_tokens * k
+    assert len(plan.active_experts) <= min(e, n_tokens * k)

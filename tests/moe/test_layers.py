@@ -1,0 +1,89 @@
+"""Linear / LayerNorm / FeedForward layers."""
+
+import numpy as np
+import pytest
+
+from repro.moe.layers import FeedForward, LayerNorm, Linear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_linear_shapes_and_params(rng):
+    layer = Linear(8, 16, rng)
+    x = rng.normal(size=(5, 8))
+    assert layer(x).shape == (5, 16)
+    assert layer.n_params == 8 * 16 + 16
+
+
+def test_linear_no_bias(rng):
+    layer = Linear(8, 16, rng, bias=False)
+    assert layer.n_params == 8 * 16
+    np.testing.assert_allclose(layer(np.zeros((2, 8))), 0.0)
+
+
+def test_linear_is_affine(rng):
+    layer = Linear(4, 4, rng)
+    x = rng.normal(size=(3, 4))
+    y = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(
+        layer(x) + layer(y) - layer(np.zeros((3, 4))), layer(x + y), rtol=1e-9
+    )
+
+
+def test_linear_rejects_wrong_dim(rng):
+    layer = Linear(8, 16, rng)
+    with pytest.raises(ValueError):
+        layer(np.zeros((2, 9)))
+
+
+def test_linear_rejects_bad_dims(rng):
+    with pytest.raises(ValueError):
+        Linear(0, 4, rng)
+
+
+def test_linear_batched_3d(rng):
+    layer = Linear(8, 16, rng)
+    x = rng.normal(size=(2, 5, 8))
+    assert layer(x).shape == (2, 5, 16)
+
+
+def test_layernorm_params():
+    ln = LayerNorm(32)
+    assert ln.n_params == 64
+    x = np.random.default_rng(0).normal(size=(4, 32))
+    out = ln(x)
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+
+def test_feed_forward_structure(rng):
+    ffn = FeedForward(16, 64, rng, activation="relu")
+    x = rng.normal(size=(3, 16))
+    out = ffn(x)
+    assert out.shape == (3, 16)
+    expected = np.maximum(x @ ffn.linear1.weight + ffn.linear1.bias, 0)
+    expected = expected @ ffn.linear2.weight + ffn.linear2.bias
+    np.testing.assert_allclose(out, expected)
+
+
+def test_feed_forward_param_count(rng):
+    ffn = FeedForward(16, 64, rng)
+    assert ffn.n_params == (16 * 64 + 64) + (64 * 16 + 16)
+
+
+def test_feed_forward_gelu(rng):
+    from repro.moe.functional import gelu
+
+    ffn = FeedForward(8, 16, rng, activation="gelu")
+    x = rng.normal(size=(2, 8))
+    hidden = gelu(x @ ffn.linear1.weight + ffn.linear1.bias)
+    np.testing.assert_allclose(
+        ffn(x), hidden @ ffn.linear2.weight + ffn.linear2.bias
+    )
+
+
+def test_feed_forward_unknown_activation(rng):
+    with pytest.raises(ValueError):
+        FeedForward(8, 16, rng, activation="swish")

@@ -1,0 +1,121 @@
+"""MoE FFN layer: dispatch, combine, capacity ablation."""
+
+import numpy as np
+import pytest
+
+from repro.moe.moe_layer import MoELayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def make_layer(rng, **kw):
+    defaults = dict(d_model=16, d_ff=32, n_experts=4, top_k=2)
+    defaults.update(kw)
+    return MoELayer(rng=rng, **defaults)
+
+
+def test_output_shape_3d(rng):
+    layer = make_layer(rng)
+    x = rng.normal(size=(2, 6, 16))
+    assert layer(x).shape == (2, 6, 16)
+
+
+def test_output_shape_2d(rng):
+    layer = make_layer(rng)
+    x = rng.normal(size=(6, 16))
+    assert layer(x).shape == (6, 16)
+
+
+def test_routing_info_recorded(rng):
+    layer = make_layer(rng)
+    layer(rng.normal(size=(2, 5, 16)))
+    info = layer.last_routing
+    assert info is not None
+    assert info.tokens_per_expert.sum() == 2 * 5 * 2
+    assert info.dropped_tokens == 0
+
+
+def test_top1_equals_selected_expert_output(rng):
+    """With top-1 routing, each token's output is exactly its chosen
+    expert's FFN output (gate weight 1)."""
+    layer = make_layer(rng, top_k=1)
+    x = rng.normal(size=(4, 16))
+    out = layer(x)
+    plan = layer.last_routing.plan
+    for t in range(4):
+        expert = int(plan.expert_indices[t, 0])
+        np.testing.assert_allclose(out[t], layer.experts[expert](x[t : t + 1])[0])
+
+
+def test_top2_is_convex_combination(rng):
+    layer = make_layer(rng, top_k=2)
+    x = rng.normal(size=(3, 16))
+    out = layer(x)
+    plan = layer.last_routing.plan
+    for t in range(3):
+        e0, e1 = plan.expert_indices[t]
+        w0, w1 = plan.combine_weights[t]
+        expected = w0 * layer.experts[int(e0)](x[t : t + 1])[0] + w1 * layer.experts[
+            int(e1)
+        ](x[t : t + 1])[0]
+        np.testing.assert_allclose(out[t], expected, rtol=1e-9)
+
+
+def test_capacity_factor_drops_tokens(rng):
+    """The ablation baseline: a tight capacity drops overflow tokens."""
+    bias = np.zeros(4)
+    bias[0] = 50.0  # everything routes to expert 0
+    layer = make_layer(rng, top_k=1, popularity_bias=bias, capacity_factor=0.5)
+    x = rng.normal(size=(8, 16))
+    layer(x)
+    info = layer.last_routing
+    assert info.dropped_tokens > 0
+    assert info.tokens_per_expert[0] == layer._capacity(8)
+
+
+def test_dropless_by_default(rng):
+    bias = np.zeros(4)
+    bias[0] = 50.0
+    layer = make_layer(rng, top_k=1, popularity_bias=bias)
+    layer(rng.normal(size=(8, 16)))
+    assert layer.last_routing.dropped_tokens == 0
+    assert layer.last_routing.tokens_per_expert[0] == 8
+
+
+def test_dropped_tokens_keep_residual_shape(rng):
+    """Dropped tokens produce zero FFN output (residual carries them)."""
+    bias = np.zeros(4)
+    bias[0] = 50.0
+    layer = make_layer(rng, top_k=1, popularity_bias=bias, capacity_factor=0.25)
+    x = rng.normal(size=(8, 16))
+    out = layer(x)
+    plan = layer.last_routing.plan
+    kept = set(plan.expert_token_ids[0][: layer._capacity(8)].tolist())
+    for t in range(8):
+        if t not in kept:
+            np.testing.assert_allclose(out[t], 0.0)
+
+
+def test_expert_param_count(rng):
+    layer = make_layer(rng)
+    assert layer.expert_param_count == (16 * 32 + 32) + (32 * 16 + 16)
+    assert layer.n_params == layer.router.n_params + 4 * layer.expert_param_count
+
+
+def test_n_active_experts(rng):
+    layer = make_layer(rng)
+    layer(rng.normal(size=(1, 2, 16)))
+    assert 1 <= layer.last_routing.n_active_experts <= 4
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        make_layer(rng, n_experts=0)
+    with pytest.raises(ValueError):
+        make_layer(rng, capacity_factor=0.0)
+    layer = make_layer(rng)
+    with pytest.raises(ValueError):
+        layer(rng.normal(size=(2, 5, 17)))

@@ -1,0 +1,105 @@
+"""Encoder/decoder stacks and the full seq2seq model."""
+
+import numpy as np
+import pytest
+
+from repro.moe import MoESeq2Seq, nllb_moe_tiny, switch_large_tiny
+from repro.moe.transformer import ForwardRecord
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MoESeq2Seq(switch_large_tiny(), seed=0)
+
+
+@pytest.fixture
+def src(model):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, model.config.vocab_size, size=(2, 10))
+
+
+def test_encode_shape(model, src):
+    out = model.encode(src)
+    assert out.shape == (2, 10, model.config.d_model)
+
+
+def test_moe_blocks_interleave(model):
+    """moe_every=2: blocks 1 and 3 (0-indexed) host MoE FFNs."""
+    flags = [b.is_moe for b in model.encoder.blocks]
+    assert flags == [False, True, False, True]
+
+
+def test_nllb_tiny_interleave():
+    m = MoESeq2Seq(nllb_moe_tiny(), seed=0)
+    flags = [b.is_moe for b in m.encoder.blocks]
+    assert flags == [False, False, False, True]  # moe_every=4
+
+
+def test_forward_record_counts(model, src):
+    rec = ForwardRecord()
+    model.encode(src, record=rec)
+    assert len(rec.encoder_routing) == model.config.n_moe_encoder_layers
+    for info in rec.encoder_routing:
+        assert info.tokens_per_expert.sum() == 2 * 10 * model.config.top_k
+
+
+def test_greedy_decode_shape(model, src):
+    out = model.greedy_decode(src, max_new_tokens=5)
+    assert out.shape[0] == 2
+    assert 1 <= out.shape[1] <= 5
+    assert np.all(out >= 0) and np.all(out < model.config.vocab_size)
+
+
+def test_greedy_decode_deterministic(model, src):
+    a = model.greedy_decode(src, max_new_tokens=4)
+    b = model.greedy_decode(src, max_new_tokens=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_decode_records_per_step_routing(model, src):
+    rec = ForwardRecord()
+    model.greedy_decode(src, max_new_tokens=3, record=rec)
+    n_moe_dec = model.config.n_moe_decoder_layers
+    assert len(rec.decoder_routing) == 3 * n_moe_dec
+    for info in rec.decoder_routing:
+        assert info.tokens_per_expert.sum() == 2 * model.config.top_k
+
+
+def test_eos_stops_generation(model, src):
+    """With eos covering the whole vocab impossible, use a token the
+    model actually emits: run once, then rerun with that token as EOS."""
+    first = model.greedy_decode(src, max_new_tokens=3)
+    eos = int(first[0, 0])
+    out = model.greedy_decode(src, max_new_tokens=10, eos_id=eos)
+    assert out.shape[1] <= 10
+
+
+def test_embed_rejects_out_of_vocab(model):
+    with pytest.raises(ValueError):
+        model.embed(np.array([[model.config.vocab_size]]))
+
+
+def test_max_new_tokens_validated(model, src):
+    with pytest.raises(ValueError):
+        model.greedy_decode(src, max_new_tokens=0)
+
+
+def test_record_tokens_per_expert_accessor(model, src):
+    rec = ForwardRecord()
+    model.encode(src, record=rec)
+    counts = rec.tokens_per_expert("encoder")
+    assert len(counts) == model.config.n_moe_encoder_layers
+    with pytest.raises(ValueError):
+        rec.tokens_per_expert("middle")
+
+
+def test_popularity_bias_concentrates_routing():
+    cfg = switch_large_tiny()
+    bias = np.full(cfg.n_experts, -30.0)
+    bias[1] = 30.0
+    model = MoESeq2Seq(cfg, seed=0, popularity_bias=bias)
+    rec = ForwardRecord()
+    src = np.random.default_rng(1).integers(0, cfg.vocab_size, size=(1, 8))
+    model.encode(src, record=rec)
+    for info in rec.encoder_routing:
+        assert info.tokens_per_expert[1] == 8

@@ -1,0 +1,63 @@
+"""On-chip buffer capacity tracking."""
+
+import pytest
+
+from repro.ndp.buffers import Buffer, DoubleBuffer
+
+
+def test_allocate_and_free():
+    buf = Buffer("b", 100)
+    buf.allocate(60)
+    assert buf.used_bytes == 60
+    assert buf.free_bytes == 40
+    buf.free(20)
+    assert buf.used_bytes == 40
+
+
+def test_overflow_raises():
+    buf = Buffer("b", 100)
+    buf.allocate(90)
+    with pytest.raises(MemoryError):
+        buf.allocate(11)
+
+
+def test_peak_tracking():
+    buf = Buffer("b", 100)
+    buf.allocate(80)
+    buf.free(50)
+    buf.allocate(10)
+    assert buf.peak_bytes == 80
+
+
+def test_free_more_than_used_rejected():
+    buf = Buffer("b", 100)
+    buf.allocate(10)
+    with pytest.raises(ValueError):
+        buf.free(11)
+
+
+def test_negative_allocation_rejected():
+    with pytest.raises(ValueError):
+        Buffer("b", 100).allocate(-1)
+
+
+def test_fits_and_reset():
+    buf = Buffer("b", 100)
+    assert buf.fits(100)
+    buf.allocate(100)
+    assert not buf.fits(1)
+    buf.reset()
+    assert buf.fits(100)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Buffer("b", 0)
+
+
+def test_double_buffer_halves_capacity():
+    db = DoubleBuffer("exp", 88 * 1024)
+    assert db.half_capacity == 44 * 1024
+    assert db.fits_tile(44 * 1024)
+    assert not db.fits_tile(44 * 1024 + 1)
+    assert db.capacity_bytes == 88 * 1024

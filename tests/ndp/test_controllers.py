@@ -1,0 +1,126 @@
+"""NDP / CXL controllers and the MMIO protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.instructions import CXLFlit, Opcode
+from repro.ndp.controllers import (
+    CXLController,
+    MMIORegisters,
+    NDPController,
+    encode_gemm,
+)
+from repro.ndp.device import MoNDEDevice
+
+
+@pytest.fixture
+def device() -> MoNDEDevice:
+    return MoNDEDevice()
+
+
+@pytest.fixture
+def ndp(device) -> NDPController:
+    return NDPController(device)
+
+
+@pytest.fixture
+def cxl(ndp) -> CXLController:
+    return CXLController(ndp)
+
+
+def _gemm_payload(device, m=2, k=8, n=16, opcode=Opcode.GEMM):
+    rng = np.random.default_rng(0)
+    a = device.store_tensor(rng.normal(size=(m, k)), region="activation")
+    b = device.store_tensor(rng.normal(size=(k, n)), region="expert")
+    out = device.allocate(m * n * 2, region="activation")
+    payload = encode_gemm(
+        opcode, actin_addr=a.addr, wgt_addr=b.addr, actout_addr=out.addr,
+        m=m, n=n, k=k,
+    )
+    return payload, a, b, out
+
+
+def test_mmio_register_file():
+    regs = MMIORegisters()
+    assert regs.read(MMIORegisters.DONE) == 0
+    regs.write(MMIORegisters.DONE, 1)
+    assert regs.read(MMIORegisters.DONE) == 1
+    with pytest.raises(KeyError):
+        regs.read("bogus")
+    with pytest.raises(KeyError):
+        regs.write("bogus", 1)
+
+
+def test_enqueue_clears_done_then_drain_raises_it(device, ndp):
+    payload, *_ = _gemm_payload(device)
+    ndp.enqueue(payload)
+    assert ndp.mmio.read(MMIORegisters.DONE) == 0
+    assert ndp.mmio.read(MMIORegisters.INST_COUNT) == 1
+    elapsed = ndp.drain()
+    assert elapsed > 0
+    assert ndp.mmio.read(MMIORegisters.DONE) == 1
+    assert ndp.mmio.read(MMIORegisters.INST_COUNT) == 0
+    assert ndp.instructions_executed == 1
+
+
+def test_drain_computes_correct_result(device, ndp):
+    payload, a, b, out = _gemm_payload(device, opcode=Opcode.GEMM_RELU)
+    ndp.enqueue(payload)
+    ndp.drain()
+    result = device.read_tensor(out.addr)
+    expected = np.maximum(
+        device.read_tensor(a.addr) @ device.read_tensor(b.addr), 0
+    )
+    np.testing.assert_allclose(result, expected)
+
+
+def test_instruction_buffer_capacity(device):
+    ndp = NDPController(device, inst_buffer_capacity=1)
+    payload, *_ = _gemm_payload(device)
+    ndp.enqueue(payload)
+    with pytest.raises(BufferError):
+        ndp.enqueue(payload)
+
+
+def test_nop_costs_nothing(device, ndp):
+    from repro.core.instructions import NDPInstruction
+
+    nop = NDPInstruction(
+        opcode=Opcode.NOP, actin_addr=0, actin_size=0, wgt_addr=0, wgt_size=0,
+        actout_addr=0, actout_size=0, m=0, n=0, k=0,
+    )
+    ndp.enqueue(nop.encode())
+    assert ndp.drain() == 0.0
+
+
+def test_cxl_routes_ndp_flits(device, ndp, cxl):
+    payload, *_ = _gemm_payload(device)
+    cxl.receive(CXLFlit(address=0, payload=payload, ndp_flag=True))
+    assert cxl.ndp_flits == 1
+    assert len(ndp.inst_buffer) == 1
+    assert not cxl.poll_done()
+    ndp.drain()
+    assert cxl.poll_done()
+
+
+def test_cxl_routes_memory_flits(device, cxl):
+    data = bytes(range(64))
+    cxl.receive(CXLFlit(address=0x1000, payload=data, ndp_flag=False))
+    assert cxl.mem_flits == 1
+    assert device.read_raw(0x1000) == data
+
+
+def test_busy_seconds_accumulates(device, ndp):
+    payload, *_ = _gemm_payload(device)
+    ndp.enqueue(payload)
+    ndp.drain()
+    first = ndp.busy_seconds
+    payload2, *_ = _gemm_payload(device, m=4)
+    ndp.enqueue(payload2)
+    ndp.drain()
+    assert ndp.busy_seconds > first
+
+
+def test_zero_capacity_rejected(device):
+    with pytest.raises(ValueError):
+        NDPController(device, inst_buffer_capacity=0)

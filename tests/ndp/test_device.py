@@ -1,0 +1,91 @@
+"""MoNDE device: memory layout, bank partitioning, functional memory."""
+
+import numpy as np
+import pytest
+
+from repro.dram.config import LPDDR5X_8533
+from repro.ndp.device import DeviceMemoryLayout, MoNDEDevice
+
+
+@pytest.fixture
+def layout() -> DeviceMemoryLayout:
+    return DeviceMemoryLayout()
+
+
+@pytest.fixture
+def device() -> MoNDEDevice:
+    return MoNDEDevice()
+
+
+def test_expert_allocations_land_in_even_banks(layout):
+    """Section 3.4: parameters map to even-indexed banks."""
+    alloc = layout.allocate(1 << 16, region="expert")
+    for addr in layout.block_addresses(alloc):
+        assert layout.mapper.decode(addr).bank % 2 == 0
+
+
+def test_activation_allocations_land_in_odd_banks(layout):
+    alloc = layout.allocate(1 << 16, region="activation")
+    for addr in layout.block_addresses(alloc):
+        assert layout.mapper.decode(addr).bank % 2 == 1
+
+
+def test_block_addresses_unique_within_and_across(layout):
+    a = layout.allocate(1 << 14, region="expert")
+    b = layout.allocate(1 << 14, region="expert")
+    addrs_a = layout.block_addresses(a)
+    addrs_b = layout.block_addresses(b)
+    assert len(set(addrs_a)) == len(addrs_a)
+    assert set(addrs_a).isdisjoint(addrs_b)
+
+
+def test_expert_and_activation_spaces_disjoint(layout):
+    e = layout.allocate(1 << 14, region="expert")
+    a = layout.allocate(1 << 14, region="activation")
+    assert set(layout.block_addresses(e)).isdisjoint(layout.block_addresses(a))
+
+
+def test_blocks_interleave_channels(layout):
+    alloc = layout.allocate(64 * 8, region="expert")
+    channels = [layout.mapper.decode(a).channel for a in layout.block_addresses(alloc)]
+    assert sorted(channels) == list(range(8))
+
+
+def test_bad_region_rejected(layout):
+    with pytest.raises(ValueError):
+        layout.allocate(64, region="weights")
+    with pytest.raises(ValueError):
+        layout.allocate(0, region="expert")
+
+
+def test_store_and_read_tensor(device):
+    x = np.arange(12.0).reshape(3, 4)
+    alloc = device.store_tensor(x, region="activation")
+    np.testing.assert_array_equal(device.read_tensor(alloc.addr), x)
+
+
+def test_read_missing_tensor_raises(device):
+    with pytest.raises(KeyError):
+        device.read_tensor(0xDEAD)
+
+
+def test_raw_memory_roundtrip(device):
+    device.write_raw(0x40, b"\xaa" * 64)
+    assert device.read_raw(0x40) == b"\xaa" * 64
+    assert device.read_raw(0x80) is None
+
+
+def test_capacity_accounting(device):
+    device.allocate(1 << 20, region="expert")
+    assert device.bytes_allocated == 1 << 20
+    device.check_capacity()  # well under 512 GB
+
+
+def test_engine_uses_effective_bandwidth(device):
+    assert device.engine.mem_bandwidth == pytest.approx(
+        device.spec.effective_bandwidth
+    )
+
+
+def test_layout_uses_paper_dram_config(layout):
+    assert layout.dram_config is LPDDR5X_8533

@@ -1,0 +1,85 @@
+"""Systolic MAC arrays and SIMD cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ndp.systolic import MACArray, SystolicCluster
+
+
+def test_array_dims_and_skew():
+    array = MACArray(4, 4)
+    assert array.skew_cycles == 6
+    assert array.tile_cycles(100) == 106
+    assert array.tile_cycles(0) == 0
+
+
+def test_tile_cycles_rejects_negative():
+    with pytest.raises(ValueError):
+        MACArray().tile_cycles(-1)
+
+
+def test_array_functional_matches_matmul():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(3, 17))
+    b = rng.normal(size=(17, 4))
+    out = MACArray().compute(a, b)
+    np.testing.assert_allclose(out, a @ b)
+
+
+def test_array_rejects_oversized_tiles():
+    array = MACArray(4, 4)
+    with pytest.raises(ValueError):
+        array.compute(np.zeros((5, 8)), np.zeros((8, 4)))
+    with pytest.raises(ValueError):
+        array.compute(np.zeros((4, 8)), np.zeros((8, 5)))
+    with pytest.raises(ValueError):
+        array.compute(np.zeros((4, 8)), np.zeros((9, 4)))
+
+
+def test_cluster_geometry_matches_paper():
+    """64 arrays x 4 cols = the 4x256 stripe of Section 3.1."""
+    cluster = SystolicCluster()
+    assert cluster.tile_rows == 4
+    assert cluster.tile_cols == 256
+    assert cluster.macs_per_cycle == 1024
+
+
+def test_cluster_simd_lockstep_timing():
+    """All 64 arrays finish together: stripe time == array time."""
+    cluster = SystolicCluster()
+    assert cluster.stripe_cycles(512) == MACArray().tile_cycles(512)
+
+
+def test_cluster_functional_stripe():
+    rng = np.random.default_rng(1)
+    cluster = SystolicCluster(n_arrays=4, rows=4, cols=4)  # 4x16 stripe
+    a = rng.normal(size=(4, 32))
+    b = rng.normal(size=(32, 16))
+    np.testing.assert_allclose(cluster.compute_stripe(a, b), a @ b)
+
+
+def test_cluster_partial_stripe():
+    rng = np.random.default_rng(2)
+    cluster = SystolicCluster(n_arrays=4, rows=4, cols=4)
+    a = rng.normal(size=(2, 8))
+    b = rng.normal(size=(8, 10))  # not a multiple of 4 columns
+    np.testing.assert_allclose(cluster.compute_stripe(a, b), a @ b)
+
+
+def test_cluster_rejects_overwide_stripe():
+    cluster = SystolicCluster(n_arrays=2, rows=4, cols=4)
+    with pytest.raises(ValueError):
+        cluster.compute_stripe(np.zeros((4, 8)), np.zeros((8, 9)))
+
+
+@given(
+    m=st.integers(1, 4), k=st.integers(1, 64), n=st.integers(1, 16)
+)
+def test_cluster_matches_matmul_property(m, k, n):
+    rng = np.random.default_rng(m * 1000 + k * 10 + n)
+    cluster = SystolicCluster(n_arrays=4, rows=4, cols=4)
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, n))
+    np.testing.assert_allclose(cluster.compute_stripe(a, b), a @ b, rtol=1e-10)

@@ -1,0 +1,109 @@
+"""Output-stationary tile schedule invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.specs import BF16_BYTES
+from repro.ndp.tiling import OutputStationaryTiler
+
+
+@pytest.fixture
+def tiler() -> OutputStationaryTiler:
+    return OutputStationaryTiler()
+
+
+def test_empty_gemm_yields_nothing(tiler):
+    assert list(tiler.tiles(0, 10, 10)) == []
+    assert tiler.count_tiles(10, 0, 10) == 0
+
+
+def test_cold_expert_single_m_stripe(tiler):
+    """A 4-token expert GEMM is one m-stripe: weight traffic equals
+    the full weight matrix exactly once."""
+    m, n, k = 4, 8192, 2048
+    traffic = tiler.total_traffic_bytes(m, n, k)
+    weights = n * k * BF16_BYTES
+    acts_and_outs = traffic - weights
+    assert acts_and_outs < 0.05 * weights
+    assert traffic >= weights
+
+
+def test_weight_traffic_is_exactly_weights_once(tiler):
+    """The weight-resident schedule never re-streams weights,
+    regardless of M."""
+    for m in (1, 4, 64, 1024):
+        wgt = sum(t.wgt_bytes for t in tiler.tiles(m, 512, 256))
+        assert wgt == 512 * 256 * BF16_BYTES
+
+
+def test_k_chunk_respects_half_buffer(tiler):
+    chunk = tiler.k_chunk(256)
+    assert chunk * 256 * BF16_BYTES <= tiler.wgt_buffer_bytes // 2
+    assert (chunk + 1) * 256 * BF16_BYTES > tiler.wgt_buffer_bytes // 2
+
+
+def test_k_chunk_minimum_one():
+    tiny = OutputStationaryTiler(wgt_buffer_bytes=16)
+    assert tiny.k_chunk(256) == 1
+
+
+def test_tiles_cover_output_exactly(tiler):
+    """Every output element is produced by exactly one (m, n) stripe
+    across all k-chunks."""
+    m, n, k = 9, 700, 300
+    coverage = np.zeros((m, n), dtype=int)
+    rows, cols = tiler.tile_rows, tiler.tile_cols
+    chunked = {}
+    for t in tiler.tiles(m, n, k):
+        chunked.setdefault((t.m_index, t.n_index), 0)
+        chunked[(t.m_index, t.n_index)] += t.k
+        if t.out_bytes:
+            m0, n0 = t.m_index * rows, t.n_index * cols
+            coverage[m0 : m0 + t.m, n0 : n0 + t.n] += 1
+    assert (coverage == 1).all()
+    # Each output stripe accumulates the full K depth.
+    assert all(total == k for total in chunked.values())
+
+
+def test_macs_sum_to_gemm_macs(tiler):
+    m, n, k = 7, 520, 130
+    total = sum(t.macs for t in tiler.tiles(m, n, k))
+    assert total == m * n * k
+
+
+def test_out_bytes_once_per_stripe(tiler):
+    m, n, k = 8, 512, 1000
+    out = sum(t.out_bytes for t in tiler.tiles(m, n, k))
+    assert out == m * n * BF16_BYTES
+
+
+def test_negative_dims_rejected(tiler):
+    with pytest.raises(ValueError):
+        list(tiler.tiles(-1, 2, 3))
+
+
+@settings(max_examples=30)
+@given(m=st.integers(1, 40), n=st.integers(1, 1200), k=st.integers(1, 600))
+def test_tile_dims_within_limits(m, n, k):
+    tiler = OutputStationaryTiler()
+    for t in tiler.tiles(m, n, k):
+        assert 1 <= t.m <= tiler.tile_rows
+        assert 1 <= t.n <= tiler.tile_cols
+        assert 1 <= t.k <= tiler.k_chunk(t.n)
+
+
+@settings(max_examples=30)
+@given(m=st.integers(1, 40), n=st.integers(1, 1200), k=st.integers(1, 600))
+def test_traffic_conservation_property(m, n, k):
+    """act >= m*k once; wgt == k*n once; out == m*n once."""
+    tiler = OutputStationaryTiler()
+    act = wgt = out = 0
+    for t in tiler.tiles(m, n, k):
+        act += t.act_bytes
+        wgt += t.wgt_bytes
+        out += t.out_bytes
+    assert wgt == k * n * BF16_BYTES
+    assert out == m * n * BF16_BYTES
+    assert act >= m * k * BF16_BYTES

@@ -1,0 +1,48 @@
+"""Request generation."""
+
+import numpy as np
+import pytest
+
+from repro.serving.workload import Request, RequestGenerator
+
+
+def test_arrivals_sorted_and_positive():
+    gen = RequestGenerator(rate=10.0, seed=1)
+    requests = gen.generate(100)
+    arrivals = [r.arrival for r in requests]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[0] > 0
+
+
+def test_mean_rate_approximate():
+    gen = RequestGenerator(rate=50.0, seed=2)
+    requests = gen.generate(2000)
+    measured = len(requests) / requests[-1].arrival
+    assert measured == pytest.approx(50.0, rel=0.15)
+
+
+def test_token_means_approximate():
+    gen = RequestGenerator(rate=1.0, mean_prompt_tokens=256, mean_decode_tokens=16, seed=3)
+    requests = gen.generate(3000)
+    assert np.mean([r.prompt_tokens for r in requests]) == pytest.approx(257, rel=0.1)
+    assert np.mean([r.decode_tokens for r in requests]) == pytest.approx(17, rel=0.1)
+
+
+def test_deterministic_per_seed():
+    a = RequestGenerator(rate=5.0, seed=7).generate(10)
+    b = RequestGenerator(rate=5.0, seed=7).generate(10)
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RequestGenerator(rate=0)
+    with pytest.raises(ValueError):
+        RequestGenerator(rate=1, mean_prompt_tokens=0)
+    gen = RequestGenerator(rate=1)
+    with pytest.raises(ValueError):
+        gen.generate(0)
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival=-1.0, prompt_tokens=1, decode_tokens=1)
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival=0.0, prompt_tokens=0, decode_tokens=1)

@@ -1,0 +1,92 @@
+"""Discrete-event engine behaviour."""
+
+import pytest
+
+from repro.sim.engine import SimEngine
+
+
+def test_clock_advances_to_last_event():
+    engine = SimEngine()
+    engine.schedule(10.0, lambda: None)
+    engine.schedule(25.0, lambda: None)
+    assert engine.run() == 25.0
+    assert engine.events_processed == 2
+
+
+def test_schedule_in_is_relative():
+    engine = SimEngine()
+    times = []
+    engine.schedule(10.0, lambda: engine.schedule_in(5.0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [15.0]
+
+
+def test_cannot_schedule_in_past():
+    engine = SimEngine()
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    engine = SimEngine()
+    with pytest.raises(ValueError):
+        engine.schedule_in(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    engine = SimEngine()
+    fired = []
+    engine.schedule(10.0, lambda: fired.append(10))
+    engine.schedule(30.0, lambda: fired.append(30))
+    engine.run(until=20.0)
+    assert fired == [10]
+    assert engine.now == 20.0
+    engine.run()
+    assert fired == [10, 30]
+
+
+def test_max_events_bound():
+    engine = SimEngine()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda t=t: fired.append(t))
+    engine.run(max_events=2)
+    assert fired == [1.0, 2.0]
+
+
+def test_cancel_prevents_firing():
+    engine = SimEngine()
+    fired = []
+    event = engine.schedule(5.0, lambda: fired.append("x"))
+    engine.cancel(event)
+    engine.run()
+    assert fired == []
+
+
+def test_cascading_events():
+    """An event chain built dynamically runs to completion."""
+    engine = SimEngine()
+    hops = []
+
+    def hop(n: int):
+        hops.append(engine.now)
+        if n > 0:
+            engine.schedule_in(2.0, lambda: hop(n - 1))
+
+    engine.schedule(0.0, lambda: hop(4))
+    final = engine.run()
+    assert hops == [0.0, 2.0, 4.0, 6.0, 8.0]
+    assert final == 8.0
+
+
+def test_reset_clears_state():
+    engine = SimEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.events_processed == 0
+    engine.schedule(1.0, lambda: None)
+    assert engine.run() == 1.0

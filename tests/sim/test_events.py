@@ -1,0 +1,68 @@
+"""Event queue primitives."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, lambda: order.append("c"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(2.0, lambda: order.append("b"))
+    while q:
+        q.pop().action()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    q = EventQueue()
+    order = []
+    for label in "abcde":
+        q.push(1.0, lambda l=label: order.append(l))
+    while q:
+        q.pop().action()
+    assert order == list("abcde")
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    q.cancel(e1)
+    assert len(q) == 1
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    fired = []
+    e = q.push(1.0, lambda: fired.append("cancelled"))
+    q.push(2.0, lambda: fired.append("kept"))
+    q.cancel(e)
+    while q:
+        event = q.pop()
+        event.action()
+    assert fired == ["kept"]
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    q.cancel(e)
+    assert q.peek_time() == 5.0
+
+
+def test_pop_empty_returns_none():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None
+    assert not q
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)

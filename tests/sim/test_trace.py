@@ -1,0 +1,56 @@
+"""Gantt rendering and overlap measurement."""
+
+from repro.sim.stream import Timeline
+from repro.sim.trace import TraceRecorder, overlap_fraction, render_gantt
+
+
+def test_recorder_formats_sorted():
+    rec = TraceRecorder()
+    rec.record(2.0, "later")
+    rec.record(1.0, "earlier")
+    text = rec.formatted()
+    assert text.index("earlier") < text.index("later")
+
+
+def test_render_empty_timeline():
+    assert "empty" in render_gantt(Timeline(["gpu"]))
+
+
+def test_render_shows_stream_rows_and_labels():
+    t = Timeline(["gpu", "pcie"])
+    t.enqueue("gpu", 1.0, label="g")
+    t.enqueue("pcie", 1.0, label="p", not_before=1.0)
+    art = render_gantt(t, width=20)
+    lines = art.splitlines()
+    assert lines[0].startswith("gpu")
+    assert "g" in lines[0]
+    assert lines[1].startswith("pcie")
+    assert "p" in lines[1]
+
+
+def test_render_positions_reflect_time():
+    t = Timeline(["s"])
+    t.enqueue("s", 1.0, label="a")
+    t.enqueue("s", 1.0, label="b", not_before=9.0)
+    row = render_gantt(t, width=40).splitlines()[0]
+    assert row.index("a") < row.index("b")
+
+
+def test_overlap_fraction_full_and_none():
+    t = Timeline(["a", "b", "c"])
+    sa = t.enqueue("a", 4.0)
+    sb = t.enqueue("b", 4.0)
+    sc = t.enqueue("c", 4.0, not_before=10.0)
+    assert overlap_fraction([sa], [sb]) == 1.0
+    assert overlap_fraction([sa], [sc]) == 0.0
+
+
+def test_overlap_fraction_partial():
+    t = Timeline(["a", "b"])
+    sa = t.enqueue("a", 4.0)
+    sb = t.enqueue("b", 4.0, not_before=2.0)
+    assert overlap_fraction([sa], [sb]) == 0.5
+
+
+def test_overlap_fraction_empty():
+    assert overlap_fraction([], []) == 0.0

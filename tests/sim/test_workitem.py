@@ -1,0 +1,36 @@
+"""WorkItem DAG placement edge cases."""
+
+from repro.sim.stream import Timeline, WorkItem
+
+
+def test_diamond_dependency():
+    """  a -> b, a -> c, (b, c) -> d  on two streams."""
+    t = Timeline()
+    a = WorkItem(stream="s1", duration=1.0, label="a")
+    b = WorkItem(stream="s1", duration=2.0, label="b", deps=[a])
+    c = WorkItem(stream="s2", duration=5.0, label="c", deps=[a])
+    d = WorkItem(stream="s1", duration=1.0, label="d", deps=[b, c])
+    seg = d.place(t)
+    # c gates d: starts at max(b.end=3, c.end=6) = 6.
+    assert seg.start == 6.0 and seg.end == 7.0
+
+
+def test_shared_dependency_placed_once():
+    t = Timeline()
+    a = WorkItem(stream="s", duration=3.0, label="a")
+    b = WorkItem(stream="s", duration=1.0, label="b", deps=[a])
+    c = WorkItem(stream="s", duration=1.0, label="c", deps=[a])
+    b.place(t)
+    c.place(t)
+    labels = [seg.label for seg in t.stream("s").segments]
+    assert labels.count("a") == 1
+
+
+def test_chain_on_one_stream_serializes():
+    t = Timeline()
+    prev = None
+    for i in range(5):
+        deps = [prev] if prev else []
+        prev = WorkItem(stream="s", duration=2.0, label=str(i), deps=deps)
+    seg = prev.place(t)
+    assert seg.end == 10.0

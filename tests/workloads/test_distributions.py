@@ -1,0 +1,131 @@
+"""Expert-load distributions: Fig. 3 calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    FIG3_BUCKETS,
+    FIG3_REFERENCE,
+    bucket_histogram,
+    hot_cold_split,
+    mixture_popularity,
+    sample_expert_counts,
+    zipf_popularity,
+)
+
+
+def test_zipf_normalized():
+    p = zipf_popularity(128, 1.5)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p > 0)
+
+
+def test_zipf_zero_exponent_is_uniform():
+    p = zipf_popularity(16, 0.0)
+    np.testing.assert_allclose(p, 1 / 16)
+
+
+def test_zipf_shuffle_permutes(rng=None):
+    rng = np.random.default_rng(0)
+    p = zipf_popularity(64, 2.0, rng)
+    # After shuffling the hottest expert is (almost surely) not id 0.
+    sorted_p = np.sort(p)[::-1]
+    np.testing.assert_allclose(np.sort(zipf_popularity(64, 2.0))[::-1], sorted_p)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        zipf_popularity(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_popularity(8, -1.0)
+
+
+def test_mixture_normalized():
+    rng = np.random.default_rng(1)
+    p = mixture_popularity(128, rng)
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_mixture_hot_fraction_respected():
+    rng = np.random.default_rng(2)
+    p = mixture_popularity(128, rng, hot_fraction=0.9, n_hot=2)
+    top2 = np.sort(p)[::-1][:2]
+    assert top2.sum() == pytest.approx(0.9)
+
+
+def test_mixture_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        mixture_popularity(8, rng, hot_fraction=1.0)
+    with pytest.raises(ValueError):
+        mixture_popularity(8, rng, n_hot=9)
+    with pytest.raises(ValueError):
+        mixture_popularity(8, rng, tail_shape=0.0)
+
+
+def test_sample_counts_conserves_events():
+    rng = np.random.default_rng(3)
+    counts = sample_expert_counts(128, 4096, 2.0, rng)
+    assert counts.sum() == 4096
+    assert counts.shape == (128,)
+
+
+def test_sample_zero_events():
+    rng = np.random.default_rng(0)
+    counts = sample_expert_counts(16, 0, 1.0, rng)
+    assert counts.sum() == 0
+
+
+def test_bucket_histogram_edges():
+    counts = np.array([0, 1, 3, 4, 7, 8, 100, 128, 5000])
+    hist = bucket_histogram(counts)
+    assert hist.sum() == len(counts)
+    assert hist[0] == 1          # the zero
+    assert hist[1] == 2          # 1, 3
+    assert hist[2] == 2          # 4, 7
+    assert hist[-1] == 2         # 128, 5000
+
+
+def test_fig3_shape_reproduced():
+    """The calibrated mixture reproduces Fig. 3's load-bearing shape:
+    ~95% of experts cold (<8 tokens), a couple of hot experts at 128+."""
+    hists = []
+    for trial in range(10):
+        rng = np.random.default_rng(trial)
+        p = mixture_popularity(128, rng, hot_fraction=0.88, n_hot=2, tail_shape=0.55)
+        hists.append(bucket_histogram(sample_expert_counts(128, 4096, 0, rng, popularity=p)))
+    mean = np.mean(hists, axis=0)
+    cold = mean[:3].sum()       # 0, 1-3, 4-7 buckets
+    assert cold > 0.75 * 128
+    assert 1 <= mean[-1] <= 4   # a couple of 128+ hot experts
+    # Reference shares the same structure.
+    ref = np.asarray(FIG3_REFERENCE)
+    assert ref[:3].sum() > 0.9 * ref.sum()
+
+
+def test_hot_cold_split():
+    counts = np.array([0, 2, 9, 100])
+    hot, cold = hot_cold_split(counts)
+    assert hot == 2 and cold == 1
+
+
+def test_fig3_reference_is_valid_distribution():
+    assert len(FIG3_REFERENCE) == len(FIG3_BUCKETS) == 8
+    assert sum(FIG3_REFERENCE) == pytest.approx(128, rel=0.02)
+
+
+@settings(max_examples=25)
+@given(
+    n=st.integers(2, 64),
+    events=st.integers(0, 2000),
+    hot_fraction=st.floats(0.0, 0.99),
+    seed=st.integers(0, 99),
+)
+def test_mixture_sampling_property(n, events, hot_fraction, seed):
+    rng = np.random.default_rng(seed)
+    p = mixture_popularity(n, rng, hot_fraction=hot_fraction, n_hot=1)
+    counts = sample_expert_counts(n, events, 0, rng, popularity=p)
+    assert counts.sum() == events
+    assert np.all(counts >= 0)

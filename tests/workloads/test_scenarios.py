@@ -1,0 +1,42 @@
+"""Named workloads (Table 2)."""
+
+from repro.workloads.scenarios import SCENARIOS, flores_like, xsum_like
+
+
+def test_xsum_uses_switch_large():
+    sc = xsum_like()
+    assert sc.model.name == "Switch-Large-128"
+    assert sc.model.top_k == 1  # Table 2: top-1 gating
+    assert sc.seq_len == 512
+
+
+def test_flores_uses_nllb():
+    sc = flores_like()
+    assert sc.model.name == "NLLB-MoE"
+    assert sc.model.top_k == 2  # Table 2: top-2 gating
+
+
+def test_decoder_stickiness_ordering():
+    """LM routing is stickier than translation routing (the Fig. 6
+    decoder asymmetry)."""
+    assert (
+        xsum_like().profile.decoder_min_hot_fraction
+        > flores_like().profile.decoder_min_hot_fraction
+    )
+
+
+def test_batch_parameterization():
+    sc = flores_like(batch=16)
+    assert sc.batch == 16
+    assert "16" in sc.name
+
+
+def test_describe():
+    text = xsum_like().describe()
+    assert "Switch-Large-128" in text and "B=4" in text
+
+
+def test_scenario_catalog():
+    assert set(SCENARIOS) == {"xsum", "flores"}
+    for fn in SCENARIOS.values():
+        assert fn().model.is_moe
