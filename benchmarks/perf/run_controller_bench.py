@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Standalone runner for the controller throughput benchmark.
+
+Equivalent to ``python -m repro bench``; kept as a script so the perf
+harness is discoverable next to its committed baseline and README.
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -7,11 +7,14 @@ Commands:
 - ``skew``           Fig. 3 expert-load histogram for a routing trace.
 - ``area-power``     Table 3 NDP area/power breakdown.
 - ``dram``           DRAM bandwidth calibration table.
+- ``bench``          Memory-controller throughput benchmark
+                     (writes ``BENCH_controller.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional, Sequence
 
 from repro.analysis.area_power import AreaPowerModel
@@ -115,6 +118,35 @@ def _cmd_dram(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.dram.bench import bench_controller, format_bench, write_bench
+
+    n_requests = args.requests
+    reference_requests = args.reference_requests
+    if args.smoke:
+        # CI-sized: finishes in well under 30 s including the
+        # reference baseline.
+        n_requests = min(n_requests, 20_000)
+        if reference_requests is None:
+            reference_requests = 5_000
+    try:
+        payload = bench_controller(
+            n_requests=n_requests,
+            patterns=[p.strip() for p in args.patterns.split(",") if p.strip()],
+            reference_requests=reference_requests,
+            include_reference=not args.no_reference,
+            seed=args.seed,
+            window=args.window,
+        )
+    except ValueError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_bench(payload))
+    write_bench(payload, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MoNDE (DAC 2024) reproduction toolkit"
@@ -135,6 +167,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("area-power", help="Table 3 NDP area/power")
     sub.add_parser("dram", help="DRAM bandwidth calibration")
+
+    bench = sub.add_parser(
+        "bench", help="memory-controller throughput benchmark"
+    )
+    bench.add_argument("--requests", type=int, default=1_000_000,
+                       help="trace length for the indexed scheduler")
+    bench.add_argument("--reference-requests", type=int, default=None,
+                       help="trace length for the O(n^2) reference "
+                            "(defaults to --requests; cap it for speed)")
+    bench.add_argument("--no-reference", action="store_true",
+                       help="skip the reference baseline")
+    bench.add_argument("--patterns", default="streaming,random,moe-skewed")
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized run (20k requests, 5k reference)")
+    bench.add_argument("--window", type=int, default=64)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--output", default="BENCH_controller.json")
     return parser
 
 
@@ -144,6 +193,7 @@ _HANDLERS = {
     "skew": _cmd_skew,
     "area-power": _cmd_area_power,
     "dram": _cmd_dram,
+    "bench": _cmd_bench,
 }
 
 

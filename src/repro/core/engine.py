@@ -27,6 +27,7 @@ from repro.core.analytical import AnalyticalModel
 from repro.core.cache import ExpertCache
 from repro.core.load_balancer import LoadBalancer, Partition
 from repro.core.strategies import AMoveStrategy, PMoveStrategy, Scheme
+from repro.dram.config import DRAMConfig
 from repro.hw.cpu import CPUModel
 from repro.hw.gpu import GPUModel
 from repro.hw.pcie import PCIeLink
@@ -69,7 +70,15 @@ class Overheads:
 
 @dataclass
 class Platform:
-    """The evaluation platform of Table 2, as timing models."""
+    """The evaluation platform of Table 2, as timing models.
+
+    ``dram_config`` optionally closes the loop with the cycle-level
+    memory model: when set, the MoNDE devices' effective bandwidth is
+    calibrated by streaming through the FR-FCFS controller for that
+    config (cached per config) instead of taken from the spec
+    constant, so end-to-end scheme numbers ride on the DRAM
+    simulator.
+    """
 
     gpu_spec: GPUSpec = A100_PCIE
     pcie_spec: PCIeSpec = PCIE_GEN4_X16
@@ -77,6 +86,7 @@ class Platform:
     monde_spec: MoNDEDeviceSpec = MONDE_DEVICE
     n_monde_devices: int = 1
     overheads: Overheads = field(default_factory=Overheads)
+    dram_config: Optional[DRAMConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_monde_devices < 1:
@@ -84,15 +94,21 @@ class Platform:
         self.gpu = GPUModel(self.gpu_spec)
         self.pcie = PCIeLink(self.pcie_spec)
         self.cpu = CPUModel(self.cpu_spec)
+        if self.dram_config is not None:
+            from repro.dram.calibrate import calibrated_effective_bandwidth
+
+            self.monde_bandwidth = calibrated_effective_bandwidth(self.dram_config)
+        else:
+            self.monde_bandwidth = self.monde_spec.effective_bandwidth
         self.ndp_engines = [
-            NDPGemmEngine(self.monde_spec.ndp, self.monde_spec.effective_bandwidth)
+            NDPGemmEngine(self.monde_spec.ndp, self.monde_bandwidth)
             for _ in range(self.n_monde_devices)
         ]
 
     @property
     def aggregate_monde_bandwidth(self) -> float:
         """Multi-MoNDE H uses the aggregate device bandwidth (3.3)."""
-        return self.n_monde_devices * self.monde_spec.effective_bandwidth
+        return self.n_monde_devices * self.monde_bandwidth
 
 
 @dataclass

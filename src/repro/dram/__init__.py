@@ -15,9 +15,13 @@ The simulator is used two ways:
   system-level NDP model consumes (:class:`~repro.dram.calibrate.BandwidthCalibrator`).
 """
 
-from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.address import AddressMapper, DecodedBatch, MappingScheme
 from repro.dram.bank import Bank, BankState
-from repro.dram.calibrate import BandwidthCalibrator, CalibrationResult
+from repro.dram.calibrate import (
+    BandwidthCalibrator,
+    CalibrationResult,
+    calibrated_effective_bandwidth,
+)
 from repro.dram.channel import Channel
 from repro.dram.config import LPDDR5X_8533, DRAMOrganization
 from repro.dram.controller import MemoryController, SchedulerPolicy
@@ -33,6 +37,7 @@ __all__ = [
     "Channel",
     "Command",
     "CommandKind",
+    "DecodedBatch",
     "DRAMOrganization",
     "DRAMTiming",
     "LPDDR5X_8533",
@@ -41,4 +46,5 @@ __all__ = [
     "Request",
     "RequestKind",
     "SchedulerPolicy",
+    "calibrated_effective_bandwidth",
 ]

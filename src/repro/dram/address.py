@@ -17,6 +17,9 @@ channel parallelism and row locality for streams.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dram.config import DRAMOrganization
 from repro.dram.request import DecodedAddress
@@ -28,6 +31,45 @@ def _is_power_of_two(value: int) -> bool:
 
 def _log2(value: int) -> int:
     return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedBatch:
+    """Struct-of-arrays result of :meth:`AddressMapper.decode_batch`.
+
+    Each field is an ``int64`` array of one DRAM coordinate per input
+    address, in input order.  Indexing materializes the equivalent
+    :class:`DecodedAddress` (with plain Python ints, exactly as the
+    scalar :meth:`AddressMapper.decode` would have produced).
+    """
+
+    channel: np.ndarray
+    rank: np.ndarray
+    bankgroup: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    column: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.channel)
+
+    def __getitem__(self, i: int) -> DecodedAddress:
+        return DecodedAddress(
+            channel=int(self.channel[i]),
+            rank=int(self.rank[i]),
+            bankgroup=int(self.bankgroup[i]),
+            bank=int(self.bank[i]),
+            row=int(self.row[i]),
+            column=int(self.column[i]),
+        )
+
+    def flat_bank_index(self, n_bankgroups: int, banks_per_group: int) -> np.ndarray:
+        """Vectorized :meth:`DecodedAddress.flat_bank_index`."""
+        return (
+            self.rank * (n_bankgroups * banks_per_group)
+            + self.bankgroup * banks_per_group
+            + self.bank
+        )
 
 
 class MappingScheme(enum.Enum):
@@ -111,6 +153,58 @@ class AddressMapper:
             column=fields["co"],
         )
 
+    def decode_batch(self, addrs) -> DecodedBatch:
+        """Vectorized :meth:`decode` for a whole request stream.
+
+        ``addrs`` is any integer sequence/array of byte addresses.
+        Validation matches the scalar path: the first negative or
+        beyond-capacity address raises the same ``ValueError``.
+        """
+        if self.address_bits >= 63:  # int64 cannot hold the address space
+            decoded = [self.decode(int(addr)) for addr in addrs]
+            return DecodedBatch(
+                channel=np.array([d.channel for d in decoded], dtype=np.int64),
+                rank=np.array([d.rank for d in decoded], dtype=np.int64),
+                bankgroup=np.array([d.bankgroup for d in decoded], dtype=np.int64),
+                bank=np.array([d.bank for d in decoded], dtype=np.int64),
+                row=np.array([d.row for d in decoded], dtype=np.int64),
+                column=np.array([d.column for d in decoded], dtype=np.int64),
+            )
+        try:
+            a = np.asarray(addrs, dtype=np.int64)
+        except OverflowError:
+            # Some address exceeds int64; with address_bits < 63 it is
+            # necessarily beyond capacity (or negative) -- let the
+            # scalar path raise its usual ValueError for it.
+            for addr in addrs:
+                self.decode(int(addr))
+            raise AssertionError("unreachable: an address must have overflowed")
+        if a.ndim != 1:
+            a = a.reshape(-1)
+        if a.size:
+            invalid = (a < 0) | (a >= self.capacity_bytes)
+            if invalid.any():
+                bad = int(a[int(np.argmax(invalid))])
+                if bad < 0:
+                    raise ValueError(f"address must be non-negative, got {bad}")
+                raise ValueError(
+                    f"address {bad:#x} beyond device capacity {self.capacity_bytes:#x}"
+                )
+        block = a >> self._offset_bits
+        fields: dict[str, np.ndarray] = {}
+        for name in self._order_lsb_to_msb:
+            width = self._bits[name]
+            fields[name] = block & ((1 << width) - 1)
+            block = block >> width
+        return DecodedBatch(
+            channel=fields["ch"],
+            rank=fields["ra"],
+            bankgroup=fields["bg"],
+            bank=fields["ba"],
+            row=fields["ro"],
+            column=fields["co"],
+        )
+
     def encode(
         self,
         channel: int,
@@ -149,4 +243,4 @@ class AddressMapper:
             raise ValueError("nbytes must be non-negative")
         step = self.organization.access_bytes
         count = -(-nbytes // step)
-        return [base + i * step for i in range(count)]
+        return (base + step * np.arange(count, dtype=np.int64)).tolist()

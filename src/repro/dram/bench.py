@@ -1,0 +1,174 @@
+"""Controller-throughput benchmark harness (``repro bench``).
+
+Times :class:`~repro.dram.controller.MemoryController.simulate` --
+requests simulated per wall-clock second -- on the three access
+shapes from :mod:`repro.workloads.traces` (streaming, uniform random,
+skewed MoE), optionally against the pre-optimization reference
+scheduler from :mod:`repro.dram.reference`, and emits a JSON payload
+(``BENCH_controller.json``) so successive PRs accumulate a perf
+trajectory.  Trace generation is excluded from the timed region.
+
+The committed baseline lives at ``benchmarks/perf/BENCH_controller.json``;
+see ``benchmarks/perf/README.md`` for how to read and refresh it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+from repro.dram.config import DRAMConfig, LPDDR5X_8533
+from repro.dram.controller import ControllerStats, MemoryController
+from repro.dram.reference import ReferenceMemoryController
+
+#: Patterns benched by default, in report order.
+DEFAULT_PATTERNS = ("streaming", "random", "moe-skewed")
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """One timed simulate() call."""
+
+    pattern: str
+    implementation: str  # "indexed" | "reference"
+    n_requests: int
+    elapsed_seconds: float
+    requests_per_second: float
+    total_cycles: int
+    row_hit_rate: float
+    row_hits: int
+    row_misses: int
+    row_conflicts: int
+    activates: int
+    precharges: int
+
+
+def _make_trace(pattern: str, n_requests: int, config: DRAMConfig, seed: int):
+    from repro.workloads.traces import MEMORY_TRACES
+
+    try:
+        generator = MEMORY_TRACES[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; choose from {sorted(MEMORY_TRACES)}"
+        ) from None
+    return generator(n_requests, config=config, seed=seed)
+
+
+def _run_one(
+    pattern: str,
+    implementation: str,
+    n_requests: int,
+    config: DRAMConfig,
+    seed: int,
+    **controller_kwargs,
+) -> tuple[BenchRun, ControllerStats]:
+    cls = ReferenceMemoryController if implementation == "reference" else MemoryController
+    requests = _make_trace(pattern, n_requests, config, seed)
+    controller = cls(config, **controller_kwargs)
+    start = time.perf_counter()
+    stats = controller.simulate(requests)
+    elapsed = time.perf_counter() - start
+    run = BenchRun(
+        pattern=pattern,
+        implementation=implementation,
+        n_requests=n_requests,
+        elapsed_seconds=elapsed,
+        requests_per_second=n_requests / elapsed if elapsed > 0 else 0.0,
+        total_cycles=stats.total_cycles,
+        row_hit_rate=stats.row_hit_rate,
+        row_hits=stats.row_hits,
+        row_misses=stats.row_misses,
+        row_conflicts=stats.row_conflicts,
+        activates=stats.activates,
+        precharges=stats.precharges,
+    )
+    return run, stats
+
+
+def bench_controller(
+    n_requests: int = 1_000_000,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    reference_requests: Optional[int] = None,
+    include_reference: bool = True,
+    config: DRAMConfig = LPDDR5X_8533,
+    seed: int = 7,
+    **controller_kwargs,
+) -> dict:
+    """Bench every pattern; returns the JSON-ready payload.
+
+    ``reference_requests`` caps the reference runs (its drain loop is
+    O(n^2), so full-length runs can take minutes); when capped, the
+    recorded speedup is *conservative* -- the reference throughput is
+    measured at the shorter, faster-for-it length.  When lengths
+    match, the two implementations' ControllerStats are also checked
+    for bit-identity and the result recorded per pattern.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    ref_n = reference_requests if reference_requests is not None else n_requests
+    results = {}
+    for pattern in patterns:
+        indexed, indexed_stats = _run_one(
+            pattern, "indexed", n_requests, config, seed, **controller_kwargs
+        )
+        entry = {"indexed": asdict(indexed)}
+        if include_reference:
+            reference, reference_stats = _run_one(
+                pattern, "reference", ref_n, config, seed, **controller_kwargs
+            )
+            entry["reference"] = asdict(reference)
+            entry["speedup"] = (
+                indexed.requests_per_second / reference.requests_per_second
+                if reference.requests_per_second
+                else float("inf")
+            )
+            if ref_n == n_requests:
+                entry["stats_identical"] = asdict(indexed_stats) == asdict(
+                    reference_stats
+                )
+        results[pattern] = entry
+    return {
+        "benchmark": "dram-controller-throughput",
+        "n_requests": n_requests,
+        "reference_requests": ref_n if include_reference else None,
+        "seed": seed,
+        "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "patterns": results,
+    }
+
+
+def write_bench(payload: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable table for the CLI."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for pattern, entry in payload["patterns"].items():
+        idx = entry["indexed"]
+        ref = entry.get("reference")
+        rows.append(
+            [
+                pattern,
+                idx["n_requests"],
+                round(idx["elapsed_seconds"], 3),
+                int(idx["requests_per_second"]),
+                int(ref["requests_per_second"]) if ref else "-",
+                round(entry["speedup"], 1) if ref else "-",
+                round(idx["row_hit_rate"], 3),
+            ]
+        )
+    return format_table(
+        ["pattern", "requests", "sec", "req/s", "ref req/s", "speedup", "hit rate"],
+        rows,
+    )

@@ -12,6 +12,7 @@ its memory-side timing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -70,7 +71,7 @@ class BandwidthCalibrator:
         """Stream ``nbytes`` of contiguous reads (expert-weight fetch)."""
         step = self.config.organization.access_bytes
         count = nbytes // step
-        addrs = [base + i * step for i in range(count)]
+        addrs = (base + step * np.arange(count, dtype=np.int64)).tolist()
         return self._run("sequential-read", addrs, [RequestKind.READ] * count)
 
     def random_read(self, nbytes: int = 1 << 20, seed: int = 7) -> CalibrationResult:
@@ -81,7 +82,7 @@ class BandwidthCalibrator:
         count = nbytes // step
         mapper_capacity = org.n_channels * org.channel_capacity_bytes
         blocks = rng.integers(0, mapper_capacity // step, size=count, dtype=np.int64)
-        addrs = [int(b) * step for b in blocks]
+        addrs = (blocks * step).tolist()
         return self._run("random-read", addrs, [RequestKind.READ] * count)
 
     def interleaved_streams(
@@ -143,3 +144,21 @@ class BandwidthCalibrator:
         """Sustained sequential-stream bandwidth -- the constant the
         system-level NDP timing model consumes."""
         return self.sequential_read(nbytes).sustained_bandwidth
+
+
+@lru_cache(maxsize=32)
+def calibrated_effective_bandwidth(
+    config: DRAMConfig = LPDDR5X_8533,
+    scheme: MappingScheme = MappingScheme.RO_BA_BG_RA_CO_CH,
+    nbytes: int = 1 << 20,
+) -> float:
+    """Cycle-simulated effective bandwidth for ``config``, cached.
+
+    This is the hook the system-level models use to replace the spec
+    bandwidth constant with one measured on the cycle-level controller
+    (``Platform(dram_config=...)``, ``NDPGemmEngine.from_dram``,
+    ``CostModel.from_dram_calibrated``).  Both dataclasses are frozen,
+    so the (config, scheme, nbytes) triple is a safe cache key and
+    repeated Platform construction stays cheap.
+    """
+    return BandwidthCalibrator(config, scheme).effective_bandwidth(nbytes)

@@ -12,22 +12,50 @@ Scheduling works bank-by-bank over a lookahead window:
    *representative* request: the oldest row hit if one exists, else
    the oldest request for that bank.
 2. For each representative, compute the next command it needs (RD/WR,
-   ACT, or PRE) and the earliest cycle the channel can issue it.  A
-   PRE is suppressed while any window request still needs the open row.
+   ACT, or PRE) and the earliest cycle the channel can issue it.
 3. Issue the candidate with the smallest ready cycle (column commands
    win ties, then age).  This naturally overlaps row activation and
    precharge under ongoing data transfers.
+
+The implementation is the *indexed* form of that policy, built for
+million-request traces (see :mod:`repro.dram.reference` for the
+original windowed-list form it is kept bit-identical to):
+
+- the lookahead window is maintained incrementally as per-bank FIFO
+  deques plus per-(bank, row) deques, so the per-bank representative
+  (oldest row hit, else oldest) is always a deque head -- no per-issue
+  window rebuild, no ``list.remove``;
+- each bank's candidate command is cached and only recomputed when
+  that bank's queue or row state changes (at most two banks per
+  issued command);
+- channel/bank timing state is mirrored into local integers for the
+  duration of a drain, so the issue arbitration is a tight loop over
+  at most ``n_banks`` cached candidates with no attribute access or
+  method calls, then written back.
+
+Address decoding is vectorized over the whole trace with
+:meth:`~repro.dram.address.AddressMapper.decode_batch`.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.dram.address import AddressMapper, MappingScheme
 from repro.dram.channel import Channel
 from repro.dram.config import DRAMConfig
-from repro.dram.request import Request, RequestKind
+from repro.dram.request import (
+    Command,
+    CommandKind,
+    DecodedAddress,
+    Request,
+    RequestKind,
+)
 
 
 class SchedulerPolicy(enum.Enum):
@@ -55,6 +83,10 @@ class ControllerStats:
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses + self.row_conflicts
         return self.row_hits / total if total else 0.0
+
+
+# Candidate command codes used by the indexed scheduler.
+_ACT, _PRE, _COL = 0, 1, 2
 
 
 class MemoryController:
@@ -88,16 +120,61 @@ class MemoryController:
         """
         stats = ControllerStats()
         org = self.config.organization
-        per_channel: list[list[Request]] = [[] for _ in range(org.n_channels)]
-        for req in requests:
-            req.decoded = self.mapper.decode(req.addr)
-            per_channel[req.decoded.channel].append(req)
+        n = len(requests)
+        stats.requests = n
+        if n == 0:
+            return stats
+
+        try:
+            addrs = np.fromiter((r.addr for r in requests), dtype=np.int64, count=n)
+        except OverflowError:
+            addrs = [r.addr for r in requests]  # decode_batch raises for us
+        batch = self.mapper.decode_batch(addrs)
+        flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+        is_write = np.fromiter(
+            (r.kind is RequestKind.WRITE for r in requests), dtype=bool, count=n
+        )
+        stats.writes = int(is_write.sum())
+        stats.reads = n - stats.writes
+
+        # Materialize per-request decoded coordinates (API compatibility
+        # with the scalar path; cheap relative to the drain itself).
+        for req, ch, ra, bg, ba, ro, co in zip(
+            requests,
+            batch.channel.tolist(),
+            batch.rank.tolist(),
+            batch.bankgroup.tolist(),
+            batch.bank.tolist(),
+            batch.row.tolist(),
+            batch.column.tolist(),
+        ):
+            req.decoded = DecodedAddress(ch, ra, bg, ba, ro, co)
+
+        # Stable split into per-channel FIFO queues.
+        order = np.argsort(batch.channel, kind="stable")
+        counts = np.bincount(batch.channel, minlength=org.n_channels)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        order_list = order.tolist()
+        bf_sorted = flat[order].tolist()
+        row_sorted = batch.row[order].tolist()
+        col_sorted = batch.column[order].tolist()
+        wr_sorted = is_write[order].tolist()
 
         final_cycle = 0
-        for channel, queue in zip(self.channels, per_channel):
-            if not queue:
+        for channel in self.channels:
+            lo, hi = int(bounds[channel.index]), int(bounds[channel.index + 1])
+            if lo == hi:
                 continue
-            last = self._drain_channel(channel, queue, stats)
+            reqs = [requests[i] for i in order_list[lo:hi]]
+            last = self._drain_channel(
+                channel,
+                reqs,
+                bf_sorted[lo:hi],
+                row_sorted[lo:hi],
+                col_sorted[lo:hi],
+                wr_sorted[lo:hi],
+                stats,
+            )
             final_cycle = max(final_cycle, last)
             stats.busy_channel_cycles[channel.index] = last
         # Refresh duty-cycle derate: every tREFI window loses tRFC
@@ -107,9 +184,6 @@ class MemoryController:
             stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
             final_cycle += stats.refresh_cycles
         stats.total_cycles = final_cycle
-        stats.requests = len(requests)
-        stats.reads = sum(1 for r in requests if r.kind is RequestKind.READ)
-        stats.writes = stats.requests - stats.reads
         return stats
 
     def sustained_bandwidth(self, stats: ControllerStats) -> float:
@@ -122,98 +196,429 @@ class MemoryController:
     # -- per-channel scheduling -------------------------------------------
 
     def _drain_channel(
-        self, channel: Channel, queue: list[Request], stats: ControllerStats
+        self,
+        channel: Channel,
+        reqs: list[Request],
+        bf: list[int],
+        row: list[int],
+        col: list[int],
+        iswr: list[bool],
+        stats: ControllerStats,
     ) -> int:
+        """Drain one channel's FIFO queue (requests given as parallel
+        arrays of flat bank index / row / column / is-write).
+
+        One command issues per loop iteration; a request leaves the
+        queue when its column command issues.  The candidate scan runs
+        over per-bank cached (command, representative, bank-ready)
+        triples; global channel constraints (command bus, tCCD, data
+        bus, tRRD/tFAW, tWTR) are folded in as per-class floors
+        computed once per iteration.
+        """
+        t = channel.timing
         org = self.config.organization
-        flat = lambda d: d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
-        pending = list(queue)
-        last_complete = 0
+        n = len(reqs)
+        n_banks = len(channel.banks)
+        fcfs = self.policy is SchedulerPolicy.FCFS
+        cap = self.starvation_cap
+
+        # Timing locals.
+        tRCD, tRP, tRAS, tRC = t.tRCD, t.tRP, t.tRAS, t.tRC
+        tCL, tCWL, tWR, tWTR = t.tCL, t.tCWL, t.tWR, t.tWTR
+        tCCD_S, tCCD_L, tRRD, tFAW = t.tCCD_S, t.tCCD_L, t.tRRD, t.tFAW
+        burst = t.burst_cycles
+
+        # Mirror channel state into locals (written back on exit).
+        cb = channel._cmd_bus_next
+        dnext = channel._data_bus_next
+        lcc = channel._last_col_cycle
+        lbg = channel._last_col_bankgroup
+        law = channel._last_was_write
+        raw = channel._read_after_write_ok
+        lact = channel._last_act_cycle
+        hist = channel._act_history  # shared deque, mutated in place
+        hist_full = hist.maxlen
+        recording = channel.record_commands
+        commands = channel.commands
+
+        # Mirror per-bank state into parallel lists.
+        banks = channel.banks
+        b_open = [b.open_row for b in banks]
+        b_eact = [b.earliest_act for b in banks]
+        b_epre = [b.earliest_pre for b in banks]
+        b_ecol = [b.earliest_col for b in banks]
+        b_hits = [0] * n_banks
+        bpg = org.banks_per_group
+        nbg = org.n_bankgroups
+        bg_of = [(b // bpg) % nbg for b in range(n_banks)]
+
+        # Window bookkeeping: per-bank FIFO of in-window request seqs,
+        # per-(bank, row) FIFO for row-hit heads, cached candidates.
+        alive = [True] * n
+        bank_q: list[deque | None] = [None] * n_banks
+        bank_rows: list[dict | None] = [None] * n_banks
+        active: set[int] = set()
+        cand_cmd = [0] * n_banks
+        cand_seq = [0] * n_banks
+        cand_part = [0] * n_banks
+
+        # Arbitration structures.  Row-hit (column) candidates are
+        # scanned directly -- there are rarely more than a handful.
+        # ACT and PRE candidates live in per-class min-heaps split at
+        # the class's global ready floor, which is monotone
+        # non-decreasing (command bus, tRRD and tFAW horizons only
+        # move forward), so entries migrate one way from the
+        # above-floor heap (ordered by bank-ready cycle) to the
+        # below-floor heap (ordered by age, since every entry at or
+        # below the floor becomes ready at exactly the floor).  Banks
+        # are versioned for lazy invalidation: a heap entry is live
+        # iff it carries the bank's current version.
+        heappush, heappop, heapify_ = heapq.heappush, heapq.heappop, heapq.heapify
+        col_set: set[int] = set()
+        act_L: list = []  # (seq, bank, ver): ready == class floor
+        act_H: list = []  # (part, seq, bank, ver): ready == part
+        pre_L: list = []
+        pre_H: list = []
+        bank_ver = [0] * n_banks
+        g_act_est = -(10**9)  # lower bound of the ACT floor (monotone)
+        heap_cap = 128 + 4 * n_banks
+
+        def insert(s: int) -> None:
+            b = bf[s]
+            q = bank_q[b]
+            if q is None:
+                bank_q[b] = deque((s,))
+                bank_rows[b] = {row[s]: deque((s,))}
+            else:
+                q.append(s)
+                rows = bank_rows[b]
+                rd = rows.get(row[s])
+                if rd is None:
+                    rows[row[s]] = deque((s,))
+                else:
+                    rd.append(s)
+            active.add(b)
+
+        window_tail = min(self.window, n)
+        for s in range(window_tail):
+            insert(s)
+        dirty = list(active)
+
+        remaining = n
+        head = 0
         head_skips = 0
-        while pending:
-            window = pending[: self.window]
-            fcfs = self.policy is SchedulerPolicy.FCFS
-            forced = head_skips >= self.starvation_cap
-            if fcfs or forced:
-                window = pending[:1]
+        last_complete = 0
 
-            live_rows = {(flat(r.decoded), r.decoded.row) for r in window}
+        while remaining:
+            # Refresh cached candidates for banks whose queues or row
+            # state changed since the last issue.
+            for b in dirty:
+                if b not in active:
+                    continue
+                q = bank_q[b]
+                while q and not alive[q[0]]:
+                    q.popleft()
+                bank_ver[b] += 1
+                if not q:
+                    active.discard(b)
+                    col_set.discard(b)
+                    continue
+                orow = b_open[b]
+                if orow is None:
+                    cand_cmd[b] = _ACT
+                    s = cand_seq[b] = q[0]
+                    p = cand_part[b] = b_eact[b]
+                    col_set.discard(b)
+                    if p <= g_act_est:
+                        heappush(act_L, (s, b, bank_ver[b]))
+                    else:
+                        heappush(act_H, (p, s, b, bank_ver[b]))
+                else:
+                    rd = bank_rows[b].get(orow)
+                    if rd:
+                        cand_cmd[b] = _COL
+                        cand_seq[b] = rd[0]
+                        cand_part[b] = b_ecol[b]
+                        col_set.add(b)
+                    else:
+                        cand_cmd[b] = _PRE
+                        s = cand_seq[b] = q[0]
+                        p = cand_part[b] = b_epre[b]
+                        col_set.discard(b)
+                        if p <= cb:
+                            heappush(pre_L, (s, b, bank_ver[b]))
+                        else:
+                            heappush(pre_H, (p, s, b, bank_ver[b]))
+            del dirty[:]
 
-            # Representative request per bank: oldest row hit, else oldest.
-            rep: dict[int, tuple[int, Request]] = {}
-            for age, req in enumerate(window):
-                bank_index = flat(req.decoded)
-                bank = channel.banks[bank_index]
-                current = rep.get(bank_index)
-                is_hit = bank.open_row == req.decoded.row
-                if current is None:
-                    rep[bank_index] = (age, req)
-                elif is_hit and channel.banks[bank_index].open_row != current[1].decoded.row:
-                    rep[bank_index] = (age, req)
+            # Compact lazily-invalidated heaps before they bloat.
+            if len(act_L) + len(act_H) > heap_cap:
+                act_L = [
+                    (cand_seq[b2], b2, bank_ver[b2])
+                    for b2 in active
+                    if cand_cmd[b2] == _ACT and cand_part[b2] <= g_act_est
+                ]
+                act_H = [
+                    (cand_part[b2], cand_seq[b2], b2, bank_ver[b2])
+                    for b2 in active
+                    if cand_cmd[b2] == _ACT and cand_part[b2] > g_act_est
+                ]
+                heapify_(act_L)
+                heapify_(act_H)
+            if len(pre_L) + len(pre_H) > heap_cap:
+                pre_L = [
+                    (cand_seq[b2], b2, bank_ver[b2])
+                    for b2 in active
+                    if cand_cmd[b2] == _PRE and cand_part[b2] <= cb
+                ]
+                pre_H = [
+                    (cand_part[b2], cand_seq[b2], b2, bank_ver[b2])
+                    for b2 in active
+                    if cand_cmd[b2] == _PRE and cand_part[b2] > cb
+                ]
+                heapify_(pre_L)
+                heapify_(pre_H)
 
-            best = None  # (ready, col_pref, age, cmd, bank_index, req)
-            for bank_index, (age, req) in rep.items():
-                bank = channel.banks[bank_index]
-                cmd, _ = bank.next_command_ready(req.decoded.row)
-                if cmd == "RDWR":
-                    is_write = req.kind is RequestKind.WRITE
-                    ready = channel.earliest_col(bank_index, is_write)
-                    # Column commands pipeline behind CAS latency, so a
-                    # one-cycle slip never bubbles the data bus; let
-                    # equally-ready ACT/PRE win ties to hide row switches.
-                    key = (ready, 1, age)
-                elif cmd == "ACT":
-                    ready = channel.earliest_act(bank_index)
-                    key = (ready, 0, age)
-                else:  # PRE
-                    if not forced and (bank_index, bank.open_row) in live_rows:
-                        continue
-                    ready = channel.earliest_pre(bank_index)
-                    key = (ready, 0, age)
-                if best is None or key < best[0]:
-                    best = (key, cmd, bank_index, req)
+            if fcfs or head_skips >= cap:
+                # Narrowed window: schedule the head request alone.
+                while not alive[head]:
+                    head += 1
+                s = head
+                b = bf[s]
+                orow = b_open[b]
+                if orow == row[s]:
+                    cmd = _COL
+                    g = (dnext - tCWL) if iswr[s] else (dnext - tCL)
+                    if law and not iswr[s]:
+                        g2 = raw - tCL
+                        if g2 > g:
+                            g = g2
+                    x = lcc + (tCCD_L if bg_of[b] == lbg else tCCD_S)
+                    if x > g:
+                        g = x
+                    cycle = max(b_ecol[b], cb, g)
+                elif orow is None:
+                    cmd = _ACT
+                    cycle = max(b_eact[b], cb, lact + tRRD)
+                    if len(hist) == hist_full:
+                        x = hist[0] + tFAW
+                        if x > cycle:
+                            cycle = x
+                else:
+                    cmd = _PRE
+                    cycle = max(b_epre[b], cb)
+            else:
+                # ACT-class ready floor (monotone; see structures above).
+                g_act = lact + tRRD
+                if cb > g_act:
+                    g_act = cb
+                if len(hist) == hist_full:
+                    x = hist[0] + tFAW
+                    if x > g_act:
+                        g_act = x
+                g_act_est = g_act
 
-            if best is None:
-                # Every bank is gated behind a live open row (possible
-                # only under forced/FCFS narrowing); fall back to the
-                # head request's needed command unconditionally.
-                req = window[0]
-                bank_index = flat(req.decoded)
-                cmd, _ = channel.banks[bank_index].next_command_ready(req.decoded.row)
-                best = ((0, 0, 0), cmd, bank_index, req)
+                # Migrate entries that dropped to/below their floor.
+                while act_H and act_H[0][0] <= g_act:
+                    _, s, b2, v = heappop(act_H)
+                    if bank_ver[b2] == v:
+                        heappush(act_L, (s, b2, v))
+                while pre_H and pre_H[0][0] <= cb:
+                    _, s, b2, v = heappop(pre_H)
+                    if bank_ver[b2] == v:
+                        heappush(pre_L, (s, b2, v))
 
-            _, cmd, bank_index, req = best
-            decoded = req.decoded
-            bank = channel.banks[bank_index]
+                # ACT winner: everything in L is ready at the floor, so
+                # the oldest wins; otherwise the smallest bank-ready.
+                best_ready = -1
+                best_seq = 0
+                b = -1
+                cmd = _ACT
+                while act_L and bank_ver[act_L[0][1]] != act_L[0][2]:
+                    heappop(act_L)
+                if act_L:
+                    top = act_L[0]
+                    best_ready = g_act
+                    best_seq = top[0]
+                    b = top[1]
+                else:
+                    while act_H and bank_ver[act_H[0][2]] != act_H[0][3]:
+                        heappop(act_H)
+                    if act_H:
+                        top = act_H[0]
+                        best_ready = top[0]
+                        best_seq = top[1]
+                        b = top[2]
 
-            if cmd == "PRE":
-                cycle = channel.earliest_pre(bank_index)
-                channel.issue_precharge(cycle, bank_index)
+                # PRE winner (same class shape; floor is the command bus).
+                while pre_L and bank_ver[pre_L[0][1]] != pre_L[0][2]:
+                    heappop(pre_L)
+                if pre_L:
+                    top = pre_L[0]
+                    p = cb
+                    s = top[0]
+                    b2 = top[1]
+                else:
+                    while pre_H and bank_ver[pre_H[0][2]] != pre_H[0][3]:
+                        heappop(pre_H)
+                    if pre_H:
+                        top = pre_H[0]
+                        p = top[0]
+                        s = top[1]
+                        b2 = top[2]
+                    else:
+                        p = -1
+                if p >= 0 and (
+                    best_ready < 0
+                    or p < best_ready
+                    or (p == best_ready and s < best_seq)
+                ):
+                    best_ready = p
+                    best_seq = s
+                    b = b2
+                    cmd = _PRE
+
+                # Column candidates: scanned directly (usually few);
+                # they lose ready-cycle ties to ACT/PRE by design.
+                if col_set:
+                    g_col_r = dnext - tCL
+                    if law:
+                        x = raw - tCL
+                        if x > g_col_r:
+                            g_col_r = x
+                    if cb > g_col_r:
+                        g_col_r = cb
+                    g_col_w = dnext - tCWL
+                    if cb > g_col_w:
+                        g_col_w = cb
+                    ccd_same = lcc + tCCD_L
+                    ccd_diff = lcc + tCCD_S
+                    for b2 in col_set:
+                        p = cand_part[b2]
+                        s = cand_seq[b2]
+                        g = g_col_w if iswr[s] else g_col_r
+                        if g > p:
+                            p = g
+                        x = ccd_same if bg_of[b2] == lbg else ccd_diff
+                        if x > p:
+                            p = x
+                        if (
+                            best_ready < 0
+                            or p < best_ready
+                            or (p == best_ready and cmd == _COL and s < best_seq)
+                        ):
+                            best_ready = p
+                            best_seq = s
+                            b = b2
+                            cmd = _COL
+                s = best_seq
+                cycle = best_ready
+
+            # -- issue the chosen command (mirrors Channel.issue_*) ----
+            req = reqs[s]
+            if cmd == _PRE:
+                b_open[b] = None
+                x = cycle + tRP
+                if x > b_eact[b]:
+                    b_eact[b] = x
+                cb = cycle + 1
                 stats.precharges += 1
                 if req.row_hit is None:
                     req.row_hit = False
                     stats.row_conflicts += 1
-            elif cmd == "ACT":
-                cycle = channel.earliest_act(bank_index)
-                channel.issue_activate(cycle, bank_index, decoded.row)
+                if recording:
+                    commands.append(
+                        Command(cycle, CommandKind.PRECHARGE, channel.index, b)
+                    )
+                dirty.append(b)
+            elif cmd == _ACT:
+                r = row[s]
+                b_open[b] = r
+                b_ecol[b] = cycle + tRCD
+                b_epre[b] = cycle + tRAS
+                b_eact[b] = cycle + tRC
+                cb = cycle + 1
+                hist.append(cycle)
+                lact = cycle
                 stats.activates += 1
                 if req.row_hit is None:
                     req.row_hit = False
                     stats.row_misses += 1
+                if recording:
+                    commands.append(
+                        Command(cycle, CommandKind.ACTIVATE, channel.index, b, row=r)
+                    )
+                dirty.append(b)
             else:
-                is_write = req.kind is RequestKind.WRITE
-                cycle = channel.earliest_col(bank_index, is_write)
-                if is_write:
-                    done = channel.issue_write(cycle, bank_index, decoded.column)
+                w = iswr[s]
+                if w:
+                    done = cycle + tCWL + burst
+                    x = done + tWR
+                    if x > b_epre[b]:
+                        b_epre[b] = x
+                    dnext = done
+                    raw = done + tWTR
+                    law = True
                 else:
-                    done = channel.issue_read(cycle, bank_index, decoded.column)
+                    x = cycle + burst
+                    if x > b_epre[b]:
+                        b_epre[b] = x
+                    done = cycle + tCL + burst
+                    dnext = done
+                    law = False
+                b_hits[b] += 1
+                cb = cycle + 1
+                lcc = cycle
+                lbg = bg_of[b]
                 if req.row_hit is None:
                     req.row_hit = True
                     stats.row_hits += 1
                 req.complete_cycle = done
-                last_complete = max(last_complete, done)
-                pending.remove(req)
-                if pending and req is not window[0]:
+                if done > last_complete:
+                    last_complete = done
+                if recording:
+                    commands.append(
+                        Command(
+                            cycle,
+                            CommandKind.WRITE if w else CommandKind.READ,
+                            channel.index,
+                            b,
+                            column=col[s],
+                        )
+                    )
+                # Retire the request and slide the window forward.
+                while not alive[head]:
+                    head += 1
+                was_head = s == head
+                alive[s] = False
+                remaining -= 1
+                rows = bank_rows[b]
+                rd = rows[row[s]]
+                rd.popleft()
+                if not rd:
+                    del rows[row[s]]
+                dirty.append(b)
+                if window_tail < n:
+                    insert(window_tail)
+                    dirty.append(bf[window_tail])
+                    window_tail += 1
+                if remaining and not was_head:
                     head_skips += 1
                 else:
                     head_skips = 0
+
+        # Write mirrored state back to the channel/bank objects.
+        channel._cmd_bus_next = cb
+        channel._data_bus_next = dnext
+        channel._last_col_cycle = lcc
+        channel._last_col_bankgroup = lbg
+        channel._last_was_write = law
+        channel._read_after_write_ok = raw
+        channel._last_act_cycle = lact
+        for i, bank in enumerate(banks):
+            bank.open_row = b_open[i]
+            bank.earliest_act = b_eact[i]
+            bank.earliest_pre = b_epre[i]
+            bank.earliest_col = b_ecol[i]
+            bank.row_hits += b_hits[i]
         return last_complete

@@ -1,0 +1,149 @@
+"""Reference (pre-optimization) FR-FCFS scheduler.
+
+This is the original list-based ``MemoryController`` hot path, kept
+verbatim as an executable specification: ``_drain_channel`` rebuilds
+the candidate window, the per-bank representatives, and the live-row
+set from scratch on every issued command, and removes completed
+requests with an O(n) ``list.remove``.  The production controller in
+:mod:`repro.dram.controller` replaces all of that with indexed
+per-bank queues and incrementally maintained candidates, but must stay
+*bit-identical* to this model -- the equivalence suite in
+``tests/dram/test_scheduler_equivalence.py`` and the perf harness in
+``benchmarks/perf/`` both run the two against each other.
+
+Do not optimize this module; its value is being obviously equal to
+the seed implementation.
+"""
+
+from __future__ import annotations
+
+from repro.dram.channel import Channel
+from repro.dram.controller import ControllerStats, MemoryController, SchedulerPolicy
+from repro.dram.request import Request, RequestKind
+
+
+class ReferenceMemoryController(MemoryController):
+    """Drop-in :class:`MemoryController` with the original O(n^2)
+    per-channel drain loop and scalar address decoding."""
+
+    def simulate(self, requests: list[Request]) -> ControllerStats:
+        stats = ControllerStats()
+        org = self.config.organization
+        per_channel: list[list[Request]] = [[] for _ in range(org.n_channels)]
+        for req in requests:
+            req.decoded = self.mapper.decode(req.addr)
+            per_channel[req.decoded.channel].append(req)
+
+        final_cycle = 0
+        for channel, queue in zip(self.channels, per_channel):
+            if not queue:
+                continue
+            last = self._drain_channel_reference(channel, queue, stats)
+            final_cycle = max(final_cycle, last)
+            stats.busy_channel_cycles[channel.index] = last
+        overhead = self.config.timing.refresh_overhead
+        if overhead > 0 and final_cycle > 0:
+            stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
+            final_cycle += stats.refresh_cycles
+        stats.total_cycles = final_cycle
+        stats.requests = len(requests)
+        stats.reads = sum(1 for r in requests if r.kind is RequestKind.READ)
+        stats.writes = stats.requests - stats.reads
+        return stats
+
+    def _drain_channel_reference(
+        self, channel: Channel, queue: list[Request], stats: ControllerStats
+    ) -> int:
+        org = self.config.organization
+        flat = lambda d: d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+        pending = list(queue)
+        last_complete = 0
+        head_skips = 0
+        while pending:
+            window = pending[: self.window]
+            fcfs = self.policy is SchedulerPolicy.FCFS
+            forced = head_skips >= self.starvation_cap
+            if fcfs or forced:
+                window = pending[:1]
+
+            live_rows = {(flat(r.decoded), r.decoded.row) for r in window}
+
+            # Representative request per bank: oldest row hit, else oldest.
+            rep: dict[int, tuple[int, Request]] = {}
+            for age, req in enumerate(window):
+                bank_index = flat(req.decoded)
+                bank = channel.banks[bank_index]
+                current = rep.get(bank_index)
+                is_hit = bank.open_row == req.decoded.row
+                if current is None:
+                    rep[bank_index] = (age, req)
+                elif is_hit and channel.banks[bank_index].open_row != current[1].decoded.row:
+                    rep[bank_index] = (age, req)
+
+            best = None  # (ready, col_pref, age, cmd, bank_index, req)
+            for bank_index, (age, req) in rep.items():
+                bank = channel.banks[bank_index]
+                cmd, _ = bank.next_command_ready(req.decoded.row)
+                if cmd == "RDWR":
+                    is_write = req.kind is RequestKind.WRITE
+                    ready = channel.earliest_col(bank_index, is_write)
+                    # Column commands pipeline behind CAS latency, so a
+                    # one-cycle slip never bubbles the data bus; let
+                    # equally-ready ACT/PRE win ties to hide row switches.
+                    key = (ready, 1, age)
+                elif cmd == "ACT":
+                    ready = channel.earliest_act(bank_index)
+                    key = (ready, 0, age)
+                else:  # PRE
+                    if not forced and (bank_index, bank.open_row) in live_rows:
+                        continue
+                    ready = channel.earliest_pre(bank_index)
+                    key = (ready, 0, age)
+                if best is None or key < best[0]:
+                    best = (key, cmd, bank_index, req)
+
+            if best is None:
+                # Every bank is gated behind a live open row (possible
+                # only under forced/FCFS narrowing); fall back to the
+                # head request's needed command unconditionally.
+                req = window[0]
+                bank_index = flat(req.decoded)
+                cmd, _ = channel.banks[bank_index].next_command_ready(req.decoded.row)
+                best = ((0, 0, 0), cmd, bank_index, req)
+
+            _, cmd, bank_index, req = best
+            decoded = req.decoded
+            bank = channel.banks[bank_index]
+
+            if cmd == "PRE":
+                cycle = channel.earliest_pre(bank_index)
+                channel.issue_precharge(cycle, bank_index)
+                stats.precharges += 1
+                if req.row_hit is None:
+                    req.row_hit = False
+                    stats.row_conflicts += 1
+            elif cmd == "ACT":
+                cycle = channel.earliest_act(bank_index)
+                channel.issue_activate(cycle, bank_index, decoded.row)
+                stats.activates += 1
+                if req.row_hit is None:
+                    req.row_hit = False
+                    stats.row_misses += 1
+            else:
+                is_write = req.kind is RequestKind.WRITE
+                cycle = channel.earliest_col(bank_index, is_write)
+                if is_write:
+                    done = channel.issue_write(cycle, bank_index, decoded.column)
+                else:
+                    done = channel.issue_read(cycle, bank_index, decoded.column)
+                if req.row_hit is None:
+                    req.row_hit = True
+                    stats.row_hits += 1
+                req.complete_cycle = done
+                last_complete = max(last_complete, done)
+                pending.remove(req)
+                if pending and req is not window[0]:
+                    head_skips += 1
+                else:
+                    head_skips = 0
+        return last_complete

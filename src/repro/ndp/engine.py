@@ -87,6 +87,29 @@ class NDPGemmEngine:
         #: Bytes the DRAM can stream per NDP clock cycle.
         self.bytes_per_cycle = mem_bandwidth / spec.clock_hz
 
+    @classmethod
+    def from_dram(
+        cls,
+        spec: NDPCoreSpec,
+        dram_config=None,
+        dtype_bytes: int = BF16_BYTES,
+        nbytes: int = 1 << 20,
+    ) -> "NDPGemmEngine":
+        """Engine whose effective bandwidth comes from a cycle-level
+        run of the FR-FCFS controller on ``dram_config`` (defaults to
+        the paper's LPDDR5X module) instead of the spec constant.
+
+        The calibration is cached per config, so constructing many
+        engines (multi-device platforms, serving sweeps) simulates the
+        DRAM once.
+        """
+        from repro.dram.calibrate import calibrated_effective_bandwidth
+        from repro.dram.config import LPDDR5X_8533
+
+        config = dram_config if dram_config is not None else LPDDR5X_8533
+        bandwidth = calibrated_effective_bandwidth(config, nbytes=nbytes)
+        return cls(spec, bandwidth, dtype_bytes=dtype_bytes)
+
     # -- timing --------------------------------------------------------------
 
     def gemm_execution(self, m: int, n: int, k: int) -> GEMMExecution:

@@ -66,6 +66,34 @@ class CostModel:
             decode_seconds_per_token=dec.seconds / dec.n_tokens,
         )
 
+    @classmethod
+    def from_dram_calibrated(
+        cls,
+        model: MoEModelConfig,
+        scheme: Scheme,
+        dram_config=None,
+        profile: Optional[RoutingProfile] = None,
+        ref_batch: int = 1,
+        ref_decode_steps: int = 8,
+    ) -> "CostModel":
+        """Cost model whose MoNDE-side bandwidth comes from the
+        cycle-level DRAM controller (streamed once per config, cached)
+        rather than the spec constant -- the end-to-end path for
+        large serving studies riding on the memory simulator."""
+        from repro.dram.config import LPDDR5X_8533
+
+        platform = Platform(
+            dram_config=dram_config if dram_config is not None else LPDDR5X_8533
+        )
+        return cls.from_runtime(
+            model,
+            scheme,
+            platform=platform,
+            profile=profile,
+            ref_batch=ref_batch,
+            ref_decode_steps=ref_decode_steps,
+        )
+
 
 @dataclass
 class CompletedRequest:

@@ -1,8 +1,13 @@
-"""Routing-trace generation for the timing models.
+"""Routing- and memory-trace generation for the timing models.
 
 A :class:`RoutingTraceGenerator` produces per-layer token counts for
-encoder passes and per-step counts for auto-regressive decoding, with
-two properties measured on trained MoE models:
+encoder passes and per-step counts for auto-regressive decoding; the
+module-level ``*_memory_trace`` functions produce the corresponding
+64-byte DRAM request streams (streaming weight fetches, uniform random
+access, and skewed MoE expert fetches) consumed by the cycle-level
+memory controller and the ``benchmarks/perf`` harness.
+
+Routing traces model two properties measured on trained MoE models:
 
 - *Depth-dependent skew*: early layers route broadly (Fig. 3's layer 0
   activates ~100 of 128 experts), deeper layers concentrate sharply.
@@ -18,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dram.config import DRAMConfig, LPDDR5X_8533
+from repro.dram.request import Request, RequestKind
 from repro.moe.config import MoEModelConfig
 from repro.workloads.distributions import mixture_popularity, sample_expert_counts
 
@@ -156,3 +163,150 @@ class RoutingTraceGenerator:
             ]
             for step in range(n_steps)
         ]
+
+
+# -- DRAM request-stream generation ------------------------------------------
+#
+# The cycle-level memory controller consumes flat lists of 64-byte
+# requests; these generators produce the three access shapes that
+# bound its behaviour (and that ``repro bench`` times): contiguous
+# streaming (expert-weight fetch), uniform random (worst case), and
+# skewed MoE expert fetches (the paper's serving mix: a few hot
+# experts streamed repeatedly over a long cold tail).  All address
+# math is numpy-vectorized so trace generation never dominates a
+# million-request simulation.
+
+
+def _kinds_from_mask(write_mask: np.ndarray) -> list[RequestKind]:
+    wr, rd = RequestKind.WRITE, RequestKind.READ
+    return [wr if w else rd for w in write_mask.tolist()]
+
+
+def _build_requests(addrs: np.ndarray, write_mask: np.ndarray) -> list[Request]:
+    return [
+        Request(addr=a, kind=k)
+        for a, k in zip(addrs.tolist(), _kinds_from_mask(write_mask))
+    ]
+
+
+def streaming_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    base: int = 0,
+    write_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[Request]:
+    """Contiguous 64-byte stream from ``base``, wrapping at capacity."""
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    org = config.organization
+    step = org.access_bytes
+    total_blocks = org.total_capacity_bytes // step
+    blocks = (base // step + np.arange(n_requests, dtype=np.int64)) % total_blocks
+    rng = np.random.default_rng(seed)
+    writes = (
+        rng.random(n_requests) < write_fraction
+        if write_fraction > 0
+        else np.zeros(n_requests, dtype=bool)
+    )
+    return _build_requests(blocks * step, writes)
+
+
+def random_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    write_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[Request]:
+    """Uniform-random 64-byte requests over the full address space."""
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    org = config.organization
+    step = org.access_bytes
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(
+        0, org.total_capacity_bytes // step, size=n_requests, dtype=np.int64
+    )
+    writes = rng.random(n_requests) < write_fraction
+    return _build_requests(blocks * step, writes)
+
+
+def moe_expert_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    n_experts: int = 128,
+    expert_bytes: int = 1 << 22,
+    burst_blocks: int = 32,
+    hot_fraction: float = 0.9,
+    n_hot: int = 2,
+    tail_shape: float = 0.4,
+    write_fraction: float = 0.1,
+    seed: int = 0,
+) -> list[Request]:
+    """Skewed MoE expert-weight traffic.
+
+    Experts own contiguous weight regions; each *burst* picks an
+    expert from the Fig. 3-calibrated hot/cold mixture and streams
+    ``burst_blocks`` consecutive 64-byte blocks from that expert's
+    region (resuming where the expert's previous fetch left off).  A
+    ``write_fraction`` of bursts are activation writebacks.  The
+    result interleaves long sequential runs (hot experts, row hits)
+    with scattered cold-expert fetches (row misses) -- the mix that
+    makes FR-FCFS lookahead matter.
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    if n_experts < 1 or burst_blocks < 1:
+        raise ValueError("n_experts and burst_blocks must be >= 1")
+    org = config.organization
+    step = org.access_bytes
+    total_blocks = org.total_capacity_bytes // step
+    if n_experts > total_blocks:
+        raise ValueError(
+            f"{n_experts} experts cannot fit in {total_blocks} blocks of capacity"
+        )
+    expert_blocks = max(burst_blocks, expert_bytes // step)
+    if n_experts * expert_blocks > total_blocks:
+        # Shrink regions to fit the device; bursts wrap inside the
+        # (possibly shorter-than-burst) region via the modulo below.
+        expert_blocks = total_blocks // n_experts
+
+    rng = np.random.default_rng(seed)
+    popularity = mixture_popularity(
+        n_experts, rng, hot_fraction=hot_fraction, n_hot=n_hot, tail_shape=tail_shape
+    )
+    n_bursts = -(-n_requests // burst_blocks)
+    experts = rng.choice(n_experts, size=n_bursts, p=popularity)
+
+    # Per-burst resume offset: the k-th fetch of an expert starts
+    # where its (k-1)-th left off (vectorized cumulative count).
+    order = np.argsort(experts, kind="stable")
+    sorted_experts = experts[order]
+    group_start = np.r_[0, np.flatnonzero(np.diff(sorted_experts)) + 1]
+    sizes = np.diff(np.r_[group_start, n_bursts])
+    cumcount_sorted = np.arange(n_bursts) - np.repeat(group_start, sizes)
+    cumcount = np.empty(n_bursts, dtype=np.int64)
+    cumcount[order] = cumcount_sorted
+
+    start_blocks = (
+        experts.astype(np.int64) * expert_blocks
+        + (cumcount * burst_blocks) % expert_blocks
+    )
+    # Offsets wrap within each expert's region, never into a neighbour's.
+    offsets = np.arange(burst_blocks, dtype=np.int64)
+    region_base = experts.astype(np.int64)[:, None] * expert_blocks
+    blocks = (
+        (start_blocks[:, None] - region_base + offsets) % expert_blocks + region_base
+    )
+    burst_writes = rng.random(n_bursts) < write_fraction
+    writes = np.repeat(burst_writes, burst_blocks)
+    addrs = blocks.reshape(-1)[:n_requests] * step
+    return _build_requests(addrs, writes[:n_requests])
+
+
+#: Named trace generators used by ``repro bench`` / benchmarks/perf.
+MEMORY_TRACES = {
+    "streaming": streaming_memory_trace,
+    "random": random_memory_trace,
+    "moe-skewed": moe_expert_memory_trace,
+}

@@ -1,0 +1,94 @@
+"""Vectorized decode_batch must match the scalar decoder exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.config import LPDDR5X_8533, DRAMOrganization
+
+ORG = DRAMOrganization()
+
+
+@pytest.mark.parametrize("scheme", list(MappingScheme))
+def test_matches_scalar_decode(scheme):
+    mapper = AddressMapper(ORG, scheme)
+    rng = np.random.default_rng(3)
+    addrs = (
+        rng.integers(0, mapper.capacity_bytes // 64, size=500, dtype=np.int64) * 64
+    )
+    batch = mapper.decode_batch(addrs)
+    assert len(batch) == 500
+    for i, addr in enumerate(addrs.tolist()):
+        assert batch[i] == mapper.decode(addr)
+
+
+def test_flat_bank_index_matches():
+    org = LPDDR5X_8533.organization
+    mapper = AddressMapper(org)
+    addrs = np.arange(0, 4096 * 64, 64, dtype=np.int64)
+    batch = mapper.decode_batch(addrs)
+    flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+    for i in range(len(batch)):
+        assert int(flat[i]) == batch[i].flat_bank_index(
+            org.n_bankgroups, org.banks_per_group
+        )
+
+
+def test_accepts_python_lists():
+    mapper = AddressMapper(ORG)
+    batch = mapper.decode_batch([0, 64, 128])
+    assert batch[1] == mapper.decode(64)
+
+
+def test_rejects_negative():
+    mapper = AddressMapper(ORG)
+    with pytest.raises(ValueError, match="non-negative"):
+        mapper.decode_batch([0, -64, 128])
+
+
+def test_rejects_beyond_capacity():
+    mapper = AddressMapper(ORG)
+    with pytest.raises(ValueError, match="beyond device capacity"):
+        mapper.decode_batch([0, mapper.capacity_bytes])
+
+
+def test_reports_first_invalid_in_input_order():
+    # Scalar-path parity: the *first* bad address wins, whatever its kind.
+    mapper = AddressMapper(ORG)
+    with pytest.raises(ValueError, match="beyond device capacity"):
+        mapper.decode_batch([mapper.capacity_bytes, -64])
+    with pytest.raises(ValueError, match="non-negative"):
+        mapper.decode_batch([-64, mapper.capacity_bytes])
+
+
+def test_rejects_beyond_int64():
+    # Must match the scalar path's ValueError, not leak OverflowError.
+    mapper = AddressMapper(ORG)
+    with pytest.raises(ValueError, match="beyond device capacity"):
+        mapper.decode_batch([0, 1 << 70])
+    with pytest.raises(ValueError, match="non-negative"):
+        mapper.decode_batch([-(1 << 70)])
+
+
+def test_controller_rejects_beyond_int64():
+    from repro.dram.controller import MemoryController
+    from repro.dram.request import Request, RequestKind
+
+    ctrl = MemoryController(LPDDR5X_8533)
+    with pytest.raises(ValueError, match="beyond device capacity"):
+        ctrl.simulate([Request(addr=1 << 70, kind=RequestKind.READ)])
+
+
+def test_empty_batch():
+    mapper = AddressMapper(ORG)
+    assert len(mapper.decode_batch([])) == 0
+
+
+def test_sequential_stream_still_python_ints():
+    # Consumers hash/compare these; they must be plain ints, not numpy.
+    mapper = AddressMapper(ORG)
+    addrs = mapper.sequential_stream(0, 1024)
+    assert all(type(a) is int for a in addrs)
+    assert addrs[:3] == [0, 64, 128]

@@ -1,0 +1,70 @@
+"""The perf harness itself (tiny sizes; the real run is ``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dram.bench import bench_controller, format_bench, write_bench
+
+
+def test_payload_shape_and_equivalence(tmp_path):
+    payload = bench_controller(n_requests=400, patterns=("random",), seed=1)
+    entry = payload["patterns"]["random"]
+    assert entry["indexed"]["n_requests"] == 400
+    assert entry["reference"]["n_requests"] == 400
+    assert entry["speedup"] > 0
+    # Same-length runs must agree bit-for-bit.
+    assert entry["stats_identical"] is True
+
+    path = tmp_path / "BENCH_controller.json"
+    write_bench(payload, str(path))
+    assert json.loads(path.read_text())["benchmark"] == "dram-controller-throughput"
+
+
+def test_reference_cap_is_recorded():
+    payload = bench_controller(
+        n_requests=400, patterns=("streaming",), reference_requests=200, seed=1
+    )
+    entry = payload["patterns"]["streaming"]
+    assert entry["reference"]["n_requests"] == 200
+    assert "stats_identical" not in entry
+    assert payload["reference_requests"] == 200
+
+
+def test_no_reference():
+    payload = bench_controller(
+        n_requests=200, patterns=("moe-skewed",), include_reference=False
+    )
+    entry = payload["patterns"]["moe-skewed"]
+    assert "reference" not in entry and "speedup" not in entry
+
+
+def test_unknown_pattern():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        bench_controller(n_requests=10, patterns=("nope",))
+
+
+def test_format_bench_renders():
+    payload = bench_controller(n_requests=200, patterns=("random",), seed=2)
+    table = format_bench(payload)
+    assert "random" in table and "speedup" in table
+
+
+def test_cli_bench(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_controller.json"
+    rc = main(
+        [
+            "bench",
+            "--requests", "300",
+            "--reference-requests", "150",
+            "--patterns", "random",
+            "--output", str(out),
+        ]
+    )
+    assert rc == 0
+    assert out.exists()
+    assert "random" in capsys.readouterr().out
