@@ -136,6 +136,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             reference_requests=reference_requests,
             include_reference=not args.no_reference,
             seed=args.seed,
+            arrival=args.arrival,
+            arrival_gap=args.arrival_gap,
             window=args.window,
         )
     except ValueError as exc:
@@ -179,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-reference", action="store_true",
                        help="skip the reference baseline")
     bench.add_argument("--patterns", default="streaming,random,moe-skewed")
+    bench.add_argument("--arrival", choices=("poisson", "batched", "onoff"),
+                       default=None,
+                       help="open-loop arrival process stamped onto the "
+                            "trace (default: all requests at cycle 0)")
+    bench.add_argument("--arrival-gap", type=float, default=8.0,
+                       help="mean inter-arrival gap in controller cycles "
+                            "for --arrival")
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run (20k requests, 5k reference)")
     bench.add_argument("--window", type=int, default=64)

@@ -44,10 +44,20 @@ class BenchRun:
     row_conflicts: int
     activates: int
     precharges: int
+    queue_delay_mean: float
+    queue_delay_p99: float
+    idle_cycles: int
 
 
-def _make_trace(pattern: str, n_requests: int, config: DRAMConfig, seed: int):
-    from repro.workloads.traces import MEMORY_TRACES
+def _make_trace(
+    pattern: str,
+    n_requests: int,
+    config: DRAMConfig,
+    seed: int,
+    arrival: Optional[str] = None,
+    arrival_gap: float = 8.0,
+):
+    from repro.workloads.traces import ARRIVAL_PROCESSES, MEMORY_TRACES, apply_arrivals
 
     try:
         generator = MEMORY_TRACES[pattern]
@@ -55,7 +65,17 @@ def _make_trace(pattern: str, n_requests: int, config: DRAMConfig, seed: int):
         raise ValueError(
             f"unknown pattern {pattern!r}; choose from {sorted(MEMORY_TRACES)}"
         ) from None
-    return generator(n_requests, config=config, seed=seed)
+    requests = generator(n_requests, config=config, seed=seed)
+    if arrival is not None:
+        try:
+            process = ARRIVAL_PROCESSES[arrival]
+        except KeyError:
+            raise ValueError(
+                f"unknown arrival process {arrival!r}; "
+                f"choose from {sorted(ARRIVAL_PROCESSES)}"
+            ) from None
+        apply_arrivals(requests, process(n_requests, arrival_gap, seed=seed))
+    return requests
 
 
 def _run_one(
@@ -64,10 +84,12 @@ def _run_one(
     n_requests: int,
     config: DRAMConfig,
     seed: int,
+    arrival: Optional[str] = None,
+    arrival_gap: float = 8.0,
     **controller_kwargs,
 ) -> tuple[BenchRun, ControllerStats]:
     cls = ReferenceMemoryController if implementation == "reference" else MemoryController
-    requests = _make_trace(pattern, n_requests, config, seed)
+    requests = _make_trace(pattern, n_requests, config, seed, arrival, arrival_gap)
     controller = cls(config, **controller_kwargs)
     start = time.perf_counter()
     stats = controller.simulate(requests)
@@ -85,6 +107,9 @@ def _run_one(
         row_conflicts=stats.row_conflicts,
         activates=stats.activates,
         precharges=stats.precharges,
+        queue_delay_mean=stats.queue_delay_mean,
+        queue_delay_p99=stats.queue_delay_p99,
+        idle_cycles=sum(stats.idle_channel_cycles.values()),
     )
     return run, stats
 
@@ -96,6 +121,8 @@ def bench_controller(
     include_reference: bool = True,
     config: DRAMConfig = LPDDR5X_8533,
     seed: int = 7,
+    arrival: Optional[str] = None,
+    arrival_gap: float = 8.0,
     **controller_kwargs,
 ) -> dict:
     """Bench every pattern; returns the JSON-ready payload.
@@ -106,6 +133,11 @@ def bench_controller(
     measured at the shorter, faster-for-it length.  When lengths
     match, the two implementations' ControllerStats are also checked
     for bit-identity and the result recorded per pattern.
+
+    ``arrival`` selects an open-loop arrival process
+    (:data:`repro.workloads.traces.ARRIVAL_PROCESSES`) stamped onto the
+    trace with a mean inter-arrival gap of ``arrival_gap`` cycles;
+    ``None`` keeps the all-at-cycle-0 batch default.
     """
     if n_requests < 1:
         raise ValueError("n_requests must be >= 1")
@@ -113,12 +145,14 @@ def bench_controller(
     results = {}
     for pattern in patterns:
         indexed, indexed_stats = _run_one(
-            pattern, "indexed", n_requests, config, seed, **controller_kwargs
+            pattern, "indexed", n_requests, config, seed,
+            arrival, arrival_gap, **controller_kwargs
         )
         entry = {"indexed": asdict(indexed)}
         if include_reference:
             reference, reference_stats = _run_one(
-                pattern, "reference", ref_n, config, seed, **controller_kwargs
+                pattern, "reference", ref_n, config, seed,
+                arrival, arrival_gap, **controller_kwargs
             )
             entry["reference"] = asdict(reference)
             entry["speedup"] = (
@@ -136,6 +170,8 @@ def bench_controller(
         "n_requests": n_requests,
         "reference_requests": ref_n if include_reference else None,
         "seed": seed,
+        "arrival": arrival,
+        "arrival_gap_cycles": arrival_gap if arrival is not None else None,
         "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
         "python": _platform.python_version(),
         "machine": _platform.machine(),
@@ -166,9 +202,13 @@ def format_bench(payload: dict) -> str:
                 int(ref["requests_per_second"]) if ref else "-",
                 round(entry["speedup"], 1) if ref else "-",
                 round(idx["row_hit_rate"], 3),
+                round(idx["queue_delay_p99"], 1),
             ]
         )
     return format_table(
-        ["pattern", "requests", "sec", "req/s", "ref req/s", "speedup", "hit rate"],
+        [
+            "pattern", "requests", "sec", "req/s", "ref req/s", "speedup",
+            "hit rate", "q-delay p99",
+        ],
         rows,
     )

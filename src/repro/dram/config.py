@@ -58,6 +58,18 @@ class DRAMConfig:
     organization: DRAMOrganization
     timing: DRAMTiming
 
+    def __post_init__(self) -> None:
+        # The controller's refresh derate divides by (1 - overhead);
+        # an overhead at or above 1 means the device spends all of its
+        # time refreshing, which no JEDEC part does -- reject it here
+        # with a clear message rather than dividing by zero (or going
+        # negative) deep inside simulate().
+        overhead = self.timing.refresh_overhead
+        if not 0.0 <= overhead < 1.0:
+            raise ValueError(
+                f"refresh overhead tRFC/tREFI must be in [0, 1), got {overhead}"
+            )
+
     @property
     def channel_peak_bandwidth(self) -> float:
         """Bytes/s when the data bus streams back-to-back bursts."""

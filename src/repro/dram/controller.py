@@ -35,6 +35,13 @@ original windowed-list form it is kept bit-identical to):
 
 Address decoding is vectorized over the whole trace with
 :meth:`~repro.dram.address.AddressMapper.decode_batch`.
+
+Arrivals are honored end-to-end: per-channel queues are ordered by
+``Request.arrive_cycle`` (stable, so all-at-cycle-0 batch traces keep
+input order and bit-identical schedules), requests only become
+schedulable once channel time reaches their arrival, idle gaps are
+skipped via a sorted-arrival cursor, and per-request queue delays are
+aggregated into :class:`ControllerStats`.
 """
 
 from __future__ import annotations
@@ -78,6 +85,15 @@ class ControllerStats:
     total_cycles: int = 0
     refresh_cycles: int = 0
     busy_channel_cycles: dict[int, int] = field(default_factory=dict)
+    #: Cycles each channel sat with an empty queue waiting for the
+    #: next arrival (always 0 for all-at-cycle-0 batch traces).
+    idle_channel_cycles: dict[int, int] = field(default_factory=dict)
+    #: Queue delay: cycles from a request's arrival to the first
+    #: command issued on its behalf (see Request.queue_delay).
+    queue_delay_mean: float = 0.0
+    queue_delay_p50: float = 0.0
+    queue_delay_p99: float = 0.0
+    queue_delay_max: int = 0
 
     @property
     def row_hit_rate(self) -> float:
@@ -122,9 +138,17 @@ class MemoryController:
         org = self.config.organization
         n = len(requests)
         stats.requests = n
+        for channel in self.channels:
+            stats.busy_channel_cycles[channel.index] = 0
+            stats.idle_channel_cycles[channel.index] = 0
         if n == 0:
             return stats
+        for r in requests:
+            r.reset_for_sim()
 
+        arrive = np.fromiter((r.arrive_cycle for r in requests), dtype=np.int64, count=n)
+        if arrive.min() < 0:
+            raise ValueError("arrive_cycle must be non-negative")
         try:
             addrs = np.fromiter((r.addr for r in requests), dtype=np.int64, count=n)
         except OverflowError:
@@ -150,8 +174,11 @@ class MemoryController:
         ):
             req.decoded = DecodedAddress(ch, ra, bg, ba, ro, co)
 
-        # Stable split into per-channel FIFO queues.
-        order = np.argsort(batch.channel, kind="stable")
+        # Stable split into per-channel FIFO queues, ordered by
+        # arrival within each channel (lexsort is stable, so equal
+        # arrive_cycles keep input order -- the all-zero batch case
+        # degenerates to the original input-order queues).
+        order = np.lexsort((arrive, batch.channel))
         counts = np.bincount(batch.channel, minlength=org.n_channels)
         bounds = np.concatenate(([0], np.cumsum(counts)))
         order_list = order.tolist()
@@ -159,6 +186,7 @@ class MemoryController:
         row_sorted = batch.row[order].tolist()
         col_sorted = batch.column[order].tolist()
         wr_sorted = is_write[order].tolist()
+        arr_sorted = arrive[order].tolist()
 
         final_cycle = 0
         for channel in self.channels:
@@ -166,17 +194,19 @@ class MemoryController:
             if lo == hi:
                 continue
             reqs = [requests[i] for i in order_list[lo:hi]]
-            last = self._drain_channel(
+            last, idle = self._drain_channel(
                 channel,
                 reqs,
                 bf_sorted[lo:hi],
                 row_sorted[lo:hi],
                 col_sorted[lo:hi],
                 wr_sorted[lo:hi],
+                arr_sorted[lo:hi],
                 stats,
             )
             final_cycle = max(final_cycle, last)
             stats.busy_channel_cycles[channel.index] = last
+            stats.idle_channel_cycles[channel.index] = idle
         # Refresh duty-cycle derate: every tREFI window loses tRFC
         # cycles of availability (first-order streaming model).
         overhead = self.config.timing.refresh_overhead
@@ -184,7 +214,22 @@ class MemoryController:
             stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
             final_cycle += stats.refresh_cycles
         stats.total_cycles = final_cycle
+        self._fill_queue_stats(stats, requests)
         return stats
+
+    @staticmethod
+    def _fill_queue_stats(stats: ControllerStats, requests: list[Request]) -> None:
+        """Aggregate per-request queue delays into the stats block."""
+        n = len(requests)
+        delays = np.fromiter(
+            (r.first_command_cycle - r.arrive_cycle for r in requests),
+            dtype=np.int64,
+            count=n,
+        )
+        stats.queue_delay_mean = float(delays.mean())
+        stats.queue_delay_p50 = float(np.percentile(delays, 50))
+        stats.queue_delay_p99 = float(np.percentile(delays, 99))
+        stats.queue_delay_max = int(delays.max())
 
     def sustained_bandwidth(self, stats: ControllerStats) -> float:
         """Bytes/s implied by a run's request count and cycle span."""
@@ -203,10 +248,12 @@ class MemoryController:
         row: list[int],
         col: list[int],
         iswr: list[bool],
+        arr: list[int],
         stats: ControllerStats,
-    ) -> int:
+    ) -> tuple[int, int]:
         """Drain one channel's FIFO queue (requests given as parallel
-        arrays of flat bank index / row / column / is-write).
+        arrays of flat bank index / row / column / is-write /
+        arrive-cycle, ordered by arrival).
 
         One command issues per loop iteration; a request leaves the
         queue when its column command issues.  The candidate scan runs
@@ -214,6 +261,16 @@ class MemoryController:
         triples; global channel constraints (command bus, tCCD, data
         bus, tRRD/tFAW, tWTR) are folded in as per-class floors
         computed once per iteration.
+
+        Open-loop arrivals: a request enters the scheduling window
+        only once channel time (the command-bus cycle ``cb``) has
+        reached its ``arrive_cycle``.  When the window empties with
+        arrivals still outstanding, channel time jumps to the next
+        arrival (the gap is accounted as idle); when an arrival lands
+        before the chosen command would issue (and the window has
+        room), channel time advances to that arrival and the decision
+        is re-derived so the newcomer competes.  Returns
+        ``(last_complete_cycle, idle_cycles)``.
         """
         t = channel.timing
         org = self.config.organization
@@ -299,17 +356,33 @@ class MemoryController:
                     rd.append(s)
             active.add(b)
 
-        window_tail = min(self.window, n)
-        for s in range(window_tail):
-            insert(s)
-        dirty = list(active)
+        window_cap = self.window
+        dirty: list[int] = []
 
+        pos = 0  # next not-yet-admitted request (arrival order)
+        in_window = 0
+        idle = 0
         remaining = n
         head = 0
         head_skips = 0
         last_complete = 0
 
         while remaining:
+            # Admit arrived requests into the scheduling window (the
+            # queue order is arrival order, so admission is a cursor).
+            while pos < n and in_window < window_cap and arr[pos] <= cb:
+                insert(pos)
+                dirty.append(bf[pos])
+                pos += 1
+                in_window += 1
+            if in_window == 0:
+                # Queue empty with arrivals outstanding: jump channel
+                # time to the next arrival.
+                nxt = arr[pos]
+                idle += nxt - cb
+                cb = nxt
+                continue
+
             # Refresh cached candidates for banks whose queues or row
             # state changed since the last issue.
             for b in dirty:
@@ -514,8 +587,18 @@ class MemoryController:
                 s = best_seq
                 cycle = best_ready
 
+            # Open-loop arrivals: if a request lands before the chosen
+            # command would issue and the window has room, advance
+            # channel time to the arrival and re-derive the decision so
+            # the newcomer competes for the slot.
+            if pos < n and in_window < window_cap and arr[pos] <= cycle:
+                cb = arr[pos]
+                continue
+
             # -- issue the chosen command (mirrors Channel.issue_*) ----
             req = reqs[s]
+            if req.first_command_cycle is None:
+                req.first_command_cycle = cycle
             if cmd == _PRE:
                 b_open[b] = None
                 x = cycle + tRP
@@ -598,10 +681,7 @@ class MemoryController:
                 if not rd:
                     del rows[row[s]]
                 dirty.append(b)
-                if window_tail < n:
-                    insert(window_tail)
-                    dirty.append(bf[window_tail])
-                    window_tail += 1
+                in_window -= 1
                 if remaining and not was_head:
                     head_skips += 1
                 else:
@@ -621,4 +701,4 @@ class MemoryController:
             bank.earliest_pre = b_epre[i]
             bank.earliest_col = b_ecol[i]
             bank.row_hits += b_hits[i]
-        return last_complete
+        return last_complete, idle

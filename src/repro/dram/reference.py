@@ -29,8 +29,14 @@ class ReferenceMemoryController(MemoryController):
     def simulate(self, requests: list[Request]) -> ControllerStats:
         stats = ControllerStats()
         org = self.config.organization
+        for channel in self.channels:
+            stats.busy_channel_cycles[channel.index] = 0
+            stats.idle_channel_cycles[channel.index] = 0
         per_channel: list[list[Request]] = [[] for _ in range(org.n_channels)]
         for req in requests:
+            req.reset_for_sim()
+            if req.arrive_cycle < 0:
+                raise ValueError("arrive_cycle must be non-negative")
             req.decoded = self.mapper.decode(req.addr)
             per_channel[req.decoded.channel].append(req)
 
@@ -38,9 +44,14 @@ class ReferenceMemoryController(MemoryController):
         for channel, queue in zip(self.channels, per_channel):
             if not queue:
                 continue
-            last = self._drain_channel_reference(channel, queue, stats)
+            # FIFO order is arrival order; sort() is stable, so
+            # same-cycle arrivals keep input order (the all-zero batch
+            # case keeps the original queues exactly).
+            queue.sort(key=lambda r: r.arrive_cycle)
+            last, idle = self._drain_channel_reference(channel, queue, stats)
             final_cycle = max(final_cycle, last)
             stats.busy_channel_cycles[channel.index] = last
+            stats.idle_channel_cycles[channel.index] = idle
         overhead = self.config.timing.refresh_overhead
         if overhead > 0 and final_cycle > 0:
             stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
@@ -49,17 +60,39 @@ class ReferenceMemoryController(MemoryController):
         stats.requests = len(requests)
         stats.reads = sum(1 for r in requests if r.kind is RequestKind.READ)
         stats.writes = stats.requests - stats.reads
+        if requests:
+            self._fill_queue_stats(stats, requests)
         return stats
 
     def _drain_channel_reference(
         self, channel: Channel, queue: list[Request], stats: ControllerStats
-    ) -> int:
+    ) -> tuple[int, int]:
         org = self.config.organization
         flat = lambda d: d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
-        pending = list(queue)
+        n = len(queue)
+        cursor = 0  # next not-yet-arrived request (queue is sorted)
+        pending: list[Request] = []
+        idle = 0
         last_complete = 0
         head_skips = 0
-        while pending:
+        while pending or cursor < n:
+            # A request becomes schedulable once channel time (the
+            # command-bus cycle) reaches its arrival; when the queue is
+            # empty, channel time jumps to the next arrival and the gap
+            # counts as idle.
+            if not pending:
+                nxt = queue[cursor].arrive_cycle
+                if nxt > channel._cmd_bus_next:
+                    idle += nxt - channel._cmd_bus_next
+                    channel._cmd_bus_next = nxt
+            while (
+                cursor < n
+                and len(pending) < self.window
+                and queue[cursor].arrive_cycle <= channel._cmd_bus_next
+            ):
+                pending.append(queue[cursor])
+                cursor += 1
+
             window = pending[: self.window]
             fcfs = self.policy is SchedulerPolicy.FCFS
             forced = head_skips >= self.starvation_cap
@@ -117,13 +150,35 @@ class ReferenceMemoryController(MemoryController):
 
             if cmd == "PRE":
                 cycle = channel.earliest_pre(bank_index)
+            elif cmd == "ACT":
+                cycle = channel.earliest_act(bank_index)
+            else:
+                cycle = channel.earliest_col(
+                    bank_index, req.kind is RequestKind.WRITE
+                )
+
+            # Open-loop arrivals: if a request lands before the chosen
+            # command would issue and the window has room, advance
+            # channel time to the arrival and re-derive the decision so
+            # the newcomer competes for the slot.
+            if (
+                cursor < n
+                and len(pending) < self.window
+                and queue[cursor].arrive_cycle <= cycle
+            ):
+                channel._cmd_bus_next = queue[cursor].arrive_cycle
+                continue
+
+            if req.first_command_cycle is None:
+                req.first_command_cycle = cycle
+
+            if cmd == "PRE":
                 channel.issue_precharge(cycle, bank_index)
                 stats.precharges += 1
                 if req.row_hit is None:
                     req.row_hit = False
                     stats.row_conflicts += 1
             elif cmd == "ACT":
-                cycle = channel.earliest_act(bank_index)
                 channel.issue_activate(cycle, bank_index, decoded.row)
                 stats.activates += 1
                 if req.row_hit is None:
@@ -131,7 +186,6 @@ class ReferenceMemoryController(MemoryController):
                     stats.row_misses += 1
             else:
                 is_write = req.kind is RequestKind.WRITE
-                cycle = channel.earliest_col(bank_index, is_write)
                 if is_write:
                     done = channel.issue_write(cycle, bank_index, decoded.column)
                 else:
@@ -146,4 +200,4 @@ class ReferenceMemoryController(MemoryController):
                     head_skips += 1
                 else:
                     head_skips = 0
-        return last_complete
+        return last_complete, idle

@@ -41,7 +41,13 @@ class DecodedAddress:
 
 @dataclass
 class Request:
-    """One 64-byte memory request presented to the controller."""
+    """One 64-byte memory request presented to the controller.
+
+    ``arrive_cycle`` is when the request becomes visible to the
+    scheduler (open-loop arrivals); the controller fills in
+    ``first_command_cycle`` (first ACT/PRE/RD/WR issued on the
+    request's behalf) and ``complete_cycle`` (last data beat).
+    """
 
     addr: int
     kind: RequestKind
@@ -49,6 +55,7 @@ class Request:
     decoded: Optional[DecodedAddress] = None
     complete_cycle: Optional[int] = None
     row_hit: Optional[bool] = field(default=None)
+    first_command_cycle: Optional[int] = None
 
     @property
     def is_done(self) -> bool:
@@ -59,6 +66,21 @@ class Request:
         if self.complete_cycle is None:
             raise RuntimeError("request has not completed")
         return self.complete_cycle - self.arrive_cycle
+
+    def queue_delay(self) -> int:
+        """Cycles from arrival until the controller first worked on
+        this request (0 when it is served the cycle it arrives)."""
+        if self.first_command_cycle is None:
+            raise RuntimeError("request has not been scheduled")
+        return self.first_command_cycle - self.arrive_cycle
+
+    def reset_for_sim(self) -> None:
+        """Clear per-run scheduler outputs so a request list can be
+        re-simulated without stale completion state."""
+        self.decoded = None
+        self.complete_cycle = None
+        self.row_hit = None
+        self.first_command_cycle = None
 
 
 @dataclass(frozen=True)

@@ -199,6 +199,76 @@ class ServingSimulator:
         return result
 
 
+def dram_replay_trace(
+    result: ServingResult,
+    dram_config=None,
+    bytes_per_token: int = 2048,
+    max_blocks_per_request: int = 4096,
+    region_bytes: int = 1 << 22,
+    n_regions: int = 128,
+    seed: int = 0,
+):
+    """Replay a serving run as a DRAM request stream with real
+    arrival times.
+
+    Each completed serving request becomes a burst of sequential
+    64-byte weight-fetch reads -- ``bytes_per_token`` per prompt and
+    decode token, capped at ``max_blocks_per_request`` blocks -- whose
+    ``arrive_cycle`` is the request's *service-start* time converted
+    to controller cycles.  Bursts stream from one of ``n_regions``
+    contiguous expert-weight regions (seeded pick, resuming where that
+    region's previous burst left off), so the DRAM-level trace
+    inherits both the serving layer's burstiness and the MoE access
+    shape.  Feed the result to
+    :meth:`repro.dram.controller.MemoryController.simulate` for
+    tail-latency studies of queueing *inside* the memory system --
+    the ROADMAP's serving-to-DRAM closed loop.
+    """
+    from repro.dram.config import LPDDR5X_8533
+    from repro.dram.request import Request as DRAMRequest
+    from repro.dram.request import RequestKind
+
+    if (
+        bytes_per_token < 1
+        or max_blocks_per_request < 1
+        or region_bytes < 1
+        or n_regions < 1
+    ):
+        raise ValueError(
+            "bytes_per_token, max_blocks_per_request, region_bytes, "
+            "n_regions must be >= 1"
+        )
+    config = dram_config if dram_config is not None else LPDDR5X_8533
+    org = config.organization
+    step = org.access_bytes
+    region_blocks = max(1, min(region_bytes, org.total_capacity_bytes // n_regions) // step)
+    clock_hz = config.timing.clock_hz
+
+    rng = np.random.default_rng(seed)
+    resume: dict[int, int] = {}
+    trace: list[DRAMRequest] = []
+    for completed in sorted(result.completed, key=lambda c: c.start):
+        start_cycle = int(round(completed.start * clock_hz))
+        tokens = completed.request.prompt_tokens + completed.request.decode_tokens
+        n_blocks = min(
+            max_blocks_per_request, -(-(tokens * bytes_per_token) // step)
+        )
+        region = int(rng.integers(n_regions))
+        offset = resume.get(region, 0)
+        base_block = region * region_blocks
+        for i in range(n_blocks):
+            block = base_block + (offset + i) % region_blocks
+            trace.append(
+                DRAMRequest(
+                    addr=block * step,
+                    kind=RequestKind.READ,
+                    arrive_cycle=start_cycle,
+                )
+            )
+        resume[region] = (offset + n_blocks) % region_blocks
+    return trace
+
+
 def load_sweep(
     cost_model: CostModel,
     scheme: Scheme,

@@ -310,3 +310,124 @@ MEMORY_TRACES = {
     "random": random_memory_trace,
     "moe-skewed": moe_expert_memory_trace,
 }
+
+
+# -- arrival-process generation -----------------------------------------------
+#
+# The controller honors ``Request.arrive_cycle``, so a memory trace is
+# really (addresses, arrivals).  These generators produce sorted
+# arrival-cycle arrays for the three open-loop shapes that bound
+# queueing behaviour -- Poisson (memoryless serving traffic),
+# fixed-rate batches (lockstep inference steps), and on/off bursts
+# (think periodic expert prefetch storms) -- all seeded and offset by
+# ``start_cycle`` so multi-stream traces can be phase-shifted.
+
+
+def poisson_arrival_cycles(
+    n: int,
+    mean_gap_cycles: float,
+    seed: int = 0,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """Open-loop Poisson arrivals: exponential inter-arrival gaps with
+    the given mean, floored to integer cycles."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if mean_gap_cycles <= 0:
+        raise ValueError("mean_gap_cycles must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap_cycles, size=n)
+    return start_cycle + np.floor(np.cumsum(gaps)).astype(np.int64)
+
+
+def batched_arrival_cycles(
+    n: int,
+    batch_size: int,
+    batch_gap_cycles: int,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """Fixed-rate batched arrivals: ``batch_size`` requests land
+    together every ``batch_gap_cycles`` (deterministic)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if batch_size < 1 or batch_gap_cycles < 1:
+        raise ValueError("batch_size and batch_gap_cycles must be >= 1")
+    batches = np.arange(n, dtype=np.int64) // batch_size
+    return start_cycle + batches * batch_gap_cycles
+
+
+def onoff_arrival_cycles(
+    n: int,
+    mean_gap_cycles: float,
+    on_cycles: int,
+    off_cycles: int,
+    seed: int = 0,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """On/off bursty arrivals: Poisson arrivals at ``mean_gap_cycles``
+    during ``on_cycles``-long active periods separated by silent
+    ``off_cycles`` gaps.  Arrivals are generated on a compressed
+    active-time axis and expanded by the duty cycle, so the offered
+    load during bursts is rate-exact."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if mean_gap_cycles <= 0:
+        raise ValueError("mean_gap_cycles must be positive")
+    if on_cycles < 1 or off_cycles < 0:
+        raise ValueError("on_cycles must be >= 1 and off_cycles >= 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap_cycles, size=n)
+    active = np.floor(np.cumsum(gaps)).astype(np.int64)
+    period = on_cycles + off_cycles
+    return start_cycle + (active // on_cycles) * period + active % on_cycles
+
+
+def apply_arrivals(requests: list[Request], cycles: np.ndarray) -> list[Request]:
+    """Stamp an arrival-cycle array onto a request list, in place."""
+    if len(requests) != len(cycles):
+        raise ValueError(
+            f"{len(cycles)} arrival cycles for {len(requests)} requests"
+        )
+    for req, cycle in zip(requests, cycles.tolist()):
+        req.arrive_cycle = int(cycle)
+    return requests
+
+
+def _batched_process(
+    n: int, mean_gap_cycles: float, seed: int = 0, start_cycle: int = 0
+) -> np.ndarray:
+    if mean_gap_cycles <= 0:
+        raise ValueError("mean_gap_cycles must be positive")
+    return batched_arrival_cycles(
+        n,
+        batch_size=64,
+        batch_gap_cycles=max(1, int(round(64 * mean_gap_cycles))),
+        start_cycle=start_cycle,
+    )
+
+
+def _onoff_process(
+    n: int, mean_gap_cycles: float, seed: int = 0, start_cycle: int = 0
+) -> np.ndarray:
+    # 4x the offered rate while on, 1/4 duty cycle: same mean rate.
+    if mean_gap_cycles <= 0:
+        raise ValueError("mean_gap_cycles must be positive")
+    return onoff_arrival_cycles(
+        n,
+        mean_gap_cycles / 4.0,
+        on_cycles=max(1, int(round(256 * mean_gap_cycles))),
+        off_cycles=max(1, int(round(768 * mean_gap_cycles))),
+        seed=seed,
+        start_cycle=start_cycle,
+    )
+
+
+#: Named arrival processes (``repro bench --arrival``).  Each takes
+#: (n, mean_gap_cycles, seed, start_cycle) and returns sorted cycles;
+#: the batched/on-off shapes keep the same offered rate as a Poisson
+#: process with the same mean gap.
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrival_cycles,
+    "batched": _batched_process,
+    "onoff": _onoff_process,
+}

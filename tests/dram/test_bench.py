@@ -46,6 +46,25 @@ def test_unknown_pattern():
         bench_controller(n_requests=10, patterns=("nope",))
 
 
+def test_open_loop_arrivals_threaded():
+    payload = bench_controller(
+        n_requests=400, patterns=("random",), arrival="poisson",
+        arrival_gap=20.0, seed=1,
+    )
+    assert payload["arrival"] == "poisson"
+    assert payload["arrival_gap_cycles"] == 20.0
+    entry = payload["patterns"]["random"]
+    # Both implementations ran the same open-loop trace bit-identically.
+    assert entry["stats_identical"] is True
+    assert entry["indexed"]["idle_cycles"] > 0
+    assert entry["indexed"]["queue_delay_mean"] >= 0.0
+
+
+def test_unknown_arrival_process():
+    with pytest.raises(ValueError, match="unknown arrival"):
+        bench_controller(n_requests=10, patterns=("random",), arrival="nope")
+
+
 def test_format_bench_renders():
     payload = bench_controller(n_requests=200, patterns=("random",), seed=2)
     table = format_bench(payload)
@@ -68,3 +87,25 @@ def test_cli_bench(tmp_path, capsys):
     assert rc == 0
     assert out.exists()
     assert "random" in capsys.readouterr().out
+
+
+def test_cli_bench_open_loop(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_controller.json"
+    rc = main(
+        [
+            "bench",
+            "--requests", "300",
+            "--reference-requests", "300",
+            "--patterns", "streaming",
+            "--arrival", "batched",
+            "--arrival-gap", "4",
+            "--output", str(out),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["arrival"] == "batched"
+    assert payload["patterns"]["streaming"]["stats_identical"] is True
+    assert "q-delay p99" in capsys.readouterr().out

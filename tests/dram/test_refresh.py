@@ -52,3 +52,21 @@ def test_refresh_validation():
             tCCD_S=1, tCCD_L=1, tRRD=1, tFAW=1, tWR=1, tWTR=1,
             tREFI=-1,
         )
+
+
+def test_config_rejects_degenerate_refresh_overhead():
+    """The controller derate divides by (1 - tRFC/tREFI); DRAMConfig
+    must reject overhead >= 1 with a clear error even if handed a
+    timing object that dodged DRAMTiming's own validation."""
+    from repro.dram.config import DRAMConfig, DRAMOrganization
+
+    good = DRAMTiming(
+        clock_hz=1e9, tRCD=1, tRP=1, tCL=1, tCWL=1, tRAS=1,
+        tCCD_S=1, tCCD_L=1, tRRD=1, tFAW=1, tWR=1, tWTR=1,
+    )
+    # Forge tRFC >= tREFI behind the frozen dataclass's back (models a
+    # hand-built or deserialized timing that skipped __post_init__).
+    object.__setattr__(good, "tREFI", 10)
+    object.__setattr__(good, "tRFC", 10)
+    with pytest.raises(ValueError, match="refresh overhead"):
+        DRAMConfig(organization=DRAMOrganization(), timing=good)

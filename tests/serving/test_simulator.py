@@ -80,6 +80,64 @@ def test_validation(cheap_model):
         ServingSimulator(cheap_model, Scheme.MD_LB, queue_limit=0)
 
 
+def test_dram_replay_trace_carries_serving_arrivals(cheap_model):
+    """The serving-to-DRAM replay hook: DRAM request arrivals come
+    from serving-request start times and drive nonzero queueing at the
+    memory level."""
+    import dataclasses
+
+    from repro.dram.config import DRAMConfig, DRAMOrganization, LPDDR5X_8533
+    from repro.dram.controller import MemoryController
+    from repro.dram.reference import ReferenceMemoryController
+    from repro.serving.simulator import dram_replay_trace
+
+    sim = ServingSimulator(cheap_model, Scheme.MD_LB)
+    requests = [req(i, 0.002 * (i + 1), prompt=20, decode=5) for i in range(6)]
+    result = sim.run(requests)
+
+    trace = dram_replay_trace(
+        result, bytes_per_token=256, max_blocks_per_request=64, seed=1
+    )
+    assert trace, "replay produced no DRAM requests"
+    clock = LPDDR5X_8533.timing.clock_hz
+    starts = sorted(int(round(c.start * clock)) for c in result.completed)
+    assert sorted({r.arrive_cycle for r in trace}) == sorted(set(starts))
+
+    # The replayed stream drains on both controllers identically and
+    # reports queueing (each serving burst lands at one instant).
+    small = DRAMConfig(
+        organization=DRAMOrganization(
+            n_channels=2, n_ranks=1, n_bankgroups=2, banks_per_group=2,
+            n_rows=4096, row_bytes=2048, access_bytes=64,
+        ),
+        timing=LPDDR5X_8533.timing,
+    )
+    fast_trace = dram_replay_trace(
+        result, dram_config=small, bytes_per_token=256,
+        max_blocks_per_request=64, seed=1,
+    )
+    ref_trace = dram_replay_trace(
+        result, dram_config=small, bytes_per_token=256,
+        max_blocks_per_request=64, seed=1,
+    )
+    fast_stats = MemoryController(small).simulate(fast_trace)
+    ref_stats = ReferenceMemoryController(small).simulate(ref_trace)
+    assert dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
+    assert fast_stats.queue_delay_max > 0
+    assert sum(fast_stats.idle_channel_cycles.values()) > 0
+
+
+def test_dram_replay_trace_validation(cheap_model):
+    from repro.serving.simulator import ServingResult, dram_replay_trace
+
+    empty = ServingResult(scheme=Scheme.MD_LB)
+    assert dram_replay_trace(empty) == []
+    with pytest.raises(ValueError):
+        dram_replay_trace(empty, bytes_per_token=0)
+    with pytest.raises(ValueError):
+        dram_replay_trace(empty, region_bytes=0)
+
+
 @pytest.mark.slow
 def test_cost_model_from_runtime_ranks_schemes():
     """MD+LB sustains more load than GPU+PM on the same model."""
