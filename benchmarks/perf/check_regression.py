@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI throughput-regression gate for the controller benchmark.
+
+Compares a fresh ``repro bench --smoke`` payload against the ``smoke``
+section of the committed baseline
+(``benchmarks/perf/BENCH_controller.json``) and fails when any
+pattern's throughput dropped by more than the tolerance (default 30%,
+see README.md: wide enough to absorb CI-runner machine variance,
+tight enough to catch an accidentally quadratic scheduler).
+
+Both the simulate-only ``indexed`` number and the end-to-end
+``arrays`` number are gated.  Patterns present in only one payload are
+skipped (so adding a pattern does not break the gate).
+
+Usage::
+
+    python benchmarks/perf/check_regression.py CURRENT.json \
+        [--baseline benchmarks/perf/BENCH_controller.json] \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+GATED_IMPLEMENTATIONS = ("indexed", "arrays")
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Returns a list of human-readable regression descriptions."""
+    baseline_smoke = baseline.get("smoke", baseline)
+    regressions = []
+    for pattern, base_entry in baseline_smoke["patterns"].items():
+        cur_entry = current["patterns"].get(pattern)
+        if cur_entry is None:
+            continue
+        for impl in GATED_IMPLEMENTATIONS:
+            base_run = base_entry.get(impl)
+            cur_run = cur_entry.get(impl)
+            if base_run is None or cur_run is None:
+                continue
+            base_rps = base_run["requests_per_second"]
+            cur_rps = cur_run["requests_per_second"]
+            floor = (1.0 - tolerance) * base_rps
+            verdict = "REGRESSION" if cur_rps < floor else "ok"
+            print(
+                f"{pattern:>12} {impl:>8}: {cur_rps:>12,.0f} req/s "
+                f"(baseline {base_rps:,.0f}, floor {floor:,.0f}) {verdict}"
+            )
+            if cur_rps < floor:
+                regressions.append(
+                    f"{pattern}/{impl}: {cur_rps:,.0f} req/s is more than "
+                    f"{tolerance:.0%} below the baseline {base_rps:,.0f}"
+                )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="payload from `repro bench --smoke`")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).parent / "BENCH_controller.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        print("tolerance must be in (0, 1)", file=sys.stderr)
+        return 2
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    current = json.loads(pathlib.Path(args.current).read_text())
+    regressions = compare(baseline, current, args.tolerance)
+    if regressions:
+        print("\nthroughput regression(s) beyond tolerance:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("throughput within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,56 @@
 #!/usr/bin/env python
 """Standalone runner for the controller throughput benchmark.
 
-Equivalent to ``python -m repro bench``; kept as a script so the perf
-harness is discoverable next to its committed baseline and README.
-Run from the repository root with ``PYTHONPATH=src``.
+Pass-through form (``python benchmarks/perf/run_controller_bench.py
+--smoke``) is equivalent to ``python -m repro bench``; kept as a
+script so the perf harness is discoverable next to its committed
+baseline and README.  Run from the repository root with
+``PYTHONPATH=src``.
+
+``--refresh-baseline`` regenerates the committed
+``benchmarks/perf/BENCH_controller.json``: a three-section document
+(``full`` 1M-request batch runs with the O(n^2) reference, the
+``open_loop_poisson`` 1M random trace, and a CI-comparable ``smoke``
+section that ``check_regression.py`` gates pull requests against).
 """
 
 from __future__ import annotations
 
+import pathlib
 import sys
 
 from repro.cli import main
 
+BASELINE = pathlib.Path(__file__).parent / "BENCH_controller.json"
+
+
+def refresh_baseline() -> int:
+    from repro.dram.bench import bench_controller, format_bench, write_bench
+
+    full = bench_controller(n_requests=1_000_000, reference_requests=1_000_000)
+    print(format_bench(full))
+    poisson = bench_controller(
+        n_requests=1_000_000,
+        patterns=("random",),
+        include_reference=False,
+        arrival="poisson",
+        arrival_gap=8.0,
+    )
+    print(format_bench(poisson))
+    smoke = bench_controller(n_requests=20_000, reference_requests=5_000)
+    print(format_bench(smoke))
+    payload = {
+        "benchmark": "dram-controller-baseline",
+        "full": full,
+        "open_loop_poisson": poisson,
+        "smoke": smoke,
+    }
+    write_bench(payload, str(BASELINE))
+    print(f"wrote {BASELINE}")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--refresh-baseline" in sys.argv[1:]:
+        raise SystemExit(refresh_baseline())
     raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -6,8 +6,6 @@ Shape: speedups increase with bandwidth; MD+LB >= MD+AM everywhere;
 the LB-vs-AM gap narrows at higher bandwidth (H becomes conservative).
 """
 
-import dataclasses
-
 import pytest
 
 from repro.analysis.report import format_table

@@ -8,7 +8,11 @@ Commands:
 - ``area-power``     Table 3 NDP area/power breakdown.
 - ``dram``           DRAM bandwidth calibration table.
 - ``bench``          Memory-controller throughput benchmark
-                     (writes ``BENCH_controller.json``).
+                     (writes ``BENCH_controller.json``); accepts
+                     ``--trace-file`` for on-disk ``.dramtrace`` runs.
+- ``trace``          Binary DRAM trace tooling: ``trace gen`` exports
+                     any generator+arrival combination to a
+                     ``.dramtrace`` file, ``trace info`` inspects one.
 """
 
 from __future__ import annotations
@@ -119,7 +123,13 @@ def _cmd_dram(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.dram.bench import bench_controller, format_bench, write_bench
+    from repro.dram.bench import (
+        all_identity_checks_pass,
+        bench_controller,
+        bench_trace_file,
+        format_bench,
+        write_bench,
+    )
 
     n_requests = args.requests
     reference_requests = args.reference_requests
@@ -129,24 +139,101 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_requests = min(n_requests, 20_000)
         if reference_requests is None:
             reference_requests = 5_000
+    if args.trace_file is not None:
+        # The file already fixes the request stream; generation flags
+        # would be silently ignored, so reject them outright.
+        conflicts = [
+            flag
+            for flag, changed in (
+                ("--arrival", args.arrival is not None),
+                ("--patterns", args.patterns != "streaming,random,moe-skewed"),
+                ("--requests", args.requests != 1_000_000),
+            )
+            if changed
+        ]
+        if conflicts:
+            print(
+                f"repro bench: {', '.join(conflicts)} cannot be combined with "
+                "--trace-file (the trace file already fixes the request stream; "
+                "regenerate it with `repro trace gen`)",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        payload = bench_controller(
-            n_requests=n_requests,
-            patterns=[p.strip() for p in args.patterns.split(",") if p.strip()],
-            reference_requests=reference_requests,
-            include_reference=not args.no_reference,
-            seed=args.seed,
-            arrival=args.arrival,
-            arrival_gap=args.arrival_gap,
-            window=args.window,
-        )
-    except ValueError as exc:
+        if args.trace_file is not None:
+            payload = bench_trace_file(
+                args.trace_file,
+                reference_requests=reference_requests,
+                # The O(n^2) reference is opt-in for file traces: it
+                # runs only when a cap was given (--smoke sets 5000).
+                include_reference=not args.no_reference
+                and reference_requests is not None,
+                window=args.window,
+            )
+        else:
+            payload = bench_controller(
+                n_requests=n_requests,
+                patterns=[p.strip() for p in args.patterns.split(",") if p.strip()],
+                reference_requests=reference_requests,
+                include_reference=not args.no_reference,
+                seed=args.seed,
+                arrival=args.arrival,
+                arrival_gap=args.arrival_gap,
+                window=args.window,
+            )
+    except (OSError, ValueError) as exc:
         print(f"repro bench: {exc}", file=sys.stderr)
         return 2
     print(format_bench(payload))
     write_bench(payload, args.output)
     print(f"wrote {args.output}")
+    if not all_identity_checks_pass(payload):
+        print(
+            "repro bench: implementations disagreed on ControllerStats "
+            "(see stats_identical / array_path_identical in the payload)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.trace_io import generate_trace_file, read_header
+
+    if args.trace_command == "gen":
+        try:
+            n = generate_trace_file(
+                args.output,
+                pattern=args.pattern,
+                n_requests=args.requests,
+                seed=args.seed,
+                arrival=args.arrival,
+                arrival_gap=args.arrival_gap,
+                chunk_requests=args.chunk_requests,
+            )
+        except ValueError as exc:
+            print(f"repro trace gen: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {n} records to {args.output}")
+        return 0
+    if args.trace_command == "info":
+        from repro.workloads.trace_io import RECORD_BYTES, load_trace
+
+        try:
+            version, n = read_header(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace info: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.path}: .dramtrace v{version}, {n} records "
+              f"({n * RECORD_BYTES} payload bytes)")
+        if n:
+            trace = load_trace(args.path)
+            writes = int(trace.write_mask.sum())
+            arrive = trace.arrive_cycles
+            print(f"  reads {n - writes}  writes {writes}  "
+                  f"arrive_cycle [{int(arrive.min())}, {int(arrive.max())}]")
+        return 0
+    raise AssertionError(f"unhandled trace subcommand {args.trace_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,9 +277,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "for --arrival")
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run (20k requests, 5k reference)")
+    bench.add_argument("--trace-file", default=None, metavar="PATH",
+                       help="bench an on-disk .dramtrace instead of the "
+                            "generated patterns (end-to-end load+simulate, "
+                            "array path vs Request-list path; excludes "
+                            "--requests/--patterns/--arrival; the O(n^2) "
+                            "reference runs only when --reference-requests "
+                            "caps it)")
     bench.add_argument("--window", type=int, default=64)
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--output", default="BENCH_controller.json")
+
+    trace = sub.add_parser(
+        "trace", help="binary .dramtrace generation and inspection"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    gen = trace_sub.add_parser(
+        "gen", help="export a generator+arrival combination to .dramtrace"
+    )
+    gen.add_argument("--pattern", default="random",
+                     choices=("streaming", "random", "moe-skewed"))
+    gen.add_argument("--requests", type=int, default=1_000_000)
+    gen.add_argument("--arrival", choices=("poisson", "batched", "onoff"),
+                     default=None,
+                     help="open-loop arrival process (default: all at cycle 0)")
+    gen.add_argument("--arrival-gap", type=float, default=8.0,
+                     help="mean inter-arrival gap in controller cycles")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--chunk-requests", type=int, default=4_000_000,
+                     help="records per write chunk (bounds staging memory)")
+    gen.add_argument("--output", required=True, metavar="PATH.dramtrace")
+    info = trace_sub.add_parser("info", help="inspect a .dramtrace header")
+    info.add_argument("path")
     return parser
 
 
@@ -203,6 +319,7 @@ _HANDLERS = {
     "area-power": _cmd_area_power,
     "dram": _cmd_dram,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 

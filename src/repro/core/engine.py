@@ -23,7 +23,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.analytical import AnalyticalModel
 from repro.core.cache import ExpertCache
 from repro.core.load_balancer import LoadBalancer, Partition
 from repro.core.strategies import AMoveStrategy, PMoveStrategy, Scheme

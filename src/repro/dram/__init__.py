@@ -24,8 +24,16 @@ from repro.dram.calibrate import (
 )
 from repro.dram.channel import Channel
 from repro.dram.config import LPDDR5X_8533, DRAMOrganization
-from repro.dram.controller import MemoryController, SchedulerPolicy
-from repro.dram.request import Command, CommandKind, Request, RequestKind
+from repro.dram.controller import ControllerStats, MemoryController, SchedulerPolicy
+from repro.dram.request import (
+    FLAG_WRITE,
+    Command,
+    CommandKind,
+    Request,
+    RequestKind,
+    arrays_from_requests,
+    requests_from_arrays,
+)
 from repro.dram.timing import DRAMTiming
 
 __all__ = [
@@ -37,7 +45,9 @@ __all__ = [
     "Channel",
     "Command",
     "CommandKind",
+    "ControllerStats",
     "DecodedBatch",
+    "FLAG_WRITE",
     "DRAMOrganization",
     "DRAMTiming",
     "LPDDR5X_8533",
@@ -46,5 +56,7 @@ __all__ = [
     "Request",
     "RequestKind",
     "SchedulerPolicy",
+    "arrays_from_requests",
     "calibrated_effective_bandwidth",
+    "requests_from_arrays",
 ]

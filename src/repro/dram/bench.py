@@ -1,20 +1,38 @@
 """Controller-throughput benchmark harness (``repro bench``).
 
-Times :class:`~repro.dram.controller.MemoryController.simulate` --
-requests simulated per wall-clock second -- on the three access
-shapes from :mod:`repro.workloads.traces` (streaming, uniform random,
-skewed MoE), optionally against the pre-optimization reference
-scheduler from :mod:`repro.dram.reference`, and emits a JSON payload
-(``BENCH_controller.json``) so successive PRs accumulate a perf
-trajectory.  Trace generation is excluded from the timed region.
+Times the cycle-level memory controller -- requests simulated per
+wall-clock second -- on the access shapes from
+:mod:`repro.workloads.traces` (streaming, uniform random, skewed MoE)
+or on an on-disk ``.dramtrace`` file (``--trace-file``), and emits a
+JSON payload (``BENCH_controller.json``) so successive PRs accumulate
+a perf trajectory.
+
+Four timed implementations per pattern:
+
+- ``indexed`` -- one ``simulate()`` call on a pre-built Request list
+  (the historical simulate-only number; ingestion excluded).
+- ``reference`` -- same, on the pre-optimization O(n^2) scheduler
+  from :mod:`repro.dram.reference`.
+- ``objects`` -- *end-to-end* Request-list path: materializing the
+  object list from trace columns (or a trace file) **plus**
+  ``simulate()``.
+- ``arrays`` -- *end-to-end* array-native path: (for ``--trace-file``)
+  mmap-loading the columns **plus** ``simulate_arrays()``; in-memory
+  columns feed the scheduler directly, so ingestion is free.
+
+``object_layer_speedup`` (arrays req/s over objects req/s) is the
+object-layer overhead the array-native front door removes; every
+same-length pair is also checked for bit-identical stats.
 
 The committed baseline lives at ``benchmarks/perf/BENCH_controller.json``;
-see ``benchmarks/perf/README.md`` for how to read and refresh it.
+see ``benchmarks/perf/README.md`` for how to read and refresh it, and
+``benchmarks/perf/check_regression.py`` for the CI regression gate.
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
 import platform as _platform
 import time
 from dataclasses import asdict, dataclass
@@ -23,6 +41,7 @@ from typing import Optional, Sequence
 from repro.dram.config import DRAMConfig, LPDDR5X_8533
 from repro.dram.controller import ControllerStats, MemoryController
 from repro.dram.reference import ReferenceMemoryController
+from repro.dram.request import requests_from_arrays
 
 #: Patterns benched by default, in report order.
 DEFAULT_PATTERNS = ("streaming", "random", "moe-skewed")
@@ -30,12 +49,21 @@ DEFAULT_PATTERNS = ("streaming", "random", "moe-skewed")
 
 @dataclass(frozen=True)
 class BenchRun:
-    """One timed simulate() call."""
+    """One timed run of one implementation.
+
+    ``elapsed_seconds`` covers the whole timed region;
+    ``ingest_seconds`` is the portion spent turning the trace into the
+    implementation's input form (file load and/or Request-object
+    construction) before the simulate call -- 0.0 where ingestion is
+    excluded (``indexed``/``reference``) or free (in-memory
+    ``arrays``).
+    """
 
     pattern: str
-    implementation: str  # "indexed" | "reference"
+    implementation: str  # "indexed" | "reference" | "arrays" | "objects"
     n_requests: int
     elapsed_seconds: float
+    ingest_seconds: float
     requests_per_second: float
     total_cycles: int
     row_hit_rate: float
@@ -49,56 +77,20 @@ class BenchRun:
     idle_cycles: int
 
 
-def _make_trace(
-    pattern: str,
-    n_requests: int,
-    config: DRAMConfig,
-    seed: int,
-    arrival: Optional[str] = None,
-    arrival_gap: float = 8.0,
-):
-    from repro.workloads.traces import ARRIVAL_PROCESSES, MEMORY_TRACES, apply_arrivals
-
-    try:
-        generator = MEMORY_TRACES[pattern]
-    except KeyError:
-        raise ValueError(
-            f"unknown pattern {pattern!r}; choose from {sorted(MEMORY_TRACES)}"
-        ) from None
-    requests = generator(n_requests, config=config, seed=seed)
-    if arrival is not None:
-        try:
-            process = ARRIVAL_PROCESSES[arrival]
-        except KeyError:
-            raise ValueError(
-                f"unknown arrival process {arrival!r}; "
-                f"choose from {sorted(ARRIVAL_PROCESSES)}"
-            ) from None
-        apply_arrivals(requests, process(n_requests, arrival_gap, seed=seed))
-    return requests
-
-
-def _run_one(
+def _make_run(
     pattern: str,
     implementation: str,
     n_requests: int,
-    config: DRAMConfig,
-    seed: int,
-    arrival: Optional[str] = None,
-    arrival_gap: float = 8.0,
-    **controller_kwargs,
-) -> tuple[BenchRun, ControllerStats]:
-    cls = ReferenceMemoryController if implementation == "reference" else MemoryController
-    requests = _make_trace(pattern, n_requests, config, seed, arrival, arrival_gap)
-    controller = cls(config, **controller_kwargs)
-    start = time.perf_counter()
-    stats = controller.simulate(requests)
-    elapsed = time.perf_counter() - start
-    run = BenchRun(
+    elapsed: float,
+    ingest: float,
+    stats: ControllerStats,
+) -> BenchRun:
+    return BenchRun(
         pattern=pattern,
         implementation=implementation,
         n_requests=n_requests,
         elapsed_seconds=elapsed,
+        ingest_seconds=ingest,
         requests_per_second=n_requests / elapsed if elapsed > 0 else 0.0,
         total_cycles=stats.total_cycles,
         row_hit_rate=stats.row_hit_rate,
@@ -111,7 +103,115 @@ def _run_one(
         queue_delay_p99=stats.queue_delay_p99,
         idle_cycles=sum(stats.idle_channel_cycles.values()),
     )
-    return run, stats
+
+
+def _make_columns(
+    pattern: str,
+    n_requests: int,
+    config: DRAMConfig,
+    seed: int,
+    arrival: Optional[str] = None,
+    arrival_gap: float = 8.0,
+):
+    from repro.workloads.traces import generate_trace_arrays
+
+    return generate_trace_arrays(
+        pattern, n_requests, config=config, seed=seed,
+        arrival=arrival, arrival_gap=arrival_gap,
+    )
+
+
+def _bench_entry(
+    pattern: str,
+    config: DRAMConfig,
+    columns,
+    trace_file: Optional[str],
+    ref_columns,
+    include_reference: bool,
+    controller_kwargs: dict,
+) -> dict:
+    """Time every implementation on one trace; returns the JSON entry.
+
+    ``columns`` are the in-memory ``(addrs, arrive_cycles, flags)``
+    for the trace; when ``trace_file`` is set, the end-to-end paths
+    re-load it from disk inside their timed regions instead of using
+    the columns directly.
+    """
+    addrs, arrive, flags = columns
+    n_requests = len(addrs)
+
+    # End-to-end Request-list path: object construction + simulate().
+    # The simulate() portion alone is the historical "indexed" number.
+    controller = MemoryController(config, **controller_kwargs)
+    start = time.perf_counter()
+    if trace_file is not None:
+        from repro.workloads.trace_io import load_trace
+
+        trace = load_trace(trace_file)
+        requests = requests_from_arrays(
+            trace.addrs, trace.arrive_cycles, trace.flags
+        )
+    else:
+        requests = requests_from_arrays(addrs, arrive, flags)
+    mid = time.perf_counter()
+    objects_stats = controller.simulate(requests)
+    end = time.perf_counter()
+    entry = {
+        "indexed": asdict(
+            _make_run(pattern, "indexed", n_requests, end - mid, 0.0, objects_stats)
+        ),
+        "objects": asdict(
+            _make_run(
+                pattern, "objects", n_requests, end - start, mid - start, objects_stats
+            )
+        ),
+    }
+    del requests
+
+    # End-to-end array-native path: (load +) simulate_arrays().
+    controller = MemoryController(config, **controller_kwargs)
+    start = time.perf_counter()
+    if trace_file is not None:
+        trace = load_trace(trace_file)
+        a, c, f = trace.addrs, trace.arrive_cycles, trace.flags
+        mid = time.perf_counter()
+    else:
+        a, c, f = addrs, arrive, flags
+        mid = start
+    arrays_stats = controller.simulate_arrays(a, c, f)
+    end = time.perf_counter()
+    arrays_run = _make_run(
+        pattern, "arrays", n_requests, end - start, mid - start, arrays_stats
+    )
+    entry["arrays"] = asdict(arrays_run)
+    entry["object_layer_speedup"] = (
+        arrays_run.requests_per_second
+        / entry["objects"]["requests_per_second"]
+        if entry["objects"]["requests_per_second"]
+        else float("inf")
+    )
+    entry["array_path_identical"] = asdict(arrays_stats) == asdict(objects_stats)
+
+    if include_reference:
+        ref_addrs, ref_arrive, ref_flags = ref_columns
+        ref_requests = requests_from_arrays(ref_addrs, ref_arrive, ref_flags)
+        controller = ReferenceMemoryController(config, **controller_kwargs)
+        start = time.perf_counter()
+        reference_stats = controller.simulate(ref_requests)
+        end = time.perf_counter()
+        reference_run = _make_run(
+            pattern, "reference", len(ref_addrs), end - start, 0.0, reference_stats
+        )
+        entry["reference"] = asdict(reference_run)
+        entry["speedup"] = (
+            entry["indexed"]["requests_per_second"]
+            / reference_run.requests_per_second
+            if reference_run.requests_per_second
+            else float("inf")
+        )
+        if len(ref_addrs) == n_requests:
+            entry["stats_identical"] = asdict(objects_stats) == asdict(reference_stats)
+    return entry
 
 
 def bench_controller(
@@ -131,8 +231,10 @@ def bench_controller(
     O(n^2), so full-length runs can take minutes); when capped, the
     recorded speedup is *conservative* -- the reference throughput is
     measured at the shorter, faster-for-it length.  When lengths
-    match, the two implementations' ControllerStats are also checked
-    for bit-identity and the result recorded per pattern.
+    match, the implementations' ControllerStats are also checked for
+    bit-identity and the result recorded per pattern
+    (``stats_identical``; ``array_path_identical`` covers arrays vs
+    objects and is always recorded).
 
     ``arrival`` selects an open-loop arrival process
     (:data:`repro.workloads.traces.ARRIVAL_PROCESSES`) stamped onto the
@@ -144,27 +246,20 @@ def bench_controller(
     ref_n = reference_requests if reference_requests is not None else n_requests
     results = {}
     for pattern in patterns:
-        indexed, indexed_stats = _run_one(
-            pattern, "indexed", n_requests, config, seed,
-            arrival, arrival_gap, **controller_kwargs
+        columns = _make_columns(
+            pattern, n_requests, config, seed, arrival, arrival_gap
         )
-        entry = {"indexed": asdict(indexed)}
+        ref_columns = None
         if include_reference:
-            reference, reference_stats = _run_one(
-                pattern, "reference", ref_n, config, seed,
-                arrival, arrival_gap, **controller_kwargs
+            ref_columns = (
+                columns
+                if ref_n == n_requests
+                else _make_columns(pattern, ref_n, config, seed, arrival, arrival_gap)
             )
-            entry["reference"] = asdict(reference)
-            entry["speedup"] = (
-                indexed.requests_per_second / reference.requests_per_second
-                if reference.requests_per_second
-                else float("inf")
-            )
-            if ref_n == n_requests:
-                entry["stats_identical"] = asdict(indexed_stats) == asdict(
-                    reference_stats
-                )
-        results[pattern] = entry
+        results[pattern] = _bench_entry(
+            pattern, config, columns, None, ref_columns,
+            include_reference, controller_kwargs,
+        )
     return {
         "benchmark": "dram-controller-throughput",
         "n_requests": n_requests,
@@ -176,6 +271,60 @@ def bench_controller(
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "patterns": results,
+    }
+
+
+def bench_trace_file(
+    trace_file: str,
+    reference_requests: Optional[int] = None,
+    include_reference: bool = False,
+    config: DRAMConfig = LPDDR5X_8533,
+    **controller_kwargs,
+) -> dict:
+    """Bench an on-disk ``.dramtrace``: end-to-end (load + simulate)
+    array path vs the Request-list path, same payload shape as
+    :func:`bench_controller` with one pattern named after the file.
+
+    Both end-to-end implementations re-open the file inside their
+    timed regions; the array path feeds the ``np.memmap`` column views
+    straight into ``simulate_arrays`` (the OS streams pages in as the
+    drain touches them), the object path pays the full per-request
+    materialization.  The reference scheduler is optional and capped
+    at ``reference_requests`` (it is O(n^2) in trace length).
+    """
+    from repro.workloads.trace_io import load_trace
+
+    path = pathlib.Path(trace_file)
+    trace = load_trace(path)
+    n_requests = len(trace)
+    if n_requests < 1:
+        raise ValueError(f"{path}: empty trace")
+    pattern = path.stem
+    columns = (trace.addrs, trace.arrive_cycles, trace.flags)
+    ref_columns = None
+    ref_n = reference_requests if reference_requests is not None else n_requests
+    if include_reference:
+        ref_columns = (
+            trace.addrs[:ref_n],
+            trace.arrive_cycles[:ref_n],
+            trace.flags[:ref_n],
+        )
+    entry = _bench_entry(
+        pattern, config, columns, str(path), ref_columns,
+        include_reference, controller_kwargs,
+    )
+    return {
+        "benchmark": "dram-controller-throughput",
+        "trace_file": str(path),
+        "n_requests": n_requests,
+        "reference_requests": ref_n if include_reference else None,
+        "seed": None,
+        "arrival": None,
+        "arrival_gap_cycles": None,
+        "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "patterns": {pattern: entry},
     }
 
 
@@ -191,24 +340,44 @@ def format_bench(payload: dict) -> str:
 
     rows = []
     for pattern, entry in payload["patterns"].items():
-        idx = entry["indexed"]
-        ref = entry.get("reference")
+        for impl in ("arrays", "objects", "indexed", "reference"):
+            run = entry.get(impl)
+            if run is None:
+                continue
+            rows.append(
+                [
+                    pattern,
+                    impl,
+                    run["n_requests"],
+                    round(run["elapsed_seconds"], 3),
+                    int(run["requests_per_second"]),
+                    round(run["row_hit_rate"], 3),
+                    round(run["queue_delay_p99"], 1),
+                ]
+            )
         rows.append(
             [
                 pattern,
-                idx["n_requests"],
-                round(idx["elapsed_seconds"], 3),
-                int(idx["requests_per_second"]),
-                int(ref["requests_per_second"]) if ref else "-",
-                round(entry["speedup"], 1) if ref else "-",
-                round(idx["row_hit_rate"], 3),
-                round(idx["queue_delay_p99"], 1),
+                "-> arrays vs objects",
+                "",
+                "",
+                f"{entry['object_layer_speedup']:.2f}x",
+                "",
+                "",
             ]
         )
     return format_table(
-        [
-            "pattern", "requests", "sec", "req/s", "ref req/s", "speedup",
-            "hit rate", "q-delay p99",
-        ],
+        ["pattern", "impl", "requests", "sec", "req/s", "hit rate", "q-delay p99"],
         rows,
     )
+
+
+def all_identity_checks_pass(payload: dict) -> bool:
+    """True iff every recorded bit-identity check in a payload holds
+    (used by the CLI to turn a silent mismatch into a failing exit)."""
+    for entry in payload["patterns"].values():
+        if not entry.get("array_path_identical", True):
+            return False
+        if not entry.get("stats_identical", True):
+            return False
+    return True

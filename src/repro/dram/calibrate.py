@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.dram.address import MappingScheme
 from repro.dram.config import DRAMConfig, LPDDR5X_8533
-from repro.dram.controller import ControllerStats, MemoryController
+from repro.dram.controller import MemoryController
 from repro.dram.request import Request, RequestKind
 
 

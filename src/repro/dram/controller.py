@@ -42,6 +42,16 @@ input order and bit-identical schedules), requests only become
 schedulable once channel time reaches their arrival, idle gaps are
 skipped via a sorted-arrival cursor, and per-request queue delays are
 aggregated into :class:`ControllerStats`.
+
+The native ingestion API is :meth:`MemoryController.simulate_arrays`:
+parallel ``(addrs, arrive_cycles, flags)`` columns -- exactly what the
+``.dramtrace`` mmap format (:mod:`repro.workloads.trace_io`) and the
+array trace generators yield -- drive the indexed drain loop directly,
+no :class:`~repro.dram.request.Request` objects anywhere.
+:meth:`MemoryController.simulate` is a thin adapter that shreds a
+Request list into those columns and scatters the per-request outputs
+(decoded coordinates, first-command/completion cycles, row-hit class)
+back onto the objects.
 """
 
 from __future__ import annotations
@@ -57,11 +67,12 @@ from repro.dram.address import AddressMapper, MappingScheme
 from repro.dram.channel import Channel
 from repro.dram.config import DRAMConfig
 from repro.dram.request import (
+    FLAG_WRITE,
     Command,
     CommandKind,
     DecodedAddress,
     Request,
-    RequestKind,
+    arrays_from_requests,
 )
 
 
@@ -131,39 +142,29 @@ class MemoryController:
         """Run all requests to completion; fills in per-request
         ``complete_cycle`` and returns aggregate stats.
 
-        Channels are timing-independent, so each channel's queue is
-        drained separately and stats are merged.
+        Thin adapter over the array-native core (see
+        :meth:`simulate_arrays`): the request list is shredded into
+        ``(addrs, arrive_cycles, flags)`` columns, the columns are
+        simulated, and the per-request outputs are scattered back onto
+        the objects.  Stats are bit-identical to the array path on the
+        same columns.
         """
-        stats = ControllerStats()
-        org = self.config.organization
+        stats = self._empty_stats()
         n = len(requests)
         stats.requests = n
-        for channel in self.channels:
-            stats.busy_channel_cycles[channel.index] = 0
-            stats.idle_channel_cycles[channel.index] = 0
         if n == 0:
             return stats
         for r in requests:
             r.reset_for_sim()
-
-        arrive = np.fromiter((r.arrive_cycle for r in requests), dtype=np.int64, count=n)
+        addrs, arrive, flags = arrays_from_requests(requests)
         if arrive.min() < 0:
             raise ValueError("arrive_cycle must be non-negative")
-        try:
-            addrs = np.fromiter((r.addr for r in requests), dtype=np.int64, count=n)
-        except OverflowError:
-            addrs = [r.addr for r in requests]  # decode_batch raises for us
-        batch = self.mapper.decode_batch(addrs)
-        flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
-        is_write = np.fromiter(
-            (r.kind is RequestKind.WRITE for r in requests), dtype=bool, count=n
+        batch, first, complete, hit = self._simulate_columns(
+            addrs, arrive, (flags & FLAG_WRITE).astype(bool), stats
         )
-        stats.writes = int(is_write.sum())
-        stats.reads = n - stats.writes
-
-        # Materialize per-request decoded coordinates (API compatibility
-        # with the scalar path; cheap relative to the drain itself).
-        for req, ch, ra, bg, ba, ro, co in zip(
+        # Scatter decoded coordinates and scheduler outputs back onto
+        # the objects (API compatibility; the array path skips this).
+        for req, ch, ra, bg, ba, ro, co, fc, cc, h in zip(
             requests,
             batch.channel.tolist(),
             batch.rank.tolist(),
@@ -171,8 +172,90 @@ class MemoryController:
             batch.bank.tolist(),
             batch.row.tolist(),
             batch.column.tolist(),
+            first.tolist(),
+            complete.tolist(),
+            hit.tolist(),
         ):
             req.decoded = DecodedAddress(ch, ra, bg, ba, ro, co)
+            req.first_command_cycle = fc
+            req.complete_cycle = cc
+            req.row_hit = h
+        return stats
+
+    def simulate_arrays(
+        self,
+        addrs,
+        arrive_cycles=None,
+        flags=None,
+    ) -> ControllerStats:
+        """Array-native :meth:`simulate`: drive the scheduler straight
+        from trace columns, constructing no ``Request`` objects.
+
+        ``addrs`` is any int64-compatible sequence of byte addresses
+        (an ``np.memmap`` column view from
+        :func:`repro.workloads.trace_io.load_trace` streams zero-copy);
+        ``arrive_cycles`` defaults to the all-at-cycle-0 batch;
+        ``flags`` uses the ``.dramtrace`` encoding (bit 0 = write,
+        ``None`` = all reads; priority bits are accepted and ignored).
+        Returns stats bit-identical to ``simulate`` on the equivalent
+        Request list.
+        """
+        stats = self._empty_stats()
+        try:
+            n = len(addrs)
+        except TypeError:
+            addrs = list(addrs)
+            n = len(addrs)
+        stats.requests = n
+        if n == 0:
+            return stats
+        if arrive_cycles is None:
+            arrive = np.zeros(n, dtype=np.int64)
+        else:
+            arrive = np.asarray(arrive_cycles)
+            if len(arrive) != n:
+                raise ValueError(f"{len(arrive)} arrive_cycles for {n} addrs")
+            if arrive.min() < 0:
+                raise ValueError("arrive_cycle must be non-negative")
+            arrive = arrive.astype(np.int64, copy=False)
+        if flags is None:
+            is_write = np.zeros(n, dtype=bool)
+        else:
+            if len(flags) != n:
+                raise ValueError(f"{len(flags)} flags for {n} addrs")
+            is_write = (np.asarray(flags) & FLAG_WRITE).astype(bool)
+        if not isinstance(addrs, (list, np.ndarray)):
+            addrs = np.asarray(addrs)
+        self._simulate_columns(addrs, arrive, is_write, stats)
+        return stats
+
+    def _empty_stats(self) -> ControllerStats:
+        stats = ControllerStats()
+        for channel in self.channels:
+            stats.busy_channel_cycles[channel.index] = 0
+            stats.idle_channel_cycles[channel.index] = 0
+        return stats
+
+    def _simulate_columns(
+        self,
+        addrs,
+        arrive: np.ndarray,
+        is_write: np.ndarray,
+        stats: ControllerStats,
+    ) -> tuple:
+        """Shared core: simulate decoded columns, fill ``stats``, and
+        return ``(batch, first_command, complete, row_hit)`` arrays in
+        input order.
+
+        Channels are timing-independent, so each channel's queue is
+        drained separately and stats are merged.
+        """
+        org = self.config.organization
+        n = len(arrive)
+        batch = self.mapper.decode_batch(addrs)
+        flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+        stats.writes = int(np.count_nonzero(is_write))
+        stats.reads = n - stats.writes
 
         # Stable split into per-channel FIFO queues, ordered by
         # arrival within each channel (lexsort is stable, so equal
@@ -181,29 +264,39 @@ class MemoryController:
         order = np.lexsort((arrive, batch.channel))
         counts = np.bincount(batch.channel, minlength=org.n_channels)
         bounds = np.concatenate(([0], np.cumsum(counts)))
-        order_list = order.tolist()
         bf_sorted = flat[order].tolist()
         row_sorted = batch.row[order].tolist()
         col_sorted = batch.column[order].tolist()
-        wr_sorted = is_write[order].tolist()
-        arr_sorted = arrive[order].tolist()
+        wr_sorted = np.asarray(is_write)[order].tolist()
+        arr_sorted = np.asarray(arrive)[order].tolist()
 
+        first = np.zeros(n, dtype=np.int64)
+        complete = np.zeros(n, dtype=np.int64)
+        hit = np.zeros(n, dtype=bool)
         final_cycle = 0
         for channel in self.channels:
             lo, hi = int(bounds[channel.index]), int(bounds[channel.index + 1])
             if lo == hi:
                 continue
-            reqs = [requests[i] for i in order_list[lo:hi]]
+            o_first = [-1] * (hi - lo)
+            o_complete = [0] * (hi - lo)
+            o_hit = [-1] * (hi - lo)
             last, idle = self._drain_channel(
                 channel,
-                reqs,
                 bf_sorted[lo:hi],
                 row_sorted[lo:hi],
                 col_sorted[lo:hi],
                 wr_sorted[lo:hi],
                 arr_sorted[lo:hi],
+                o_first,
+                o_complete,
+                o_hit,
                 stats,
             )
+            idxs = order[lo:hi]
+            first[idxs] = o_first
+            complete[idxs] = o_complete
+            hit[idxs] = o_hit
             final_cycle = max(final_cycle, last)
             stats.busy_channel_cycles[channel.index] = last
             stats.idle_channel_cycles[channel.index] = idle
@@ -214,18 +307,13 @@ class MemoryController:
             stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
             final_cycle += stats.refresh_cycles
         stats.total_cycles = final_cycle
-        self._fill_queue_stats(stats, requests)
-        return stats
+        self._fill_queue_stats(stats, first - arrive)
+        return batch, first, complete, hit
 
     @staticmethod
-    def _fill_queue_stats(stats: ControllerStats, requests: list[Request]) -> None:
-        """Aggregate per-request queue delays into the stats block."""
-        n = len(requests)
-        delays = np.fromiter(
-            (r.first_command_cycle - r.arrive_cycle for r in requests),
-            dtype=np.int64,
-            count=n,
-        )
+    def _fill_queue_stats(stats: ControllerStats, delays: np.ndarray) -> None:
+        """Aggregate per-request queue delays (first-command cycle
+        minus arrival cycle, input order) into the stats block."""
         stats.queue_delay_mean = float(delays.mean())
         stats.queue_delay_p50 = float(np.percentile(delays, 50))
         stats.queue_delay_p99 = float(np.percentile(delays, 99))
@@ -243,17 +331,23 @@ class MemoryController:
     def _drain_channel(
         self,
         channel: Channel,
-        reqs: list[Request],
         bf: list[int],
         row: list[int],
         col: list[int],
         iswr: list[bool],
         arr: list[int],
+        o_first: list[int],
+        o_complete: list[int],
+        o_hit: list[int],
         stats: ControllerStats,
     ) -> tuple[int, int]:
         """Drain one channel's FIFO queue (requests given as parallel
         arrays of flat bank index / row / column / is-write /
         arrive-cycle, ordered by arrival).
+
+        Per-request outputs land in the ``o_*`` lists (same order as
+        the inputs): first-command cycle, completion cycle, and row-hit
+        class (1 hit / 0 miss-or-conflict); ``-1`` means not yet set.
 
         One command issues per loop iteration; a request leaves the
         queue when its column command issues.  The candidate scan runs
@@ -274,7 +368,7 @@ class MemoryController:
         """
         t = channel.timing
         org = self.config.organization
-        n = len(reqs)
+        n = len(bf)
         n_banks = len(channel.banks)
         fcfs = self.policy is SchedulerPolicy.FCFS
         cap = self.starvation_cap
@@ -596,9 +690,8 @@ class MemoryController:
                 continue
 
             # -- issue the chosen command (mirrors Channel.issue_*) ----
-            req = reqs[s]
-            if req.first_command_cycle is None:
-                req.first_command_cycle = cycle
+            if o_first[s] < 0:
+                o_first[s] = cycle
             if cmd == _PRE:
                 b_open[b] = None
                 x = cycle + tRP
@@ -606,8 +699,8 @@ class MemoryController:
                     b_eact[b] = x
                 cb = cycle + 1
                 stats.precharges += 1
-                if req.row_hit is None:
-                    req.row_hit = False
+                if o_hit[s] < 0:
+                    o_hit[s] = 0
                     stats.row_conflicts += 1
                 if recording:
                     commands.append(
@@ -624,8 +717,8 @@ class MemoryController:
                 hist.append(cycle)
                 lact = cycle
                 stats.activates += 1
-                if req.row_hit is None:
-                    req.row_hit = False
+                if o_hit[s] < 0:
+                    o_hit[s] = 0
                     stats.row_misses += 1
                 if recording:
                     commands.append(
@@ -653,10 +746,10 @@ class MemoryController:
                 cb = cycle + 1
                 lcc = cycle
                 lbg = bg_of[b]
-                if req.row_hit is None:
-                    req.row_hit = True
+                if o_hit[s] < 0:
+                    o_hit[s] = 1
                     stats.row_hits += 1
-                req.complete_cycle = done
+                o_complete[s] = done
                 if done > last_complete:
                     last_complete = done
                 if recording:

@@ -17,9 +17,11 @@ the seed implementation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.dram.channel import Channel
 from repro.dram.controller import ControllerStats, MemoryController, SchedulerPolicy
-from repro.dram.request import Request, RequestKind
+from repro.dram.request import Request, RequestKind, requests_from_arrays
 
 
 class ReferenceMemoryController(MemoryController):
@@ -61,14 +63,39 @@ class ReferenceMemoryController(MemoryController):
         stats.reads = sum(1 for r in requests if r.kind is RequestKind.READ)
         stats.writes = stats.requests - stats.reads
         if requests:
-            self._fill_queue_stats(stats, requests)
+            delays = np.fromiter(
+                (r.first_command_cycle - r.arrive_cycle for r in requests),
+                dtype=np.int64,
+                count=len(requests),
+            )
+            self._fill_queue_stats(stats, delays)
         return stats
+
+    def simulate_arrays(
+        self,
+        addrs,
+        arrive_cycles=None,
+        flags=None,
+    ) -> ControllerStats:
+        """Oracle path for the array-native API: materialize the
+        equivalent ``Request`` list and run the reference scheduler.
+
+        Deliberately the obviously-correct composition (columns ->
+        objects -> original drain loop), so the equivalence suite can
+        pit ``MemoryController.simulate_arrays`` against it the same
+        way ``simulate`` is pitted against this class.
+        """
+        requests = requests_from_arrays(addrs, arrive_cycles, flags)
+        return self.simulate(requests)
 
     def _drain_channel_reference(
         self, channel: Channel, queue: list[Request], stats: ControllerStats
     ) -> tuple[int, int]:
         org = self.config.organization
-        flat = lambda d: d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+
+        def flat(d):
+            return d.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+
         n = len(queue)
         cursor = 0  # next not-yet-arrived request (queue is sorted)
         pending: list[Request] = []

@@ -1,10 +1,28 @@
-"""Memory request and DRAM command types."""
+"""Memory request and DRAM command types.
+
+Besides the object types, this module owns the *column* encoding of a
+request stream -- the ``(addrs, arrive_cycles, flags)`` parallel
+arrays that :meth:`~repro.dram.controller.MemoryController.simulate_arrays`
+consumes and the ``.dramtrace`` format persists -- and the adapters
+between the two representations (:func:`requests_from_arrays` /
+:func:`arrays_from_requests`).
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
+
+#: flags bit 0: request is a write (else a read).
+FLAG_WRITE = 0x01
+#: flags bits 1-3: priority class, 0 (lowest) .. PRIORITY_MAX.  Stored
+#: and round-tripped by the trace format; the FR-FCFS scheduler does
+#: not (yet) arbitrate on it.
+PRIORITY_SHIFT = 1
+PRIORITY_MAX = 7
 
 
 class RequestKind(enum.Enum):
@@ -81,6 +99,64 @@ class Request:
         self.complete_cycle = None
         self.row_hit = None
         self.first_command_cycle = None
+
+
+def requests_from_arrays(addrs, arrive_cycles=None, flags=None) -> list[Request]:
+    """Materialize :class:`Request` objects from trace columns.
+
+    The inverse of :func:`arrays_from_requests`, taking the same
+    ``(addrs, arrive_cycles, flags)`` column order as every other
+    column API (``simulate_arrays``, ``write_trace``,
+    ``generate_trace_arrays``).  ``flags`` follows the ``.dramtrace``
+    encoding (bit 0 = write), ``None`` means all reads;
+    ``arrive_cycles=None`` means the all-at-cycle-0 batch default.
+    This is the object-API adapter over array-native traces -- the
+    controller itself takes the columns directly via
+    ``simulate_arrays`` without this materialization.
+    """
+    addr_list = (
+        addrs.tolist() if isinstance(addrs, np.ndarray) else [int(a) for a in addrs]
+    )
+    n = len(addr_list)
+    wr, rd = RequestKind.WRITE, RequestKind.READ
+    if flags is None:
+        kinds = [rd] * n
+    else:
+        kinds = [wr if f & FLAG_WRITE else rd for f in np.asarray(flags).tolist()]
+        if len(kinds) != n:
+            raise ValueError(f"{len(kinds)} flags for {n} addrs")
+    if arrive_cycles is None:
+        return [Request(addr=a, kind=k) for a, k in zip(addr_list, kinds)]
+    arrive_list = np.asarray(arrive_cycles).tolist()
+    if len(arrive_list) != n:
+        raise ValueError(f"{len(arrive_list)} arrive_cycles for {n} addrs")
+    return [
+        Request(addr=a, kind=k, arrive_cycle=c)
+        for a, k, c in zip(addr_list, kinds, arrive_list)
+    ]
+
+
+def arrays_from_requests(
+    requests: list[Request],
+) -> tuple[np.ndarray | list[int], np.ndarray, np.ndarray]:
+    """Columns ``(addrs, arrive_cycles, flags)`` for a request list.
+
+    ``addrs`` is int64 except when some address overflows int64, in
+    which case the raw Python-int list is returned so the decoder can
+    raise its usual beyond-capacity error.
+    """
+    n = len(requests)
+    try:
+        addrs = np.fromiter((r.addr for r in requests), dtype=np.int64, count=n)
+    except OverflowError:
+        addrs = [r.addr for r in requests]
+    arrive = np.fromiter((r.arrive_cycle for r in requests), dtype=np.int64, count=n)
+    flags = np.fromiter(
+        (FLAG_WRITE if r.kind is RequestKind.WRITE else 0 for r in requests),
+        dtype=np.uint8,
+        count=n,
+    )
+    return addrs, arrive, flags
 
 
 @dataclass(frozen=True)

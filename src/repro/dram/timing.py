@@ -111,7 +111,10 @@ class DRAMTiming:
         (rounding up, as a real controller must; a tiny epsilon guards
         against float noise turning exact multiples into an extra
         cycle)."""
-        to_cycles = lambda ns: int(math.ceil(ns * 1e-9 * clock_hz - 1e-9))
+
+        def to_cycles(ns: float) -> int:
+            return int(math.ceil(ns * 1e-9 * clock_hz - 1e-9))
+
         return cls(
             clock_hz=clock_hz,
             tRCD=to_cycles(tRCD_ns),

@@ -22,20 +22,25 @@ from repro.workloads.scenarios import (
     xsum_like,
 )
 from repro.workloads.serialization import SavedTrace, capture_trace
+from repro.workloads.trace_io import MappedTrace, TraceWriter, load_trace, write_trace
 from repro.workloads.traces import RoutingProfile, RoutingTraceGenerator
 
 __all__ = [
     "FIG3_BUCKETS",
     "FIG3_REFERENCE",
+    "MappedTrace",
     "RoutingProfile",
     "RoutingTraceGenerator",
     "SCENARIOS",
     "SavedTrace",
     "Scenario",
+    "TraceWriter",
     "bucket_histogram",
     "capture_trace",
     "flores_like",
+    "load_trace",
     "sample_expert_counts",
+    "write_trace",
     "xsum_like",
     "zipf_popularity",
 ]

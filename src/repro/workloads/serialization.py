@@ -17,6 +17,22 @@ import numpy as np
 FORMAT_VERSION = 1
 
 
+def check_format_version(found, expected: int, what: str) -> None:
+    """Reject a persisted-trace version mismatch with a clear error.
+
+    Shared by every on-disk trace format (the JSON routing traces here
+    and the binary ``.dramtrace`` DRAM traces in
+    :mod:`repro.workloads.trace_io`): a reader must refuse payloads
+    written by a different format version instead of mis-parsing them.
+    """
+    if found != expected:
+        raise ValueError(
+            f"{what}: unsupported format version {found!r} "
+            f"(this build reads version {expected}); "
+            "regenerate the trace or upgrade the reader"
+        )
+
+
 @dataclass
 class SavedTrace:
     """A serializable routing trace for one (model, batch) workload."""
@@ -59,9 +75,7 @@ class SavedTrace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SavedTrace":
-        version = data.get("version")
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version: {version}")
+        check_format_version(data.get("version"), FORMAT_VERSION, "routing trace")
         trace = cls(
             model_name=data["model"],
             n_experts=int(data["n_experts"]),

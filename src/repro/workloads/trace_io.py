@@ -1,0 +1,340 @@
+"""Binary on-disk DRAM trace format (``.dramtrace``).
+
+Request-object lists stop scaling long before the controller does: a
+100M-request trace is ~10 GB of :class:`~repro.dram.request.Request`
+instances but only ~1.7 GB on disk in this format, and ``np.memmap``
+loads it lazily (the OS pages records in as the simulation touches
+them), so traces far larger than RAM stream straight into
+:meth:`~repro.dram.controller.MemoryController.simulate_arrays`
+without ever constructing a Python object per request.
+
+Layout (all little-endian, fixed offsets)::
+
+    offset  size  field
+    0       8     magic  b"DRAMTRC\\0"
+    8       2     uint16 format version (TRACE_VERSION)
+    10      2     uint16 reserved (written as 0)
+    12      8     int64  record count
+    20      17*n  packed records
+
+    record: int64 addr, int64 arrive_cycle, uint8 flags
+
+Records are packed (17 bytes, no padding) so the file is exactly
+``20 + 17 * n`` bytes; numpy handles the unaligned fields natively and
+field access on the memmap (``records["addr"]``) yields strided
+*views*, not copies.
+
+``flags`` encodes request kind and priority:
+
+- bit 0 (:data:`FLAG_WRITE`): 1 = write, 0 = read;
+- bits 1-3 (:data:`PRIORITY_SHIFT`/:data:`PRIORITY_MAX`): a 0-7
+  priority class, carried for schedulers that arbitrate on it (the
+  current FR-FCFS controller preserves but ignores it);
+- bits 4-7: reserved, must be written as 0.
+
+Versioning rules: readers reject any version other than
+:data:`TRACE_VERSION` (via the same
+:func:`~repro.workloads.serialization.check_format_version` helper the
+JSON routing-trace format uses).  Additive changes (new flag bits from
+the reserved range, trailing header fields inside new record types)
+require a version bump; the magic never changes.
+
+Write with :func:`write_trace` (one shot) or :class:`TraceWriter`
+(chunked appends, so multi-hundred-million-request traces are
+generated without materializing the whole trace in memory); read with
+:func:`load_trace`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.dram.request import FLAG_WRITE, PRIORITY_MAX, PRIORITY_SHIFT
+from repro.workloads.serialization import check_format_version
+
+TRACE_MAGIC = b"DRAMTRC\x00"
+TRACE_VERSION = 1
+TRACE_SUFFIX = ".dramtrace"
+
+_PRIORITY_FIELD = PRIORITY_MAX << PRIORITY_SHIFT
+_KNOWN_FLAGS = FLAG_WRITE | _PRIORITY_FIELD
+
+HEADER_DTYPE = np.dtype(
+    [("magic", "S8"), ("version", "<u2"), ("reserved", "<u2"), ("n_records", "<i8")]
+)
+RECORD_DTYPE = np.dtype([("addr", "<i8"), ("arrive_cycle", "<i8"), ("flags", "u1")])
+HEADER_BYTES = HEADER_DTYPE.itemsize  # 20
+RECORD_BYTES = RECORD_DTYPE.itemsize  # 17 (packed, no padding)
+
+
+def pack_flags(write_mask, priority=0) -> np.ndarray:
+    """Build a flags column from a write mask and priority classes."""
+    write_mask = np.asarray(write_mask, dtype=bool)
+    priority = np.asarray(priority, dtype=np.int64)
+    if priority.ndim == 0:
+        priority = np.broadcast_to(priority, write_mask.shape)
+    if priority.size and (priority.min() < 0 or priority.max() > PRIORITY_MAX):
+        raise ValueError(f"priority must be in [0, {PRIORITY_MAX}]")
+    return write_mask.astype(np.uint8) | (priority.astype(np.uint8) << PRIORITY_SHIFT)
+
+
+def flags_write_mask(flags) -> np.ndarray:
+    """Boolean is-write column from a flags column."""
+    return (np.asarray(flags) & FLAG_WRITE).astype(bool)
+
+
+def flags_priority(flags) -> np.ndarray:
+    """Priority-class column (0..7) from a flags column."""
+    return (np.asarray(flags, dtype=np.uint8) & _PRIORITY_FIELD) >> PRIORITY_SHIFT
+
+
+def _pack_header(n_records: int) -> bytes:
+    header = np.zeros((), dtype=HEADER_DTYPE)
+    header["magic"] = TRACE_MAGIC
+    header["version"] = TRACE_VERSION
+    header["n_records"] = n_records
+    return header.tobytes()
+
+
+def _normalize_columns(
+    addrs, arrive_cycles, flags
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+    if addrs.ndim != 1:
+        raise ValueError("addrs must be one-dimensional")
+    n = addrs.shape[0]
+    if arrive_cycles is None:
+        arrive_cycles = np.zeros(n, dtype=np.int64)
+    else:
+        arrive_cycles = np.ascontiguousarray(arrive_cycles, dtype=np.int64)
+    if flags is None:
+        flags = np.zeros(n, dtype=np.uint8)
+    else:
+        flags = np.ascontiguousarray(flags, dtype=np.uint8)
+    if arrive_cycles.shape != (n,) or flags.shape != (n,):
+        raise ValueError(
+            f"column length mismatch: {n} addrs, "
+            f"{arrive_cycles.shape[0]} arrive_cycles, {flags.shape[0]} flags"
+        )
+    if np.any(flags & ~np.uint8(_KNOWN_FLAGS)):
+        raise ValueError("flags use reserved bits 4-7; only write/priority are defined")
+    return addrs, arrive_cycles, flags
+
+
+class TraceWriter:
+    """Streaming ``.dramtrace`` writer.
+
+    Appends column chunks and patches the header's record count on
+    :meth:`close`, so arbitrarily long traces can be generated chunk
+    by chunk with bounded memory.  Usable as a context manager.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = open(self.path, "wb")
+        self._n = 0
+        self._fh.write(_pack_header(0))
+
+    def append(self, addrs, arrive_cycles=None, flags=None) -> int:
+        """Append one chunk of parallel columns; returns rows written."""
+        if self._fh is None:
+            raise ValueError("trace writer is closed")
+        addrs, arrive_cycles, flags = _normalize_columns(addrs, arrive_cycles, flags)
+        records = np.empty(addrs.shape[0], dtype=RECORD_DTYPE)
+        records["addr"] = addrs
+        records["arrive_cycle"] = arrive_cycles
+        records["flags"] = flags
+        self._fh.write(records.tobytes())
+        self._n += records.shape[0]
+        return records.shape[0]
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.seek(0)
+        self._fh.write(_pack_header(self._n))
+        self._fh.close()
+        self._fh = None
+
+    def abort(self) -> None:
+        """Close without finalizing the header, truncating below the
+        header size so :func:`read_header` rejects the file -- a
+        failed generation never leaves behind a valid-looking partial
+        (or spuriously empty) trace."""
+        if self._fh is None:
+            return
+        self._fh.seek(HEADER_BYTES - 1)
+        self._fh.truncate()
+        self._fh.close()
+        self._fh = None
+
+    @property
+    def n_records(self) -> int:
+        return self._n
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+def write_trace(path, addrs, arrive_cycles=None, flags=None) -> int:
+    """Write one full trace in a single shot; returns rows written."""
+    with TraceWriter(path) as writer:
+        return writer.append(addrs, arrive_cycles, flags)
+
+
+class MappedTrace:
+    """A loaded ``.dramtrace``: zero-copy column views over the file.
+
+    ``addrs`` / ``arrive_cycles`` / ``flags`` are strided views into
+    the record memmap (or into one in-memory read for ``mmap=False``);
+    nothing is materialized until an operation consumes a column.
+    """
+
+    def __init__(self, path: pathlib.Path, records: np.ndarray) -> None:
+        self.path = path
+        self.records = records
+
+    def __len__(self) -> int:
+        return self.records.shape[0]
+
+    @property
+    def addrs(self) -> np.ndarray:
+        return self.records["addr"]
+
+    @property
+    def arrive_cycles(self) -> np.ndarray:
+        return self.records["arrive_cycle"]
+
+    @property
+    def flags(self) -> np.ndarray:
+        return self.records["flags"]
+
+    @property
+    def write_mask(self) -> np.ndarray:
+        return flags_write_mask(self.records["flags"])
+
+    @property
+    def priorities(self) -> np.ndarray:
+        return flags_priority(self.records["flags"])
+
+    def iter_chunks(
+        self, chunk_size: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield materialized ``(addrs, arrive_cycles, flags)`` column
+        chunks of at most ``chunk_size`` rows, in file order -- the
+        streamed form consumers use to bound peak memory on traces
+        larger than RAM."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        n = self.records.shape[0]
+        for lo in range(0, n, chunk_size):
+            chunk = self.records[lo : lo + chunk_size]
+            yield (
+                np.ascontiguousarray(chunk["addr"]),
+                np.ascontiguousarray(chunk["arrive_cycle"]),
+                np.ascontiguousarray(chunk["flags"]),
+            )
+
+
+def read_header(path) -> tuple[int, int]:
+    """Validate a trace file's header; returns (version, n_records)."""
+    path = pathlib.Path(path)
+    size = path.stat().st_size
+    if size < HEADER_BYTES:
+        raise ValueError(
+            f"{path}: truncated trace file ({size} bytes; "
+            f"the header alone is {HEADER_BYTES})"
+        )
+    with open(path, "rb") as fh:
+        raw = fh.read(HEADER_BYTES)
+    # Compare the magic on the raw bytes: numpy S-type scalars strip
+    # trailing NULs, and the magic ends in one.
+    if raw[:8] != TRACE_MAGIC:
+        raise ValueError(f"{path}: not a .dramtrace file (bad magic)")
+    header = np.frombuffer(raw, dtype=HEADER_DTYPE)[0]
+    check_format_version(int(header["version"]), TRACE_VERSION, str(path))
+    n = int(header["n_records"])
+    if n < 0:
+        raise ValueError(f"{path}: negative record count {n}")
+    expected = HEADER_BYTES + n * RECORD_BYTES
+    if size != expected:
+        raise ValueError(
+            f"{path}: truncated or oversized trace file: {size} bytes "
+            f"on disk, header promises {n} records ({expected} bytes)"
+        )
+    return int(header["version"]), n
+
+
+def load_trace(path, mmap: bool = True) -> MappedTrace:
+    """Open a ``.dramtrace`` for reading.
+
+    ``mmap=True`` (default) maps the records with ``np.memmap`` --
+    zero-copy, lazily paged, read-only.  ``mmap=False`` reads the file
+    into memory instead (useful when the file will be deleted or
+    rewritten while the arrays are alive).
+    """
+    path = pathlib.Path(path)
+    _, n = read_header(path)
+    if n == 0:
+        records = np.empty(0, dtype=RECORD_DTYPE)
+    elif mmap:
+        records = np.memmap(
+            path, dtype=RECORD_DTYPE, mode="r", offset=HEADER_BYTES, shape=(n,)
+        )
+    else:
+        with open(path, "rb") as fh:
+            fh.seek(HEADER_BYTES)
+            records = np.frombuffer(fh.read(), dtype=RECORD_DTYPE, count=n).copy()
+    return MappedTrace(path, records)
+
+
+def generate_trace_file(
+    path,
+    pattern: str,
+    n_requests: int,
+    config=None,
+    seed: int = 0,
+    arrival: Optional[str] = None,
+    arrival_gap: float = 8.0,
+    chunk_requests: int = 4_000_000,
+) -> int:
+    """Generate a named workload straight to a ``.dramtrace`` file.
+
+    ``pattern`` selects from
+    :data:`~repro.workloads.traces.MEMORY_TRACE_ARRAYS` and
+    ``arrival`` (optionally) from
+    :data:`~repro.workloads.traces.ARRIVAL_PROCESSES`; this is the
+    array-native export hook behind ``repro trace gen``.  The packed
+    record buffer is written in ``chunk_requests``-row chunks (via
+    :class:`TraceWriter`), so the 17-byte-per-record staging copy
+    never exceeds one chunk; the generator's own column arrays are
+    the footprint floor.  Returns the number of records written.
+    """
+    from repro.workloads.traces import generate_trace_arrays
+
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    if chunk_requests < 1:
+        raise ValueError("chunk_requests must be >= 1")
+    addrs, arrive_cycles, flags = generate_trace_arrays(
+        pattern,
+        n_requests,
+        config=config,
+        seed=seed,
+        arrival=arrival,
+        arrival_gap=arrival_gap,
+    )
+    with TraceWriter(path) as writer:
+        for lo in range(0, n_requests, chunk_requests):
+            hi = lo + chunk_requests
+            writer.append(addrs[lo:hi], arrive_cycles[lo:hi], flags[lo:hi])
+        return writer.n_records

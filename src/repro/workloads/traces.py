@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dram.config import DRAMConfig, LPDDR5X_8533
-from repro.dram.request import Request, RequestKind
+from repro.dram.request import Request
 from repro.moe.config import MoEModelConfig
 from repro.workloads.distributions import mixture_popularity, sample_expert_counts
 
@@ -175,28 +175,31 @@ class RoutingTraceGenerator:
 # experts streamed repeatedly over a long cold tail).  All address
 # math is numpy-vectorized so trace generation never dominates a
 # million-request simulation.
-
-
-def _kinds_from_mask(write_mask: np.ndarray) -> list[RequestKind]:
-    wr, rd = RequestKind.WRITE, RequestKind.READ
-    return [wr if w else rd for w in write_mask.tolist()]
+#
+# Each generator exists in two forms: an array-native ``*_arrays``
+# form returning ``(addrs, write_mask)`` columns (what
+# ``MemoryController.simulate_arrays`` and the ``.dramtrace`` export
+# in :mod:`repro.workloads.trace_io` consume), and a thin
+# ``list[Request]`` wrapper kept for the object API.  The array form
+# is the source of truth; the wrapper never re-rolls the RNG, so both
+# forms of one (pattern, seed) describe the same trace.
 
 
 def _build_requests(addrs: np.ndarray, write_mask: np.ndarray) -> list[Request]:
-    return [
-        Request(addr=a, kind=k)
-        for a, k in zip(addrs.tolist(), _kinds_from_mask(write_mask))
-    ]
+    from repro.dram.request import requests_from_arrays
+
+    return requests_from_arrays(addrs, flags=write_mask.astype(np.uint8))
 
 
-def streaming_memory_trace(
+def streaming_memory_trace_arrays(
     n_requests: int,
     config: DRAMConfig = LPDDR5X_8533,
     base: int = 0,
     write_fraction: float = 0.0,
     seed: int = 0,
-) -> list[Request]:
-    """Contiguous 64-byte stream from ``base``, wrapping at capacity."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Contiguous 64-byte stream from ``base``, wrapping at capacity;
+    returns ``(addrs, write_mask)`` columns."""
     if n_requests < 0:
         raise ValueError("n_requests must be non-negative")
     org = config.organization
@@ -209,16 +212,30 @@ def streaming_memory_trace(
         if write_fraction > 0
         else np.zeros(n_requests, dtype=bool)
     )
-    return _build_requests(blocks * step, writes)
+    return blocks * step, writes
 
 
-def random_memory_trace(
+def streaming_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    base: int = 0,
+    write_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[Request]:
+    """Contiguous 64-byte stream from ``base``, wrapping at capacity."""
+    return _build_requests(
+        *streaming_memory_trace_arrays(n_requests, config, base, write_fraction, seed)
+    )
+
+
+def random_memory_trace_arrays(
     n_requests: int,
     config: DRAMConfig = LPDDR5X_8533,
     write_fraction: float = 0.25,
     seed: int = 0,
-) -> list[Request]:
-    """Uniform-random 64-byte requests over the full address space."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform-random 64-byte requests over the full address space;
+    returns ``(addrs, write_mask)`` columns."""
     if n_requests < 0:
         raise ValueError("n_requests must be non-negative")
     org = config.organization
@@ -228,10 +245,22 @@ def random_memory_trace(
         0, org.total_capacity_bytes // step, size=n_requests, dtype=np.int64
     )
     writes = rng.random(n_requests) < write_fraction
-    return _build_requests(blocks * step, writes)
+    return blocks * step, writes
 
 
-def moe_expert_memory_trace(
+def random_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    write_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[Request]:
+    """Uniform-random 64-byte requests over the full address space."""
+    return _build_requests(
+        *random_memory_trace_arrays(n_requests, config, write_fraction, seed)
+    )
+
+
+def moe_expert_memory_trace_arrays(
     n_requests: int,
     config: DRAMConfig = LPDDR5X_8533,
     n_experts: int = 128,
@@ -242,8 +271,9 @@ def moe_expert_memory_trace(
     tail_shape: float = 0.4,
     write_fraction: float = 0.1,
     seed: int = 0,
-) -> list[Request]:
-    """Skewed MoE expert-weight traffic.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Skewed MoE expert-weight traffic; returns ``(addrs,
+    write_mask)`` columns.
 
     Experts own contiguous weight regions; each *burst* picks an
     expert from the Fig. 3-calibrated hot/cold mixture and streams
@@ -301,7 +331,37 @@ def moe_expert_memory_trace(
     burst_writes = rng.random(n_bursts) < write_fraction
     writes = np.repeat(burst_writes, burst_blocks)
     addrs = blocks.reshape(-1)[:n_requests] * step
-    return _build_requests(addrs, writes[:n_requests])
+    return addrs, writes[:n_requests]
+
+
+def moe_expert_memory_trace(
+    n_requests: int,
+    config: DRAMConfig = LPDDR5X_8533,
+    n_experts: int = 128,
+    expert_bytes: int = 1 << 22,
+    burst_blocks: int = 32,
+    hot_fraction: float = 0.9,
+    n_hot: int = 2,
+    tail_shape: float = 0.4,
+    write_fraction: float = 0.1,
+    seed: int = 0,
+) -> list[Request]:
+    """Skewed MoE expert-weight traffic (Request-object form of
+    :func:`moe_expert_memory_trace_arrays`)."""
+    return _build_requests(
+        *moe_expert_memory_trace_arrays(
+            n_requests,
+            config,
+            n_experts,
+            expert_bytes,
+            burst_blocks,
+            hot_fraction,
+            n_hot,
+            tail_shape,
+            write_fraction,
+            seed,
+        )
+    )
 
 
 #: Named trace generators used by ``repro bench`` / benchmarks/perf.
@@ -310,6 +370,58 @@ MEMORY_TRACES = {
     "random": random_memory_trace,
     "moe-skewed": moe_expert_memory_trace,
 }
+
+#: Array-native forms of :data:`MEMORY_TRACES` (same keys, same
+#: seed-for-seed traces): each returns ``(addrs, write_mask)``.
+MEMORY_TRACE_ARRAYS = {
+    "streaming": streaming_memory_trace_arrays,
+    "random": random_memory_trace_arrays,
+    "moe-skewed": moe_expert_memory_trace_arrays,
+}
+
+
+def generate_trace_arrays(
+    pattern: str,
+    n_requests: int,
+    config: DRAMConfig | None = None,
+    seed: int = 0,
+    arrival: str | None = None,
+    arrival_gap: float = 8.0,
+    **generator_kwargs,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-stop array-native trace: ``(addrs, arrive_cycles, flags)``.
+
+    ``pattern`` selects from :data:`MEMORY_TRACE_ARRAYS` and
+    ``arrival`` (optionally) from :data:`ARRIVAL_PROCESSES` with mean
+    gap ``arrival_gap``; ``arrival=None`` keeps the all-at-cycle-0
+    batch default.  The flags column uses the ``.dramtrace`` encoding
+    (:func:`repro.workloads.trace_io.pack_flags`).  This is the shared
+    entry point behind ``repro trace gen`` and the array path of
+    ``repro bench``.
+    """
+    from repro.workloads.trace_io import pack_flags
+
+    try:
+        generator = MEMORY_TRACE_ARRAYS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; choose from {sorted(MEMORY_TRACE_ARRAYS)}"
+        ) from None
+    addrs, write_mask = generator(
+        n_requests, config=config or LPDDR5X_8533, seed=seed, **generator_kwargs
+    )
+    if arrival is None:
+        arrive_cycles = np.zeros(n_requests, dtype=np.int64)
+    else:
+        try:
+            process = ARRIVAL_PROCESSES[arrival]
+        except KeyError:
+            raise ValueError(
+                f"unknown arrival process {arrival!r}; "
+                f"choose from {sorted(ARRIVAL_PROCESSES)}"
+            ) from None
+        arrive_cycles = process(n_requests, arrival_gap, seed=seed)
+    return addrs, arrive_cycles, pack_flags(write_mask)
 
 
 # -- arrival-process generation -----------------------------------------------

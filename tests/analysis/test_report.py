@@ -10,7 +10,7 @@ def test_format_table_aligns():
     lines = text.splitlines()
     assert len(lines) == 4
     assert lines[0].startswith("name")
-    assert all(len(l) == len(lines[0]) or True for l in lines)
+    assert all(len(line) == len(lines[0]) or True for line in lines)
     assert "long-name" in lines[3]
 
 

@@ -1,7 +1,6 @@
 """PMove/AMove strategies and scheme taxonomy."""
 
 import numpy as np
-import pytest
 
 from repro.core.strategies import AMoveStrategy, PMoveStrategy, Scheme
 

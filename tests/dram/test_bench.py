@@ -17,6 +17,13 @@ def test_payload_shape_and_equivalence(tmp_path):
     assert entry["speedup"] > 0
     # Same-length runs must agree bit-for-bit.
     assert entry["stats_identical"] is True
+    # End-to-end paths: arrays (native columns) vs objects (Request
+    # list construction included in the timed region).
+    assert entry["arrays"]["n_requests"] == 400
+    assert entry["objects"]["ingest_seconds"] > 0.0
+    assert entry["objects"]["elapsed_seconds"] > entry["indexed"]["elapsed_seconds"]
+    assert entry["object_layer_speedup"] > 0
+    assert entry["array_path_identical"] is True
 
     path = tmp_path / "BENCH_controller.json"
     write_bench(payload, str(path))
@@ -68,7 +75,9 @@ def test_unknown_arrival_process():
 def test_format_bench_renders():
     payload = bench_controller(n_requests=200, patterns=("random",), seed=2)
     table = format_bench(payload)
-    assert "random" in table and "speedup" in table
+    assert "random" in table and "arrays vs objects" in table
+    for impl in ("arrays", "objects", "indexed", "reference"):
+        assert impl in table
 
 
 def test_cli_bench(tmp_path, capsys):
@@ -109,3 +118,81 @@ def test_cli_bench_open_loop(tmp_path, capsys):
     assert payload["arrival"] == "batched"
     assert payload["patterns"]["streaming"]["stats_identical"] is True
     assert "q-delay p99" in capsys.readouterr().out
+
+
+def test_bench_trace_file_matches_in_memory(tmp_path):
+    """`bench --trace-file` on an exported trace reproduces the
+    in-memory generator path's stats bit-for-bit."""
+    from repro.dram.bench import bench_trace_file
+    from repro.workloads.trace_io import generate_trace_file
+
+    path = tmp_path / "random.dramtrace"
+    generate_trace_file(
+        path, "random", 600, seed=1, arrival="poisson", arrival_gap=9.0
+    )
+    file_payload = bench_trace_file(str(path), include_reference=True)
+    in_memory = bench_controller(
+        n_requests=600, patterns=("random",), include_reference=False,
+        seed=1, arrival="poisson", arrival_gap=9.0,
+    )
+    entry = file_payload["patterns"]["random"]
+    assert entry["array_path_identical"] is True
+    assert entry["stats_identical"] is True
+    # File loading is inside the arrays path's timed region.
+    assert entry["arrays"]["ingest_seconds"] > 0.0
+    mem = in_memory["patterns"]["random"]["arrays"]
+    for field in (
+        "total_cycles", "row_hits", "row_misses", "row_conflicts",
+        "activates", "precharges", "queue_delay_mean", "queue_delay_p99",
+    ):
+        assert entry["arrays"][field] == mem[field], field
+
+
+def test_bench_trace_file_rejects_empty(tmp_path):
+    from repro.dram.bench import bench_trace_file
+    from repro.workloads.trace_io import write_trace
+
+    path = tmp_path / "empty.dramtrace"
+    write_trace(path, [])
+    with pytest.raises(ValueError, match="empty trace"):
+        bench_trace_file(str(path))
+
+
+def test_cli_bench_trace_file(tmp_path, capsys):
+    from repro.cli import main
+    from repro.workloads.trace_io import generate_trace_file
+
+    trace_path = tmp_path / "stream.dramtrace"
+    generate_trace_file(trace_path, "streaming", 400, seed=3)
+    out = tmp_path / "BENCH_controller.json"
+    rc = main(
+        [
+            "bench",
+            "--trace-file", str(trace_path),
+            "--no-reference",
+            "--output", str(out),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["trace_file"] == str(trace_path)
+    assert payload["patterns"]["stream"]["array_path_identical"] is True
+    assert "arrays" in capsys.readouterr().out
+
+
+def test_cli_bench_trace_file_rejects_generation_flags(tmp_path, capsys):
+    from repro.cli import main
+    from repro.workloads.trace_io import generate_trace_file
+
+    trace_path = tmp_path / "t.dramtrace"
+    generate_trace_file(trace_path, "streaming", 100, seed=3)
+    rc = main(
+        [
+            "bench",
+            "--trace-file", str(trace_path),
+            "--arrival", "poisson",
+            "--output", str(tmp_path / "B.json"),
+        ]
+    )
+    assert rc == 2
+    assert "--arrival" in capsys.readouterr().err

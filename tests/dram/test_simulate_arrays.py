@@ -1,0 +1,176 @@
+"""Array-native ingestion (`simulate_arrays`) equivalence.
+
+The property under test: for any trace, ``simulate_arrays(addrs,
+arrive_cycles, flags)`` produces ControllerStats bit-identical to
+``simulate()`` on the equivalent Request list *and* to the reference
+oracle's array path, across scheduler policies, lookahead windows, and
+arrival corners.  Plus the mmap round trip: columns loaded back from a
+``.dramtrace`` file schedule identically to the in-memory columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import LPDDR5X_8533
+from repro.dram.controller import MemoryController, SchedulerPolicy
+from repro.dram.reference import ReferenceMemoryController
+from repro.dram.request import (
+    FLAG_WRITE,
+    Request,
+    RequestKind,
+    requests_from_arrays,
+)
+from repro.workloads.trace_io import load_trace, pack_flags, write_trace
+
+_MAX_BLOCK = LPDDR5X_8533.organization.total_capacity_bytes // 64 - 1
+
+
+def _columns(blocks, write_mask, arrivals):
+    n = len(blocks)
+    addrs = np.asarray(blocks, dtype=np.int64) * 64
+    writes = np.array([(write_mask >> (i % 32)) & 1 == 1 for i in range(n)])
+    if arrivals is None:
+        arrive = np.zeros(n, dtype=np.int64)
+    else:
+        arrive = np.asarray((arrivals * ((n // len(arrivals)) + 1))[:n], dtype=np.int64)
+    return addrs, arrive, pack_flags(writes)
+
+
+def _stats_dict(controller, addrs, arrive, flags):
+    return asdict(controller.simulate_arrays(addrs, arrive, flags))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, _MAX_BLOCK), min_size=1, max_size=100),
+    write_mask=st.integers(0, 2**32 - 1),
+    arrivals=st.one_of(
+        st.none(),
+        st.lists(st.integers(0, 500), min_size=1, max_size=100),
+    ),
+    policy=st.sampled_from(list(SchedulerPolicy)),
+    window=st.sampled_from([1, 4, 64]),
+)
+def test_arrays_equal_objects_and_oracle(blocks, write_mask, arrivals, policy, window):
+    """simulate_arrays == simulate(Request list) == reference oracle,
+    bit for bit, for arbitrary traces (unsorted, duplicate, and
+    batched arrivals included)."""
+    addrs, arrive, flags = _columns(blocks, write_mask, arrivals)
+
+    array_stats = _stats_dict(
+        MemoryController(LPDDR5X_8533, policy=policy, window=window),
+        addrs,
+        arrive,
+        flags,
+    )
+    object_ctrl = MemoryController(LPDDR5X_8533, policy=policy, window=window)
+    object_stats = asdict(
+        object_ctrl.simulate(requests_from_arrays(addrs, arrive, flags))
+    )
+    assert array_stats == object_stats
+    oracle_stats = _stats_dict(
+        ReferenceMemoryController(LPDDR5X_8533, policy=policy, window=window),
+        addrs,
+        arrive,
+        flags,
+    )
+    assert array_stats == oracle_stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, _MAX_BLOCK), min_size=1, max_size=60),
+    write_mask=st.integers(0, 2**32 - 1),
+    arrivals=st.lists(st.integers(0, 2000), min_size=1, max_size=60),
+)
+def test_mmap_roundtrip_schedules_identically(
+    tmp_path_factory, blocks, write_mask, arrivals
+):
+    """Columns loaded back from a .dramtrace memmap drive the
+    scheduler to the same stats as the in-memory columns."""
+    addrs, arrive, flags = _columns(blocks, write_mask, arrivals)
+    path = tmp_path_factory.mktemp("dramtrace") / "t.dramtrace"
+    write_trace(path, addrs, arrive, flags)
+    trace = load_trace(path)
+    direct = _stats_dict(MemoryController(LPDDR5X_8533), addrs, arrive, flags)
+    mapped = _stats_dict(
+        MemoryController(LPDDR5X_8533),
+        trace.addrs,
+        trace.arrive_cycles,
+        trace.flags,
+    )
+    assert direct == mapped
+
+
+def test_arrival_corner_all_zero_matches_batch_semantics():
+    """All-at-cycle-0 columns equal the legacy batch Request path."""
+    addrs = np.arange(200, dtype=np.int64) * 64
+    stats_arrays = MemoryController(LPDDR5X_8533).simulate_arrays(addrs)
+    reqs = [Request(addr=int(a), kind=RequestKind.READ) for a in addrs]
+    stats_objects = MemoryController(LPDDR5X_8533).simulate(reqs)
+    assert asdict(stats_arrays) == asdict(stats_objects)
+    assert sum(stats_arrays.idle_channel_cycles.values()) == 0
+
+
+def test_arrival_corner_huge_gap_goes_idle():
+    addrs = np.array([0, 64], dtype=np.int64)
+    arrive = np.array([0, 1_000_000], dtype=np.int64)
+    stats = MemoryController(LPDDR5X_8533).simulate_arrays(addrs, arrive)
+    assert sum(stats.idle_channel_cycles.values()) > 0
+    assert stats.queue_delay_max >= 0
+
+
+def test_priority_bits_accepted_and_ignored():
+    """Priority flag bits round through scheduling without effect."""
+    addrs = np.arange(50, dtype=np.int64) * 64
+    plain = MemoryController(LPDDR5X_8533).simulate_arrays(
+        addrs, flags=pack_flags(np.zeros(50, dtype=bool))
+    )
+    prioritized = MemoryController(LPDDR5X_8533).simulate_arrays(
+        addrs, flags=pack_flags(np.zeros(50, dtype=bool), priority=7)
+    )
+    assert asdict(plain) == asdict(prioritized)
+
+
+def test_write_flag_decoded():
+    addrs = np.arange(10, dtype=np.int64) * 64
+    flags = np.zeros(10, dtype=np.uint8)
+    flags[::2] = FLAG_WRITE
+    stats = MemoryController(LPDDR5X_8533).simulate_arrays(addrs, flags=flags)
+    assert stats.writes == 5 and stats.reads == 5
+
+
+def test_empty_columns():
+    stats = MemoryController(LPDDR5X_8533).simulate_arrays(np.array([], dtype=np.int64))
+    assert stats.requests == 0 and stats.total_cycles == 0
+
+
+def test_negative_arrival_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        MemoryController(LPDDR5X_8533).simulate_arrays(
+            np.array([64], dtype=np.int64), np.array([-1], dtype=np.int64)
+        )
+
+
+def test_length_mismatches_rejected():
+    ctrl = MemoryController(LPDDR5X_8533)
+    with pytest.raises(ValueError, match="arrive_cycles"):
+        ctrl.simulate_arrays(np.array([64, 128], dtype=np.int64), np.array([0]))
+    with pytest.raises(ValueError, match="flags"):
+        ctrl.simulate_arrays(
+            np.array([64, 128], dtype=np.int64),
+            flags=np.array([0], dtype=np.uint8),
+        )
+
+
+def test_beyond_capacity_address_rejected():
+    ctrl = MemoryController(LPDDR5X_8533)
+    too_big = LPDDR5X_8533.organization.total_capacity_bytes
+    with pytest.raises(ValueError, match="beyond device capacity"):
+        ctrl.simulate_arrays(np.array([too_big], dtype=np.int64))

@@ -1,6 +1,5 @@
 """Property-based invariants of the hardware timing models."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -16,7 +16,7 @@ def test_moe_layer_offloaded_to_device_matches_host():
     rng = np.random.default_rng(3)
     layer = MoELayer(d_model=32, d_ff=64, n_experts=4, top_k=2, rng=rng)
     x = rng.normal(size=(10, 32))
-    host_out = layer(x)
+    layer(x)  # populates layer.last_routing
     plan = layer.last_routing.plan
 
     driver = MoNDEDriver()
@@ -61,7 +61,6 @@ def test_model_routing_feeds_timing_engine():
     timing engine directly (the paper's profiling loop)."""
     from repro.core.engine import MoELayerEngine, Platform
     from repro.core.strategies import Scheme
-    from repro.moe.config import MoEModelConfig
 
     model = MoESeq2Seq(nllb_moe_tiny(), seed=0)
     record = ForwardRecord()

@@ -3,7 +3,6 @@ component underperforms or misbehaves."""
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.core.engine import MoELayerEngine, Overheads, Platform
@@ -100,7 +99,6 @@ def test_overcommitted_device_capacity_detected():
     """Loading more expert bytes than the device holds raises."""
     import dataclasses as dc
 
-    from repro.hw.specs import MoNDEDeviceSpec
     from repro.ndp.device import MoNDEDevice
 
     tiny = dc.replace(MONDE_DEVICE, channel_capacity=1024.0)

@@ -20,7 +20,7 @@ def test_same_time_events_fire_in_scheduling_order():
     q = EventQueue()
     order = []
     for label in "abcde":
-        q.push(1.0, lambda l=label: order.append(l))
+        q.push(1.0, lambda tag=label: order.append(tag))
     while q:
         q.pop().action()
     assert order == list("abcde")

@@ -74,3 +74,23 @@ def test_counts_drive_engine(generator):
     engine = MoELayerEngine(nllb_moe_128(), Platform())
     result = engine.layer_time(Scheme.MD_AM, trace.encoder_layers[0])
     assert result.seconds > 0
+
+
+def test_version_error_message_is_clear(tmp_path, generator):
+    trace = capture_trace(generator)
+    path = tmp_path / "trace.json"
+    trace.save(path)
+    data = json.loads(path.read_text())
+    data["version"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="unsupported format version 99"):
+        SavedTrace.load(path)
+
+
+def test_shared_version_helper():
+    """Both trace formats reject mismatches through one helper."""
+    from repro.workloads.serialization import check_format_version
+
+    check_format_version(FORMAT_VERSION, FORMAT_VERSION, "routing trace")
+    with pytest.raises(ValueError, match="my format.*version 2.*reads version 1"):
+        check_format_version(2, 1, "my format")

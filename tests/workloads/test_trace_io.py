@@ -1,0 +1,212 @@
+"""Binary ``.dramtrace`` format: round trips, corners, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace_io import (
+    HEADER_BYTES,
+    RECORD_BYTES,
+    TRACE_MAGIC,
+    TraceWriter,
+    flags_priority,
+    flags_write_mask,
+    generate_trace_file,
+    load_trace,
+    pack_flags,
+    read_header,
+    write_trace,
+)
+
+
+def test_record_layout_is_packed():
+    # The on-disk contract: 17-byte records, 20-byte header.
+    assert RECORD_BYTES == 17
+    assert HEADER_BYTES == 20
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    addrs = np.array([0, 64, 128, 1 << 38], dtype=np.int64)
+    arrive = np.array([0, 3, 3, 90], dtype=np.int64)
+    flags = pack_flags([False, True, False, True], priority=[0, 7, 2, 0])
+    assert write_trace(path, addrs, arrive, flags) == 4
+    assert path.stat().st_size == HEADER_BYTES + 4 * RECORD_BYTES
+    trace = load_trace(path)
+    assert len(trace) == 4
+    np.testing.assert_array_equal(np.asarray(trace.addrs), addrs)
+    np.testing.assert_array_equal(np.asarray(trace.arrive_cycles), arrive)
+    np.testing.assert_array_equal(np.asarray(trace.flags), flags)
+    np.testing.assert_array_equal(trace.write_mask, [False, True, False, True])
+    np.testing.assert_array_equal(trace.priorities, [0, 7, 2, 0])
+
+
+def test_roundtrip_beyond_2_31_addresses(tmp_path):
+    # int64 end to end: addresses past 2^31 *and* past 2^32.
+    path = tmp_path / "big.dramtrace"
+    addrs = np.array([(1 << 31) + 64, (1 << 32) + 128, (1 << 45)], dtype=np.int64)
+    write_trace(path, addrs)
+    loaded = np.asarray(load_trace(path).addrs)
+    np.testing.assert_array_equal(loaded, addrs)
+    assert loaded.dtype == np.int64
+
+
+def test_roundtrip_empty(tmp_path):
+    path = tmp_path / "empty.dramtrace"
+    assert write_trace(path, np.array([], dtype=np.int64)) == 0
+    assert path.stat().st_size == HEADER_BYTES
+    trace = load_trace(path)
+    assert len(trace) == 0
+    assert trace.addrs.shape == (0,)
+    assert list(trace.iter_chunks(16)) == []
+
+
+def test_mmap_is_lazy_and_readonly(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.arange(10, dtype=np.int64) * 64)
+    trace = load_trace(path)
+    assert isinstance(trace.records, np.memmap)
+    with pytest.raises(ValueError):
+        trace.records["addr"][0] = 1
+    in_memory = load_trace(path, mmap=False)
+    assert not isinstance(in_memory.records, np.memmap)
+    np.testing.assert_array_equal(np.asarray(in_memory.addrs), np.asarray(trace.addrs))
+
+
+def test_writer_chunked_appends_equal_one_shot(tmp_path):
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 39, size=1000, dtype=np.int64) & ~np.int64(63)
+    arrive = np.sort(rng.integers(0, 10_000, size=1000, dtype=np.int64))
+    flags = pack_flags(rng.random(1000) < 0.3)
+    one_shot = tmp_path / "one.dramtrace"
+    chunked = tmp_path / "chunks.dramtrace"
+    write_trace(one_shot, addrs, arrive, flags)
+    with TraceWriter(chunked) as writer:
+        for lo in range(0, 1000, 137):
+            hi = lo + 137
+            writer.append(addrs[lo:hi], arrive[lo:hi], flags[lo:hi])
+    assert one_shot.read_bytes() == chunked.read_bytes()
+
+
+def test_iter_chunks_covers_everything(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    addrs = np.arange(257, dtype=np.int64) * 64
+    arrive = np.arange(257, dtype=np.int64)
+    write_trace(path, addrs, arrive)
+    chunks = list(load_trace(path).iter_chunks(100))
+    assert [len(c[0]) for c in chunks] == [100, 100, 57]
+    np.testing.assert_array_equal(np.concatenate([c[0] for c in chunks]), addrs)
+    np.testing.assert_array_equal(np.concatenate([c[1] for c in chunks]), arrive)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.arange(8, dtype=np.int64) * 64)
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(path)
+    # Shorter than the header itself.
+    path.write_bytes(data[:7])
+    with pytest.raises(ValueError, match="truncated"):
+        read_header(path)
+    # Trailing garbage is just as corrupt as missing bytes.
+    path.write_bytes(data + b"\x00" * 3)
+    with pytest.raises(ValueError, match="truncated or oversized"):
+        load_trace(path)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.array([64], dtype=np.int64))
+    data = bytearray(path.read_bytes())
+    data[:4] = b"NOPE"
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="bad magic"):
+        load_trace(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.array([64], dtype=np.int64))
+    data = bytearray(path.read_bytes())
+    assert data[: len(TRACE_MAGIC)] == TRACE_MAGIC
+    data[8] = 99  # little-endian uint16 version field
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="unsupported format version 99"):
+        load_trace(path)
+
+
+def test_column_length_mismatch_rejected(tmp_path):
+    with pytest.raises(ValueError, match="column length mismatch"):
+        write_trace(tmp_path / "t.dramtrace", [0, 64], [0])
+
+
+def test_reserved_flag_bits_rejected(tmp_path):
+    with pytest.raises(ValueError, match="reserved bits"):
+        write_trace(
+            tmp_path / "t.dramtrace", [0], flags=np.array([0x10], dtype=np.uint8)
+        )
+
+
+def test_pack_flags_bounds():
+    with pytest.raises(ValueError, match="priority"):
+        pack_flags([True], priority=8)
+    flags = pack_flags([True, False], priority=5)
+    np.testing.assert_array_equal(flags_write_mask(flags), [True, False])
+    np.testing.assert_array_equal(flags_priority(flags), [5, 5])
+
+
+def test_generate_trace_file_matches_generator(tmp_path):
+    from repro.workloads.traces import generate_trace_arrays
+
+    path = tmp_path / "moe.dramtrace"
+    n = generate_trace_file(
+        path,
+        "moe-skewed",
+        500,
+        seed=11,
+        arrival="batched",
+        arrival_gap=6.0,
+        chunk_requests=64,
+    )
+    assert n == 500
+    addrs, arrive, flags = generate_trace_arrays(
+        "moe-skewed", 500, seed=11, arrival="batched", arrival_gap=6.0
+    )
+    trace = load_trace(path)
+    np.testing.assert_array_equal(np.asarray(trace.addrs), addrs)
+    np.testing.assert_array_equal(np.asarray(trace.arrive_cycles), arrive)
+    np.testing.assert_array_equal(np.asarray(trace.flags), flags)
+
+
+def test_generate_trace_file_unknown_pattern(tmp_path):
+    with pytest.raises(ValueError, match="unknown pattern"):
+        generate_trace_file(tmp_path / "x.dramtrace", "nope", 10)
+
+
+def test_aborted_writer_leaves_invalid_file(tmp_path):
+    """A generation that raises mid-write must not leave a readable
+    (partial or spuriously empty) trace behind."""
+    path = tmp_path / "partial.dramtrace"
+    with pytest.raises(RuntimeError, match="boom"):
+        with TraceWriter(path) as writer:
+            writer.append(np.arange(10, dtype=np.int64) * 64)
+            raise RuntimeError("boom")
+    with pytest.raises(ValueError, match="truncated"):
+        read_header(path)
+    # Same when nothing was appended before the failure.
+    empty = tmp_path / "aborted_empty.dramtrace"
+    with pytest.raises(RuntimeError):
+        with TraceWriter(empty):
+            raise RuntimeError("boom")
+    with pytest.raises(ValueError, match="truncated"):
+        read_header(empty)
+
+
+def test_closed_writer_rejects_append(tmp_path):
+    writer = TraceWriter(tmp_path / "t.dramtrace")
+    writer.close()
+    with pytest.raises(ValueError, match="closed"):
+        writer.append(np.array([64], dtype=np.int64))
