@@ -20,6 +20,8 @@ implements the paper's contribution and every substrate it depends on:
   streams (Fig. 5), and end-to-end runtimes for every evaluated scheme.
 - :mod:`repro.workloads` -- synthetic routing traces and batch
   generators calibrated to the paper's measured expert skew (Fig. 3).
+- :mod:`repro.cosim` -- closed-loop serving<->DRAM co-simulation: the
+  fixed-point driver, expert-faithful replay, and load-sweep runner.
 - :mod:`repro.analysis` -- characterization (Fig. 2), area/power
   (Table 3), and report helpers.
 - :mod:`repro.sim` -- the discrete-event kernel and stream timeline

@@ -13,6 +13,10 @@ Commands:
 - ``trace``          Binary DRAM trace tooling: ``trace gen`` exports
                      any generator+arrival combination to a
                      ``.dramtrace`` file, ``trace info`` inspects one.
+- ``cosim``          Closed-loop serving<->DRAM co-simulation at one
+                     offered load; ``cosim sweep`` drives the loop
+                     across a rate grid (the tail-latency hockey
+                     stick) and writes a versioned JSON result.
 """
 
 from __future__ import annotations
@@ -236,6 +240,203 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled trace subcommand {args.trace_command!r}")
 
 
+#: Defaults for the SUPPRESS-defaulted shared cosim options (see
+#: build_parser: a real argparse default would let the `sweep`
+#: subparser silently overwrite values parsed by its parent).
+_COSIM_DEFAULTS = {
+    "scheme": "md+lb",
+    "workload": "flores",
+    "arrival": "poisson",
+    "requests": 100,
+    "seed": 1,
+    "mean_prompt_tokens": 512,
+    "mean_decode_tokens": 32,
+    "encode_us": None,
+    "decode_us": None,
+    "bytes_per_token": 2048,
+    "max_blocks": 4096,
+    "damping": 0.6,
+    "max_iters": 8,
+    "tol": 0.02,
+    "small_dram": False,
+    "synthetic_regions": False,
+    "export_trace": None,
+}
+
+
+def _cosim_setup(args: argparse.Namespace):
+    """Shared ``repro cosim`` / ``repro cosim sweep`` assembly:
+    (cost_model, planner, CosimConfig), honoring --smoke."""
+    from repro.cosim import CosimConfig, ExpertReplayPlanner, SyntheticReplayPlanner
+    from repro.cosim.driver import small_cosim_dram
+    from repro.dram.config import LPDDR5X_8533
+    from repro.serving.simulator import CostModel
+
+    if getattr(args, "smoke", False):
+        # CI-sized closed loop: synthetic per-token costs and a small
+        # DRAM config tuned so memory saturates within ~100k DRAM
+        # requests per serving run (finishes in seconds).
+        args.encode_us = 0.002
+        args.decode_us = 0.02
+        args.small_dram = True
+        args.bytes_per_token = 8192
+        args.max_blocks = 1024
+        args.requests = min(args.requests, 60)
+        args.mean_prompt_tokens = 20
+        args.mean_decode_tokens = 5
+        # The saturating grid point needs ~12 bisection iterations.
+        args.max_iters = max(args.max_iters, 16)
+
+    dram = small_cosim_dram() if args.small_dram else LPDDR5X_8533
+    scheme = Scheme(args.scheme)
+    if (args.encode_us is None) != (args.decode_us is None):
+        raise ValueError("--encode-us and --decode-us must be given together")
+    if args.encode_us is not None:
+        cost = CostModel(
+            encode_seconds_per_token=args.encode_us * 1e-6,
+            decode_seconds_per_token=args.decode_us * 1e-6,
+        )
+    else:
+        scenario = SCENARIOS[args.workload](batch=1)
+        cost = CostModel.from_runtime(
+            scenario.model, scheme, profile=scenario.profile, ref_decode_steps=4
+        )
+    if args.synthetic_regions:
+        planner = SyntheticReplayPlanner(
+            dram_config=dram,
+            bytes_per_token=args.bytes_per_token,
+            max_blocks_per_request=args.max_blocks,
+            seed=args.seed,
+        )
+    elif getattr(args, "smoke", False):
+        planner = ExpertReplayPlanner(
+            n_experts=16,
+            top_k=2,
+            n_moe_layers=2,
+            dram_config=dram,
+            bytes_per_token=args.bytes_per_token,
+            max_blocks_per_request=args.max_blocks,
+            expert_bytes=1 << 18,
+            seed=args.seed,
+        )
+    else:
+        scenario = SCENARIOS[args.workload](batch=1)
+        planner = ExpertReplayPlanner.for_model(
+            scenario.model,
+            profile=scenario.profile,
+            dram_config=dram,
+            bytes_per_token=args.bytes_per_token,
+            max_blocks_per_request=args.max_blocks,
+            seed=args.seed,
+        )
+    config = CosimConfig(
+        damping=args.damping,
+        max_iterations=args.max_iters,
+        p99_tolerance=args.tol,
+    )
+    return cost, scheme, planner, config
+
+
+def _cosim_export(trace, path: str) -> None:
+    from repro.workloads.trace_io import write_trace
+
+    n = write_trace(path, trace.addrs, trace.arrive_cycles, trace.flags)
+    print(f"exported {n} DRAM requests to {path}")
+
+
+def _cmd_cosim(args: argparse.Namespace) -> int:
+    from repro.cosim import CosimDriver, format_sweep, run_load_sweep
+    from repro.serving.workload import RequestGenerator
+
+    for key, value in _COSIM_DEFAULTS.items():
+        if not hasattr(args, key):
+            setattr(args, key, value)
+    try:
+        cost, scheme, planner, config = _cosim_setup(args)
+
+        if args.cosim_command == "sweep":
+            rates = sorted(float(r) for r in args.rates.split(",") if r.strip())
+            if getattr(args, "smoke", False):
+                rates = [1e5, 1e6, 4e6]
+            sweep, runs = run_load_sweep(
+                cost,
+                scheme,
+                planner,
+                rates,
+                n_requests=args.requests,
+                seed=args.seed,
+                arrival=args.arrival,
+                mean_prompt_tokens=args.mean_prompt_tokens,
+                mean_decode_tokens=args.mean_decode_tokens,
+                cosim_config=config,
+            )
+            print(format_sweep(sweep))
+            sweep.save(args.output)
+            print(f"wrote {args.output}")
+            if args.export_trace is not None:
+                exported = runs[-1]
+                if args.export_rate is not None:
+                    by_rate = dict(zip(rates, runs))
+                    if args.export_rate not in by_rate:
+                        raise ValueError(
+                            f"--export-rate {args.export_rate} not in the grid {rates}"
+                        )
+                    exported = by_rate[args.export_rate]
+                _cosim_export(exported.final_trace, args.export_trace)
+            if not sweep.points[0].converged:
+                print(
+                    "repro cosim sweep: lowest offered load failed to converge "
+                    f"within {config.max_iterations} iterations",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+
+        generator = RequestGenerator(
+            args.rate,
+            mean_prompt_tokens=args.mean_prompt_tokens,
+            mean_decode_tokens=args.mean_decode_tokens,
+            seed=args.seed,
+            arrival=args.arrival,
+        )
+        driver = CosimDriver(cost, scheme, planner, config=config)
+        result = driver.run(generator.generate(args.requests))
+    except ValueError as exc:
+        print(f"repro cosim: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        [
+            it.index,
+            f"{it.extra_seconds_per_token * 1e9:.3f}",
+            f"{it.measured_seconds_per_token * 1e9:.3f}",
+            f"{it.serving_p50 * 1e6:.3f}",
+            f"{it.serving_p99 * 1e6:.3f}",
+            round(it.utilization, 3),
+            round(it.dram_queue_delay_p99, 1),
+            "-" if it.p99_delta == float("inf") else f"{it.p99_delta:.4f}",
+        ]
+        for it in result.iterations
+    ]
+    print(format_table(
+        ["iter", "extra ns/tok", "meas ns/tok", "p50 us", "p99 us",
+         "util", "dram qd p99", "p99 delta"],
+        rows,
+    ))
+    open_p99 = result.open_loop.latency_percentile(99)
+    closed_p99 = result.closed_loop.latency_percentile(99)
+    ratio = closed_p99 / open_p99 if open_p99 > 0 else 1.0
+    print(
+        f"{scheme.value} @ {args.rate:g} req/s: "
+        f"{'converged' if result.converged else 'NOT converged'} in "
+        f"{result.n_iterations} iterations; open-loop p99 {open_p99:.3e} s, "
+        f"closed-loop p99 {closed_p99:.3e} s ({ratio:.2f}x)"
+    )
+    if args.export_trace is not None and result.final_trace is not None:
+        _cosim_export(result.final_trace, args.export_trace)
+    return 0 if result.converged else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MoNDE (DAC 2024) reproduction toolkit"
@@ -309,6 +510,73 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--output", required=True, metavar="PATH.dramtrace")
     info = trace_sub.add_parser("info", help="inspect a .dramtrace header")
     info.add_argument("path")
+
+    # Shared options appear on both `cosim` and `cosim sweep`.  All
+    # defaults are SUPPRESS (applied later from _COSIM_DEFAULTS): the
+    # sweep subparser shares the namespace with its parent, so a real
+    # default here would silently overwrite a value the user passed
+    # before the `sweep` token.
+    supp = argparse.SUPPRESS
+    cosim_common = argparse.ArgumentParser(add_help=False, argument_default=supp)
+    cosim_common.add_argument("--scheme", choices=[s.value for s in Scheme])
+    cosim_common.add_argument("--workload", choices=sorted(SCENARIOS),
+                              help="model/profile for the runtime cost model "
+                                   "and the expert replay geometry "
+                                   "(default: flores)")
+    cosim_common.add_argument("--arrival", choices=("poisson", "batched", "onoff"),
+                              help="serving-level arrival process "
+                                   "(default: poisson)")
+    cosim_common.add_argument("--requests", type=int,
+                              help="serving requests per run (default: 100)")
+    cosim_common.add_argument("--seed", type=int, help="default: 1")
+    cosim_common.add_argument("--mean-prompt-tokens", type=int,
+                              help="default: 512")
+    cosim_common.add_argument("--mean-decode-tokens", type=int,
+                              help="default: 32")
+    cosim_common.add_argument("--encode-us", type=float,
+                              help="synthetic encode cost (us/token); with "
+                                   "--decode-us, skips the runtime cost model")
+    cosim_common.add_argument("--decode-us", type=float)
+    cosim_common.add_argument("--bytes-per-token", type=int,
+                              help="default: 2048")
+    cosim_common.add_argument("--max-blocks", type=int,
+                              help="cap on 64B blocks per request burst "
+                                   "(default: 4096)")
+    cosim_common.add_argument("--damping", type=float, help="default: 0.6")
+    cosim_common.add_argument("--max-iters", type=int, help="default: 8")
+    cosim_common.add_argument("--tol", type=float,
+                              help="relative p99 convergence tolerance "
+                                   "(default: 0.02)")
+    cosim_common.add_argument("--small-dram", action="store_true",
+                              help="use the small test DRAM config instead "
+                                   "of the paper's LPDDR5X-8533")
+    cosim_common.add_argument("--synthetic-regions", action="store_true",
+                              help="seeded synthetic weight regions instead "
+                                   "of expert-faithful replay")
+    cosim_common.add_argument("--export-trace", metavar="PATH.dramtrace",
+                              help="export the converged iteration's DRAM "
+                                   "request stream")
+
+    cosim = sub.add_parser(
+        "cosim", parents=[cosim_common],
+        help="closed-loop serving<->DRAM co-simulation",
+    )
+    cosim.add_argument("--rate", type=float, default=2.0,
+                       help="offered load (requests/second)")
+    cosim_sub = cosim.add_subparsers(dest="cosim_command")
+    cosim_sweep = cosim_sub.add_parser(
+        "sweep", parents=[cosim_common],
+        help="drive the loop across an offered-load grid",
+    )
+    cosim_sweep.add_argument("--rates", default="0.5,1.0,2.0,4.0",
+                             help="comma-separated requests/second grid")
+    cosim_sweep.add_argument("--smoke", action="store_true",
+                             help="CI-sized closed-loop sweep (synthetic "
+                                  "costs, small DRAM, pinned rate grid)")
+    cosim_sweep.add_argument("--export-rate", type=float, default=None,
+                             help="grid rate whose converged trace "
+                                  "--export-trace writes (default: highest)")
+    cosim_sweep.add_argument("--output", default="cosim_sweep.json")
     return parser
 
 
@@ -320,6 +588,7 @@ _HANDLERS = {
     "dram": _cmd_dram,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "cosim": _cmd_cosim,
 }
 
 

@@ -1,0 +1,48 @@
+"""Closed-loop serving <-> DRAM co-simulation.
+
+The serving simulator and the cycle-level memory controller each model
+half of the system; this package runs them as one: a fixed-point loop
+(:class:`CosimDriver`) feeds measured DRAM queueing back into the
+serving cost model, an expert-faithful replay planner
+(:class:`ExpertReplayPlanner`) targets the weight regions of the
+experts each request actually activated, and a load-sweep runner
+(:func:`run_load_sweep`) produces the closed-loop tail-latency
+hockey stick across an offered-load grid.  CLI surface: ``repro
+cosim`` and ``repro cosim sweep``.
+"""
+
+from repro.cosim.driver import (
+    CosimConfig,
+    CosimDriver,
+    CosimIteration,
+    CosimResult,
+    small_cosim_dram,
+)
+from repro.cosim.replay import (
+    ExpertReplayPlanner,
+    ReplayTrace,
+    SyntheticReplayPlanner,
+)
+from repro.cosim.sweep import (
+    SWEEP_FORMAT_VERSION,
+    SweepPoint,
+    SweepResult,
+    format_sweep,
+    run_load_sweep,
+)
+
+__all__ = [
+    "SWEEP_FORMAT_VERSION",
+    "CosimConfig",
+    "CosimDriver",
+    "CosimIteration",
+    "CosimResult",
+    "ExpertReplayPlanner",
+    "ReplayTrace",
+    "SweepPoint",
+    "SweepResult",
+    "SyntheticReplayPlanner",
+    "format_sweep",
+    "run_load_sweep",
+    "small_cosim_dram",
+]

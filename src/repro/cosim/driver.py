@@ -1,0 +1,331 @@
+"""Closed-loop serving <-> DRAM fixed-point driver.
+
+The serving simulator prices a request with a :class:`CostModel`
+calibrated at *unloaded* memory; the cycle-level DRAM controller then
+shows how much queueing the serving run's bursts actually suffer.
+:class:`CosimDriver` closes that loop:
+
+1. run the serving simulation with the current cost model;
+2. replay the run as a DRAM arrival stream (expert-faithful regions
+   via :class:`~repro.cosim.replay.ExpertReplayPlanner`) and measure
+   each serving request's *memory contention*: the cycles by which its
+   burst's makespan exceeds what the same burst achieves in isolation
+   (so intrinsic self-queueing inside a burst is not double-counted);
+3. convert contention into a per-token surcharge on the cost model
+   (damped fixed-point update) and repeat until the serving p99
+   latency stops moving.
+
+At low offered load bursts never overlap, contention is zero, and the
+loop converges immediately to the open-loop result; near saturation
+the surcharge spreads service starts until the serving layer's issue
+rate matches what the memory system actually sustains -- the
+closed-loop hockey stick the open-loop replay could not produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.strategies import Scheme
+from repro.dram.config import DRAMConfig, DRAMOrganization, LPDDR5X_8533
+from repro.dram.controller import ControllerStats, MemoryController
+from repro.serving.simulator import CostModel, ServingResult, ServingSimulator
+from repro.serving.workload import Request
+
+from repro.cosim.replay import ReplayTrace
+
+
+def small_cosim_dram(n_channels: int = 2) -> DRAMConfig:
+    """A deliberately small DRAM config (LPDDR5X timing, few channels
+    and rows) whose bandwidth saturates at test- and smoke-sized
+    serving loads, so closed-loop effects show up in seconds of
+    simulation rather than hours."""
+    return DRAMConfig(
+        organization=DRAMOrganization(
+            n_channels=n_channels,
+            n_ranks=1,
+            n_bankgroups=2,
+            banks_per_group=2,
+            n_rows=8192,
+            row_bytes=2048,
+            access_bytes=64,
+        ),
+        timing=LPDDR5X_8533.timing,
+    )
+
+
+@dataclass(frozen=True)
+class CosimConfig:
+    """Fixed-point loop knobs.
+
+    ``damping`` scales each update toward the newly measured per-token
+    surcharge (1.0 = undamped) while the loop is still searching for
+    an upper bound on the fixed point.  The measured surcharge is
+    monotone *decreasing* in the applied surcharge (more surcharge
+    spreads bursts apart, so they contend less), so once some
+    iteration measures less contention than it applied the fixed
+    point is bracketed and the driver switches to bisection -- near
+    memory saturation the map is stiff (a small surcharge change
+    flips bursts between fully packed and fully spread) and plain
+    damped iteration limit-cycles where bisection contracts
+    geometrically.  ``damping_decay`` shrinks the damped step each
+    iteration (step_k = damping / (1 + k * damping_decay)) as a
+    safety net when a noisy measurement breaks the bracket.  The loop
+    stops once the relative change in serving p99 between iterations
+    falls below ``p99_tolerance`` (or after ``max_iterations``).
+    """
+
+    damping: float = 0.6
+    damping_decay: float = 0.5
+    max_iterations: int = 8
+    p99_tolerance: float = 0.02
+    queue_limit: int = 4096
+    scheduler_window: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        if self.damping_decay < 0:
+            raise ValueError("damping_decay must be non-negative")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.p99_tolerance < 0:
+            raise ValueError("p99_tolerance must be non-negative")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+
+    def step(self, iteration: int) -> float:
+        """Update step size for the given iteration index."""
+        return self.damping / (1.0 + iteration * self.damping_decay)
+
+
+@dataclass(frozen=True)
+class CosimIteration:
+    """One serving + DRAM pass of the loop."""
+
+    index: int
+    #: per-token cost surcharge (seconds) the serving pass ran with
+    extra_seconds_per_token: float
+    #: per-token surcharge the DRAM measurement asks for next
+    measured_seconds_per_token: float
+    serving_p50: float
+    serving_p99: float
+    serving_max: float
+    serving_mean: float
+    utilization: float
+    completed: int
+    rejected: int
+    dram_queue_delay_mean: float
+    dram_queue_delay_p99: float
+    dram_queue_delay_max: int
+    dram_idle_cycles: int
+    dram_total_cycles: int
+    #: relative p99 change vs the previous iteration (inf for the first)
+    p99_delta: float
+
+
+@dataclass
+class CosimResult:
+    """Outcome of one closed-loop run."""
+
+    scheme: Scheme
+    iterations: list[CosimIteration] = field(default_factory=list)
+    converged: bool = False
+    #: iteration 0 -- the open-loop serving result (no feedback)
+    open_loop: Optional[ServingResult] = None
+    #: final iteration's serving result (feedback applied)
+    closed_loop: Optional[ServingResult] = None
+    #: final iteration's DRAM trace (exportable via write_trace)
+    final_trace: Optional[ReplayTrace] = None
+    final_dram_stats: Optional[ControllerStats] = None
+    #: converged per-token surcharge (seconds)
+    extra_seconds_per_token: float = 0.0
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+
+class CosimDriver:
+    """Alternates serving runs and DRAM replays to a fixed point."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        scheme: Scheme,
+        planner,
+        config: Optional[CosimConfig] = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.scheme = scheme
+        self.planner = planner
+        self.config = config or CosimConfig()
+        self._iso_cache: dict[int, int] = {}
+
+    # -- contention measurement -------------------------------------------
+
+    def _fresh_controller(self) -> MemoryController:
+        return MemoryController(
+            self.planner.config, window=self.config.scheduler_window
+        )
+
+    @staticmethod
+    def _per_request_makespans(
+        trace: ReplayTrace, complete: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(unique request ids, burst makespan in cycles per id)."""
+        uniq, inverse = np.unique(trace.request_ids, return_inverse=True)
+        makespans = np.zeros(len(uniq), dtype=np.int64)
+        np.maximum.at(makespans, inverse, complete - trace.arrive_cycles)
+        return uniq, makespans
+
+    def _isolated_makespans(self, trace: ReplayTrace) -> dict[int, int]:
+        """Makespan of each request's burst when it has the memory
+        system to itself: the same addresses, with bursts serialized
+        far enough apart that they can never overlap.  The difference
+        between an iteration's measured makespan and this baseline is
+        pure cross-request contention."""
+        t = self.planner.config.timing
+        # Loose per-access upper bound (full row cycle + read latency
+        # + data) so consecutive bursts cannot interact; idle-gap
+        # jumping makes the stretched timeline free to simulate.
+        per_access = t.tRC + t.tCL + t.burst_cycles + 2
+        ids = trace.request_ids
+        boundaries = np.flatnonzero(np.diff(ids)) + 1
+        run_starts = np.concatenate(([0], boundaries))
+        run_lengths = np.diff(np.concatenate((run_starts, [len(ids)])))
+        gaps = run_lengths * per_access + 64
+        run_arrivals = np.concatenate(([0], np.cumsum(gaps)[:-1]))
+        arrive = np.repeat(run_arrivals, run_lengths)
+        _, timings = self._fresh_controller().simulate_arrays(
+            trace.addrs, arrive, trace.flags, detail=True
+        )
+        makespans = np.zeros(len(run_starts), dtype=np.int64)
+        complete = timings.complete_cycles
+        for i, (lo, ln) in enumerate(zip(run_starts.tolist(), run_lengths.tolist())):
+            makespans[i] = int(complete[lo : lo + ln].max() - arrive[lo])
+        return {
+            int(ids[lo]): int(mk) for lo, mk in zip(run_starts.tolist(), makespans)
+        }
+
+    def _isolation_baseline(self, trace: ReplayTrace) -> dict[int, int]:
+        stable = getattr(self.planner, "stable_addresses", True)
+        if not stable:
+            return self._isolated_makespans(trace)
+        missing = set(np.unique(trace.request_ids).tolist()) - set(self._iso_cache)
+        if missing:
+            # Calibrate only the uncached bursts (normally all of them
+            # on iteration 0, then none -- the cached baselines stay
+            # valid because the planner's addresses are
+            # arrival-independent).
+            mask = np.isin(trace.request_ids, np.fromiter(missing, dtype=np.int64))
+            subset = ReplayTrace(
+                addrs=trace.addrs[mask],
+                arrive_cycles=trace.arrive_cycles[mask],
+                flags=trace.flags[mask],
+                request_ids=trace.request_ids[mask],
+                tokens_by_request=trace.tokens_by_request,
+            )
+            self._iso_cache.update(self._isolated_makespans(subset))
+        return self._iso_cache
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> CosimResult:
+        """Run the fixed-point loop over one serving request list."""
+        if not requests:
+            raise ValueError("cosim needs at least one serving request")
+        # Baselines are only reusable across the iterations of one
+        # run: a different request list can reuse request_ids with
+        # different token counts (and so different bursts).
+        self._iso_cache.clear()
+        cfg = self.config
+        base_enc = self.cost_model.encode_seconds_per_token
+        base_dec = self.cost_model.decode_seconds_per_token
+        cycle_time = self.planner.config.timing.cycle_time
+        result = CosimResult(scheme=self.scheme)
+        extra = 0.0
+        prev_p99 = None
+        # Bisection bracket on the self-consistency residual
+        # measured(extra) - extra: lo under-corrects, hi over-corrects.
+        lo, hi = 0.0, None
+
+        for index in range(cfg.max_iterations):
+            cost = CostModel(base_enc + extra, base_dec + extra)
+            serving = ServingSimulator(
+                cost, self.scheme, queue_limit=cfg.queue_limit
+            ).run(requests)
+            if index == 0:
+                result.open_loop = serving
+            result.closed_loop = serving
+
+            trace = self.planner.replay(serving)
+            if len(trace) == 0:
+                result.converged = True
+                break
+            stats, timings = self._fresh_controller().simulate_arrays(
+                trace.addrs, trace.arrive_cycles, trace.flags, detail=True
+            )
+            result.final_trace = trace
+            result.final_dram_stats = stats
+
+            iso = self._isolation_baseline(trace)
+            uniq, makespans = self._per_request_makespans(
+                trace, timings.complete_cycles
+            )
+            iso_arr = np.array([iso[int(r)] for r in uniq.tolist()], dtype=np.int64)
+            contention = np.maximum(makespans - iso_arr, 0).astype(np.float64)
+            tokens = np.array(
+                [trace.tokens_by_request[int(r)] for r in uniq.tolist()],
+                dtype=np.float64,
+            )
+            measured = float(contention.sum() * cycle_time / tokens.sum())
+
+            p99 = serving.latency_percentile(99)
+            delta = (
+                float("inf")
+                if prev_p99 is None
+                else abs(p99 - prev_p99) / max(prev_p99, 1e-12)
+            )
+            result.iterations.append(
+                CosimIteration(
+                    index=index,
+                    extra_seconds_per_token=extra,
+                    measured_seconds_per_token=measured,
+                    serving_p50=serving.latency_percentile(50),
+                    serving_p99=p99,
+                    serving_max=serving.latency_percentile(100),
+                    serving_mean=serving.mean_latency,
+                    utilization=serving.utilization,
+                    completed=serving.n_completed,
+                    rejected=serving.rejected,
+                    dram_queue_delay_mean=stats.queue_delay_mean,
+                    dram_queue_delay_p99=stats.queue_delay_p99,
+                    dram_queue_delay_max=stats.queue_delay_max,
+                    dram_idle_cycles=sum(stats.idle_channel_cycles.values()),
+                    dram_total_cycles=stats.total_cycles,
+                    p99_delta=delta,
+                )
+            )
+            result.extra_seconds_per_token = extra
+            if prev_p99 is not None and delta <= cfg.p99_tolerance:
+                result.converged = True
+                break
+            prev_p99 = p99
+            if measured > extra:
+                lo = max(lo, extra)
+            elif hi is None or extra < hi:
+                hi = extra
+            if hi is None:
+                extra += cfg.step(index) * (measured - extra)
+            elif hi > lo:
+                extra = 0.5 * (lo + hi)
+            else:
+                # Noise collapsed the bracket; restart the damped
+                # search from the latest measurement.
+                lo, hi = 0.0, None
+                extra = measured
+        return result

@@ -1,0 +1,305 @@
+"""Expert-faithful DRAM replay of a serving run.
+
+The synthetic replay (:func:`repro.serving.simulator.dram_replay_trace_arrays`)
+streams each serving request's burst from a *seeded random* weight
+region.  This module replaces that pick with the weight regions of the
+experts the request actually activated: every (MoE layer, expert) owns
+a contiguous region of DRAM, a request's routing decisions are drawn
+per layer from the :class:`~repro.workloads.traces.RoutingProfile`'s
+calibrated popularity (or taken from real
+:class:`~repro.moe.gating.Router` forward passes), and the request's
+blocks are split across those regions proportionally to routed tokens.
+Each activation streams an expert's weights from the start of its
+region -- the actual MoE weight-fetch shape, with hot experts'
+regions re-read request after request (row-buffer friendly) and cold
+experts scattered across the address space.
+
+Addresses for one serving request depend only on its ``request_id``
+and token counts (not on which other requests completed or in what
+order), so the co-simulation driver can replay the same request set
+under different arrival timings -- including the serialized
+calibration pass that isolates per-request memory contention -- and
+get identical per-request address streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dram.config import DRAMConfig, LPDDR5X_8533
+from repro.moe.gating import Router
+from repro.serving.simulator import ServingResult
+from repro.workloads.distributions import sample_expert_counts
+from repro.workloads.traces import RoutingProfile
+
+
+@dataclass(frozen=True)
+class ReplayTrace:
+    """One serving run rendered as DRAM trace columns.
+
+    ``request_ids[i]`` is the serving ``request_id`` whose burst
+    emitted DRAM request ``i``; ``tokens_by_request`` maps each
+    replayed serving request to its prompt+decode token count (used to
+    convert per-request delay into per-token cost inflation).
+    """
+
+    addrs: np.ndarray
+    arrive_cycles: np.ndarray
+    flags: np.ndarray
+    request_ids: np.ndarray
+    tokens_by_request: dict[int, int]
+
+    def __len__(self) -> int:
+        return self.addrs.shape[0]
+
+
+class ExpertReplayPlanner:
+    """Maps serving requests to the DRAM regions of their experts.
+
+    One planner is built per (model geometry, DRAM config) and reused
+    across co-simulation iterations; it is stateless across
+    :meth:`replay` calls.  Routing decisions come from the profile's
+    per-layer popularity by default, or from real gating networks when
+    ``routers`` is given (one :class:`~repro.moe.gating.Router` per
+    MoE layer; each request then routes seeded token embeddings
+    through the actual top-k gate and its burst targets exactly the
+    experts with routed tokens).
+    """
+
+    #: A request's addresses depend only on (seed, request_id, tokens),
+    #: so isolation baselines computed once stay valid across
+    #: co-simulation iterations.
+    stable_addresses = True
+
+    def __init__(
+        self,
+        n_experts: int,
+        top_k: int,
+        n_moe_layers: int,
+        profile: Optional[RoutingProfile] = None,
+        dram_config: Optional[DRAMConfig] = None,
+        bytes_per_token: int = 2048,
+        max_blocks_per_request: int = 4096,
+        expert_bytes: int = 1 << 22,
+        routers: Optional[Sequence[Router]] = None,
+        max_routed_tokens: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if n_experts < 1 or n_moe_layers < 1:
+            raise ValueError("n_experts and n_moe_layers must be >= 1")
+        if not 1 <= top_k <= n_experts:
+            raise ValueError(f"top_k must be in [1, {n_experts}], got {top_k}")
+        if bytes_per_token < 1 or max_blocks_per_request < 1 or expert_bytes < 1:
+            raise ValueError(
+                "bytes_per_token, max_blocks_per_request, expert_bytes must be >= 1"
+            )
+        if max_routed_tokens < 1:
+            raise ValueError("max_routed_tokens must be >= 1")
+        if routers is not None and len(routers) != n_moe_layers:
+            raise ValueError(
+                f"{len(routers)} routers for {n_moe_layers} MoE layers"
+            )
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.n_moe_layers = n_moe_layers
+        self.profile = profile or RoutingProfile()
+        self.config = dram_config if dram_config is not None else LPDDR5X_8533
+        self.bytes_per_token = bytes_per_token
+        self.max_blocks_per_request = max_blocks_per_request
+        self.routers = list(routers) if routers is not None else None
+        self.max_routed_tokens = max_routed_tokens
+        self.seed = seed
+
+        org = self.config.organization
+        self._step = org.access_bytes
+        self._total_blocks = org.total_capacity_bytes // self._step
+        self._region_blocks = max(1, expert_bytes // self._step)
+        # Per-layer expert popularity, fixed for the planner's lifetime
+        # (temporal persistence: the same hot experts stay hot across
+        # requests, matching the routing-trace generator's model).
+        self._popularity = [
+            self.profile.popularity(
+                n_experts,
+                rank,
+                n_moe_layers,
+                decoder=False,
+                rng=np.random.default_rng((seed, 0xE, rank)),
+            )
+            for rank in range(n_moe_layers)
+        ]
+
+    # -- per-request routing + addressing ---------------------------------
+
+    def _layer_counts(self, rng: np.random.Generator, tokens: int) -> list[np.ndarray]:
+        """Routed-token counts per expert for each MoE layer of one
+        request's pass."""
+        routed = min(tokens, self.max_routed_tokens)
+        if self.routers is not None:
+            counts = []
+            for router in self.routers:
+                embeds = rng.standard_normal((routed, router.d_model))
+                counts.append(router.route(embeds).tokens_per_expert)
+            return counts
+        events = routed * self.top_k
+        return [
+            sample_expert_counts(self.n_experts, events, 0.0, rng, popularity=pop)
+            for pop in self._popularity
+        ]
+
+    def request_blocks(self, request_id: int, tokens: int) -> np.ndarray:
+        """Block indices fetched by one serving request, in layer
+        order -- deterministic in (seed, request_id, tokens) alone."""
+        if tokens < 1:
+            raise ValueError("tokens must be >= 1")
+        n_blocks = min(
+            self.max_blocks_per_request,
+            -(-(tokens * self.bytes_per_token) // self._step),
+        )
+        rng = np.random.default_rng((self.seed, request_id))
+        layer_counts = self._layer_counts(rng, tokens)
+        total_events = sum(int(c.sum()) for c in layer_counts)
+        if total_events == 0:
+            # Degenerate routing (no events): stream the first expert.
+            layer_counts[0][0] = 1
+            total_events = 1
+
+        # Allocate the request's blocks across its activated
+        # (layer, expert) regions proportionally to routed tokens;
+        # largest-remainder rounding keeps the total exact.
+        pairs = []
+        for layer, counts in enumerate(layer_counts):
+            for expert in np.flatnonzero(counts):
+                pairs.append((layer, int(expert), int(counts[expert])))
+        shares = np.array([c for _, _, c in pairs], dtype=np.float64)
+        raw = shares * (n_blocks / total_events)
+        alloc = np.floor(raw).astype(np.int64)
+        shortfall = n_blocks - int(alloc.sum())
+        if shortfall > 0:
+            order = np.argsort(-(raw - alloc), kind="stable")
+            alloc[order[:shortfall]] += 1
+
+        chunks = []
+        for (layer, expert, _), b in zip(pairs, alloc.tolist()):
+            if b == 0:
+                continue
+            region_id = layer * self.n_experts + expert
+            base = (region_id * self._region_blocks) % self._total_blocks
+            # Each activation streams the expert's weights from the
+            # start of its region, wrapping within the region.
+            offs = np.arange(b, dtype=np.int64) % self._region_blocks
+            chunks.append((base + offs) % self._total_blocks)
+        return np.concatenate(chunks)
+
+    # -- whole-run replay --------------------------------------------------
+
+    def replay(self, result: ServingResult) -> ReplayTrace:
+        """Render a serving run as DRAM columns whose arrivals are the
+        serving requests' service-start cycles."""
+        clock_hz = self.config.timing.clock_hz
+        addr_chunks: list[np.ndarray] = []
+        arrive_chunks: list[np.ndarray] = []
+        id_chunks: list[np.ndarray] = []
+        tokens_by_request: dict[int, int] = {}
+        for completed in sorted(result.completed, key=lambda c: c.request.request_id):
+            request = completed.request
+            tokens = request.prompt_tokens + request.decode_tokens
+            blocks = self.request_blocks(request.request_id, tokens)
+            start_cycle = int(round(completed.start * clock_hz))
+            addr_chunks.append(blocks * self._step)
+            arrive_chunks.append(np.full(len(blocks), start_cycle, dtype=np.int64))
+            id_chunks.append(np.full(len(blocks), request.request_id, dtype=np.int64))
+            tokens_by_request[request.request_id] = tokens
+        if addr_chunks:
+            addrs = np.concatenate(addr_chunks)
+            arrive = np.concatenate(arrive_chunks)
+            request_ids = np.concatenate(id_chunks)
+        else:
+            addrs = np.zeros(0, dtype=np.int64)
+            arrive = np.zeros(0, dtype=np.int64)
+            request_ids = np.zeros(0, dtype=np.int64)
+        return ReplayTrace(
+            addrs=addrs,
+            arrive_cycles=arrive,
+            flags=np.zeros(len(addrs), dtype=np.uint8),
+            request_ids=request_ids,
+            tokens_by_request=tokens_by_request,
+        )
+
+    @classmethod
+    def for_model(
+        cls,
+        model,
+        profile: Optional[RoutingProfile] = None,
+        dram_config: Optional[DRAMConfig] = None,
+        **kwargs,
+    ) -> "ExpertReplayPlanner":
+        """Planner sized from a :class:`~repro.moe.config.MoEModelConfig`
+        (expert count, top-k, encoder MoE depth, per-expert bytes)."""
+        return cls(
+            n_experts=model.n_experts,
+            top_k=model.top_k,
+            n_moe_layers=max(1, model.n_moe_encoder_layers),
+            profile=profile,
+            dram_config=dram_config,
+            expert_bytes=max(1, int(model.expert_bytes)),
+            **kwargs,
+        )
+
+
+class SyntheticReplayPlanner:
+    """Adapter giving the seeded synthetic-region replay
+    (:func:`~repro.serving.simulator.dram_replay_trace_arrays`) the
+    planner interface, for cosim runs without an expert model.
+
+    Note the synthetic form resumes regions across requests in
+    service-start order, so unlike :class:`ExpertReplayPlanner` its
+    addresses shift when arrival timing reorders bursts; the driver's
+    contention calibration therefore re-derives isolation baselines
+    from the iteration's own trace.
+    """
+
+    stable_addresses = False
+
+    def __init__(
+        self,
+        dram_config: Optional[DRAMConfig] = None,
+        bytes_per_token: int = 2048,
+        max_blocks_per_request: int = 4096,
+        region_bytes: int = 1 << 22,
+        n_regions: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.config = dram_config if dram_config is not None else LPDDR5X_8533
+        self.bytes_per_token = bytes_per_token
+        self.max_blocks_per_request = max_blocks_per_request
+        self.region_bytes = region_bytes
+        self.n_regions = n_regions
+        self.seed = seed
+
+    def replay(self, result: ServingResult) -> ReplayTrace:
+        from repro.serving.simulator import dram_replay_trace_arrays
+
+        addrs, arrive, flags, request_ids = dram_replay_trace_arrays(
+            result,
+            dram_config=self.config,
+            bytes_per_token=self.bytes_per_token,
+            max_blocks_per_request=self.max_blocks_per_request,
+            region_bytes=self.region_bytes,
+            n_regions=self.n_regions,
+            seed=self.seed,
+            return_request_ids=True,
+        )
+        tokens_by_request = {
+            c.request.request_id: c.request.prompt_tokens + c.request.decode_tokens
+            for c in result.completed
+        }
+        return ReplayTrace(
+            addrs=addrs,
+            arrive_cycles=arrive,
+            flags=flags,
+            request_ids=request_ids,
+            tokens_by_request=tokens_by_request,
+        )

@@ -1,0 +1,212 @@
+"""Offered-load sweep over the closed serving <-> DRAM loop.
+
+Drives :class:`~repro.cosim.driver.CosimDriver` across an
+arrival-rate grid and records, per rate, the open-loop (iteration-0)
+and converged closed-loop serving latency curves plus the DRAM-side
+queueing measurements -- the memory-level tail-latency hockey stick.
+Results serialize to a versioned JSON document (same versioning
+conventions as :mod:`repro.workloads.serialization`) and render as a
+table via :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.analysis.report import format_table
+from repro.core.strategies import Scheme
+from repro.serving.simulator import CostModel
+from repro.serving.workload import RequestGenerator
+from repro.workloads.serialization import check_format_version
+
+from repro.cosim.driver import CosimConfig, CosimDriver, CosimResult
+
+SWEEP_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One offered-load point: open-loop vs converged closed-loop."""
+
+    rate: float
+    open_p50: float
+    open_p99: float
+    open_max: float
+    closed_p50: float
+    closed_p99: float
+    closed_max: float
+    utilization: float
+    completed: int
+    rejected: int
+    n_iterations: int
+    converged: bool
+    extra_seconds_per_token: float
+    dram_queue_delay_mean: float
+    dram_queue_delay_p99: float
+    dram_idle_cycles: int
+    dram_total_cycles: int
+
+
+@dataclass
+class SweepResult:
+    """A full rate grid, serializable and renderable."""
+
+    scheme: str
+    arrival: str
+    n_requests: int
+    seed: int
+    points: list[SweepPoint] = field(default_factory=list)
+    #: free-form provenance (cost model, planner geometry, loop knobs)
+    config: dict = field(default_factory=dict)
+
+    # -- codec -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SWEEP_FORMAT_VERSION,
+            "kind": "cosim_sweep",
+            "scheme": self.scheme,
+            "arrival": self.arrival,
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+            "config": self.config,
+            "points": [asdict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        check_format_version(data.get("version"), SWEEP_FORMAT_VERSION, "cosim sweep")
+        if data.get("kind") != "cosim_sweep":
+            raise ValueError(
+                f"not a cosim sweep document (kind={data.get('kind')!r})"
+            )
+        return cls(
+            scheme=data["scheme"],
+            arrival=data["arrival"],
+            n_requests=int(data["n_requests"]),
+            seed=int(data["seed"]),
+            config=dict(data.get("config", {})),
+            points=[SweepPoint(**p) for p in data["points"]],
+        )
+
+    def save(self, path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "SweepResult":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def format_sweep(result: SweepResult) -> str:
+    """The hockey-stick table: open vs closed tails across the grid."""
+    rows = []
+    for p in result.points:
+        rows.append(
+            [
+                p.rate,
+                p.open_p50,
+                p.open_p99,
+                p.closed_p50,
+                p.closed_p99,
+                round(p.closed_p99 / p.open_p99, 3) if p.open_p99 > 0 else 1.0,
+                p.n_iterations,
+                "yes" if p.converged else "NO",
+                round(p.dram_queue_delay_p99, 1),
+                p.dram_idle_cycles,
+            ]
+        )
+    header = [
+        "req/s",
+        "open p50",
+        "open p99",
+        "closed p50",
+        "closed p99",
+        "p99 ratio",
+        "iters",
+        "conv",
+        "dram qd p99",
+        "dram idle",
+    ]
+    return format_table(header, rows)
+
+
+def run_load_sweep(
+    cost_model: CostModel,
+    scheme: Scheme,
+    planner,
+    rates: list[float],
+    n_requests: int = 100,
+    seed: int = 0,
+    arrival: str = "poisson",
+    mean_prompt_tokens: int = 512,
+    mean_decode_tokens: int = 32,
+    cosim_config: Optional[CosimConfig] = None,
+) -> tuple[SweepResult, list[CosimResult]]:
+    """Run the closed loop at every rate in the grid.
+
+    Returns the serializable :class:`SweepResult` plus the per-rate
+    :class:`CosimResult` objects (which keep the full iteration
+    history and the final DRAM trace for ``.dramtrace`` export).
+    """
+    if not rates:
+        raise ValueError("rates must be non-empty")
+    if sorted(rates) != list(rates):
+        raise ValueError("rates must be sorted ascending")
+    cfg = cosim_config or CosimConfig()
+    sweep = SweepResult(
+        scheme=scheme.value,
+        arrival=arrival,
+        n_requests=n_requests,
+        seed=seed,
+        config={
+            "damping": cfg.damping,
+            "max_iterations": cfg.max_iterations,
+            "p99_tolerance": cfg.p99_tolerance,
+            "bytes_per_token": planner.bytes_per_token,
+            "max_blocks_per_request": planner.max_blocks_per_request,
+            "dram_channels": planner.config.organization.n_channels,
+            "encode_seconds_per_token": cost_model.encode_seconds_per_token,
+            "decode_seconds_per_token": cost_model.decode_seconds_per_token,
+            "mean_prompt_tokens": mean_prompt_tokens,
+            "mean_decode_tokens": mean_decode_tokens,
+        },
+    )
+    runs: list[CosimResult] = []
+    for rate in rates:
+        generator = RequestGenerator(
+            rate,
+            mean_prompt_tokens=mean_prompt_tokens,
+            mean_decode_tokens=mean_decode_tokens,
+            seed=seed,
+            arrival=arrival,
+        )
+        driver = CosimDriver(cost_model, scheme, planner, config=cfg)
+        run = driver.run(generator.generate(n_requests))
+        runs.append(run)
+        open_loop, closed = run.open_loop, run.closed_loop
+        last = run.iterations[-1] if run.iterations else None
+        sweep.points.append(
+            SweepPoint(
+                rate=rate,
+                open_p50=open_loop.latency_percentile(50),
+                open_p99=open_loop.latency_percentile(99),
+                open_max=open_loop.latency_percentile(100),
+                closed_p50=closed.latency_percentile(50),
+                closed_p99=closed.latency_percentile(99),
+                closed_max=closed.latency_percentile(100),
+                utilization=closed.utilization,
+                completed=closed.n_completed,
+                rejected=closed.rejected,
+                n_iterations=run.n_iterations,
+                converged=run.converged,
+                extra_seconds_per_token=run.extra_seconds_per_token,
+                dram_queue_delay_mean=last.dram_queue_delay_mean if last else 0.0,
+                dram_queue_delay_p99=last.dram_queue_delay_p99 if last else 0.0,
+                dram_idle_cycles=last.dram_idle_cycles if last else 0,
+                dram_total_cycles=last.dram_total_cycles if last else 0,
+            )
+        )
+    return sweep, runs

@@ -112,6 +112,27 @@ class ControllerStats:
         return self.row_hits / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class RequestTimings:
+    """Per-request scheduler outputs for one ``simulate_arrays`` run.
+
+    Parallel to the input columns (input order): the cycle the first
+    command issued on each request's behalf, the cycle its last data
+    beat landed, its queue delay (first command minus arrival -- the
+    per-request form of the aggregate ``queue_delay_*`` stats, and the
+    signal the serving co-simulation feeds back into its cost model),
+    and whether it was served as a row hit.
+    """
+
+    first_command_cycles: np.ndarray
+    complete_cycles: np.ndarray
+    queue_delays: np.ndarray
+    row_hits: np.ndarray
+
+    def __len__(self) -> int:
+        return self.first_command_cycles.shape[0]
+
+
 # Candidate command codes used by the indexed scheduler.
 _ACT, _PRE, _COL = 0, 1, 2
 
@@ -187,7 +208,8 @@ class MemoryController:
         addrs,
         arrive_cycles=None,
         flags=None,
-    ) -> ControllerStats:
+        detail: bool = False,
+    ) -> ControllerStats | tuple[ControllerStats, RequestTimings]:
         """Array-native :meth:`simulate`: drive the scheduler straight
         from trace columns, constructing no ``Request`` objects.
 
@@ -199,6 +221,13 @@ class MemoryController:
         ``None`` = all reads; priority bits are accepted and ignored).
         Returns stats bit-identical to ``simulate`` on the equivalent
         Request list.
+
+        With ``detail=True``, returns ``(stats, RequestTimings)``: the
+        per-request first-command / completion / queue-delay / row-hit
+        arrays in input order -- the per-request form of the aggregate
+        queue-delay percentiles, needed by consumers (the serving
+        co-simulation) that map DRAM queueing back onto the individual
+        upstream requests that caused it.
         """
         stats = self._empty_stats()
         try:
@@ -208,6 +237,11 @@ class MemoryController:
             n = len(addrs)
         stats.requests = n
         if n == 0:
+            if detail:
+                empty = np.zeros(0, dtype=np.int64)
+                return stats, RequestTimings(
+                    empty, empty.copy(), empty.copy(), np.zeros(0, dtype=bool)
+                )
             return stats
         if arrive_cycles is None:
             arrive = np.zeros(n, dtype=np.int64)
@@ -226,7 +260,14 @@ class MemoryController:
             is_write = (np.asarray(flags) & FLAG_WRITE).astype(bool)
         if not isinstance(addrs, (list, np.ndarray)):
             addrs = np.asarray(addrs)
-        self._simulate_columns(addrs, arrive, is_write, stats)
+        _, first, complete, hit = self._simulate_columns(addrs, arrive, is_write, stats)
+        if detail:
+            return stats, RequestTimings(
+                first_command_cycles=first,
+                complete_cycles=complete,
+                queue_delays=first - arrive,
+                row_hits=hit,
+            )
         return stats
 
     def _empty_stats(self) -> ControllerStats:

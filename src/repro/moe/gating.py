@@ -11,6 +11,12 @@ emulate the strongly skewed expert loads measured on trained models
 (Fig. 3); randomly initialized routers are far more uniform than
 trained ones, so synthetic experiments use this knob (see
 :mod:`repro.workloads.distributions` for the calibrated generator).
+
+Routers also drive the memory side of the stack: the closed-loop
+co-simulation (:class:`repro.cosim.ExpertReplayPlanner`) can route
+each serving request's tokens through real per-layer :class:`Router`
+instances so its DRAM bursts target exactly the weight regions of the
+experts the gate selected.
 """
 
 from __future__ import annotations

@@ -199,7 +199,7 @@ class ServingSimulator:
         return result
 
 
-def dram_replay_trace(
+def dram_replay_trace_arrays(
     result: ServingResult,
     dram_config=None,
     bytes_per_token: int = 2048,
@@ -207,9 +207,9 @@ def dram_replay_trace(
     region_bytes: int = 1 << 22,
     n_regions: int = 128,
     seed: int = 0,
+    return_request_ids: bool = False,
 ):
-    """Replay a serving run as a DRAM request stream with real
-    arrival times.
+    """Replay a serving run as native DRAM trace columns.
 
     Each completed serving request becomes a burst of sequential
     64-byte weight-fetch reads -- ``bytes_per_token`` per prompt and
@@ -219,14 +219,25 @@ def dram_replay_trace(
     contiguous expert-weight regions (seeded pick, resuming where that
     region's previous burst left off), so the DRAM-level trace
     inherits both the serving layer's burstiness and the MoE access
-    shape.  Feed the result to
-    :meth:`repro.dram.controller.MemoryController.simulate` for
-    tail-latency studies of queueing *inside* the memory system --
-    the ROADMAP's serving-to-DRAM closed loop.
+    shape.
+
+    Returns ``(addrs, arrive_cycles, flags)`` columns (all reads, so
+    ``flags`` is zero) ready for
+    :meth:`repro.dram.controller.MemoryController.simulate_arrays` or
+    a ``.dramtrace`` export -- the ROADMAP's serving-to-DRAM entry
+    point, array-native so the co-simulation loop never round-trips
+    through Request objects.  With ``return_request_ids=True`` a
+    fourth ``request_ids`` column maps every DRAM request back to the
+    serving ``request_id`` whose burst emitted it (what
+    :mod:`repro.cosim` uses to attribute measured queueing delay to
+    individual serving requests).
+
+    For expert-faithful replay driven by actual routing decisions, see
+    :class:`repro.cosim.ExpertReplayPlanner`, which replaces this
+    function's seeded synthetic region pick with the weight regions of
+    the experts each request activated.
     """
     from repro.dram.config import LPDDR5X_8533
-    from repro.dram.request import Request as DRAMRequest
-    from repro.dram.request import RequestKind
 
     if (
         bytes_per_token < 1
@@ -241,32 +252,71 @@ def dram_replay_trace(
     config = dram_config if dram_config is not None else LPDDR5X_8533
     org = config.organization
     step = org.access_bytes
-    region_blocks = max(1, min(region_bytes, org.total_capacity_bytes // n_regions) // step)
+    region_blocks = max(
+        1, min(region_bytes, org.total_capacity_bytes // n_regions) // step
+    )
     clock_hz = config.timing.clock_hz
 
     rng = np.random.default_rng(seed)
     resume: dict[int, int] = {}
-    trace: list[DRAMRequest] = []
+    addr_chunks: list[np.ndarray] = []
+    arrive_chunks: list[np.ndarray] = []
+    id_chunks: list[np.ndarray] = []
     for completed in sorted(result.completed, key=lambda c: c.start):
         start_cycle = int(round(completed.start * clock_hz))
         tokens = completed.request.prompt_tokens + completed.request.decode_tokens
-        n_blocks = min(
-            max_blocks_per_request, -(-(tokens * bytes_per_token) // step)
-        )
+        n_blocks = min(max_blocks_per_request, -(-(tokens * bytes_per_token) // step))
         region = int(rng.integers(n_regions))
         offset = resume.get(region, 0)
         base_block = region * region_blocks
-        for i in range(n_blocks):
-            block = base_block + (offset + i) % region_blocks
-            trace.append(
-                DRAMRequest(
-                    addr=block * step,
-                    kind=RequestKind.READ,
-                    arrive_cycle=start_cycle,
-                )
-            )
+        offs = (offset + np.arange(n_blocks, dtype=np.int64)) % region_blocks
+        blocks = base_block + offs
+        addr_chunks.append(blocks * step)
+        arrive_chunks.append(np.full(n_blocks, start_cycle, dtype=np.int64))
+        id_chunks.append(
+            np.full(n_blocks, completed.request.request_id, dtype=np.int64)
+        )
         resume[region] = (offset + n_blocks) % region_blocks
-    return trace
+    if addr_chunks:
+        addrs = np.concatenate(addr_chunks)
+        arrive = np.concatenate(arrive_chunks)
+        request_ids = np.concatenate(id_chunks)
+    else:
+        addrs = np.zeros(0, dtype=np.int64)
+        arrive = np.zeros(0, dtype=np.int64)
+        request_ids = np.zeros(0, dtype=np.int64)
+    flags = np.zeros(len(addrs), dtype=np.uint8)
+    if return_request_ids:
+        return addrs, arrive, flags, request_ids
+    return addrs, arrive, flags
+
+
+def dram_replay_trace(
+    result: ServingResult,
+    dram_config=None,
+    bytes_per_token: int = 2048,
+    max_blocks_per_request: int = 4096,
+    region_bytes: int = 1 << 22,
+    n_regions: int = 128,
+    seed: int = 0,
+):
+    """Request-object form of :func:`dram_replay_trace_arrays` (thin
+    adapter; the array form is the source of truth and both are
+    bit-identical trace-for-trace).  Feed the result to
+    :meth:`repro.dram.controller.MemoryController.simulate` for
+    tail-latency studies of queueing *inside* the memory system."""
+    from repro.dram.request import requests_from_arrays
+
+    addrs, arrive, flags = dram_replay_trace_arrays(
+        result,
+        dram_config=dram_config,
+        bytes_per_token=bytes_per_token,
+        max_blocks_per_request=max_blocks_per_request,
+        region_bytes=region_bytes,
+        n_regions=n_regions,
+        seed=seed,
+    )
+    return requests_from_arrays(addrs, arrive, flags)
 
 
 def load_sweep(

@@ -23,12 +23,21 @@ class Request:
             raise ValueError("prompt_tokens >= 1 and decode_tokens >= 0 required")
 
 
-class RequestGenerator:
-    """Poisson arrivals with lognormal-ish length variation.
+#: Serving-level arrival shapes (mirrors the controller-cycle-level
+#: ``repro.workloads.traces.ARRIVAL_PROCESSES`` on a seconds axis):
+#: memoryless traffic, lockstep batches, and duty-cycled bursts.  The
+#: batched and on/off shapes keep the same mean offered rate as a
+#: Poisson process at the same ``rate``.
+SERVING_ARRIVALS = ("poisson", "batched", "onoff")
 
-    ``rate`` is requests/second; prompt and decode lengths vary
-    geometrically around their means, which matches the heavy-ish
-    tails of real serving traces without extra parameters.
+
+class RequestGenerator:
+    """Open-loop arrivals with lognormal-ish length variation.
+
+    ``rate`` is requests/second; ``arrival`` picks one of
+    :data:`SERVING_ARRIVALS` (Poisson by default).  Prompt and decode
+    lengths vary geometrically around their means, which matches the
+    heavy-ish tails of real serving traces without extra parameters.
     """
 
     def __init__(
@@ -37,22 +46,49 @@ class RequestGenerator:
         mean_prompt_tokens: int = 512,
         mean_decode_tokens: int = 32,
         seed: int = 0,
+        arrival: str = "poisson",
+        batch_size: int = 8,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
         if mean_prompt_tokens < 1 or mean_decode_tokens < 1:
             raise ValueError("token means must be >= 1")
+        if arrival not in SERVING_ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {arrival!r}; choose from {SERVING_ARRIVALS}"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.rate = rate
         self.mean_prompt_tokens = mean_prompt_tokens
         self.mean_decode_tokens = mean_decode_tokens
+        self.arrival = arrival
+        self.batch_size = batch_size
         self._rng = np.random.default_rng(seed)
+
+    def _arrival_times(self, n_requests: int) -> np.ndarray:
+        if self.arrival == "batched":
+            # batch_size requests land together every batch_size/rate
+            # seconds (deterministic lockstep inference steps).
+            batches = np.arange(n_requests, dtype=np.int64) // self.batch_size
+            return (batches + 1) * (self.batch_size / self.rate)
+        gaps = self._rng.exponential(1.0 / self.rate, size=n_requests)
+        arrivals = np.cumsum(gaps)
+        if self.arrival == "onoff":
+            # 4x the offered rate while on, 1/4 duty cycle: arrivals
+            # generated on a compressed active-time axis and expanded
+            # by the duty cycle, so the mean rate is preserved.
+            active = arrivals / 4.0
+            on_seconds = 64.0 / self.rate
+            period = 4.0 * on_seconds
+            return (active // on_seconds) * period + active % on_seconds
+        return arrivals
 
     def generate(self, n_requests: int) -> list[Request]:
         """Generate ``n_requests`` requests in arrival order."""
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
-        gaps = self._rng.exponential(1.0 / self.rate, size=n_requests)
-        arrivals = np.cumsum(gaps)
+        arrivals = self._arrival_times(n_requests)
         prompts = 1 + self._rng.geometric(1.0 / self.mean_prompt_tokens, n_requests)
         decodes = 1 + self._rng.geometric(1.0 / self.mean_decode_tokens, n_requests)
         return [

@@ -20,10 +20,12 @@ FORMAT_VERSION = 1
 def check_format_version(found, expected: int, what: str) -> None:
     """Reject a persisted-trace version mismatch with a clear error.
 
-    Shared by every on-disk trace format (the JSON routing traces here
-    and the binary ``.dramtrace`` DRAM traces in
-    :mod:`repro.workloads.trace_io`): a reader must refuse payloads
-    written by a different format version instead of mis-parsing them.
+    Shared by every versioned on-disk format (the JSON routing traces
+    here, the binary ``.dramtrace`` DRAM traces in
+    :mod:`repro.workloads.trace_io`, and the co-simulation sweep
+    results in :mod:`repro.cosim.sweep`): a reader must refuse
+    payloads written by a different format version instead of
+    mis-parsing them.
     """
     if found != expected:
         raise ValueError(

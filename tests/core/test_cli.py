@@ -48,3 +48,47 @@ def test_dram(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+COSIM_SMALL = [
+    "--encode-us", "0.002", "--decode-us", "0.02", "--small-dram",
+    "--bytes-per-token", "8192", "--max-blocks", "512",
+    "--mean-prompt-tokens", "20", "--mean-decode-tokens", "5",
+    "--requests", "30", "--max-iters", "12",
+]
+
+
+def test_cosim_single_run(capsys, tmp_path):
+    trace = tmp_path / "cosim.dramtrace"
+    code = main(
+        ["cosim", "--rate", "1e6", "--export-trace", str(trace)] + COSIM_SMALL
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "closed-loop p99" in out
+    assert "converged" in out
+    assert "exported" in out
+    from repro.workloads.trace_io import read_header
+
+    _, n = read_header(trace)
+    assert n > 0
+
+
+def test_cosim_sweep(capsys, tmp_path):
+    from repro.cosim import SweepResult
+
+    output = tmp_path / "sweep.json"
+    code = main(
+        ["cosim", "sweep", "--rates", "2e4,1e6", "--output", str(output)]
+        + COSIM_SMALL
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "closed p99" in out
+    loaded = SweepResult.load(output)
+    assert [p.rate for p in loaded.points] == [2e4, 1e6]
+
+
+def test_cosim_mismatched_cost_flags(capsys):
+    assert main(["cosim", "--encode-us", "1.0"]) == 2
+    assert "together" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Closed-loop fixed point: convergence and load response.
+
+The acceptance property: at near-zero offered load the closed loop
+reproduces the open-loop latencies (no memory contention to feed
+back), at saturating load the closed-loop p99 sits strictly above the
+open-loop p99 (the feedback the open-loop replay cannot produce), and
+the loop reports convergence within its iteration budget.
+"""
+
+import pytest
+
+from repro.core.strategies import Scheme
+from repro.cosim import (
+    CosimConfig,
+    CosimDriver,
+    ExpertReplayPlanner,
+    SyntheticReplayPlanner,
+    small_cosim_dram,
+)
+from repro.serving.simulator import CostModel
+from repro.serving.workload import RequestGenerator
+
+LOW_RATE = 2e4
+SATURATING_RATE = 4e6
+
+
+@pytest.fixture(scope="module")
+def parts():
+    cost = CostModel(encode_seconds_per_token=2e-9, decode_seconds_per_token=2e-8)
+    planner = ExpertReplayPlanner(
+        n_experts=16, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=8192,
+        max_blocks_per_request=1024, expert_bytes=1 << 18, seed=1,
+    )
+    return cost, planner
+
+
+def run_at(rate, cost, planner, n_requests=60, max_iterations=16):
+    generator = RequestGenerator(
+        rate, mean_prompt_tokens=20, mean_decode_tokens=5, seed=1
+    )
+    driver = CosimDriver(
+        cost, Scheme.MD_LB, planner,
+        CosimConfig(max_iterations=max_iterations),
+    )
+    return driver.run(generator.generate(n_requests))
+
+
+def test_converges_at_low_load_and_matches_open_loop(parts):
+    cost, planner = parts
+    result = run_at(LOW_RATE, cost, planner)
+    assert result.converged
+    assert result.n_iterations <= CosimConfig().max_iterations
+    open_p99 = result.open_loop.latency_percentile(99)
+    closed_p99 = result.closed_loop.latency_percentile(99)
+    # No contention at near-zero load: closed == open within 5%.
+    assert closed_p99 == pytest.approx(open_p99, rel=0.05)
+    assert result.extra_seconds_per_token < 1e-10
+
+
+def test_saturating_load_inflates_p99(parts):
+    cost, planner = parts
+    result = run_at(SATURATING_RATE, cost, planner)
+    assert result.converged
+    open_p99 = result.open_loop.latency_percentile(99)
+    closed_p99 = result.closed_loop.latency_percentile(99)
+    assert closed_p99 >= open_p99
+    # And not marginally: memory queueing dominates at saturation.
+    assert closed_p99 > 5 * open_p99
+    assert result.extra_seconds_per_token > 0
+
+
+def test_iteration_records(parts):
+    cost, planner = parts
+    result = run_at(1e6, cost, planner)
+    assert result.converged
+    its = result.iterations
+    assert len(its) == result.n_iterations
+    assert [it.index for it in its] == list(range(len(its)))
+    assert its[0].extra_seconds_per_token == 0.0
+    assert its[0].p99_delta == float("inf")
+    # The final iteration met the p99 tolerance.
+    assert its[-1].p99_delta <= CosimConfig().p99_tolerance
+    for it in its:
+        assert it.completed > 0
+        assert it.dram_total_cycles > 0
+        assert it.measured_seconds_per_token >= 0
+    # The final trace/stats correspond to a real run and are exportable.
+    assert result.final_trace is not None
+    assert len(result.final_trace) == result.final_dram_stats.requests
+
+
+def test_synthetic_planner_loop_runs(parts):
+    cost, _ = parts
+    planner = SyntheticReplayPlanner(
+        dram_config=small_cosim_dram(), bytes_per_token=8192,
+        max_blocks_per_request=1024, seed=1,
+    )
+    result = run_at(1e6, cost, planner, n_requests=40)
+    assert result.n_iterations >= 1
+    assert result.final_dram_stats.queue_delay_max > 0
+
+
+def test_isolation_baseline_is_contention_free(parts):
+    """The serialized calibration run reports zero cross-request
+    contention against itself: feeding a trace's own isolated
+    makespans back subtracts them exactly."""
+    cost, planner = parts
+    generator = RequestGenerator(
+        LOW_RATE, mean_prompt_tokens=20, mean_decode_tokens=5, seed=2
+    )
+    driver = CosimDriver(cost, Scheme.MD_LB, planner, CosimConfig())
+    from repro.serving.simulator import ServingSimulator
+
+    serving = ServingSimulator(cost, Scheme.MD_LB).run(generator.generate(20))
+    trace = planner.replay(serving)
+    iso_a = driver._isolated_makespans(trace)
+    iso_b = driver._isolated_makespans(trace)
+    assert iso_a == iso_b
+    assert set(iso_a) == set(trace.tokens_by_request)
+    assert all(mk > 0 for mk in iso_a.values())
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CosimConfig(damping=0.0)
+    with pytest.raises(ValueError):
+        CosimConfig(damping=1.5)
+    with pytest.raises(ValueError):
+        CosimConfig(damping_decay=-1)
+    with pytest.raises(ValueError):
+        CosimConfig(max_iterations=0)
+    with pytest.raises(ValueError):
+        CosimConfig(p99_tolerance=-0.1)
+    with pytest.raises(ValueError):
+        CosimConfig(queue_limit=0)
+
+
+def test_empty_requests_rejected(parts):
+    cost, planner = parts
+    with pytest.raises(ValueError):
+        CosimDriver(cost, Scheme.MD_LB, planner).run([])
+
+
+def test_driver_reuse_recalibrates_baselines(parts):
+    """A second run() with a different request list (same request_ids,
+    different token counts -> different bursts) must not reuse the
+    first run's isolation baselines."""
+    cost, planner = parts
+    driver = CosimDriver(cost, Scheme.MD_LB, planner, CosimConfig())
+    gen_a = RequestGenerator(LOW_RATE, mean_prompt_tokens=20,
+                             mean_decode_tokens=5, seed=1)
+    driver.run(gen_a.generate(10))
+    cache_a = dict(driver._iso_cache)
+    gen_b = RequestGenerator(LOW_RATE, mean_prompt_tokens=120,
+                             mean_decode_tokens=40, seed=8)
+    driver.run(gen_b.generate(10))
+    cache_b = dict(driver._iso_cache)
+    assert set(cache_a) == set(cache_b) == set(range(10))
+    assert cache_a != cache_b

@@ -1,0 +1,99 @@
+"""Load-sweep runner: hockey stick, serialization, rendering."""
+
+import json
+
+import pytest
+
+from repro.core.strategies import Scheme
+from repro.cosim import (
+    CosimConfig,
+    ExpertReplayPlanner,
+    SweepResult,
+    format_sweep,
+    run_load_sweep,
+    small_cosim_dram,
+)
+from repro.serving.simulator import CostModel
+
+RATES = [2e4, 1e6, 4e6]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cost = CostModel(encode_seconds_per_token=2e-9, decode_seconds_per_token=2e-8)
+    planner = ExpertReplayPlanner(
+        n_experts=16, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=8192,
+        max_blocks_per_request=1024, expert_bytes=1 << 18, seed=1,
+    )
+    return run_load_sweep(
+        cost, Scheme.MD_LB, planner, RATES,
+        n_requests=60, seed=1,
+        mean_prompt_tokens=20, mean_decode_tokens=5,
+        cosim_config=CosimConfig(max_iterations=16),
+    )
+
+
+def test_hockey_stick_and_convergence(sweep):
+    """The acceptance criteria: converged within budget at low load,
+    monotone closed-loop p99 across the rate grid, closed >= open at
+    saturation while matching open at near-zero load."""
+    result, runs = sweep
+    assert len(result.points) == len(RATES)
+    low, mid, high = result.points
+    assert low.converged and low.n_iterations <= 16
+    closed = [p.closed_p99 for p in result.points]
+    assert closed == sorted(closed)
+    assert closed[0] < closed[-1]
+    # Near-zero load: closed-loop matches open-loop within tolerance.
+    assert low.closed_p99 == pytest.approx(low.open_p99, rel=0.05)
+    # Saturating load: the feedback strictly inflates the tail.
+    assert high.closed_p99 >= high.open_p99
+    assert high.closed_p99 > 5 * high.open_p99
+    # Open-loop curves come from iteration 0 of each run.
+    assert runs[0].open_loop.latency_percentile(99) == pytest.approx(low.open_p99)
+
+
+def test_json_round_trip(sweep, tmp_path):
+    result, _ = sweep
+    path = tmp_path / "sweep.json"
+    result.save(path)
+    loaded = SweepResult.load(path)
+    assert loaded.scheme == result.scheme
+    assert loaded.points == result.points
+    assert loaded.config == result.config
+    assert loaded.n_requests == result.n_requests
+
+
+def test_version_rejection(sweep, tmp_path):
+    result, _ = sweep
+    doc = result.to_dict()
+    doc["version"] = 99
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="format version"):
+        SweepResult.load(path)
+    doc["version"] = 1
+    doc["kind"] = "other"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="cosim sweep"):
+        SweepResult.load(path)
+
+
+def test_format_sweep_renders(sweep):
+    result, _ = sweep
+    table = format_sweep(result)
+    lines = table.splitlines()
+    assert "closed p99" in lines[0]
+    assert len(lines) == 2 + len(RATES)
+
+
+def test_rate_grid_validation(sweep):
+    cost = CostModel(encode_seconds_per_token=1e-9, decode_seconds_per_token=1e-8)
+    planner = ExpertReplayPlanner(
+        n_experts=4, top_k=1, n_moe_layers=1, dram_config=small_cosim_dram()
+    )
+    with pytest.raises(ValueError):
+        run_load_sweep(cost, Scheme.MD_LB, planner, [])
+    with pytest.raises(ValueError):
+        run_load_sweep(cost, Scheme.MD_LB, planner, [2.0, 1.0])

@@ -174,3 +174,39 @@ def test_beyond_capacity_address_rejected():
     too_big = LPDDR5X_8533.organization.total_capacity_bytes
     with pytest.raises(ValueError, match="beyond device capacity"):
         ctrl.simulate_arrays(np.array([too_big], dtype=np.int64))
+
+
+def test_detail_matches_object_path_per_request_fields():
+    """detail=True exposes per-request first-command / completion /
+    queue-delay arrays identical to what simulate() scatters onto
+    Request objects -- the per-request form of the aggregate
+    queue-delay stats."""
+    rng = np.random.default_rng(5)
+    addrs = rng.integers(0, _MAX_BLOCK, size=300, dtype=np.int64) * 64
+    arrive = np.sort(rng.integers(0, 3000, size=300)).astype(np.int64)
+    flags = pack_flags(rng.random(300) < 0.3)
+
+    stats, timings = MemoryController(LPDDR5X_8533).simulate_arrays(
+        addrs, arrive, flags, detail=True
+    )
+    assert len(timings) == 300
+    requests = requests_from_arrays(addrs, arrive, flags)
+    object_stats = MemoryController(LPDDR5X_8533).simulate(requests)
+    assert asdict(stats) == asdict(object_stats)
+    assert [r.first_command_cycle for r in requests] == (
+        timings.first_command_cycles.tolist()
+    )
+    assert [r.complete_cycle for r in requests] == timings.complete_cycles.tolist()
+    assert [r.queue_delay() for r in requests] == timings.queue_delays.tolist()
+    assert [bool(r.row_hit) for r in requests] == timings.row_hits.tolist()
+    # Aggregates derive from the per-request delays.
+    assert stats.queue_delay_max == timings.queue_delays.max()
+    assert stats.queue_delay_mean == pytest.approx(timings.queue_delays.mean())
+
+
+def test_detail_empty_columns():
+    stats, timings = MemoryController(LPDDR5X_8533).simulate_arrays(
+        np.array([], dtype=np.int64), detail=True
+    )
+    assert stats.requests == 0
+    assert len(timings) == 0

@@ -28,6 +28,7 @@ def test_examples_exist():
         "capacity_planning.py",
         "dram_exploration.py",
         "paper_figures.py",
+        "closed_loop_cosim.py",
     } <= names
 
 
@@ -43,6 +44,13 @@ def test_dram_exploration_runs():
     assert "GB/s" in out
     assert "partitioned banks" in out
     assert "latency min/p50/p99/max" in out
+
+
+def test_closed_loop_cosim_runs():
+    out = run_example("closed_loop_cosim.py")
+    assert "closed p99" in out
+    assert "1.00x the open-loop p99" in out
+    assert "the open-loop prediction" in out
 
 
 @pytest.mark.slow

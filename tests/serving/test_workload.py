@@ -34,6 +34,33 @@ def test_deterministic_per_seed():
     assert a == b
 
 
+def test_batched_arrivals_are_lockstep():
+    gen = RequestGenerator(rate=10.0, arrival="batched", batch_size=4, seed=0)
+    requests = gen.generate(12)
+    arrivals = [r.arrival for r in requests]
+    # Groups of batch_size share one arrival, spaced batch_size/rate.
+    assert arrivals[0] == arrivals[3] == pytest.approx(0.4)
+    assert arrivals[4] == arrivals[7] == pytest.approx(0.8)
+    assert arrivals[8] == pytest.approx(1.2)
+
+
+def test_onoff_arrivals_keep_mean_rate():
+    gen = RequestGenerator(rate=50.0, arrival="onoff", seed=4)
+    requests = gen.generate(4000)
+    measured = len(requests) / requests[-1].arrival
+    assert measured == pytest.approx(50.0, rel=0.2)
+    # Bursty: the largest inter-arrival gap dwarfs the mean gap.
+    arrivals = np.array([r.arrival for r in requests])
+    assert np.diff(arrivals).max() > 20 * (1.0 / 50.0)
+
+
+def test_arrival_process_validation():
+    with pytest.raises(ValueError):
+        RequestGenerator(rate=1.0, arrival="weird")
+    with pytest.raises(ValueError):
+        RequestGenerator(rate=1.0, batch_size=0)
+
+
 def test_validation():
     with pytest.raises(ValueError):
         RequestGenerator(rate=0)
