@@ -8,10 +8,14 @@ baseline and README.  Run from the repository root with
 ``PYTHONPATH=src``.
 
 ``--refresh-baseline`` regenerates the committed
-``benchmarks/perf/BENCH_controller.json``: a three-section document
+``benchmarks/perf/BENCH_controller.json``: a four-section document
 (``full`` 1M-request batch runs with the O(n^2) reference, the
-``open_loop_poisson`` 1M random trace, and a CI-comparable ``smoke``
-section that ``check_regression.py`` gates pull requests against).
+``open_loop_poisson`` 1M random trace, a CI-comparable ``smoke``
+section that ``check_regression.py`` gates pull requests against, and
+the ``parallel`` section -- serial vs parallel-drain wall clock on the
+1M and 10M random traces across a worker grid).  The parallel traces
+and worker grid are tunable (``--parallel-traces 1000000,10000000``,
+``--parallel-workers 2,4``) since the 10M runs dominate refresh time.
 """
 
 from __future__ import annotations
@@ -24,8 +28,22 @@ from repro.cli import main
 BASELINE = pathlib.Path(__file__).parent / "BENCH_controller.json"
 
 
-def refresh_baseline() -> int:
-    from repro.dram.bench import bench_controller, format_bench, write_bench
+def _csv_ints(argv: list[str], flag: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    if flag in argv:
+        raw = argv[argv.index(flag) + 1]
+        return tuple(int(v) for v in raw.split(",") if v.strip())
+    return default
+
+
+def refresh_baseline(argv: list[str]) -> int:
+    import json
+
+    from repro.dram.bench import (
+        bench_controller,
+        bench_parallel_section,
+        format_bench,
+        write_bench,
+    )
 
     full = bench_controller(n_requests=1_000_000, reference_requests=1_000_000)
     print(format_bench(full))
@@ -39,11 +57,17 @@ def refresh_baseline() -> int:
     print(format_bench(poisson))
     smoke = bench_controller(n_requests=20_000, reference_requests=5_000)
     print(format_bench(smoke))
+    parallel = bench_parallel_section(
+        trace_sizes=_csv_ints(argv, "--parallel-traces", (1_000_000, 10_000_000)),
+        workers_grid=_csv_ints(argv, "--parallel-workers", (2, 4)),
+    )
+    print(json.dumps(parallel, indent=2))
     payload = {
         "benchmark": "dram-controller-baseline",
         "full": full,
         "open_loop_poisson": poisson,
         "smoke": smoke,
+        "parallel": parallel,
     }
     write_bench(payload, str(BASELINE))
     print(f"wrote {BASELINE}")
@@ -52,5 +76,5 @@ def refresh_baseline() -> int:
 
 if __name__ == "__main__":
     if "--refresh-baseline" in sys.argv[1:]:
-        raise SystemExit(refresh_baseline())
+        raise SystemExit(refresh_baseline(sys.argv[1:]))
     raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -163,6 +163,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    elif args.stream_window is not None:
+        print(
+            "repro bench: --stream-window only applies to --trace-file runs "
+            "(streaming simulation reads chunks from an on-disk .dramtrace)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None:
+        if args.workers < 0:
+            print(
+                f"repro bench: --workers must be non-negative, got {args.workers}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers < 2:
+            # 0/1 workers is just the serial path with extra steps;
+            # treat it as "no parallel run requested" rather than
+            # spinning a pool (and don't record a bogus worker count
+            # in the payload).
+            args.workers = None
     try:
         if args.trace_file is not None:
             payload = bench_trace_file(
@@ -172,6 +192,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 # runs only when a cap was given (--smoke sets 5000).
                 include_reference=not args.no_reference
                 and reference_requests is not None,
+                workers=args.workers,
+                stream_window=args.stream_window,
                 window=args.window,
             )
         else:
@@ -183,6 +205,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 arrival=args.arrival,
                 arrival_gap=args.arrival_gap,
+                workers=args.workers,
                 window=args.window,
             )
     except (OSError, ValueError) as exc:
@@ -261,6 +284,8 @@ _COSIM_DEFAULTS = {
     "small_dram": False,
     "synthetic_regions": False,
     "export_trace": None,
+    "dram_workers": 0,
+    "workers": 0,
 }
 
 
@@ -333,6 +358,7 @@ def _cosim_setup(args: argparse.Namespace):
         damping=args.damping,
         max_iterations=args.max_iters,
         p99_tolerance=args.tol,
+        dram_workers=args.dram_workers,
     )
     return cost, scheme, planner, config
 
@@ -369,6 +395,7 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                 mean_prompt_tokens=args.mean_prompt_tokens,
                 mean_decode_tokens=args.mean_decode_tokens,
                 cosim_config=config,
+                workers=args.workers,
             )
             print(format_sweep(sweep))
             sweep.save(args.output)
@@ -400,7 +427,10 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
             arrival=args.arrival,
         )
         driver = CosimDriver(cost, scheme, planner, config=config)
-        result = driver.run(generator.generate(args.requests))
+        try:
+            result = driver.run(generator.generate(args.requests))
+        finally:
+            driver.close()
     except ValueError as exc:
         print(f"repro cosim: {exc}", file=sys.stderr)
         return 2
@@ -486,6 +516,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "reference runs only when --reference-requests "
                             "caps it)")
     bench.add_argument("--window", type=int, default=64)
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="also time the parallel drain path: per-channel "
+                            "drains over an N-worker pool, checked "
+                            "bit-identical against the serial array path")
+    bench.add_argument("--stream-window", type=int, default=None, metavar="W",
+                       help="with --trace-file: also time the bounded-window "
+                            "streaming path (simulate_trace_streaming with "
+                            "W-request admission chunks), checked "
+                            "bit-identical against the in-memory array path")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--output", default="BENCH_controller.json")
 
@@ -556,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
     cosim_common.add_argument("--export-trace", metavar="PATH.dramtrace",
                               help="export the converged iteration's DRAM "
                                    "request stream")
+    cosim_common.add_argument("--dram-workers", type=int, metavar="N",
+                              help="fan each DRAM replay's per-channel "
+                                   "drains over an N-worker pool "
+                                   "(bit-identical stats; default: serial)")
 
     cosim = sub.add_parser(
         "cosim", parents=[cosim_common],
@@ -570,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cosim_sweep.add_argument("--rates", default="0.5,1.0,2.0,4.0",
                              help="comma-separated requests/second grid")
+    cosim_sweep.add_argument("--workers", type=int, default=0, metavar="N",
+                             help="run independent rate-grid points over an "
+                                  "N-worker process pool (bit-identical to "
+                                  "the serial sweep; default: serial)")
     cosim_sweep.add_argument("--smoke", action="store_true",
                              help="CI-sized closed-loop sweep (synthetic "
                                   "costs, small DRAM, pinned rate grid)")

@@ -84,6 +84,10 @@ class CosimConfig:
     p99_tolerance: float = 0.02
     queue_limit: int = 4096
     scheduler_window: int = 64
+    #: >= 2 fans each DRAM replay's per-channel drains out over one
+    #: shared worker pool (repro.dram.parallel) -- bit-identical
+    #: stats, so convergence trajectories do not change.
+    dram_workers: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.damping <= 1.0:
@@ -96,6 +100,8 @@ class CosimConfig:
             raise ValueError("p99_tolerance must be non-negative")
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if self.dram_workers < 0:
+            raise ValueError("dram_workers must be non-negative")
 
     def step(self, iteration: int) -> float:
         """Update step size for the given iteration index."""
@@ -164,12 +170,31 @@ class CosimDriver:
         self.planner = planner
         self.config = config or CosimConfig()
         self._iso_cache: dict[int, int] = {}
+        self._dram_executor = None
+
+    def close(self) -> None:
+        """Shut down the shared DRAM worker pool (no-op when
+        ``dram_workers`` < 2 or no replay ran yet)."""
+        if self._dram_executor is not None:
+            self._dram_executor.close()
+            self._dram_executor = None
 
     # -- contention measurement -------------------------------------------
 
     def _fresh_controller(self) -> MemoryController:
+        executor = None
+        if self.config.dram_workers >= 2:
+            # One pool outlives the per-iteration controllers, so the
+            # fixed-point loop pays worker startup once.
+            if self._dram_executor is None:
+                from repro.dram.parallel import ParallelDrainExecutor
+
+                self._dram_executor = ParallelDrainExecutor(self.config.dram_workers)
+            executor = self._dram_executor
         return MemoryController(
-            self.planner.config, window=self.config.scheduler_window
+            self.planner.config,
+            window=self.config.scheduler_window,
+            executor=executor,
         )
 
     @staticmethod

@@ -11,7 +11,9 @@ table via :mod:`repro.analysis.report`.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import multiprocessing
 import pathlib
 from dataclasses import asdict, dataclass, field
 from typing import Optional
@@ -133,6 +135,65 @@ def format_sweep(result: SweepResult) -> str:
     return format_table(header, rows)
 
 
+def _run_rate_point(
+    cost_model: CostModel,
+    scheme: Scheme,
+    planner,
+    cfg: CosimConfig,
+    rate: float,
+    n_requests: int,
+    seed: int,
+    arrival: str,
+    mean_prompt_tokens: int,
+    mean_decode_tokens: int,
+) -> CosimResult:
+    """Run the closed loop at one offered-load point.
+
+    Module-level and built only from picklable pieces, so
+    :func:`run_load_sweep` can fan independent grid points out over a
+    process pool.  Each point builds its own generator and driver from
+    the same seed, so results are identical whether points run
+    serially, in parallel, or in any order.
+    """
+    generator = RequestGenerator(
+        rate,
+        mean_prompt_tokens=mean_prompt_tokens,
+        mean_decode_tokens=mean_decode_tokens,
+        seed=seed,
+        arrival=arrival,
+    )
+    driver = CosimDriver(cost_model, scheme, planner, config=cfg)
+    try:
+        return driver.run(generator.generate(n_requests))
+    finally:
+        driver.close()
+
+
+def _point_from_run(rate: float, run: CosimResult) -> SweepPoint:
+    """Collapse one closed-loop run into its sweep-grid point."""
+    open_loop, closed = run.open_loop, run.closed_loop
+    last = run.iterations[-1] if run.iterations else None
+    return SweepPoint(
+        rate=rate,
+        open_p50=open_loop.latency_percentile(50),
+        open_p99=open_loop.latency_percentile(99),
+        open_max=open_loop.latency_percentile(100),
+        closed_p50=closed.latency_percentile(50),
+        closed_p99=closed.latency_percentile(99),
+        closed_max=closed.latency_percentile(100),
+        utilization=closed.utilization,
+        completed=closed.n_completed,
+        rejected=closed.rejected,
+        n_iterations=run.n_iterations,
+        converged=run.converged,
+        extra_seconds_per_token=run.extra_seconds_per_token,
+        dram_queue_delay_mean=last.dram_queue_delay_mean if last else 0.0,
+        dram_queue_delay_p99=last.dram_queue_delay_p99 if last else 0.0,
+        dram_idle_cycles=last.dram_idle_cycles if last else 0,
+        dram_total_cycles=last.dram_total_cycles if last else 0,
+    )
+
+
 def run_load_sweep(
     cost_model: CostModel,
     scheme: Scheme,
@@ -144,17 +205,28 @@ def run_load_sweep(
     mean_prompt_tokens: int = 512,
     mean_decode_tokens: int = 32,
     cosim_config: Optional[CosimConfig] = None,
+    workers: int = 0,
 ) -> tuple[SweepResult, list[CosimResult]]:
     """Run the closed loop at every rate in the grid.
 
     Returns the serializable :class:`SweepResult` plus the per-rate
     :class:`CosimResult` objects (which keep the full iteration
     history and the final DRAM trace for ``.dramtrace`` export).
+
+    ``workers`` >= 2 runs the (independent) grid points over a process
+    pool instead of serially -- each worker gets its own pickled copy
+    of the cost model / planner / config, and the per-point seeding is
+    identical either way, so the sweep output is bit-identical to the
+    serial run.  Pool workers are daemonic and cannot spawn the
+    nested DRAM drain pool, so ``dram_workers`` is forced to 0 inside
+    parallel grid points (use one or the other level of parallelism).
     """
     if not rates:
         raise ValueError("rates must be non-empty")
     if sorted(rates) != list(rates):
         raise ValueError("rates must be sorted ascending")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
     cfg = cosim_config or CosimConfig()
     sweep = SweepResult(
         scheme=scheme.value,
@@ -174,39 +246,28 @@ def run_load_sweep(
             "mean_decode_tokens": mean_decode_tokens,
         },
     )
-    runs: list[CosimResult] = []
-    for rate in rates:
-        generator = RequestGenerator(
+    use_pool = workers >= 2 and len(rates) >= 2
+    point_args = [
+        (
+            cost_model,
+            scheme,
+            planner,
+            dataclasses.replace(cfg, dram_workers=0) if use_pool else cfg,
             rate,
-            mean_prompt_tokens=mean_prompt_tokens,
-            mean_decode_tokens=mean_decode_tokens,
-            seed=seed,
-            arrival=arrival,
+            n_requests,
+            seed,
+            arrival,
+            mean_prompt_tokens,
+            mean_decode_tokens,
         )
-        driver = CosimDriver(cost_model, scheme, planner, config=cfg)
-        run = driver.run(generator.generate(n_requests))
-        runs.append(run)
-        open_loop, closed = run.open_loop, run.closed_loop
-        last = run.iterations[-1] if run.iterations else None
-        sweep.points.append(
-            SweepPoint(
-                rate=rate,
-                open_p50=open_loop.latency_percentile(50),
-                open_p99=open_loop.latency_percentile(99),
-                open_max=open_loop.latency_percentile(100),
-                closed_p50=closed.latency_percentile(50),
-                closed_p99=closed.latency_percentile(99),
-                closed_max=closed.latency_percentile(100),
-                utilization=closed.utilization,
-                completed=closed.n_completed,
-                rejected=closed.rejected,
-                n_iterations=run.n_iterations,
-                converged=run.converged,
-                extra_seconds_per_token=run.extra_seconds_per_token,
-                dram_queue_delay_mean=last.dram_queue_delay_mean if last else 0.0,
-                dram_queue_delay_p99=last.dram_queue_delay_p99 if last else 0.0,
-                dram_idle_cycles=last.dram_idle_cycles if last else 0,
-                dram_total_cycles=last.dram_total_cycles if last else 0,
-            )
-        )
+        for rate in rates
+    ]
+    if use_pool:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        with ctx.Pool(min(workers, len(rates))) as pool:
+            runs = pool.starmap(_run_rate_point, point_args)
+    else:
+        runs = [_run_rate_point(*args) for args in point_args]
+    sweep.points.extend(_point_from_run(rate, run) for rate, run in zip(rates, runs))
     return sweep, runs

@@ -7,7 +7,7 @@ or on an on-disk ``.dramtrace`` file (``--trace-file``), and emits a
 JSON payload (``BENCH_controller.json``) so successive PRs accumulate
 a perf trajectory.
 
-Four timed implementations per pattern:
+Timed implementations per pattern:
 
 - ``indexed`` -- one ``simulate()`` call on a pre-built Request list
   (the historical simulate-only number; ingestion excluded).
@@ -19,10 +19,20 @@ Four timed implementations per pattern:
 - ``arrays`` -- *end-to-end* array-native path: (for ``--trace-file``)
   mmap-loading the columns **plus** ``simulate_arrays()``; in-memory
   columns feed the scheduler directly, so ingestion is free.
+- ``parallel`` (``--workers N``, N >= 2) -- the array path with
+  per-channel drains fanned out over the worker pool
+  (:mod:`repro.dram.parallel`); pool startup is included in the timed
+  region, so this is the cold end-to-end number.
+- ``streaming`` (``--trace-file`` + ``--stream-window W``) -- the
+  bounded-resident-state path: ``simulate_trace_streaming`` feeding
+  ``W``-request chunks through the resumable per-channel drains.
 
 ``object_layer_speedup`` (arrays req/s over objects req/s) is the
-object-layer overhead the array-native front door removes; every
-same-length pair is also checked for bit-identical stats.
+object-layer overhead the array-native front door removes;
+``parallel_speedup`` is parallel req/s over arrays req/s.  Every
+same-length pair is also checked for bit-identical stats
+(``parallel_identical`` / ``streaming_identical`` alongside the
+existing checks; ``repro bench`` exits nonzero on any mismatch).
 
 The committed baseline lives at ``benchmarks/perf/BENCH_controller.json``;
 see ``benchmarks/perf/README.md`` for how to read and refresh it, and
@@ -129,6 +139,8 @@ def _bench_entry(
     ref_columns,
     include_reference: bool,
     controller_kwargs: dict,
+    workers: Optional[int] = None,
+    stream_window: Optional[int] = None,
 ) -> dict:
     """Time every implementation on one trace; returns the JSON entry.
 
@@ -192,6 +204,53 @@ def _bench_entry(
     )
     entry["array_path_identical"] = asdict(arrays_stats) == asdict(objects_stats)
 
+    if workers is not None and workers >= 2:
+        # Parallel per-channel draining: same array path, drains
+        # fanned out over a worker pool.  The pool spins up inside the
+        # timed region (cold number); amortized per-call cost is lower
+        # when the controller is reused.
+        controller = MemoryController(config, workers=workers, **controller_kwargs)
+        try:
+            start = time.perf_counter()
+            if trace_file is not None:
+                trace = load_trace(trace_file)
+                a, c, f = trace.addrs, trace.arrive_cycles, trace.flags
+                mid = time.perf_counter()
+            else:
+                a, c, f = addrs, arrive, flags
+                mid = start
+            parallel_stats = controller.simulate_arrays(a, c, f)
+            end = time.perf_counter()
+        finally:
+            controller.close()
+        parallel_run = _make_run(
+            pattern, "parallel", n_requests, end - start, mid - start, parallel_stats
+        )
+        entry["parallel"] = asdict(parallel_run)
+        entry["parallel_workers"] = workers
+        entry["parallel_speedup"] = (
+            parallel_run.requests_per_second / arrays_run.requests_per_second
+            if arrays_run.requests_per_second
+            else float("inf")
+        )
+        entry["parallel_identical"] = asdict(parallel_stats) == asdict(arrays_stats)
+
+    if stream_window is not None and trace_file is not None:
+        # Bounded-window streaming: chunked admission through the
+        # resumable per-channel drains, end to end from the file.
+        controller = MemoryController(config, **controller_kwargs)
+        start = time.perf_counter()
+        streaming_stats = controller.simulate_trace_streaming(
+            trace_file, window=stream_window
+        )
+        end = time.perf_counter()
+        streaming_run = _make_run(
+            pattern, "streaming", n_requests, end - start, 0.0, streaming_stats
+        )
+        entry["streaming"] = asdict(streaming_run)
+        entry["streaming_window"] = stream_window
+        entry["streaming_identical"] = asdict(streaming_stats) == asdict(arrays_stats)
+
     if include_reference:
         ref_addrs, ref_arrive, ref_flags = ref_columns
         ref_requests = requests_from_arrays(ref_addrs, ref_arrive, ref_flags)
@@ -223,6 +282,7 @@ def bench_controller(
     seed: int = 7,
     arrival: Optional[str] = None,
     arrival_gap: float = 8.0,
+    workers: Optional[int] = None,
     **controller_kwargs,
 ) -> dict:
     """Bench every pattern; returns the JSON-ready payload.
@@ -240,6 +300,10 @@ def bench_controller(
     (:data:`repro.workloads.traces.ARRIVAL_PROCESSES`) stamped onto the
     trace with a mean inter-arrival gap of ``arrival_gap`` cycles;
     ``None`` keeps the all-at-cycle-0 batch default.
+
+    ``workers`` >= 2 adds a ``parallel`` run per pattern: the array
+    path with per-channel drains fanned out over that many pool
+    workers, checked bit-identical against the serial array run.
     """
     if n_requests < 1:
         raise ValueError("n_requests must be >= 1")
@@ -258,7 +322,7 @@ def bench_controller(
             )
         results[pattern] = _bench_entry(
             pattern, config, columns, None, ref_columns,
-            include_reference, controller_kwargs,
+            include_reference, controller_kwargs, workers=workers,
         )
     return {
         "benchmark": "dram-controller-throughput",
@@ -267,6 +331,7 @@ def bench_controller(
         "seed": seed,
         "arrival": arrival,
         "arrival_gap_cycles": arrival_gap if arrival is not None else None,
+        "workers": workers,
         "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
         "python": _platform.python_version(),
         "machine": _platform.machine(),
@@ -279,6 +344,8 @@ def bench_trace_file(
     reference_requests: Optional[int] = None,
     include_reference: bool = False,
     config: DRAMConfig = LPDDR5X_8533,
+    workers: Optional[int] = None,
+    stream_window: Optional[int] = None,
     **controller_kwargs,
 ) -> dict:
     """Bench an on-disk ``.dramtrace``: end-to-end (load + simulate)
@@ -291,6 +358,11 @@ def bench_trace_file(
     drain touches them), the object path pays the full per-request
     materialization.  The reference scheduler is optional and capped
     at ``reference_requests`` (it is O(n^2) in trace length).
+
+    ``workers`` >= 2 adds the ``parallel`` run (load + parallel
+    ``simulate_arrays``); ``stream_window`` adds the ``streaming`` run
+    (``simulate_trace_streaming`` with that admission window), both
+    checked bit-identical against the serial array run.
     """
     from repro.workloads.trace_io import load_trace
 
@@ -312,6 +384,7 @@ def bench_trace_file(
     entry = _bench_entry(
         pattern, config, columns, str(path), ref_columns,
         include_reference, controller_kwargs,
+        workers=workers, stream_window=stream_window,
     )
     return {
         "benchmark": "dram-controller-throughput",
@@ -321,6 +394,8 @@ def bench_trace_file(
         "seed": None,
         "arrival": None,
         "arrival_gap_cycles": None,
+        "workers": workers,
+        "stream_window": stream_window,
         "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
         "python": _platform.python_version(),
         "machine": _platform.machine(),
@@ -340,14 +415,20 @@ def format_bench(payload: dict) -> str:
 
     rows = []
     for pattern, entry in payload["patterns"].items():
-        for impl in ("arrays", "objects", "indexed", "reference"):
+        impls = ("arrays", "parallel", "streaming", "objects", "indexed", "reference")
+        for impl in impls:
             run = entry.get(impl)
             if run is None:
                 continue
+            label = impl
+            if impl == "parallel":
+                label = f"parallel(w={entry.get('parallel_workers', '?')})"
+            elif impl == "streaming":
+                label = f"streaming(win={entry.get('streaming_window', '?')})"
             rows.append(
                 [
                     pattern,
-                    impl,
+                    label,
                     run["n_requests"],
                     round(run["elapsed_seconds"], 3),
                     int(run["requests_per_second"]),
@@ -366,6 +447,18 @@ def format_bench(payload: dict) -> str:
                 "",
             ]
         )
+        if "parallel_speedup" in entry:
+            rows.append(
+                [
+                    pattern,
+                    "-> parallel vs arrays",
+                    "",
+                    "",
+                    f"{entry['parallel_speedup']:.2f}x",
+                    "",
+                    "",
+                ]
+            )
     return format_table(
         ["pattern", "impl", "requests", "sec", "req/s", "hit rate", "q-delay p99"],
         rows,
@@ -376,8 +469,79 @@ def all_identity_checks_pass(payload: dict) -> bool:
     """True iff every recorded bit-identity check in a payload holds
     (used by the CLI to turn a silent mismatch into a failing exit)."""
     for entry in payload["patterns"].values():
-        if not entry.get("array_path_identical", True):
-            return False
-        if not entry.get("stats_identical", True):
-            return False
+        for key in (
+            "array_path_identical",
+            "stats_identical",
+            "parallel_identical",
+            "streaming_identical",
+        ):
+            if not entry.get(key, True):
+                return False
     return True
+
+
+def bench_parallel_section(
+    trace_sizes: Sequence[int] = (1_000_000, 10_000_000),
+    workers_grid: Sequence[int] = (2, 4),
+    pattern: str = "random",
+    config: DRAMConfig = LPDDR5X_8533,
+    seed: int = 7,
+    **controller_kwargs,
+) -> dict:
+    """The committed baseline's ``parallel`` section: serial vs
+    parallel wall clock per trace size and worker count.
+
+    Per trace size the serial array path runs once, then each worker
+    count runs the identical columns through a fresh ``workers=N``
+    controller.  Pool spin-up happens *inside* the timed region (the
+    cold number is what a one-shot CLI user pays; warm per-call cost
+    is lower when a controller or executor is reused), so the
+    recorded speedups are conservative, most visibly on the smaller
+    trace.  ``identical`` records the
+    bit-identity check against the serial stats, ``speedup`` the
+    serial/parallel elapsed ratio.  ``cpu_count`` captures the machine
+    the numbers were taken on -- speedup saturates at
+    ``min(workers, channels, cores)``, so single-digit-core CI boxes
+    will not reproduce the multi-core ratios.
+    """
+    import os
+
+    sizes = {}
+    for n in trace_sizes:
+        columns = _make_columns(pattern, n, config, seed)
+        addrs, arrive, flags = columns
+        controller = MemoryController(config, **controller_kwargs)
+        start = time.perf_counter()
+        serial_stats = controller.simulate_arrays(addrs, arrive, flags)
+        serial_elapsed = time.perf_counter() - start
+        per_workers = {}
+        for w in workers_grid:
+            controller = MemoryController(config, workers=w, **controller_kwargs)
+            try:
+                start = time.perf_counter()
+                par_stats = controller.simulate_arrays(addrs, arrive, flags)
+                elapsed = time.perf_counter() - start
+            finally:
+                controller.close()
+            per_workers[str(w)] = {
+                "elapsed_seconds": elapsed,
+                "requests_per_second": n / elapsed if elapsed > 0 else 0.0,
+                "speedup": serial_elapsed / elapsed if elapsed > 0 else float("inf"),
+                "identical": asdict(par_stats) == asdict(serial_stats),
+            }
+        sizes[str(n)] = {
+            "serial_seconds": serial_elapsed,
+            "serial_requests_per_second": n / serial_elapsed if serial_elapsed else 0.0,
+            "workers": per_workers,
+        }
+    return {
+        "benchmark": "dram-controller-parallel-drain",
+        "pattern": pattern,
+        "seed": seed,
+        "config": "LPDDR5X_8533" if config is LPDDR5X_8533 else "custom",
+        "cpu_count": os.cpu_count(),
+        "channels": config.organization.n_channels,
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "traces": sizes,
+    }

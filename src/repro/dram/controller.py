@@ -60,6 +60,7 @@ import enum
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -74,6 +75,10 @@ from repro.dram.request import (
     Request,
     arrays_from_requests,
 )
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dram.parallel import ParallelDrainExecutor
 
 
 class SchedulerPolicy(enum.Enum):
@@ -147,6 +152,8 @@ class MemoryController:
         policy: SchedulerPolicy = SchedulerPolicy.FR_FCFS,
         window: int = 64,
         starvation_cap: int = 512,
+        workers: Optional[int] = None,
+        executor: Optional["ParallelDrainExecutor"] = None,
     ) -> None:
         if window < 1:
             raise ValueError("scheduler window must be >= 1")
@@ -155,7 +162,46 @@ class MemoryController:
         self.policy = policy
         self.window = window
         self.starvation_cap = starvation_cap
-        self.channels = [Channel(i, config) for i in range(config.organization.n_channels)]
+        self.channels = [
+            Channel(i, config) for i in range(config.organization.n_channels)
+        ]
+        # Parallel channel draining: channels are timing-independent,
+        # so with workers >= 2 the per-channel drains fan out over a
+        # persistent process pool (see repro.dram.parallel) and stats
+        # merge deterministically -- bit-identical to the serial path.
+        workers = 0 if workers is None else int(workers)
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self._executor = executor
+        self._owns_executor = executor is None
+
+    # -- parallel-drain lifecycle ------------------------------------------
+
+    @property
+    def parallel_enabled(self) -> bool:
+        """True when per-channel drains fan out over a worker pool."""
+        return self._executor is not None or self.workers >= 2
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            from repro.dram.parallel import ParallelDrainExecutor
+
+            self._executor = ParallelDrainExecutor(self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the controller-owned worker pool (no-op when the
+        executor was injected or never created)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "MemoryController":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- simulation --------------------------------------------------------
 
@@ -270,6 +316,123 @@ class MemoryController:
             )
         return stats
 
+    def simulate_trace_streaming(
+        self,
+        path,
+        window: int = 1_000_000,
+        mmap: bool = True,
+    ) -> ControllerStats:
+        """Simulate an on-disk ``.dramtrace`` with bounded resident
+        state: trace columns stream through
+        :meth:`~repro.workloads.trace_io.MappedTrace.iter_chunks` in
+        ``window``-request admission chunks, and each channel drains
+        through a resumable :meth:`_drain_channel_gen` that compacts
+        completed requests at every chunk boundary.
+
+        Stats are bit-identical to ``simulate_arrays`` on the full
+        columns (the equivalence is pinned in
+        ``tests/dram/test_streaming.py``).  Resident state is one
+        decoded chunk plus the scheduler window per channel plus one
+        ``int64`` queue delay per request (the exact-percentile stats
+        require every delay) -- independent of how much larger than
+        RAM the mapped trace records are.
+
+        Requires each channel's arrivals to be non-decreasing in file
+        order (any globally time-sorted trace qualifies, including
+        all-at-cycle-0 batches); raises ``ValueError`` otherwise, since
+        chunked admission cannot re-sort what it has not yet seen.
+        """
+        from repro.dram.request import FLAG_WRITE as _FLAG_WRITE
+        from repro.workloads.trace_io import load_trace
+
+        if window < 1:
+            raise ValueError("streaming window must be >= 1")
+        trace = load_trace(path, mmap=mmap)
+        n = len(trace)
+        stats = self._empty_stats()
+        stats.requests = n
+        if n == 0:
+            return stats
+        org = self.config.organization
+        n_channels = org.n_channels
+        delays = np.zeros(n, dtype=np.int64)
+        gens = {}
+        last_seen = [None] * n_channels  # per-channel arrival high-water
+        writes = 0
+        for base, (addrs, arrive, flags) in trace.iter_chunks(
+            window, with_offsets=True
+        ):
+            if arrive.shape[0] and int(arrive.min()) < 0:
+                raise ValueError("arrive_cycle must be non-negative")
+            batch = self.mapper.decode_batch(addrs)
+            flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
+            is_write = (flags & _FLAG_WRITE).astype(bool)
+            writes += int(np.count_nonzero(is_write))
+            # Stable per-channel split in file order; with per-channel
+            # monotone arrivals this reproduces the in-memory path's
+            # lexsort((arrive, channel)) queues chunk by chunk.
+            sel = np.argsort(batch.channel, kind="stable")
+            counts = np.bincount(batch.channel, minlength=n_channels)
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            for ci in range(n_channels):
+                lo, hi = int(bounds[ci]), int(bounds[ci + 1])
+                if lo == hi:
+                    continue
+                idxs = sel[lo:hi]
+                arr_c = arrive[idxs]
+                if (arr_c.shape[0] > 1 and bool(np.any(np.diff(arr_c) < 0))) or (
+                    last_seen[ci] is not None and int(arr_c[0]) < last_seen[ci]
+                ):
+                    raise ValueError(
+                        f"{path}: channel {ci} arrivals are not non-decreasing "
+                        "in file order; streaming simulation needs a "
+                        "time-sorted trace (use simulate_arrays for "
+                        "unsorted traces)"
+                    )
+                last_seen[ci] = int(arr_c[-1])
+                gen = gens.get(ci)
+                if gen is None:
+                    gen = self._drain_channel_gen(
+                        self.channels[ci], stats, delays_out=delays
+                    )
+                    next(gen)
+                    gens[ci] = gen
+                k = hi - lo
+                gen.send(
+                    (
+                        flat[idxs].tolist(),
+                        batch.row[idxs].tolist(),
+                        batch.column[idxs].tolist(),
+                        is_write[idxs].tolist(),
+                        arr_c.tolist(),
+                        [-1] * k,
+                        [0] * k,
+                        [-1] * k,
+                        (base + idxs).tolist(),
+                        False,
+                    )
+                )
+        final_cycle = 0
+        for ci, gen in gens.items():
+            try:
+                gen.send(None)
+            except StopIteration as stop:
+                last, idle = stop.value
+            else:  # pragma: no cover - defensive
+                raise AssertionError("channel drain did not complete on EOF")
+            final_cycle = max(final_cycle, last)
+            stats.busy_channel_cycles[ci] = last
+            stats.idle_channel_cycles[ci] = idle
+        stats.writes = writes
+        stats.reads = n - writes
+        overhead = self.config.timing.refresh_overhead
+        if overhead > 0 and final_cycle > 0:
+            stats.refresh_cycles = int(round(final_cycle * overhead / (1 - overhead)))
+            final_cycle += stats.refresh_cycles
+        stats.total_cycles = final_cycle
+        self._fill_queue_stats(stats, delays)
+        return stats
+
     def _empty_stats(self) -> ControllerStats:
         stats = ControllerStats()
         for channel in self.channels:
@@ -305,42 +468,62 @@ class MemoryController:
         order = np.lexsort((arrive, batch.channel))
         counts = np.bincount(batch.channel, minlength=org.n_channels)
         bounds = np.concatenate(([0], np.cumsum(counts)))
-        bf_sorted = flat[order].tolist()
-        row_sorted = batch.row[order].tolist()
-        col_sorted = batch.column[order].tolist()
-        wr_sorted = np.asarray(is_write)[order].tolist()
-        arr_sorted = np.asarray(arrive)[order].tolist()
+        bf_sorted = flat[order]
+        row_sorted = batch.row[order]
+        col_sorted = batch.column[order]
+        wr_sorted = np.asarray(is_write)[order]
+        arr_sorted = np.asarray(arrive)[order]
 
         first = np.zeros(n, dtype=np.int64)
         complete = np.zeros(n, dtype=np.int64)
         hit = np.zeros(n, dtype=bool)
         final_cycle = 0
-        for channel in self.channels:
-            lo, hi = int(bounds[channel.index]), int(bounds[channel.index + 1])
-            if lo == hi:
-                continue
-            o_first = [-1] * (hi - lo)
-            o_complete = [0] * (hi - lo)
-            o_hit = [-1] * (hi - lo)
-            last, idle = self._drain_channel(
-                channel,
-                bf_sorted[lo:hi],
-                row_sorted[lo:hi],
-                col_sorted[lo:hi],
-                wr_sorted[lo:hi],
-                arr_sorted[lo:hi],
-                o_first,
-                o_complete,
-                o_hit,
-                stats,
+        nonempty = int(np.count_nonzero(counts))
+        if (
+            self.parallel_enabled
+            and nonempty >= 2
+            and not any(ch.record_commands for ch in self.channels)
+        ):
+            # Fan the independent per-channel drains out over the
+            # worker pool; the executor writes the sorted-order
+            # first/complete/hit slices into shared memory and hands
+            # back each channel's post-drain state and stat deltas.
+            final_cycle = self._ensure_executor().drain(
+                self, bf_sorted, row_sorted, col_sorted, wr_sorted, arr_sorted,
+                bounds, order, stats, first, complete, hit,
             )
-            idxs = order[lo:hi]
-            first[idxs] = o_first
-            complete[idxs] = o_complete
-            hit[idxs] = o_hit
-            final_cycle = max(final_cycle, last)
-            stats.busy_channel_cycles[channel.index] = last
-            stats.idle_channel_cycles[channel.index] = idle
+        else:
+            bf_list = bf_sorted.tolist()
+            row_list = row_sorted.tolist()
+            col_list = col_sorted.tolist()
+            wr_list = wr_sorted.tolist()
+            arr_list = arr_sorted.tolist()
+            for channel in self.channels:
+                lo, hi = int(bounds[channel.index]), int(bounds[channel.index + 1])
+                if lo == hi:
+                    continue
+                o_first = [-1] * (hi - lo)
+                o_complete = [0] * (hi - lo)
+                o_hit = [-1] * (hi - lo)
+                last, idle = self._drain_channel(
+                    channel,
+                    bf_list[lo:hi],
+                    row_list[lo:hi],
+                    col_list[lo:hi],
+                    wr_list[lo:hi],
+                    arr_list[lo:hi],
+                    o_first,
+                    o_complete,
+                    o_hit,
+                    stats,
+                )
+                idxs = order[lo:hi]
+                first[idxs] = o_first
+                complete[idxs] = o_complete
+                hit[idxs] = o_hit
+                final_cycle = max(final_cycle, last)
+                stats.busy_channel_cycles[channel.index] = last
+                stats.idle_channel_cycles[channel.index] = idle
         # Refresh duty-cycle derate: every tREFI window loses tRFC
         # cycles of availability (first-order streaming model).
         overhead = self.config.timing.refresh_overhead
@@ -354,7 +537,17 @@ class MemoryController:
     @staticmethod
     def _fill_queue_stats(stats: ControllerStats, delays: np.ndarray) -> None:
         """Aggregate per-request queue delays (first-command cycle
-        minus arrival cycle, input order) into the stats block."""
+        minus arrival cycle, input order) into the stats block.
+
+        Empty delay arrays (a zero-request run) leave the queue stats
+        at their zeroed defaults instead of tripping ``mean``/``max``
+        on n=0."""
+        if delays.shape[0] == 0:
+            stats.queue_delay_mean = 0.0
+            stats.queue_delay_p50 = 0.0
+            stats.queue_delay_p99 = 0.0
+            stats.queue_delay_max = 0
+            return
         stats.queue_delay_mean = float(delays.mean())
         stats.queue_delay_p50 = float(np.percentile(delays, 50))
         stats.queue_delay_p99 = float(np.percentile(delays, 99))
@@ -390,6 +583,47 @@ class MemoryController:
         the inputs): first-command cycle, completion cycle, and row-hit
         class (1 hit / 0 miss-or-conflict); ``-1`` means not yet set.
 
+        Single-feed wrapper over :meth:`_drain_channel_gen` -- the
+        whole queue goes in as one final chunk, so the generator runs
+        to completion without ever yielding for more input.  Returns
+        ``(last_complete_cycle, idle_cycles)``.
+        """
+        gen = self._drain_channel_gen(channel, stats)
+        next(gen)
+        try:
+            gen.send((bf, row, col, iswr, arr, o_first, o_complete, o_hit, None, True))
+        except StopIteration as stop:
+            return stop.value
+        raise AssertionError("channel drain did not complete on a final feed")
+
+    def _drain_channel_gen(
+        self,
+        channel: Channel,
+        stats: ControllerStats,
+        delays_out: Optional[np.ndarray] = None,
+    ):
+        """Resumable form of the per-channel drain loop.
+
+        A generator that is fed the channel's requests in one or more
+        arrival-ordered chunks and schedules exactly as if it had seen
+        the whole queue up front.  Protocol::
+
+            gen = controller._drain_channel_gen(channel, stats, delays)
+            next(gen)                      # prime to the first request
+            gen.send((bf, row, col, iswr, arr,
+                      o_first, o_complete, o_hit, gidx, eof))  # repeat
+            gen.send(None)                 # end of input (or eof=True)
+            # -> StopIteration.value == (last_complete_cycle, idle)
+
+        Each feed appends parallel column lists (flat bank index, row,
+        column, is-write, arrive-cycle), matching output slots, and
+        optionally ``gidx`` -- each request's global input-order index.
+        The generator yields (requesting more input) exactly when every
+        fed request has been admitted and the scheduling window has
+        room: any later decision could be preempted by an arrival it
+        has not seen yet, so it refuses to guess.  Feeding ``eof``
+        (or ``None``) instead lets it run to completion.
+
         One command issues per loop iteration; a request leaves the
         queue when its column command issues.  The candidate scan runs
         over per-bank cached (command, representative, bank-ready)
@@ -404,15 +638,41 @@ class MemoryController:
         arrival (the gap is accounted as idle); when an arrival lands
         before the chosen command would issue (and the window has
         room), channel time advances to that arrival and the decision
-        is re-derived so the newcomer competes.  Returns
-        ``(last_complete_cycle, idle_cycles)``.
+        is re-derived so the newcomer competes.
+
+        Bounded-memory streaming: at every yield point the generator
+        *compacts* -- completed requests are dropped from the buffers
+        (their queue delays scattered to ``delays_out`` at ``gidx``)
+        and the <= ``window`` live requests are renumbered, so resident
+        state is one fed chunk plus the scheduler window regardless of
+        trace length.  Renumbering preserves relative request order
+        (the only thing arbitration ties break on), and candidate
+        caches are rebuilt through the same dirty-refresh pass that
+        maintains them incrementally, so the command stream is
+        bit-identical to the single-feed run.  ``delays_out``/``gidx``
+        may be omitted only for single-feed (eof) use, where outputs
+        stay in the caller's ``o_*`` lists.
         """
         t = channel.timing
         org = self.config.organization
-        n = len(bf)
         n_banks = len(channel.banks)
         fcfs = self.policy is SchedulerPolicy.FCFS
         cap = self.starvation_cap
+
+        # Request buffers -- adopted from the first feed (so the
+        # single-feed wrapper mutates its caller's lists in place),
+        # extended by later feeds, compacted at yield points.
+        bf: list[int] = []
+        row: list[int] = []
+        col: list[int] = []
+        iswr: list[bool] = []
+        arr: list[int] = []
+        o_first: list[int] = []
+        o_complete: list[int] = []
+        o_hit: list[int] = []
+        gidx: Optional[list[int]] = None
+        n = 0
+        eof = False
 
         # Timing locals.
         tRCD, tRP, tRAS, tRC = t.tRCD, t.tRP, t.tRAS, t.tRC
@@ -446,7 +706,7 @@ class MemoryController:
 
         # Window bookkeeping: per-bank FIFO of in-window request seqs,
         # per-(bank, row) FIFO for row-hit heads, cached candidates.
-        alive = [True] * n
+        alive: list[bool] = []
         bank_q: list[deque | None] = [None] * n_banks
         bank_rows: list[dict | None] = [None] * n_banks
         active: set[int] = set()
@@ -497,12 +757,12 @@ class MemoryController:
         pos = 0  # next not-yet-admitted request (arrival order)
         in_window = 0
         idle = 0
-        remaining = n
+        remaining = 0
         head = 0
         head_skips = 0
         last_complete = 0
 
-        while remaining:
+        while True:
             # Admit arrived requests into the scheduling window (the
             # queue order is arrival order, so admission is a cursor).
             while pos < n and in_window < window_cap and arr[pos] <= cb:
@@ -510,7 +770,74 @@ class MemoryController:
                 dirty.append(bf[pos])
                 pos += 1
                 in_window += 1
+            if not eof and pos == n and in_window < window_cap:
+                # Every fed request is admitted and the window has
+                # room: the next decision could be preempted by an
+                # arrival this generator has not seen, so compact the
+                # buffers and ask the caller for more input.
+                if n:
+                    if delays_out is not None:
+                        for s in range(n):
+                            if not alive[s]:
+                                delays_out[gidx[s]] = o_first[s] - arr[s]
+                    live = [s for s in range(n) if alive[s]]
+                    bf = [bf[s] for s in live]
+                    row = [row[s] for s in live]
+                    col = [col[s] for s in live]
+                    iswr = [iswr[s] for s in live]
+                    arr = [arr[s] for s in live]
+                    o_first = [o_first[s] for s in live]
+                    o_complete = [o_complete[s] for s in live]
+                    o_hit = [o_hit[s] for s in live]
+                    if gidx is not None:
+                        gidx = [gidx[s] for s in live]
+                    n = pos = remaining = in_window = len(live)
+                    head = 0
+                    alive = [True] * n
+                    # Rebuild the window indexes over the renumbered
+                    # seqs (ascending, so relative order -- the only
+                    # arbitration tie-breaker -- is preserved) and
+                    # leave candidate recomputation to the standard
+                    # dirty-refresh pass.
+                    bank_q = [None] * n_banks
+                    bank_rows = [None] * n_banks
+                    active = set()
+                    for s in range(n):
+                        insert(s)
+                    act_L = []
+                    act_H = []
+                    pre_L = []
+                    pre_H = []
+                    col_set.clear()
+                    dirty = list(active)
+                fed = yield True
+                if fed is None:
+                    eof = True
+                else:
+                    fbf, frow, fcol, fwr, farr, ff, fc, fh, fg, feof = fed
+                    if bf:
+                        bf.extend(fbf)
+                        row.extend(frow)
+                        col.extend(fcol)
+                        iswr.extend(fwr)
+                        arr.extend(farr)
+                        o_first.extend(ff)
+                        o_complete.extend(fc)
+                        o_hit.extend(fh)
+                        if gidx is not None and fg is not None:
+                            gidx.extend(fg)
+                    else:
+                        bf, row, col, iswr, arr = fbf, frow, fcol, fwr, farr
+                        o_first, o_complete, o_hit, gidx = ff, fc, fh, fg
+                    alive.extend([True] * len(fbf))
+                    remaining += len(fbf)
+                    n = len(bf)
+                    eof = bool(feof)
+                continue
             if in_window == 0:
+                if pos == n:
+                    # End of input with everything completed.
+                    break
                 # Queue empty with arrivals outstanding: jump channel
                 # time to the next arrival.
                 nxt = arr[pos]
@@ -820,6 +1147,13 @@ class MemoryController:
                     head_skips += 1
                 else:
                     head_skips = 0
+
+        # Scatter queue delays for requests retired since the last
+        # compaction (streaming mode; earlier chunks were emitted at
+        # their compaction points).
+        if delays_out is not None:
+            for s in range(n):
+                delays_out[gidx[s]] = o_first[s] - arr[s]
 
         # Write mirrored state back to the channel/bank objects.
         channel._cmd_bus_next = cb

@@ -1,0 +1,379 @@
+"""Parallel per-channel drain execution for :class:`MemoryController`.
+
+DRAM channels share no timing state -- the controller already drains
+them one at a time through the self-contained
+:meth:`~repro.dram.controller.MemoryController._drain_channel` loop
+and merges stats afterwards.  This module fans those independent
+drains out over a persistent ``multiprocessing`` pool:
+
+- the parent copies the arrival-sorted column arrays (flat bank index,
+  row, column, is-write, arrive-cycle) into one shared-memory block
+  and allocates a second for the per-request outputs;
+- each worker attaches by name (``np.frombuffer`` views, zero-copy),
+  slices its channel's ``[lo, hi)`` rows, replays the exact serial
+  drain loop on a worker-cached controller whose channel was seeded
+  with the parent channel's state, and writes ``first`` / ``complete``
+  / ``hit`` into the output block;
+- the worker ships back a :class:`ChannelState` snapshot plus its
+  stat deltas, and the parent applies snapshots / sums counters in
+  channel-index order.
+
+Determinism: every worker runs the identical ``_drain_channel`` code
+on identical inputs, the output arrays land at fixed offsets, and the
+merged counters are order-independent integer sums -- so the parallel
+path is *bit-identical* to the serial one (pinned by
+``tests/dram/test_parallel.py``) and the speedup is bounded only by
+channel count and cores.
+
+Start methods: ``fork`` is preferred where available (cheap workers,
+no import re-execution); everything shipped to workers -- the module
+-level :func:`_drain_worker`, pickled ``(config, policy, window,
+starvation_cap)`` parameters, and :class:`ChannelState` -- is
+picklable, so the same code runs under ``spawn`` (macOS/Windows or
+``start_method="spawn"``) unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+_I8 = np.dtype("<i8").itemsize
+
+#: Input block layout: four int64 columns then one uint8 column.
+_IN_BYTES_PER_ROW = 4 * _I8 + 1
+#: Output block layout: two int64 columns then one uint8 column.
+_OUT_BYTES_PER_ROW = 2 * _I8 + 1
+
+
+def _input_views(buf, n: int):
+    """(bf, row, col, arr, iswr) views over the input block."""
+    bf = np.frombuffer(buf, dtype=np.int64, count=n, offset=0)
+    row = np.frombuffer(buf, dtype=np.int64, count=n, offset=n * _I8)
+    col = np.frombuffer(buf, dtype=np.int64, count=n, offset=2 * n * _I8)
+    arr = np.frombuffer(buf, dtype=np.int64, count=n, offset=3 * n * _I8)
+    iswr = np.frombuffer(buf, dtype=np.uint8, count=n, offset=4 * n * _I8)
+    return bf, row, col, arr, iswr
+
+
+def _output_views(buf, n: int):
+    """(first, complete, hit) views over the output block."""
+    first = np.frombuffer(buf, dtype=np.int64, count=n, offset=0)
+    complete = np.frombuffer(buf, dtype=np.int64, count=n, offset=n * _I8)
+    hit = np.frombuffer(buf, dtype=np.uint8, count=n, offset=2 * n * _I8)
+    return first, complete, hit
+
+
+@dataclass
+class ChannelState:
+    """Picklable snapshot of one channel's scheduler-visible state.
+
+    Captured from the parent before a drain is shipped out, applied to
+    the worker-cached controller's channel so the drain starts exactly
+    where the parent's channel left off, then captured again after the
+    drain and applied back to the parent -- repeated ``simulate`` calls
+    on one controller stay bit-identical to the serial path.  Bank
+    ``row_hits`` are carried as absolute counters, so the worker's
+    in-place increments transfer without separate delta bookkeeping.
+    """
+
+    cmd_bus_next: int
+    data_bus_next: int
+    last_col_cycle: int
+    last_col_bankgroup: int
+    last_was_write: bool
+    read_after_write_ok: int
+    last_act_cycle: int
+    act_history: list
+    open_rows: list
+    earliest_act: list
+    earliest_pre: list
+    earliest_col: list
+    row_hits: list
+
+    @classmethod
+    def capture(cls, channel) -> "ChannelState":
+        return cls(
+            cmd_bus_next=channel._cmd_bus_next,
+            data_bus_next=channel._data_bus_next,
+            last_col_cycle=channel._last_col_cycle,
+            last_col_bankgroup=channel._last_col_bankgroup,
+            last_was_write=channel._last_was_write,
+            read_after_write_ok=channel._read_after_write_ok,
+            last_act_cycle=channel._last_act_cycle,
+            act_history=list(channel._act_history),
+            open_rows=[b.open_row for b in channel.banks],
+            earliest_act=[b.earliest_act for b in channel.banks],
+            earliest_pre=[b.earliest_pre for b in channel.banks],
+            earliest_col=[b.earliest_col for b in channel.banks],
+            row_hits=[b.row_hits for b in channel.banks],
+        )
+
+    def apply(self, channel) -> None:
+        channel._cmd_bus_next = self.cmd_bus_next
+        channel._data_bus_next = self.data_bus_next
+        channel._last_col_cycle = self.last_col_cycle
+        channel._last_col_bankgroup = self.last_col_bankgroup
+        channel._last_was_write = self.last_was_write
+        channel._read_after_write_ok = self.read_after_write_ok
+        channel._last_act_cycle = self.last_act_cycle
+        channel._act_history.clear()
+        channel._act_history.extend(self.act_history)
+        for bank, orow, eact, epre, ecol, hits in zip(
+            channel.banks,
+            self.open_rows,
+            self.earliest_act,
+            self.earliest_pre,
+            self.earliest_col,
+            self.row_hits,
+        ):
+            bank.open_row = orow
+            bank.earliest_act = eact
+            bank.earliest_pre = epre
+            bank.earliest_col = ecol
+            bank.row_hits = hits
+
+
+#: Worker-process cache: one controller per distinct parameter blob,
+#: reused across tasks so channel/mapper construction is paid once.
+_WORKER_CONTROLLERS: dict = {}
+
+
+def _worker_controller(params: bytes):
+    controller = _WORKER_CONTROLLERS.get(params)
+    if controller is None:
+        from repro.dram.controller import MemoryController
+
+        config, policy, window, starvation_cap = pickle.loads(params)
+        controller = MemoryController(
+            config, policy=policy, window=window, starvation_cap=starvation_cap
+        )
+        _WORKER_CONTROLLERS[params] = controller
+    return controller
+
+
+def _drain_worker(
+    params: bytes,
+    channel_index: int,
+    in_name: str,
+    n: int,
+    lo: int,
+    hi: int,
+    out_name: str,
+    state: ChannelState,
+) -> tuple:
+    """Drain one channel's row slice inside a pool worker.
+
+    Module-level and fully picklable, so it works under both ``fork``
+    and ``spawn`` start methods.  Returns ``(channel_index, post-drain
+    ChannelState, activates, precharges, row_hits, row_misses,
+    row_conflicts, last_complete_cycle, idle_cycles)``; per-request
+    outputs go straight into the shared output block.
+    """
+    from repro.dram.controller import ControllerStats
+
+    controller = _worker_controller(params)
+    # Pool workers share the parent's resource-tracker process, so
+    # attaching here only re-adds the names the parent registered at
+    # creation; the parent's unlink is the single cleanup point.
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    try:
+        bf, row, col, arr, iswr = _input_views(shm_in.buf, n)
+        k = hi - lo
+        o_first = [-1] * k
+        o_complete = [0] * k
+        o_hit = [-1] * k
+        channel = controller.channels[channel_index]
+        state.apply(channel)
+        stats = ControllerStats()
+        last, idle = controller._drain_channel(
+            channel,
+            bf[lo:hi].tolist(),
+            row[lo:hi].tolist(),
+            col[lo:hi].tolist(),
+            [bool(w) for w in iswr[lo:hi]],
+            arr[lo:hi].tolist(),
+            o_first,
+            o_complete,
+            o_hit,
+            stats,
+        )
+        first, complete, hit = _output_views(shm_out.buf, n)
+        first[lo:hi] = o_first
+        complete[lo:hi] = o_complete
+        hit[lo:hi] = o_hit
+        result = (
+            channel_index,
+            ChannelState.capture(channel),
+            stats.activates,
+            stats.precharges,
+            stats.row_hits,
+            stats.row_misses,
+            stats.row_conflicts,
+            last,
+            idle,
+        )
+        del bf, row, col, arr, iswr, first, complete, hit
+        return result
+    finally:
+        try:
+            shm_in.close()
+            shm_out.close()
+        except BufferError:  # pragma: no cover - views still alive on error
+            pass
+
+
+class ParallelDrainExecutor:
+    """Persistent worker pool that drains independent channels in
+    parallel.
+
+    Created lazily by ``MemoryController(workers=N)`` or explicitly
+    and shared across controllers (``MemoryController(...,
+    executor=ex)`` -- how the co-simulation driver amortizes one pool
+    over the fresh controller it builds per iteration).  The pool
+    itself is created on first use and survives across ``drain``
+    calls; shared-memory blocks are per call.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        workers = int(workers)
+        if workers < 2:
+            raise ValueError("parallel draining needs workers >= 2")
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable (have {methods})"
+            )
+        self.workers = workers
+        self.start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.workers)
+        return self._pool
+
+    def drain(
+        self,
+        controller,
+        bf_sorted: np.ndarray,
+        row_sorted: np.ndarray,
+        col_sorted: np.ndarray,
+        wr_sorted: np.ndarray,
+        arr_sorted: np.ndarray,
+        bounds: np.ndarray,
+        order: np.ndarray,
+        stats,
+        first: np.ndarray,
+        complete: np.ndarray,
+        hit: np.ndarray,
+    ) -> int:
+        """Drain every non-empty channel of ``controller`` in parallel.
+
+        Inputs are the arrival-sorted column arrays and channel
+        ``bounds`` that the serial path would slice per channel;
+        ``order`` maps sorted positions back to input order.  Fills
+        ``stats`` counters / per-channel cycles and the per-request
+        ``first`` / ``complete`` / ``hit`` arrays (input order)
+        exactly as the serial loop does, and returns the final cycle
+        (max last-completion over channels).
+        """
+        n = int(bf_sorted.shape[0])
+        params = pickle.dumps(
+            (
+                controller.config,
+                controller.policy,
+                controller.window,
+                controller.starvation_cap,
+            )
+        )
+        shm_in = shared_memory.SharedMemory(
+            create=True, size=max(1, n * _IN_BYTES_PER_ROW)
+        )
+        shm_out = shared_memory.SharedMemory(
+            create=True, size=max(1, n * _OUT_BYTES_PER_ROW)
+        )
+        try:
+            i_bf, i_row, i_col, i_arr, i_wr = _input_views(shm_in.buf, n)
+            i_bf[:] = bf_sorted
+            i_row[:] = row_sorted
+            i_col[:] = col_sorted
+            i_arr[:] = arr_sorted
+            i_wr[:] = wr_sorted
+            tasks = []
+            for channel in controller.channels:
+                ci = channel.index
+                lo, hi = int(bounds[ci]), int(bounds[ci + 1])
+                if lo == hi:
+                    continue
+                tasks.append(
+                    (
+                        params,
+                        ci,
+                        shm_in.name,
+                        n,
+                        lo,
+                        hi,
+                        shm_out.name,
+                        ChannelState.capture(channel),
+                    )
+                )
+            results = self._ensure_pool().starmap(_drain_worker, tasks)
+            final_cycle = 0
+            # Merge in channel-index order (starmap preserves task
+            # order); counters are order-independent integer sums, so
+            # the merged stats match the serial accumulation exactly.
+            for ci, state, acts, pres, hits, misses, confs, last, idle in results:
+                state.apply(controller.channels[ci])
+                stats.activates += acts
+                stats.precharges += pres
+                stats.row_hits += hits
+                stats.row_misses += misses
+                stats.row_conflicts += confs
+                stats.busy_channel_cycles[ci] = last
+                stats.idle_channel_cycles[ci] = idle
+                if last > final_cycle:
+                    final_cycle = last
+            o_first, o_complete, o_hit = _output_views(shm_out.buf, n)
+            first[order] = o_first
+            complete[order] = o_complete
+            hit[order] = o_hit != 0
+            del i_bf, i_row, i_col, i_arr, i_wr, o_first, o_complete, o_hit
+            return final_cycle
+        finally:
+            try:
+                shm_in.close()
+                shm_in.unlink()
+                shm_out.close()
+                shm_out.unlink()
+            except BufferError:  # pragma: no cover - views alive on error
+                pass
+
+    def close(self) -> None:
+        """Shut the pool down; the executor can be reused afterwards
+        (a fresh pool is created on the next drain)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelDrainExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

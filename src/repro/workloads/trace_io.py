@@ -226,23 +226,29 @@ class MappedTrace:
     def priorities(self) -> np.ndarray:
         return flags_priority(self.records["flags"])
 
-    def iter_chunks(
-        self, chunk_size: int
-    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    def iter_chunks(self, chunk_size: int, with_offsets: bool = False) -> Iterator:
         """Yield materialized ``(addrs, arrive_cycles, flags)`` column
         chunks of at most ``chunk_size`` rows, in file order -- the
         streamed form consumers use to bound peak memory on traces
-        larger than RAM."""
+        larger than RAM.
+
+        With ``with_offsets=True``, yields ``(offset, columns)`` pairs
+        where ``offset`` is the chunk's starting row in the file --
+        what chunked consumers (the controller's
+        ``simulate_trace_streaming``) need to scatter per-request
+        outputs back to file order.
+        """
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         n = self.records.shape[0]
         for lo in range(0, n, chunk_size):
             chunk = self.records[lo : lo + chunk_size]
-            yield (
+            columns = (
                 np.ascontiguousarray(chunk["addr"]),
                 np.ascontiguousarray(chunk["arrive_cycle"]),
                 np.ascontiguousarray(chunk["flags"]),
             )
+            yield (lo, columns) if with_offsets else columns
 
 
 def read_header(path) -> tuple[int, int]:

@@ -158,3 +158,28 @@ def test_driver_reuse_recalibrates_baselines(parts):
     cache_b = dict(driver._iso_cache)
     assert set(cache_a) == set(cache_b) == set(range(10))
     assert cache_a != cache_b
+
+
+def test_dram_workers_bit_identical_loop(parts):
+    """A pooled DRAM replay (dram_workers=2) is bit-identical per
+    iteration to the serial loop -- the convergence trajectory, not
+    just the endpoint, must not change."""
+    cost, planner = parts
+    generator = RequestGenerator(
+        1e6, mean_prompt_tokens=20, mean_decode_tokens=5, seed=1
+    )
+    requests = generator.generate(40)
+    serial = CosimDriver(
+        cost, Scheme.MD_LB, planner, CosimConfig(max_iterations=16)
+    ).run(requests)
+    pooled_driver = CosimDriver(
+        cost, Scheme.MD_LB, planner,
+        CosimConfig(max_iterations=16, dram_workers=2),
+    )
+    try:
+        pooled = pooled_driver.run(requests)
+    finally:
+        pooled_driver.close()
+    assert pooled.iterations == serial.iterations
+    assert pooled.converged == serial.converged
+    assert pooled.extra_seconds_per_token == serial.extra_seconds_per_token

@@ -97,3 +97,39 @@ def test_rate_grid_validation(sweep):
         run_load_sweep(cost, Scheme.MD_LB, planner, [])
     with pytest.raises(ValueError):
         run_load_sweep(cost, Scheme.MD_LB, planner, [2.0, 1.0])
+
+
+def test_parallel_sweep_matches_serial(sweep):
+    """Rate-grid points are independent; running them over a worker
+    pool must reproduce the serial sweep bit for bit (each worker gets
+    the same pickled planner/cost model and per-point seeding)."""
+    serial_result, _ = sweep
+    cost = CostModel(encode_seconds_per_token=2e-9, decode_seconds_per_token=2e-8)
+    planner = ExpertReplayPlanner(
+        n_experts=16, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=8192,
+        max_blocks_per_request=1024, expert_bytes=1 << 18, seed=1,
+    )
+    parallel_result, parallel_runs = run_load_sweep(
+        cost, Scheme.MD_LB, planner, RATES,
+        n_requests=60, seed=1,
+        mean_prompt_tokens=20, mean_decode_tokens=5,
+        cosim_config=CosimConfig(max_iterations=16),
+        workers=2,
+    )
+    assert parallel_result.points == serial_result.points
+    assert parallel_result.to_dict() == serial_result.to_dict()
+    assert len(parallel_runs) == len(RATES)
+    assert all(run.closed_loop is not None for run in parallel_runs)
+
+
+def test_workers_validation(sweep):
+    _, _ = sweep
+    cost = CostModel(encode_seconds_per_token=2e-9, decode_seconds_per_token=2e-8)
+    planner = ExpertReplayPlanner(
+        n_experts=16, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=8192,
+        max_blocks_per_request=1024, expert_bytes=1 << 18, seed=1,
+    )
+    with pytest.raises(ValueError):
+        run_load_sweep(cost, Scheme.MD_LB, planner, [1.0], workers=-1)

@@ -6,7 +6,12 @@ import json
 
 import pytest
 
-from repro.dram.bench import bench_controller, format_bench, write_bench
+from repro.dram.bench import (
+    all_identity_checks_pass,
+    bench_controller,
+    format_bench,
+    write_bench,
+)
 
 
 def test_payload_shape_and_equivalence(tmp_path):
@@ -196,3 +201,43 @@ def test_cli_bench_trace_file_rejects_generation_flags(tmp_path, capsys):
     )
     assert rc == 2
     assert "--arrival" in capsys.readouterr().err
+
+
+def test_parallel_entry_recorded_and_identical():
+    payload = bench_controller(
+        n_requests=600, patterns=("random",), include_reference=False,
+        seed=1, workers=2,
+    )
+    entry = payload["patterns"]["random"]
+    assert entry["parallel"]["n_requests"] == 600
+    assert entry["parallel_workers"] == 2
+    assert entry["parallel_identical"] is True
+    assert entry["parallel_speedup"] > 0
+    assert payload["workers"] == 2
+    assert all_identity_checks_pass(payload)
+    assert "parallel(w=2)" in format_bench(payload)
+
+
+def test_trace_file_streaming_entry(tmp_path):
+    from repro.dram.bench import bench_trace_file
+    from repro.workloads.trace_io import generate_trace_file
+
+    path = tmp_path / "b.dramtrace"
+    generate_trace_file(path, "random", 800, seed=1, arrival="poisson")
+    payload = bench_trace_file(
+        str(path), include_reference=False, workers=2, stream_window=150
+    )
+    entry = payload["patterns"]["b"]
+    assert entry["streaming"]["n_requests"] == 800
+    assert entry["streaming_window"] == 150
+    assert entry["streaming_identical"] is True
+    assert entry["parallel_identical"] is True
+    assert all_identity_checks_pass(payload)
+    assert "streaming(win=150)" in format_bench(payload)
+
+
+def test_identity_gate_covers_new_checks():
+    payload = {"patterns": {"p": {"parallel_identical": False}}}
+    assert not all_identity_checks_pass(payload)
+    payload = {"patterns": {"p": {"streaming_identical": False}}}
+    assert not all_identity_checks_pass(payload)

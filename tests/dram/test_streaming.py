@@ -1,0 +1,166 @@
+"""Bounded-window streaming simulation vs the in-memory array path.
+
+``simulate_trace_streaming`` feeds ``.dramtrace`` chunks through
+resumable per-channel drains that compact completed requests at every
+chunk boundary; these tests pin the chunk-boundary stitching: the
+full ``ControllerStats`` block must be *bit-identical* to
+``simulate_arrays`` on the same columns for every admission window --
+including windows far smaller than the trace, which force many
+compaction/renumber cycles per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig, DRAMOrganization, LPDDR5X_8533
+from repro.dram.controller import ControllerStats, MemoryController, SchedulerPolicy
+from repro.workloads.trace_io import generate_trace_file, write_trace
+from repro.workloads.traces import generate_trace_arrays
+
+SMALL_ORG = DRAMOrganization(
+    n_channels=2,
+    n_ranks=1,
+    n_bankgroups=2,
+    banks_per_group=2,
+    n_rows=128,
+    row_bytes=512,
+    access_bytes=64,
+)
+SMALL_CONFIG = DRAMConfig(organization=SMALL_ORG, timing=LPDDR5X_8533.timing)
+
+
+def make_trace(tmp_path, pattern, n, config, seed=5, arrival=None, gap=8.0):
+    path = tmp_path / f"{pattern}.dramtrace"
+    generate_trace_file(
+        path, pattern, n, config=config, seed=seed, arrival=arrival, arrival_gap=gap
+    )
+    cols = generate_trace_arrays(
+        pattern, n, config=config, seed=seed, arrival=arrival, arrival_gap=gap
+    )
+    return path, cols
+
+
+@pytest.mark.parametrize("arrival", [None, "poisson", "onoff"])
+@pytest.mark.parametrize("window", [64, 257, 1000, 4000, 10_000])
+def test_streaming_bit_identical(tmp_path, arrival, window):
+    path, cols = make_trace(tmp_path, "random", 4000, SMALL_CONFIG, arrival=arrival)
+    reference = MemoryController(SMALL_CONFIG).simulate_arrays(*cols)
+    streamed = MemoryController(SMALL_CONFIG).simulate_trace_streaming(
+        path, window=window
+    )
+    assert asdict(streamed) == asdict(reference)
+
+
+@pytest.mark.parametrize("pattern", ["streaming", "random", "moe-skewed"])
+def test_streaming_paper_config_patterns(tmp_path, pattern):
+    path, cols = make_trace(
+        tmp_path, pattern, 5000, LPDDR5X_8533, arrival="poisson", gap=6.0
+    )
+    reference = MemoryController(LPDDR5X_8533).simulate_arrays(*cols)
+    streamed = MemoryController(LPDDR5X_8533).simulate_trace_streaming(
+        path, window=617
+    )
+    assert asdict(streamed) == asdict(reference)
+
+
+def test_streaming_fcfs_and_small_window(tmp_path):
+    path, cols = make_trace(tmp_path, "random", 1500, SMALL_CONFIG, arrival="poisson")
+    kwargs = dict(policy=SchedulerPolicy.FCFS, window=4, starvation_cap=8)
+    reference = MemoryController(SMALL_CONFIG, **kwargs).simulate_arrays(*cols)
+    streamed = MemoryController(SMALL_CONFIG, **kwargs).simulate_trace_streaming(
+        path, window=100
+    )
+    assert asdict(streamed) == asdict(reference)
+
+
+def test_streaming_writes_and_priorities(tmp_path):
+    """Write flags survive the chunked split; priority bits ride along."""
+    from repro.workloads.trace_io import pack_flags
+
+    rng = np.random.default_rng(3)
+    n = 2000
+    addrs = rng.integers(0, SMALL_ORG.total_capacity_bytes, n) // 64 * 64
+    arrive = np.sort(rng.integers(0, 5000, n)).astype(np.int64)
+    flags = pack_flags(rng.random(n) < 0.4, priority=rng.integers(0, 8, n))
+    path = tmp_path / "wr.dramtrace"
+    write_trace(path, addrs, arrive, flags)
+    reference = MemoryController(SMALL_CONFIG).simulate_arrays(addrs, arrive, flags)
+    streamed = MemoryController(SMALL_CONFIG).simulate_trace_streaming(path, window=333)
+    assert asdict(streamed) == asdict(reference)
+    assert streamed.writes == int((np.asarray(flags) & 1).sum())
+
+
+def test_streaming_empty_trace(tmp_path):
+    """Zero-request traces return zeroed stats (the empty-delays
+    regression: queue stats must not crash on n=0)."""
+    path = tmp_path / "empty.dramtrace"
+    write_trace(path, np.zeros(0, dtype=np.int64))
+    stats = MemoryController(SMALL_CONFIG).simulate_trace_streaming(path)
+    assert stats.requests == 0
+    assert stats.total_cycles == 0
+    assert stats.queue_delay_mean == 0.0
+    assert stats.queue_delay_max == 0
+
+
+def test_streaming_rejects_unsorted_arrivals(tmp_path):
+    """Chunked admission cannot re-sort; out-of-order arrivals on a
+    channel must be rejected, not silently mis-simulated."""
+    n = 200
+    addrs = np.arange(n, dtype=np.int64) * 64
+    arrive = np.arange(n, dtype=np.int64)
+    arrive[50] = 5000  # later arrival ahead of earlier ones
+    path = tmp_path / "unsorted.dramtrace"
+    write_trace(path, addrs, arrive)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        MemoryController(SMALL_CONFIG).simulate_trace_streaming(path, window=64)
+
+
+def test_streaming_rejects_bad_window(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.zeros(4, dtype=np.int64))
+    with pytest.raises(ValueError, match="window"):
+        MemoryController(SMALL_CONFIG).simulate_trace_streaming(path, window=0)
+
+
+def test_fill_queue_stats_empty_regression():
+    """Direct regression for the n=0 crash: mean/percentile/max on an
+    empty delay array must leave zeroed queue stats."""
+    stats = ControllerStats()
+    MemoryController._fill_queue_stats(stats, np.zeros(0, dtype=np.int64))
+    assert stats.queue_delay_mean == 0.0
+    assert stats.queue_delay_p50 == 0.0
+    assert stats.queue_delay_p99 == 0.0
+    assert stats.queue_delay_max == 0
+
+
+def test_simulate_arrays_empty_trace_regression():
+    """simulate_arrays on an empty trace: zeroed stats and empty
+    detail arrays, no queue-stat crash."""
+    controller = MemoryController(SMALL_CONFIG)
+    stats, timings = controller.simulate_arrays(
+        np.zeros(0, dtype=np.int64), detail=True
+    )
+    assert stats.requests == 0
+    assert stats.queue_delay_mean == 0.0
+    assert len(timings) == 0
+
+
+def test_iter_chunks_offsets(tmp_path):
+    from repro.workloads.trace_io import load_trace
+
+    n = 10
+    addrs = np.arange(n, dtype=np.int64) * 64
+    path = tmp_path / "o.dramtrace"
+    write_trace(path, addrs)
+    trace = load_trace(path)
+    offsets = []
+    rows = 0
+    for lo, (a, c, f) in trace.iter_chunks(4, with_offsets=True):
+        offsets.append(lo)
+        rows += len(a)
+    assert offsets == [0, 4, 8]
+    assert rows == n
