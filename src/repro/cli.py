@@ -135,6 +135,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    if args.chaos:
+        # Deterministic fault-injection smoke: every recovery path in
+        # the fault-tolerant runtime, each checked bit-identical
+        # against an undisturbed run.
+        from repro.faults.chaos import format_chaos, run_chaos_smoke
+
+        report = run_chaos_smoke()
+        print(format_chaos(report))
+        return 0 if all(s.passed for s in report) else 1
+
     n_requests = args.requests
     reference_requests = args.reference_requests
     if args.smoke:
@@ -381,27 +391,48 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
         cost, scheme, planner, config = _cosim_setup(args)
 
         if args.cosim_command == "sweep":
+            from repro.cosim import SWEEP_CKPT_SUFFIX, SweepInterrupted
+
             rates = sorted(float(r) for r in args.rates.split(",") if r.strip())
             if getattr(args, "smoke", False):
                 rates = [1e5, 1e6, 4e6]
-            sweep, runs = run_load_sweep(
-                cost,
-                scheme,
-                planner,
-                rates,
-                n_requests=args.requests,
-                seed=args.seed,
-                arrival=args.arrival,
-                mean_prompt_tokens=args.mean_prompt_tokens,
-                mean_decode_tokens=args.mean_decode_tokens,
-                cosim_config=config,
-                workers=args.workers,
-            )
+            ckpt = args.checkpoint or (args.output + SWEEP_CKPT_SUFFIX)
+            on_point = None
+            if args.interrupt_after is not None:
+                from repro.faults import interrupt_after
+
+                on_point = interrupt_after(args.interrupt_after)
+            try:
+                sweep, runs = run_load_sweep(
+                    cost,
+                    scheme,
+                    planner,
+                    rates,
+                    n_requests=args.requests,
+                    seed=args.seed,
+                    arrival=args.arrival,
+                    mean_prompt_tokens=args.mean_prompt_tokens,
+                    mean_decode_tokens=args.mean_decode_tokens,
+                    cosim_config=config,
+                    workers=args.workers,
+                    checkpoint_path=ckpt,
+                    resume=args.resume,
+                    on_point=on_point,
+                )
+            except SweepInterrupted as exc:
+                print(
+                    f"repro cosim sweep: interrupted ({exc}); completed "
+                    f"points are checkpointed in {ckpt} -- rerun the same "
+                    "command with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 130
             print(format_sweep(sweep))
             sweep.save(args.output)
             print(f"wrote {args.output}")
             if args.export_trace is not None:
                 exported = runs[-1]
+                export_rate = rates[-1]
                 if args.export_rate is not None:
                     by_rate = dict(zip(rates, runs))
                     if args.export_rate not in by_rate:
@@ -409,15 +440,35 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                             f"--export-rate {args.export_rate} not in the grid {rates}"
                         )
                     exported = by_rate[args.export_rate]
-                _cosim_export(exported.final_trace, args.export_trace)
+                    export_rate = args.export_rate
+                if exported is None or exported.final_trace is None:
+                    # Checkpoint-restored and failed points carry no
+                    # live run (their trace was never rebuilt).
+                    print(
+                        f"repro cosim sweep: no trace to export for rate "
+                        f"{export_rate:g} (point was restored from a "
+                        "checkpoint or failed); rerun without --resume to "
+                        "regenerate it",
+                        file=sys.stderr,
+                    )
+                else:
+                    _cosim_export(exported.final_trace, args.export_trace)
+            failed = [p for p in sweep.points if p.failed]
+            for p in failed:
+                print(
+                    f"repro cosim sweep: rate {p.rate:g} FAILED: {p.error}",
+                    file=sys.stderr,
+                )
             if not sweep.points[0].converged:
+                best = sweep.points[0].residual_seconds_per_token
                 print(
                     "repro cosim sweep: lowest offered load failed to converge "
-                    f"within {config.max_iterations} iterations",
+                    f"within {config.max_iterations} iterations "
+                    f"(best-iterate residual {best * 1e9:.3f} ns/token)",
                     file=sys.stderr,
                 )
                 return 1
-            return 0
+            return 1 if failed else 0
 
         generator = RequestGenerator(
             args.rate,
@@ -462,6 +513,12 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
         f"{result.n_iterations} iterations; open-loop p99 {open_p99:.3e} s, "
         f"closed-loop p99 {closed_p99:.3e} s ({ratio:.2f}x)"
     )
+    if not result.converged:
+        print(
+            "repro cosim: reporting the best (lowest-residual) iterate; "
+            f"residual {result.residual_seconds_per_token * 1e9:.3f} ns/token",
+            file=sys.stderr,
+        )
     if args.export_trace is not None and result.final_trace is not None:
         _cosim_export(result.final_trace, args.export_trace)
     return 0 if result.converged else 1
@@ -508,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "for --arrival")
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run (20k requests, 5k reference)")
+    bench.add_argument("--chaos", action="store_true",
+                       help="run the deterministic fault-injection smoke "
+                            "instead of the benchmark: worker kill/hang/"
+                            "crash recovery, trace corruption detection, "
+                            "and sweep interrupt+resume, each verified "
+                            "bit-identical to an undisturbed run")
     bench.add_argument("--trace-file", default=None, metavar="PATH",
                        help="bench an on-disk .dramtrace instead of the "
                             "generated patterns (end-to-end load+simulate, "
@@ -624,6 +687,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="grid rate whose converged trace "
                                   "--export-trace writes (default: highest)")
     cosim_sweep.add_argument("--output", default="cosim_sweep.json")
+    cosim_sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                             help="durable per-point checkpoint file "
+                                  "(default: <output>.sweep.ckpt)")
+    cosim_sweep.add_argument("--resume", action="store_true",
+                             help="skip rate points already recorded in the "
+                                  "checkpoint (bit-identical to an "
+                                  "uninterrupted sweep)")
+    cosim_sweep.add_argument("--interrupt-after", type=int, default=None,
+                             metavar="N",
+                             help="fault injection: abort the sweep after N "
+                                  "completed points (exercises the "
+                                  "checkpoint/--resume path)")
     return parser
 
 

@@ -24,7 +24,9 @@ from repro.cosim.replay import (
     SyntheticReplayPlanner,
 )
 from repro.cosim.sweep import (
+    SWEEP_CKPT_SUFFIX,
     SWEEP_FORMAT_VERSION,
+    SweepInterrupted,
     SweepPoint,
     SweepResult,
     format_sweep,
@@ -32,6 +34,7 @@ from repro.cosim.sweep import (
 )
 
 __all__ = [
+    "SWEEP_CKPT_SUFFIX",
     "SWEEP_FORMAT_VERSION",
     "CosimConfig",
     "CosimDriver",
@@ -39,6 +42,7 @@ __all__ = [
     "CosimResult",
     "ExpertReplayPlanner",
     "ReplayTrace",
+    "SweepInterrupted",
     "SweepPoint",
     "SweepResult",
     "SyntheticReplayPlanner",

@@ -149,6 +149,11 @@ class CosimResult:
     final_dram_stats: Optional[ControllerStats] = None
     #: converged per-token surcharge (seconds)
     extra_seconds_per_token: float = 0.0
+    #: self-consistency residual |measured - applied| of the reported
+    #: iterate (0 means a true fixed point; meaningful mostly when
+    #: ``converged`` is False, where it sizes how far off the best
+    #: iterate still was)
+    residual_seconds_per_token: float = 0.0
 
     @property
     def n_iterations(self) -> int:
@@ -277,6 +282,11 @@ class CosimDriver:
         # Bisection bracket on the self-consistency residual
         # measured(extra) - extra: lo under-corrects, hi over-corrects.
         lo, hi = 0.0, None
+        # Best iterate so far by |measured - extra|: what the run
+        # reports if it exhausts max_iterations without converging
+        # (the last iterate of a limit cycle can be the worst one).
+        best = None
+        best_residual = float("inf")
 
         for index in range(cfg.max_iterations):
             cost = CostModel(base_enc + extra, base_dec + extra)
@@ -308,6 +318,11 @@ class CosimDriver:
                 dtype=np.float64,
             )
             measured = float(contention.sum() * cycle_time / tokens.sum())
+            residual = abs(measured - extra)
+            result.residual_seconds_per_token = residual
+            if residual < best_residual:
+                best_residual = residual
+                best = (serving, trace, stats, extra)
 
             p99 = serving.latency_percentile(99)
             delta = (
@@ -353,4 +368,14 @@ class CosimDriver:
                 # search from the latest measurement.
                 lo, hi = 0.0, None
                 extra = measured
+        if not result.converged and best is not None:
+            # Ran out of iterations: report the iterate with the
+            # smallest self-consistency residual, not whichever one a
+            # limit cycle happened to end on.
+            serving_b, trace_b, stats_b, extra_b = best
+            result.closed_loop = serving_b
+            result.final_trace = trace_b
+            result.final_dram_stats = stats_b
+            result.extra_seconds_per_token = extra_b
+            result.residual_seconds_per_token = best_residual
         return result

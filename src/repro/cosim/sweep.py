@@ -7,26 +7,52 @@ queueing measurements -- the memory-level tail-latency hockey stick.
 Results serialize to a versioned JSON document (same versioning
 conventions as :mod:`repro.workloads.serialization`) and render as a
 table via :mod:`repro.analysis.report`.
+
+Fault tolerance: with a ``checkpoint_path``, every completed rate
+point is durably appended to a ``*.sweep.ckpt`` sidecar (JSONL, one
+fsynced line per point) the moment it finishes, SIGINT/SIGTERM raise
+:class:`SweepInterrupted` *between* points (never mid-checkpoint), and
+``resume=True`` loads the checkpoint, skips its completed points, and
+produces output bit-identical to an uninterrupted sweep -- each point
+is seeded independently, so partial progress composes exactly.  A
+point that *fails* (its cosim run raises) is isolated: it is recorded
+as a ``failed`` point with the error string and the sweep continues.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import multiprocessing
 import pathlib
+import signal
+import threading
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.analysis.report import format_table
 from repro.core.strategies import Scheme
 from repro.serving.simulator import CostModel
 from repro.serving.workload import RequestGenerator
+from repro.util.atomic_io import atomic_write_json, durable_append
 from repro.workloads.serialization import check_format_version
 
 from repro.cosim.driver import CosimConfig, CosimDriver, CosimResult
 
 SWEEP_FORMAT_VERSION = 1
+SWEEP_CKPT_VERSION = 1
+SWEEP_CKPT_SUFFIX = ".sweep.ckpt"
+
+logger = logging.getLogger(__name__)
+
+
+class SweepInterrupted(RuntimeError):
+    """A load sweep stopped early -- a SIGINT/SIGTERM landed between
+    rate points, or an injected interruption fired.  Every completed
+    point was already durably checkpointed when this is raised, so
+    rerunning with ``resume=True`` continues where the sweep left
+    off."""
 
 
 @dataclass(frozen=True)
@@ -50,6 +76,16 @@ class SweepPoint:
     dram_queue_delay_p99: float
     dram_idle_cycles: int
     dram_total_cycles: int
+    # Additive fields with defaults (same format version: old readers
+    # never see them missing, old documents load with the defaults).
+    #: |measured - applied| surcharge of the reported iterate; sizes
+    #: how far from a true fixed point a non-converged point stopped
+    residual_seconds_per_token: float = 0.0
+    #: True when this point's cosim run raised instead of completing
+    #: (all metric fields are zero); the sweep carried on without it
+    failed: bool = False
+    #: the raising exception, as ``TypeName: message`` (empty if ok)
+    error: str = ""
 
 
 @dataclass
@@ -95,7 +131,9 @@ class SweepResult:
         )
 
     def save(self, path) -> None:
-        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        # Atomic + durable: a sweep that ran for hours never loses its
+        # previous result to a crash mid-serialize.
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path) -> "SweepResult":
@@ -115,7 +153,7 @@ def format_sweep(result: SweepResult) -> str:
                 p.closed_p99,
                 round(p.closed_p99 / p.open_p99, 3) if p.open_p99 > 0 else 1.0,
                 p.n_iterations,
-                "yes" if p.converged else "NO",
+                "FAILED" if p.failed else ("yes" if p.converged else "NO"),
                 round(p.dram_queue_delay_p99, 1),
                 p.dram_idle_cycles,
             ]
@@ -191,7 +229,93 @@ def _point_from_run(rate: float, run: CosimResult) -> SweepPoint:
         dram_queue_delay_p99=last.dram_queue_delay_p99 if last else 0.0,
         dram_idle_cycles=last.dram_idle_cycles if last else 0,
         dram_total_cycles=last.dram_total_cycles if last else 0,
+        residual_seconds_per_token=run.residual_seconds_per_token,
     )
+
+
+def _failed_point(rate: float, exc: BaseException) -> SweepPoint:
+    """The all-zero placeholder recorded when one grid point's cosim
+    run raises: the failure is named, the sweep goes on."""
+    return SweepPoint(
+        rate=rate,
+        open_p50=0.0,
+        open_p99=0.0,
+        open_max=0.0,
+        closed_p50=0.0,
+        closed_p99=0.0,
+        closed_max=0.0,
+        utilization=0.0,
+        completed=0,
+        rejected=0,
+        n_iterations=0,
+        converged=False,
+        extra_seconds_per_token=0.0,
+        dram_queue_delay_mean=0.0,
+        dram_queue_delay_p99=0.0,
+        dram_idle_cycles=0,
+        dram_total_cycles=0,
+        failed=True,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _checkpoint_header(fingerprint: dict) -> dict:
+    return {
+        "version": SWEEP_CKPT_VERSION,
+        "kind": "cosim_sweep_ckpt",
+        "fingerprint": fingerprint,
+    }
+
+
+def load_checkpoint(path, fingerprint: dict) -> dict[float, SweepPoint]:
+    """Read a ``*.sweep.ckpt`` sidecar; returns completed points by
+    rate.
+
+    The checkpoint's fingerprint (scheme / grid / seed / config) must
+    match this sweep's exactly -- resuming against a different
+    configuration would splice incomparable points into one document.
+    A torn final line (the crash-mid-append shape; each line is
+    fsynced *after* it is fully written, so only the tail can tear) is
+    ignored: that point simply reruns.
+    """
+    path = pathlib.Path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty sweep checkpoint")
+    header = json.loads(lines[0])
+    check_format_version(
+        header.get("version"), SWEEP_CKPT_VERSION, "sweep checkpoint"
+    )
+    if header.get("kind") != "cosim_sweep_ckpt":
+        raise ValueError(
+            f"{path}: not a sweep checkpoint (kind={header.get('kind')!r})"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise ValueError(
+            f"{path}: checkpoint fingerprint does not match this sweep "
+            "(different grid, seed, or config); delete the checkpoint or "
+            "rerun without resume"
+        )
+    done: dict[float, SweepPoint] = {}
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            point = SweepPoint(**record["point"])
+        except (ValueError, KeyError, TypeError) as exc:
+            if i == len(lines):
+                logger.warning(
+                    "%s: ignoring torn final checkpoint line (%s); "
+                    "that point will rerun",
+                    path,
+                    exc,
+                )
+                break
+            raise ValueError(f"{path}: corrupt checkpoint line {i}: {exc}") from exc
+        done[point.rate] = point
+    return done
 
 
 def run_load_sweep(
@@ -206,12 +330,18 @@ def run_load_sweep(
     mean_decode_tokens: int = 32,
     cosim_config: Optional[CosimConfig] = None,
     workers: int = 0,
-) -> tuple[SweepResult, list[CosimResult]]:
+    checkpoint_path=None,
+    resume: bool = False,
+    on_point: Optional[Callable[[float, SweepPoint], None]] = None,
+) -> tuple[SweepResult, list[Optional[CosimResult]]]:
     """Run the closed loop at every rate in the grid.
 
     Returns the serializable :class:`SweepResult` plus the per-rate
     :class:`CosimResult` objects (which keep the full iteration
     history and the final DRAM trace for ``.dramtrace`` export).
+    Entries of that list are ``None`` for points restored from a
+    checkpoint or recorded as failed -- only freshly-run points carry
+    a live :class:`CosimResult`.
 
     ``workers`` >= 2 runs the (independent) grid points over a process
     pool instead of serially -- each worker gets its own pickled copy
@@ -220,6 +350,19 @@ def run_load_sweep(
     serial run.  Pool workers are daemonic and cannot spawn the
     nested DRAM drain pool, so ``dram_workers`` is forced to 0 inside
     parallel grid points (use one or the other level of parallelism).
+
+    ``checkpoint_path`` enables durable progress: each completed point
+    is fsync-appended to the sidecar the moment it finishes, SIGINT /
+    SIGTERM raise :class:`SweepInterrupted` between points, and
+    ``resume=True`` loads matching completed points (fingerprint-
+    checked) instead of rerunning them -- the assembled result is
+    bit-identical to an uninterrupted sweep.  The sidecar is removed
+    once the whole grid completes.  A grid point whose run raises is
+    recorded as a ``failed`` point (and checkpointed as such, so
+    resume does not retry it); the rest of the sweep continues.
+    ``on_point(rate, point)`` is called after each completed point's
+    checkpoint is durable -- the hook the fault-injection harness uses
+    to interrupt at exact point counts.
     """
     if not rates:
         raise ValueError("rates must be non-empty")
@@ -246,9 +389,31 @@ def run_load_sweep(
             "mean_decode_tokens": mean_decode_tokens,
         },
     )
-    use_pool = workers >= 2 and len(rates) >= 2
-    point_args = [
-        (
+    fingerprint = {
+        "scheme": sweep.scheme,
+        "arrival": arrival,
+        "n_requests": n_requests,
+        "seed": seed,
+        "rates": [float(r) for r in rates],
+        "config": sweep.config,
+    }
+    done: dict[float, SweepPoint] = {}
+    if checkpoint_path is not None:
+        checkpoint_path = pathlib.Path(checkpoint_path)
+        if resume and checkpoint_path.exists():
+            done = load_checkpoint(checkpoint_path, fingerprint)
+            if done:
+                logger.info(
+                    "%s: resuming sweep; %d of %d point(s) already complete",
+                    checkpoint_path,
+                    len(done),
+                    len(rates),
+                )
+    todo = [rate for rate in rates if rate not in done]
+    runs_by_rate: dict[float, CosimResult] = {}
+    use_pool = workers >= 2 and len(todo) >= 2
+    point_args = {
+        rate: (
             cost_model,
             scheme,
             planner,
@@ -260,14 +425,102 @@ def run_load_sweep(
             mean_prompt_tokens,
             mean_decode_tokens,
         )
-        for rate in rates
-    ]
-    if use_pool:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-        with ctx.Pool(min(workers, len(rates))) as pool:
-            runs = pool.starmap(_run_rate_point, point_args)
-    else:
-        runs = [_run_rate_point(*args) for args in point_args]
-    sweep.points.extend(_point_from_run(rate, run) for rate, run in zip(rates, runs))
-    return sweep, runs
+        for rate in todo
+    }
+
+    ckpt_fh = None
+    if checkpoint_path is not None:
+        # Append when resuming onto an existing compatible checkpoint;
+        # otherwise start it fresh with a fingerprinted header line.
+        if done:
+            ckpt_fh = open(checkpoint_path, "ab")
+        else:
+            ckpt_fh = open(checkpoint_path, "wb")
+            durable_append(
+                ckpt_fh,
+                (json.dumps(_checkpoint_header(fingerprint)) + "\n").encode(),
+            )
+
+    def record(rate: float, point: SweepPoint, run: Optional[CosimResult]) -> None:
+        done[rate] = point
+        if run is not None:
+            runs_by_rate[rate] = run
+        if ckpt_fh is not None:
+            durable_append(
+                ckpt_fh,
+                (json.dumps({"rate": rate, "point": asdict(point)}) + "\n").encode(),
+            )
+        if on_point is not None:
+            on_point(rate, point)
+
+    # SIGINT/SIGTERM land as SweepInterrupted between points (the
+    # durable append for the in-flight point either fully happened or
+    # the point reruns on resume).  Handlers only exist for the
+    # duration of the loop, and only on the main thread -- signal
+    # installation is illegal elsewhere.
+    installed = []
+    if checkpoint_path is not None and (
+        threading.current_thread() is threading.main_thread()
+    ):
+
+        def _interrupt(signum, frame):
+            raise SweepInterrupted(f"received signal {signum}")
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((sig, signal.signal(sig, _interrupt)))
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+    try:
+        if use_pool:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            pool = ctx.Pool(min(workers, len(todo)))
+            try:
+                pending = {
+                    rate: pool.apply_async(_run_rate_point, point_args[rate])
+                    for rate in todo
+                }
+                # Checkpoint in completion order (resume assembles the
+                # grid order from the rate keys, so order on disk is
+                # irrelevant); a failed point is recorded and skipped.
+                while pending:
+                    next(iter(pending.values())).wait(0.05)
+                    for rate in [r for r, ar in pending.items() if ar.ready()]:
+                        ar = pending.pop(rate)
+                        try:
+                            run = ar.get(0)
+                        except Exception as exc:
+                            logger.warning(
+                                "sweep point rate=%g failed: %s", rate, exc
+                            )
+                            record(rate, _failed_point(rate, exc), None)
+                        else:
+                            record(rate, _point_from_run(rate, run), run)
+            finally:
+                pool.terminate()
+                pool.join()
+        else:
+            for rate in todo:
+                try:
+                    run = _run_rate_point(*point_args[rate])
+                except SweepInterrupted:
+                    raise
+                except Exception as exc:
+                    logger.warning("sweep point rate=%g failed: %s", rate, exc)
+                    record(rate, _failed_point(rate, exc), None)
+                else:
+                    record(rate, _point_from_run(rate, run), run)
+    finally:
+        for sig, previous in installed:
+            signal.signal(sig, previous)
+        if ckpt_fh is not None:
+            ckpt_fh.close()
+
+    sweep.points.extend(done[rate] for rate in rates)
+    if checkpoint_path is not None:
+        # The grid is complete; the sidecar has served its purpose.
+        checkpoint_path.unlink(missing_ok=True)
+    return sweep, [runs_by_rate.get(rate) for rate in rates]

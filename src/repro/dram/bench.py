@@ -41,7 +41,6 @@ see ``benchmarks/perf/README.md`` for how to read and refresh it, and
 
 from __future__ import annotations
 
-import json
 import pathlib
 import platform as _platform
 import time
@@ -404,9 +403,11 @@ def bench_trace_file(
 
 
 def write_bench(payload: dict, path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Atomically publish a bench payload: a crash mid-refresh must
+    never leave a torn baseline for the regression gate to read."""
+    from repro.util.atomic_io import atomic_write_json
+
+    atomic_write_json(path, payload, indent=2, sort_keys=False)
 
 
 def format_bench(payload: dict) -> str:

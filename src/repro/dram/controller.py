@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
@@ -75,10 +76,13 @@ from repro.dram.request import (
     Request,
     arrays_from_requests,
 )
+from repro.dram.resilience import KIND_SERIAL_FALLBACK, ResilienceReport
 
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dram.parallel import ParallelDrainExecutor
+
+logger = logging.getLogger(__name__)
 
 
 class SchedulerPolicy(enum.Enum):
@@ -110,6 +114,14 @@ class ControllerStats:
     queue_delay_p50: float = 0.0
     queue_delay_p99: float = 0.0
     queue_delay_max: int = 0
+
+    def __post_init__(self) -> None:
+        # Degradation record for the run (see repro.dram.resilience).
+        # Deliberately a plain attribute, NOT a dataclass field: the
+        # equivalence suites compare ``dataclasses.asdict(stats)``, and
+        # a degraded-but-recovered parallel run must still compare
+        # bit-identical to the serial run it reproduced.
+        self.resilience = ResilienceReport()
 
     @property
     def row_hit_rate(self) -> float:
@@ -341,9 +353,23 @@ class MemoryController:
         order (any globally time-sorted trace qualifies, including
         all-at-cycle-0 batches); raises ``ValueError`` otherwise, since
         chunked admission cannot re-sort what it has not yet seen.
+
+        Corruption surfaces *structured*: a chunk whose records fail
+        validation (an address beyond device capacity or negative --
+        how a flipped high bit manifests -- or reserved flag bits set)
+        raises :class:`~repro.workloads.trace_io.TraceCorruptionError`
+        naming the offending byte offset and the count of records
+        already streamed cleanly before the damage, as does a file
+        truncated out from under the memmap mid-stream.
         """
         from repro.dram.request import FLAG_WRITE as _FLAG_WRITE
-        from repro.workloads.trace_io import load_trace
+        from repro.workloads.trace_io import (
+            HEADER_BYTES,
+            RECORD_BYTES,
+            TraceCorruptionError,
+            _KNOWN_FLAGS,
+            load_trace,
+        )
 
         if window < 1:
             raise ValueError("streaming window must be >= 1")
@@ -364,7 +390,30 @@ class MemoryController:
         ):
             if arrive.shape[0] and int(arrive.min()) < 0:
                 raise ValueError("arrive_cycle must be non-negative")
-            batch = self.mapper.decode_batch(addrs)
+            bad_flags = np.flatnonzero(flags & ~np.uint8(_KNOWN_FLAGS))
+            if bad_flags.size:
+                bad = base + int(bad_flags[0])
+                raise TraceCorruptionError(
+                    path,
+                    f"{path}: record {bad} uses reserved flag bits "
+                    f"(flags={int(flags[int(bad_flags[0])]):#04x}); "
+                    f"{base} record(s) streamed cleanly before this chunk",
+                    byte_offset=HEADER_BYTES + bad * RECORD_BYTES,
+                    recoverable_records=base,
+                )
+            try:
+                batch = self.mapper.decode_batch(addrs)
+            except TraceCorruptionError:
+                raise
+            except ValueError as exc:
+                raise TraceCorruptionError(
+                    path,
+                    f"{path}: undecodable record in chunk at record "
+                    f"{base} ({exc}); {base} record(s) streamed cleanly "
+                    "before this chunk",
+                    byte_offset=HEADER_BYTES + base * RECORD_BYTES,
+                    recoverable_records=base,
+                ) from exc
             flat = batch.flat_bank_index(org.n_bankgroups, org.banks_per_group)
             is_write = (flags & _FLAG_WRITE).astype(bool)
             writes += int(np.count_nonzero(is_write))
@@ -477,22 +526,9 @@ class MemoryController:
         first = np.zeros(n, dtype=np.int64)
         complete = np.zeros(n, dtype=np.int64)
         hit = np.zeros(n, dtype=bool)
-        final_cycle = 0
-        nonempty = int(np.count_nonzero(counts))
-        if (
-            self.parallel_enabled
-            and nonempty >= 2
-            and not any(ch.record_commands for ch in self.channels)
-        ):
-            # Fan the independent per-channel drains out over the
-            # worker pool; the executor writes the sorted-order
-            # first/complete/hit slices into shared memory and hands
-            # back each channel's post-drain state and stat deltas.
-            final_cycle = self._ensure_executor().drain(
-                self, bf_sorted, row_sorted, col_sorted, wr_sorted, arr_sorted,
-                bounds, order, stats, first, complete, hit,
-            )
-        else:
+
+        def drain_serial() -> int:
+            cycle = 0
             bf_list = bf_sorted.tolist()
             row_list = row_sorted.tolist()
             col_list = col_sorted.tolist()
@@ -521,9 +557,45 @@ class MemoryController:
                 first[idxs] = o_first
                 complete[idxs] = o_complete
                 hit[idxs] = o_hit
-                final_cycle = max(final_cycle, last)
+                cycle = max(cycle, last)
                 stats.busy_channel_cycles[channel.index] = last
                 stats.idle_channel_cycles[channel.index] = idle
+            return cycle
+
+        nonempty = int(np.count_nonzero(counts))
+        if (
+            self.parallel_enabled
+            and nonempty >= 2
+            and not any(ch.record_commands for ch in self.channels)
+        ):
+            from repro.dram.parallel import ParallelDrainError
+
+            # Fan the independent per-channel drains out over the
+            # worker pool; the executor writes the sorted-order
+            # first/complete/hit slices into shared memory and hands
+            # back each channel's post-drain state and stat deltas.
+            try:
+                final_cycle = self._ensure_executor().drain(
+                    self, bf_sorted, row_sorted, col_sorted, wr_sorted,
+                    arr_sorted, bounds, order, stats, first, complete, hit,
+                )
+            except ParallelDrainError as exc:
+                # The executor's drain is transactional, so the
+                # channels are untouched and the whole drain can rerun
+                # serially -- slower, bit-identical, recorded.
+                logger.warning(
+                    "parallel drain unrecoverable (%s); falling back to "
+                    "the serial path",
+                    exc,
+                )
+                stats.resilience.record(
+                    KIND_SERIAL_FALLBACK,
+                    detail=f"parallel drain unrecoverable ({exc}); whole "
+                    "drain rerun serially",
+                )
+                final_cycle = drain_serial()
+        else:
+            final_cycle = drain_serial()
         # Refresh duty-cycle derate: every tREFI window loses tRFC
         # cycles of availability (first-order streaming model).
         overhead = self.config.timing.refresh_overhead

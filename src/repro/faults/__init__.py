@@ -1,0 +1,54 @@
+"""Deterministic fault injection for the simulation runtime.
+
+Recovery code that is never executed is recovery code that does not
+work.  This package makes every failure the fault-tolerance layer
+claims to survive *reproducible on demand*:
+
+- :class:`~repro.faults.injectors.WorkerFaultPlan` /
+  :func:`~repro.faults.injectors.worker_faults` sabotage pool workers
+  (SIGKILL, hang, raise) on chosen drain tasks, with cross-process
+  attempt counting so "fail the first N attempts, then succeed" is
+  exact regardless of retries, respawns, or start method;
+- :func:`~repro.faults.injectors.truncate_trace` /
+  :func:`~repro.faults.injectors.bit_flip_trace` /
+  :func:`~repro.faults.injectors.zero_header_count` corrupt on-disk
+  ``.dramtrace`` files the ways real crashes do (lost tail, flipped
+  bit, crash-before-header-patch);
+- :func:`~repro.faults.injectors.interrupt_after` interrupts a load
+  sweep after a chosen number of completed rate points, exactly where
+  a SIGINT/SIGTERM would land;
+- :func:`~repro.faults.chaos.run_chaos_smoke` (the ``repro bench
+  --chaos`` entry point) drives every recovery path above end to end
+  and verifies the recovered results are bit-identical to undisturbed
+  runs.
+
+Everything is seed-free *deterministic by construction*: faults fire
+on exact (channel, attempt) coordinates, byte offsets, and point
+counts rather than probabilities, so a failing chaos scenario replays
+identically under a debugger.
+"""
+
+from repro.faults.injectors import (
+    FAULT_ENV_VAR,
+    InjectedWorkerFault,
+    WorkerFaultPlan,
+    bit_flip_trace,
+    interrupt_after,
+    truncate_trace,
+    worker_faults,
+    zero_header_count,
+)
+
+__all__ = [
+    "FAULT_ENV_VAR",
+    "InjectedWorkerFault",
+    "WorkerFaultPlan",
+    "bit_flip_trace",
+    "interrupt_after",
+    "truncate_trace",
+    "worker_faults",
+    "zero_header_count",
+    "maybe_inject_worker_fault",
+]
+
+from repro.faults.injectors import maybe_inject_worker_fault

@@ -1,0 +1,25 @@
+"""Cross-cutting utilities shared by every subsystem.
+
+Currently: crash-safe artifact I/O (:mod:`repro.util.atomic_io`) --
+the write discipline behind every durable file this repo produces
+(``.dramtrace`` traces, cosim sweep JSON, bench baselines, sweep
+checkpoints).
+"""
+
+from repro.util.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    durable_append,
+    fsync_dir,
+    replace_into_place,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "durable_append",
+    "fsync_dir",
+    "replace_into_place",
+]

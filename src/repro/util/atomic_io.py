@@ -1,0 +1,111 @@
+"""Crash-safe file writes: tmp file + fsync + ``os.replace``.
+
+Long sweeps and multi-hour trace generations die in exactly the ways
+that corrupt half-written artifacts: SIGKILL mid-``write``, power
+loss between ``write`` and ``close``, two runs racing on the same
+output path.  Every durable artifact in this repo (``.dramtrace``
+files, cosim sweep JSON, the committed bench baseline, sweep
+checkpoints) therefore goes through the same discipline:
+
+1. write the full payload to a sibling temporary file
+   (``<name>.<pid>.tmp`` in the *same directory*, so the final rename
+   never crosses a filesystem boundary);
+2. flush and ``os.fsync`` the temporary file (data durable);
+3. ``os.replace`` it over the destination (atomic on POSIX: readers
+   see either the old complete file or the new complete file, never a
+   prefix);
+4. ``os.fsync`` the containing directory (the rename itself durable).
+
+A crash at any point leaves either the previous artifact intact or a
+``*.tmp`` straggler next to it -- never a truncated artifact under
+the real name.
+
+Append-only logs (the sweep checkpoint) need durability rather than
+atomicity: :func:`durable_append` writes, flushes, and fsyncs one
+record so a completed unit of work survives any subsequent crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a rename inside it is durable.
+
+    Best-effort: some filesystems (and all of Windows) refuse to open
+    directories; losing the *rename* (not the data) on those is the
+    pre-existing behavior, so the error is swallowed.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def tmp_path_for(path) -> pathlib.Path:
+    """Sibling temp path for ``path`` (same directory, pid-suffixed
+    so concurrent writers never clobber each other's staging file)."""
+    path = pathlib.Path(path)
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
+def replace_into_place(tmp, path) -> None:
+    """Atomically promote a fully-written ``tmp`` to ``path``.
+
+    ``tmp`` must already be flushed and fsynced (its writer's job);
+    this does the atomic rename plus the directory fsync.
+    """
+    tmp = pathlib.Path(tmp)
+    path = pathlib.Path(path)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically and durably."""
+    path = pathlib.Path(path)
+    tmp = tmp_path_for(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        replace_into_place(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically and durably."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path, payload, indent: int = 2, sort_keys: bool = False) -> None:
+    """Serialize ``payload`` and write it atomically and durably.
+
+    The trailing newline matches what ``json.dump`` callers here have
+    always produced, so adopting the atomic path changes no bytes.
+    """
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    )
+
+
+def durable_append(fh, data: bytes) -> None:
+    """Append one record to an open binary file and make it durable
+    (flush + fsync) before returning -- the checkpoint-log write
+    discipline: a record either fully survives a crash or was never
+    acknowledged."""
+    fh.write(data)
+    fh.flush()
+    os.fsync(fh.fileno())

@@ -47,17 +47,48 @@ generated without materializing the whole trace in memory); read with
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.dram.request import FLAG_WRITE, PRIORITY_MAX, PRIORITY_SHIFT
+from repro.util.atomic_io import replace_into_place, tmp_path_for
 from repro.workloads.serialization import check_format_version
 
 TRACE_MAGIC = b"DRAMTRC\x00"
 TRACE_VERSION = 1
 TRACE_SUFFIX = ".dramtrace"
+
+
+class TraceCorruptionError(ValueError):
+    """A ``.dramtrace`` file's bytes disagree with its header.
+
+    Raised for the shapes real crashes produce -- a truncated tail, a
+    stale header whose record count undershoots the bytes on disk, a
+    record that decodes to an impossible address mid-stream.  Subclasses
+    ``ValueError`` so every existing ``except ValueError`` caller keeps
+    working; adds structure for recovery tooling:
+
+    - ``byte_offset``: first byte known to be bad (file offset);
+    - ``recoverable_records``: length of the consistent record prefix
+      before that point (what ``load_trace(recover=True)`` salvages);
+    - ``detail``: the human-readable diagnosis (also the message).
+    """
+
+    def __init__(
+        self,
+        path,
+        detail: str,
+        byte_offset: int = -1,
+        recoverable_records: int = 0,
+    ) -> None:
+        super().__init__(detail)
+        self.path = pathlib.Path(path)
+        self.byte_offset = byte_offset
+        self.recoverable_records = recoverable_records
+        self.detail = detail
 
 _PRIORITY_FIELD = PRIORITY_MAX << PRIORITY_SHIFT
 _KNOWN_FLAGS = FLAG_WRITE | _PRIORITY_FIELD
@@ -125,16 +156,21 @@ def _normalize_columns(
 
 
 class TraceWriter:
-    """Streaming ``.dramtrace`` writer.
+    """Streaming ``.dramtrace`` writer with atomic publication.
 
-    Appends column chunks and patches the header's record count on
-    :meth:`close`, so arbitrarily long traces can be generated chunk
-    by chunk with bounded memory.  Usable as a context manager.
+    Appends column chunks to a sibling temporary file
+    (``<name>.<pid>.tmp``); :meth:`close` patches the header's record
+    count, fsyncs, and atomically renames the staging file over
+    ``path`` -- so arbitrarily long traces are generated chunk by
+    chunk with bounded memory, and a crash (or :meth:`abort`) at any
+    point leaves either the previous complete trace or no trace under
+    the real name, never a partial one.  Usable as a context manager.
     """
 
     def __init__(self, path) -> None:
         self.path = pathlib.Path(path)
-        self._fh = open(self.path, "wb")
+        self._tmp = tmp_path_for(self.path)
+        self._fh = open(self._tmp, "wb")
         self._n = 0
         self._fh.write(_pack_header(0))
 
@@ -152,24 +188,34 @@ class TraceWriter:
         return records.shape[0]
 
     def close(self) -> None:
+        """Finalize the header and atomically publish the trace."""
         if self._fh is None:
             return
-        self._fh.seek(0)
-        self._fh.write(_pack_header(self._n))
-        self._fh.close()
-        self._fh = None
+        try:
+            self._fh.seek(0)
+            self._fh.write(_pack_header(self._n))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+            replace_into_place(self._tmp, self.path)
+        except BaseException:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._tmp.unlink(missing_ok=True)
+            raise
 
     def abort(self) -> None:
-        """Close without finalizing the header, truncating below the
-        header size so :func:`read_header` rejects the file -- a
-        failed generation never leaves behind a valid-looking partial
-        (or spuriously empty) trace."""
+        """Discard the staging file without publishing -- a failed
+        generation never leaves behind a valid-looking partial (or
+        spuriously empty) trace, and any previous trace under ``path``
+        survives untouched."""
         if self._fh is None:
             return
-        self._fh.seek(HEADER_BYTES - 1)
-        self._fh.truncate()
         self._fh.close()
         self._fh = None
+        self._tmp.unlink(missing_ok=True)
 
     @property
     def n_records(self) -> int:
@@ -199,9 +245,18 @@ class MappedTrace:
     nothing is materialized until an operation consumes a column.
     """
 
-    def __init__(self, path: pathlib.Path, records: np.ndarray) -> None:
+    def __init__(
+        self, path: pathlib.Path, records: np.ndarray, mmapped: bool = False
+    ) -> None:
         self.path = path
         self.records = records
+        # memmap-backed views page bytes in lazily, so a file that
+        # shrinks *after* load_trace validated it would fault (or read
+        # zeros) mid-iteration; iter_chunks re-checks the size per
+        # chunk when mmapped so truncation surfaces as a structured
+        # TraceCorruptionError instead.
+        self._mmapped = mmapped
+        self._expected_size = HEADER_BYTES + records.shape[0] * RECORD_BYTES
 
     def __len__(self) -> int:
         return self.records.shape[0]
@@ -242,6 +297,29 @@ class MappedTrace:
             raise ValueError("chunk_size must be >= 1")
         n = self.records.shape[0]
         for lo in range(0, n, chunk_size):
+            if self._mmapped:
+                hi = min(lo + chunk_size, n)
+                needed = HEADER_BYTES + hi * RECORD_BYTES
+                try:
+                    size = self.path.stat().st_size
+                except OSError as exc:
+                    raise TraceCorruptionError(
+                        self.path,
+                        f"{self.path}: trace file vanished mid-stream "
+                        f"({exc}); {lo} record(s) already streamed",
+                        byte_offset=HEADER_BYTES + lo * RECORD_BYTES,
+                        recoverable_records=lo,
+                    ) from exc
+                if size < needed:
+                    raise TraceCorruptionError(
+                        self.path,
+                        f"{self.path}: trace file truncated mid-stream to "
+                        f"{size} bytes (chunk at record {lo} needs "
+                        f"{needed}); {lo} record(s) salvageable before "
+                        "the damage",
+                        byte_offset=size,
+                        recoverable_records=lo,
+                    )
             chunk = self.records[lo : lo + chunk_size]
             columns = (
                 np.ascontiguousarray(chunk["addr"]),
@@ -252,13 +330,23 @@ class MappedTrace:
 
 
 def read_header(path) -> tuple[int, int]:
-    """Validate a trace file's header; returns (version, n_records)."""
+    """Validate a trace file's header; returns (version, n_records).
+
+    Header/size mismatches are detected in *both* directions and
+    raised as :class:`TraceCorruptionError` carrying the salvageable
+    record count: fewer bytes than the header promises (a lost tail),
+    and more bytes than it promises (including the crash-before-
+    header-patch shape: a stale n=0 header with trailing record
+    bytes).
+    """
     path = pathlib.Path(path)
     size = path.stat().st_size
     if size < HEADER_BYTES:
-        raise ValueError(
+        raise TraceCorruptionError(
+            path,
             f"{path}: truncated trace file ({size} bytes; "
-            f"the header alone is {HEADER_BYTES})"
+            f"the header alone is {HEADER_BYTES})",
+            byte_offset=size,
         )
     with open(path, "rb") as fh:
         raw = fh.read(HEADER_BYTES)
@@ -273,23 +361,41 @@ def read_header(path) -> tuple[int, int]:
         raise ValueError(f"{path}: negative record count {n}")
     expected = HEADER_BYTES + n * RECORD_BYTES
     if size != expected:
-        raise ValueError(
+        # Whole records actually on disk; what recovery can salvage.
+        on_disk = (size - HEADER_BYTES) // RECORD_BYTES
+        recoverable = min(n, on_disk) if size < expected else on_disk
+        raise TraceCorruptionError(
+            path,
             f"{path}: truncated or oversized trace file: {size} bytes "
-            f"on disk, header promises {n} records ({expected} bytes)"
+            f"on disk, header promises {n} records ({expected} bytes); "
+            f"{recoverable} record(s) recoverable",
+            byte_offset=min(size, expected),
+            recoverable_records=recoverable,
         )
     return int(header["version"]), n
 
 
-def load_trace(path, mmap: bool = True) -> MappedTrace:
+def load_trace(path, mmap: bool = True, recover: bool = False) -> MappedTrace:
     """Open a ``.dramtrace`` for reading.
 
     ``mmap=True`` (default) maps the records with ``np.memmap`` --
     zero-copy, lazily paged, read-only.  ``mmap=False`` reads the file
     into memory instead (useful when the file will be deleted or
     rewritten while the arrays are alive).
+
+    ``recover=True`` salvages a corrupt file's consistent record
+    prefix (the ``recoverable_records`` a
+    :class:`TraceCorruptionError` reports) instead of raising --
+    whole records only, never a torn one.  Files broken beyond a
+    header/size mismatch (bad magic, unreadable header) still raise.
     """
     path = pathlib.Path(path)
-    _, n = read_header(path)
+    try:
+        _, n = read_header(path)
+    except TraceCorruptionError as exc:
+        if not recover or exc.recoverable_records <= 0:
+            raise
+        n = exc.recoverable_records
     if n == 0:
         records = np.empty(0, dtype=RECORD_DTYPE)
     elif mmap:
@@ -300,7 +406,7 @@ def load_trace(path, mmap: bool = True) -> MappedTrace:
         with open(path, "rb") as fh:
             fh.seek(HEADER_BYTES)
             records = np.frombuffer(fh.read(), dtype=RECORD_DTYPE, count=n).copy()
-    return MappedTrace(path, records)
+    return MappedTrace(path, records, mmapped=(mmap and n > 0))
 
 
 def generate_trace_file(

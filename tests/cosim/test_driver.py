@@ -183,3 +183,43 @@ def test_dram_workers_bit_identical_loop(parts):
     assert pooled.iterations == serial.iterations
     assert pooled.converged == serial.converged
     assert pooled.extra_seconds_per_token == serial.extra_seconds_per_token
+
+
+def test_non_convergence_reports_best_residual_iterate(parts):
+    """A loop that exhausts its budget must report the iterate with the
+    smallest |measured - applied| residual -- not whatever iteration
+    happened to run last -- and expose that residual."""
+    cost, planner = parts
+    generator = RequestGenerator(
+        SATURATING_RATE, mean_prompt_tokens=20, mean_decode_tokens=5, seed=1
+    )
+    driver = CosimDriver(
+        cost, Scheme.MD_LB, planner,
+        # tolerance 0: convergence is impossible short of an exact
+        # fixed point, so the budget always runs out.
+        CosimConfig(max_iterations=4, p99_tolerance=0.0),
+    )
+    result = driver.run(generator.generate(40))
+    assert not result.converged
+    residuals = [
+        abs(it.measured_seconds_per_token - it.extra_seconds_per_token)
+        for it in result.iterations
+    ]
+    best = min(range(len(residuals)), key=lambda i: residuals[i])
+    assert result.residual_seconds_per_token == residuals[best]
+    assert result.extra_seconds_per_token == (
+        result.iterations[best].extra_seconds_per_token
+    )
+    assert result.closed_loop.latency_percentile(99) == (
+        result.iterations[best].serving_p99
+    )
+
+
+def test_converged_run_residual_within_tolerance(parts):
+    cost, planner = parts
+    result = run_at(LOW_RATE, cost, planner)
+    assert result.converged
+    last = result.iterations[-1]
+    assert result.residual_seconds_per_token == abs(
+        last.measured_seconds_per_token - last.extra_seconds_per_token
+    )

@@ -195,3 +195,40 @@ def test_workers_zero_and_one_are_serial():
         controller = MemoryController(QUAD_CONFIG, workers=workers)
         assert not controller.parallel_enabled
         controller.close()
+
+
+def test_executor_close_is_idempotent():
+    executor = ParallelDrainExecutor(2)
+    executor.close()
+    executor.close()  # double close must be a no-op
+    with MemoryController(QUAD_CONFIG, workers=2) as controller:
+        controller.close()
+        controller.close()
+
+
+def test_executor_reusable_after_close():
+    """close() tears the pool down but does not poison the executor:
+    the next drain lazily respins a fresh pool and still matches."""
+    cols = columns(QUAD_CONFIG, n=500)
+    serial = MemoryController(QUAD_CONFIG).simulate_arrays(*cols)
+    executor = ParallelDrainExecutor(2)
+    try:
+        first = MemoryController(QUAD_CONFIG, executor=executor)
+        assert asdict(first.simulate_arrays(*cols)) == asdict(serial)
+        executor.close()
+        second = MemoryController(QUAD_CONFIG, executor=executor)
+        assert asdict(second.simulate_arrays(*cols)) == asdict(serial)
+    finally:
+        executor.close()
+
+
+def test_executor_context_manager_reentry():
+    """Each `with` block gets a working pool; exit closes it."""
+    cols = columns(QUAD_CONFIG, n=500)
+    serial = MemoryController(QUAD_CONFIG).simulate_arrays(*cols)
+    executor = ParallelDrainExecutor(2)
+    for _ in range(2):
+        with executor:
+            controller = MemoryController(QUAD_CONFIG, executor=executor)
+            assert asdict(controller.simulate_arrays(*cols)) == asdict(serial)
+        assert executor._pool is None  # pool released on exit

@@ -1,0 +1,1 @@
+"""Fault-injection harness tests."""

@@ -1,0 +1,170 @@
+"""The injectors themselves: plans, counters, corruption helpers.
+
+The recovery suites (``tests/dram/test_supervision.py``,
+``tests/workloads/test_trace_corruption.py``,
+``tests/cosim/test_checkpoint.py``) trust these injectors to fire
+deterministically; this file pins that contract -- env round trips,
+exactly-N claim counting across processes, validation, and the byte
+surgery the trace corruptors perform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_ENV_VAR,
+    WorkerFaultPlan,
+    bit_flip_trace,
+    interrupt_after,
+    maybe_inject_worker_fault,
+    truncate_trace,
+    worker_faults,
+    zero_header_count,
+)
+from repro.faults.chaos import ChaosScenario, format_chaos
+from repro.workloads.trace_io import (
+    HEADER_BYTES,
+    RECORD_BYTES,
+    read_header,
+    write_trace,
+)
+
+
+def test_plan_env_round_trip(tmp_path):
+    plan = WorkerFaultPlan(
+        kind="raise", counter_dir=str(tmp_path), channel=3, times=2,
+        hang_seconds=5.0,
+    )
+    assert WorkerFaultPlan.from_env(plan.to_env()) == plan
+
+
+def test_plan_validation(tmp_path):
+    with pytest.raises(ValueError, match="unknown worker fault kind"):
+        WorkerFaultPlan(kind="explode", counter_dir=str(tmp_path))
+    with pytest.raises(ValueError, match="times"):
+        WorkerFaultPlan(kind="raise", counter_dir=str(tmp_path), times=0)
+    with pytest.raises(ValueError, match="hang_seconds"):
+        WorkerFaultPlan(kind="hang", counter_dir=str(tmp_path), hang_seconds=0.0)
+
+
+def test_claim_counts_exactly_n(tmp_path):
+    plan = WorkerFaultPlan(kind="raise", counter_dir=str(tmp_path), times=3)
+    claims = [plan.claim(0) for _ in range(10)]
+    assert claims == [True] * 3 + [False] * 7
+    assert plan.injections_fired() == 3
+
+
+def test_claim_respects_channel_filter(tmp_path):
+    plan = WorkerFaultPlan(
+        kind="raise", counter_dir=str(tmp_path), channel=2, times=5
+    )
+    assert not plan.claim(0)
+    assert not plan.claim(1)
+    assert plan.claim(2)
+    assert plan.injections_fired() == 1
+
+
+def _claim_in_subprocess(env_payload, queue):
+    plan = WorkerFaultPlan.from_env(env_payload)
+    queue.put(plan.claim(0))
+
+
+def test_claim_is_atomic_across_processes(tmp_path):
+    """O_CREAT|O_EXCL sequencing: N slots, more claimants than slots,
+    exactly N winners regardless of process boundaries."""
+    plan = WorkerFaultPlan(kind="raise", counter_dir=str(tmp_path), times=2)
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_claim_in_subprocess, args=(plan.to_env(), queue))
+        for _ in range(6)
+    ]
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=30) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+    assert sum(results) == 2
+    assert plan.injections_fired() == 2
+
+
+def test_worker_faults_restores_environment(tmp_path):
+    before = os.environ.get(FAULT_ENV_VAR)
+    with worker_faults("raise", times=1) as plan:
+        assert os.environ[FAULT_ENV_VAR] == plan.to_env()
+        assert os.path.isdir(plan.counter_dir)
+    assert os.environ.get(FAULT_ENV_VAR) == before
+    assert not os.path.exists(plan.counter_dir)
+
+
+def test_maybe_inject_is_noop_without_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+    maybe_inject_worker_fault(0)  # must not raise
+
+
+def test_maybe_inject_raise_kind(tmp_path, monkeypatch):
+    from repro.faults import InjectedWorkerFault
+
+    plan = WorkerFaultPlan(kind="raise", counter_dir=str(tmp_path), times=1)
+    monkeypatch.setenv(FAULT_ENV_VAR, plan.to_env())
+    with pytest.raises(InjectedWorkerFault):
+        maybe_inject_worker_fault(0)
+    maybe_inject_worker_fault(0)  # plan exhausted -> no-op
+
+
+def test_truncate_trace_surgery(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.arange(10, dtype=np.int64) * 64)
+    new_size = truncate_trace(path, keep_records=4)
+    assert new_size == HEADER_BYTES + 4 * RECORD_BYTES
+    assert path.stat().st_size == new_size
+    with pytest.raises(ValueError, match="cannot truncate"):
+        truncate_trace(path, keep_records=100)
+    with pytest.raises(ValueError, match="non-negative"):
+        truncate_trace(path, keep_records=-1)
+
+
+def test_bit_flip_trace_flips_exactly_one_bit(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    addrs = np.arange(10, dtype=np.int64) * 64
+    write_trace(path, addrs)
+    before = path.read_bytes()
+    bit_flip_trace(path, record_index=3, bit=62)
+    after = path.read_bytes()
+    assert len(before) == len(after)
+    diff = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+    assert len(diff) == 1
+    assert diff[0] == HEADER_BYTES + 3 * RECORD_BYTES + 62 // 8
+    with pytest.raises(ValueError, match="bit"):
+        bit_flip_trace(path, record_index=0, bit=64)
+
+
+def test_zero_header_count_only_touches_header(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    write_trace(path, np.arange(6, dtype=np.int64) * 64)
+    records_before = path.read_bytes()[HEADER_BYTES:]
+    zero_header_count(path)
+    with pytest.raises(ValueError):
+        read_header(path)  # size no longer matches the n=0 header
+    assert path.read_bytes()[HEADER_BYTES:] == records_before
+
+
+def test_interrupt_after_validation():
+    with pytest.raises(ValueError, match="non-negative"):
+        interrupt_after(-1)
+
+
+def test_format_chaos_renders_pass_and_fail():
+    report = [
+        ChaosScenario(name="good", passed=True, detail="all fine"),
+        ChaosScenario(name="bad", passed=False, detail="Traceback:\nboom"),
+    ]
+    text = format_chaos(report)
+    assert "[PASS] good" in text
+    assert "[FAIL] bad" in text
+    assert "1/2 scenario(s) passed" in text

@@ -1,0 +1,76 @@
+"""Atomic/durable write discipline shared by every artifact writer."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    durable_append,
+    replace_into_place,
+    tmp_path_for,
+)
+
+
+def test_tmp_path_is_pid_suffixed_sibling(tmp_path):
+    target = tmp_path / "deep" / "artifact.json"
+    tmp = tmp_path_for(target)
+    assert tmp.parent == target.parent
+    assert tmp.name == f"artifact.json.{os.getpid()}.tmp"
+
+
+def test_atomic_write_bytes_roundtrip_and_no_stragglers(tmp_path):
+    path = tmp_path / "a.bin"
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+    atomic_write_bytes(path, b"second")
+    assert path.read_bytes() == b"second"
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_atomic_write_text_and_json(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"b": 1, "a": [1.5, 2.0]})
+    # Same bytes the historical open()+json.dump+newline writers made.
+    assert path.read_text() == json.dumps({"b": 1, "a": [1.5, 2.0]}, indent=2) + "\n"
+    atomic_write_text(tmp_path / "t.txt", "line\n")
+    assert (tmp_path / "t.txt").read_text() == "line\n"
+
+
+def test_failed_write_preserves_previous_file(tmp_path):
+    """The whole point: a writer that dies mid-payload leaves the old
+    artifact intact and no tmp straggler."""
+    path = tmp_path / "a.json"
+    atomic_write_json(path, {"generation": 1})
+    with pytest.raises(TypeError):
+        # json can't serialize this object: the write dies before the
+        # replace, so generation 1 must survive.
+        atomic_write_json(path, {"generation": object()})
+    assert json.loads(path.read_text()) == {"generation": 1}
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_replace_into_place_is_atomic_promotion(tmp_path):
+    target = tmp_path / "artifact"
+    target.write_bytes(b"old")
+    staged = tmp_path_for(target)
+    staged.write_bytes(b"new")
+    replace_into_place(staged, target)
+    assert target.read_bytes() == b"new"
+    assert not staged.exists()
+
+
+def test_durable_append_accumulates_records(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with open(path, "wb") as fh:
+        durable_append(fh, b'{"n": 1}\n')
+        # Durable the moment the call returns: a concurrent reader
+        # (or a post-crash resume) already sees the full record.
+        assert path.read_bytes() == b'{"n": 1}\n'
+        durable_append(fh, b'{"n": 2}\n')
+    assert path.read_text().splitlines() == ['{"n": 1}', '{"n": 2}']

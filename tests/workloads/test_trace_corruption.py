@@ -1,0 +1,182 @@
+"""Structured trace corruption: detection, byte offsets, salvage.
+
+The ways real crashes corrupt a ``.dramtrace`` -- lost tail, stale
+header, flipped bit -- must surface as
+:class:`~repro.workloads.trace_io.TraceCorruptionError` carrying the
+byte offset and the salvageable record prefix, never as garbage stats
+or a bare exception.  Corruption is injected with
+:mod:`repro.faults.injectors`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig, DRAMOrganization, LPDDR5X_8533
+from repro.dram.controller import MemoryController
+from repro.faults import bit_flip_trace, truncate_trace, zero_header_count
+from repro.workloads.trace_io import (
+    HEADER_BYTES,
+    RECORD_BYTES,
+    TraceCorruptionError,
+    load_trace,
+    write_trace,
+)
+from repro.workloads.traces import generate_trace_arrays
+
+SMALL_ORG = DRAMOrganization(
+    n_channels=2,
+    n_ranks=1,
+    n_bankgroups=2,
+    banks_per_group=2,
+    n_rows=128,
+    row_bytes=512,
+    access_bytes=64,
+)
+SMALL_CONFIG = DRAMConfig(organization=SMALL_ORG, timing=LPDDR5X_8533.timing)
+
+
+def make_trace(path, n=200):
+    addrs, arrive, flags = generate_trace_arrays(
+        "random", n, config=SMALL_CONFIG, seed=7,
+        arrival="poisson", arrival_gap=6.0,
+    )
+    write_trace(path, addrs, arrive, flags)
+    return addrs, arrive, flags
+
+
+def test_truncation_reports_salvageable_prefix(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    addrs, _, _ = make_trace(path)
+    truncate_trace(path, keep_records=80)
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        load_trace(path)
+    exc = exc_info.value
+    assert exc.recoverable_records == 80
+    assert "80 record(s) recoverable" in str(exc)
+    recovered = load_trace(path, recover=True)
+    assert len(recovered) == 80
+    np.testing.assert_array_equal(np.asarray(recovered.addrs), addrs[:80])
+
+
+def test_partial_record_tail_rounds_down(tmp_path):
+    """A torn final record (non-integral tail) is not salvageable; the
+    recoverable count covers whole records only."""
+    path = tmp_path / "t.dramtrace"
+    make_trace(path, n=10)
+    size = path.stat().st_size
+    with open(path, "rb+") as fh:
+        fh.truncate(size - RECORD_BYTES - 5)  # 8 whole records + 12 bytes
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        load_trace(path)
+    assert exc_info.value.recoverable_records == 8
+    assert len(load_trace(path, recover=True)) == 8
+
+
+def test_truncated_to_nothing_is_unrecoverable(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    make_trace(path)
+    truncate_trace(path, keep_records=0)
+    with pytest.raises(TraceCorruptionError):
+        load_trace(path, recover=True)
+
+
+def test_stale_header_reports_on_disk_records(tmp_path):
+    """Crash-between-append-and-close: header says 0 but the records
+    are there.  The mismatch is corruption, and everything on disk is
+    recoverable."""
+    path = tmp_path / "t.dramtrace"
+    addrs, _, _ = make_trace(path, n=120)
+    zero_header_count(path)
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        load_trace(path)
+    assert exc_info.value.recoverable_records == 120
+    recovered = load_trace(path, recover=True)
+    assert len(recovered) == 120
+    np.testing.assert_array_equal(np.asarray(recovered.addrs), addrs)
+
+
+def test_recover_does_not_mask_non_size_corruption(tmp_path):
+    """recover=True only salvages size mismatches; a bad magic is
+    still a hard error."""
+    path = tmp_path / "t.dramtrace"
+    make_trace(path, n=5)
+    data = bytearray(path.read_bytes())
+    data[:4] = b"NOPE"
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="bad magic"):
+        load_trace(path, recover=True)
+
+
+def test_corruption_error_is_value_error(tmp_path):
+    """Existing except-ValueError callers keep working."""
+    path = tmp_path / "t.dramtrace"
+    make_trace(path)
+    truncate_trace(path, keep_records=3)
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(path)
+    assert issubclass(TraceCorruptionError, ValueError)
+
+
+def test_streaming_detects_bit_flip_with_byte_offset(tmp_path):
+    """A flipped high address bit must trip streaming validation with
+    the byte offset of the bad chunk, not simulate garbage."""
+    path = tmp_path / "t.dramtrace"
+    make_trace(path, n=200)
+    bit_flip_trace(path, record_index=100)
+    controller = MemoryController(SMALL_CONFIG)
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        controller.simulate_trace_streaming(path, window=64)
+    exc = exc_info.value
+    # The flip sits in the chunk [64, 128): everything before that
+    # chunk is clean, and the offset points inside the file.
+    assert exc.recoverable_records == 64
+    assert exc.byte_offset == HEADER_BYTES + 64 * RECORD_BYTES
+
+
+def test_streaming_detects_reserved_flag_bits(tmp_path):
+    path = tmp_path / "t.dramtrace"
+    make_trace(path, n=100)
+    # Set a reserved flag bit (0x80) on record 30: flags byte is the
+    # record's last byte.
+    offset = HEADER_BYTES + 30 * RECORD_BYTES + (RECORD_BYTES - 1)
+    with open(path, "rb+") as fh:
+        fh.seek(offset)
+        (value,) = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes((value | 0x80,)))
+    controller = MemoryController(SMALL_CONFIG)
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        controller.simulate_trace_streaming(path, window=25)
+    exc = exc_info.value
+    assert exc.byte_offset == HEADER_BYTES + 30 * RECORD_BYTES
+    assert exc.recoverable_records == 25  # chunks before the bad one
+
+
+def test_streaming_detects_file_shrinking_mid_stream(tmp_path):
+    """A trace truncated underneath an mmapped streaming run (e.g. a
+    concurrent regeneration gone wrong) must be caught at the next
+    chunk boundary instead of faulting on stale pages."""
+    path = tmp_path / "t.dramtrace"
+    make_trace(path, n=200)
+    trace = load_trace(path)
+    chunks = trace.iter_chunks(50)
+    next(chunks)  # first chunk streams fine
+    with open(path, "rb+") as fh:
+        fh.truncate(HEADER_BYTES + 60 * RECORD_BYTES)
+    with pytest.raises(TraceCorruptionError) as exc_info:
+        next(chunks)
+    assert exc_info.value.recoverable_records == 50
+
+
+def test_streaming_clean_trace_unaffected(tmp_path):
+    """The corruption checks add no behavior change on healthy input:
+    streaming still matches the array path bit for bit."""
+    path = tmp_path / "t.dramtrace"
+    addrs, arrive, flags = make_trace(path, n=300)
+    from dataclasses import asdict
+
+    expected = MemoryController(SMALL_CONFIG).simulate_arrays(addrs, arrive, flags)
+    streamed = MemoryController(SMALL_CONFIG).simulate_trace_streaming(path, window=64)
+    assert asdict(streamed) == asdict(expected)

@@ -186,23 +186,39 @@ def test_generate_trace_file_unknown_pattern(tmp_path):
         generate_trace_file(tmp_path / "x.dramtrace", "nope", 10)
 
 
-def test_aborted_writer_leaves_invalid_file(tmp_path):
+def test_aborted_writer_leaves_no_file(tmp_path):
     """A generation that raises mid-write must not leave a readable
-    (partial or spuriously empty) trace behind."""
+    (partial or spuriously empty) trace behind.  The writer stages to
+    a sibling tmp file and only publishes on close, so an abort leaves
+    *nothing* under the real name -- and no tmp straggler either."""
     path = tmp_path / "partial.dramtrace"
     with pytest.raises(RuntimeError, match="boom"):
         with TraceWriter(path) as writer:
             writer.append(np.arange(10, dtype=np.int64) * 64)
             raise RuntimeError("boom")
-    with pytest.raises(ValueError, match="truncated"):
-        read_header(path)
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
     # Same when nothing was appended before the failure.
     empty = tmp_path / "aborted_empty.dramtrace"
     with pytest.raises(RuntimeError):
         with TraceWriter(empty):
             raise RuntimeError("boom")
-    with pytest.raises(ValueError, match="truncated"):
-        read_header(empty)
+    assert not empty.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_aborted_writer_preserves_previous_trace(tmp_path):
+    """Atomic publication: a failed regeneration leaves the previous
+    complete trace untouched under the same name."""
+    path = tmp_path / "t.dramtrace"
+    old = np.arange(5, dtype=np.int64) * 64
+    write_trace(path, old)
+    with pytest.raises(RuntimeError, match="boom"):
+        with TraceWriter(path) as writer:
+            writer.append(np.arange(50, dtype=np.int64) * 64)
+            raise RuntimeError("boom")
+    trace = load_trace(path)
+    np.testing.assert_array_equal(np.asarray(trace.addrs), old)
 
 
 def test_closed_writer_rejects_append(tmp_path):
