@@ -8,7 +8,8 @@ Run:  python examples/serving_study.py
 """
 
 from repro.core.strategies import Scheme
-from repro.serving.simulator import CostModel, load_sweep
+from repro.cosim import run_load_sweep
+from repro.serving.simulator import CostModel
 from repro.workloads import flores_like
 
 
@@ -33,9 +34,12 @@ def main() -> None:
     for rate in rates:
         cells = []
         for scheme, cost in costs.items():
-            sweep = load_sweep(cost, scheme, [rate], n_requests=100,
-                               mean_decode_tokens=16)
-            result = sweep[0][1]
+            # planner=None runs the engine-aware sweep serving-only
+            # (open loop, no DRAM feedback) -- the successor of the
+            # old standalone serving load_sweep.
+            _, runs = run_load_sweep(cost, scheme, None, [rate],
+                                     n_requests=100, mean_decode_tokens=16)
+            result = runs[0].closed_loop
             cells.append(
                 f"{result.latency_percentile(50):10.2f}/"
                 f"{result.latency_percentile(99):8.2f} "

@@ -296,6 +296,12 @@ _COSIM_DEFAULTS = {
     "export_trace": None,
     "dram_workers": 0,
     "workers": 0,
+    "engine": "fifo",
+    "max_batch": 8,
+    "prefill_budget": 4096,
+    "priority": "prefill",
+    "decode_marginal": 0.5,
+    "slo_p99_ms": None,
 }
 
 
@@ -317,8 +323,11 @@ def _cosim_setup(args: argparse.Namespace):
         args.bytes_per_token = 8192
         args.max_blocks = 1024
         args.requests = min(args.requests, 60)
-        args.mean_prompt_tokens = 20
-        args.mean_decode_tokens = 5
+        # Decode-heavy mix: the paper's bandwidth-bound regime, and
+        # the one where continuous batching's amortized weight
+        # streaming separates from fifo at the saturating grid point.
+        args.mean_prompt_tokens = 8
+        args.mean_decode_tokens = 24
         # The saturating grid point needs ~12 bisection iterations.
         args.max_iters = max(args.max_iters, 16)
 
@@ -369,6 +378,11 @@ def _cosim_setup(args: argparse.Namespace):
         max_iterations=args.max_iters,
         p99_tolerance=args.tol,
         dram_workers=args.dram_workers,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        prefill_token_budget=args.prefill_budget,
+        priority=args.priority,
+        decode_marginal_fraction=args.decode_marginal,
     )
     return cost, scheme, planner, config
 
@@ -418,6 +432,11 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                     checkpoint_path=ckpt,
                     resume=args.resume,
                     on_point=on_point,
+                    slo_p99_seconds=(
+                        args.slo_p99_ms * 1e-3
+                        if args.slo_p99_ms is not None
+                        else None
+                    ),
                 )
             except SweepInterrupted as exc:
                 print(
@@ -428,6 +447,20 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                 )
                 return 130
             print(format_sweep(sweep))
+            if sweep.slo_p99_seconds > 0.0:
+                source = "auto, 5x uncongested p99" if sweep.slo_auto else "--slo-p99-ms"
+                if sweep.slo_capacity_rps > 0.0:
+                    print(
+                        f"SLO capacity ({sweep.engine}): "
+                        f"{sweep.slo_capacity_rps:.3g} req/s at p99 <= "
+                        f"{sweep.slo_p99_seconds * 1e3:.3g} ms ({source})"
+                    )
+                else:
+                    print(
+                        f"SLO capacity ({sweep.engine}): none -- p99 exceeds "
+                        f"{sweep.slo_p99_seconds * 1e3:.3g} ms ({source}) at "
+                        "every grid point"
+                    )
             sweep.save(args.output)
             print(f"wrote {args.output}")
             if args.export_trace is not None:
@@ -662,6 +695,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fan each DRAM replay's per-channel "
                                    "drains over an N-worker pool "
                                    "(bit-identical stats; default: serial)")
+    cosim_common.add_argument("--engine", choices=("fifo", "batching"),
+                              help="serving engine: one-request-at-a-time "
+                                   "fifo (default) or phase-aware "
+                                   "continuous batching")
+    cosim_common.add_argument("--max-batch", type=int, metavar="B",
+                              help="batching: in-flight decode slots per "
+                                   "step (default: 8)")
+    cosim_common.add_argument("--prefill-budget", type=int, metavar="TOKENS",
+                              help="batching: prompt-token budget admitted "
+                                   "per step (default: 4096)")
+    cosim_common.add_argument("--priority", choices=("prefill", "decode"),
+                              help="batching: admit new prefills alongside "
+                                   "decodes (prefill, default) or only "
+                                   "when idle (decode)")
+    cosim_common.add_argument("--decode-marginal", type=float, metavar="F",
+                              help="batching: marginal fraction of the "
+                                   "per-token decode cost that scales with "
+                                   "batch size; the rest is amortized "
+                                   "weight streaming (default: 0.5)")
+    cosim_common.add_argument("--slo-p99-ms", type=float, metavar="MS",
+                              help="sweep: closed-loop p99 SLO threshold "
+                                   "for the capacity answer (default: "
+                                   "auto, 5x the uncongested p99)")
 
     cosim = sub.add_parser(
         "cosim", parents=[cosim_common],

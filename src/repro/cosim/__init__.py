@@ -19,6 +19,8 @@ from repro.cosim.driver import (
     small_cosim_dram,
 )
 from repro.cosim.replay import (
+    PHASE_DECODE,
+    PHASE_PREFILL,
     ExpertReplayPlanner,
     ReplayTrace,
     SyntheticReplayPlanner,
@@ -31,9 +33,12 @@ from repro.cosim.sweep import (
     SweepResult,
     format_sweep,
     run_load_sweep,
+    slo_capacity,
 )
 
 __all__ = [
+    "PHASE_DECODE",
+    "PHASE_PREFILL",
     "SWEEP_CKPT_SUFFIX",
     "SWEEP_FORMAT_VERSION",
     "CosimConfig",
@@ -48,5 +53,6 @@ __all__ = [
     "SyntheticReplayPlanner",
     "format_sweep",
     "run_load_sweep",
+    "slo_capacity",
     "small_cosim_dram",
 ]

@@ -88,6 +88,19 @@ class CosimConfig:
     #: shared worker pool (repro.dram.parallel) -- bit-identical
     #: stats, so convergence trajectories do not change.
     dram_workers: int = 0
+    #: serving model inside the loop: "fifo" (seed behavior, one
+    #: scalar surcharge) or "batching" (continuous batching with
+    #: distinct prefill/decode surcharges measured from phase bursts)
+    engine: str = "fifo"
+    #: batching-engine admission knobs (ignored on the fifo path);
+    #: see :class:`repro.serving.engine.BatchConfig`
+    max_batch: int = 8
+    prefill_token_budget: int = 4096
+    priority: str = "prefill"
+    #: fraction of a decode step's serving cost that scales per
+    #: request (the rest is the fixed, batch-amortized weight-stream
+    #: share); see :class:`repro.serving.engine.PhaseCostModel`
+    decode_marginal_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 < self.damping <= 1.0:
@@ -102,10 +115,57 @@ class CosimConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.dram_workers < 0:
             raise ValueError("dram_workers must be non-negative")
+        if self.engine not in ("fifo", "batching"):
+            raise ValueError(f"engine must be 'fifo' or 'batching', got {self.engine!r}")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.prefill_token_budget < 1:
+            raise ValueError("prefill_token_budget must be >= 1")
+        if not 0.0 <= self.decode_marginal_fraction <= 1.0:
+            raise ValueError("decode_marginal_fraction must be in [0, 1]")
 
     def step(self, iteration: int) -> float:
         """Update step size for the given iteration index."""
         return self.damping / (1.0 + iteration * self.damping_decay)
+
+
+class _SurchargeSearch:
+    """Scalar fixed-point search on one per-token surcharge.
+
+    The measured surcharge is monotone decreasing in the applied one,
+    so the search runs damped iteration until the fixed point is
+    bracketed, then bisects; a collapsed bracket (noise) restarts the
+    damped phase.  Extracted verbatim from the seed loop -- the fifo
+    path's float arithmetic is unchanged -- and instantiated twice
+    (prefill, decode) by the batching path.
+    """
+
+    def __init__(self, config: "CosimConfig") -> None:
+        self.cfg = config
+        self.extra = 0.0
+        # Bisection bracket on the self-consistency residual
+        # measured(extra) - extra: lo under-corrects, hi over-corrects.
+        self.lo = 0.0
+        self.hi: Optional[float] = None
+
+    def update(self, index: int, measured: float) -> float:
+        """Fold in one measurement; returns the next surcharge."""
+        extra = self.extra
+        if measured > extra:
+            self.lo = max(self.lo, extra)
+        elif self.hi is None or extra < self.hi:
+            self.hi = extra
+        if self.hi is None:
+            extra += self.cfg.step(index) * (measured - extra)
+        elif self.hi > self.lo:
+            extra = 0.5 * (self.lo + self.hi)
+        else:
+            # Noise collapsed the bracket; restart the damped
+            # search from the latest measurement.
+            self.lo, self.hi = 0.0, None
+            extra = measured
+        self.extra = extra
+        return extra
 
 
 @dataclass(frozen=True)
@@ -131,6 +191,15 @@ class CosimIteration:
     dram_total_cycles: int
     #: relative p99 change vs the previous iteration (inf for the first)
     p99_delta: float
+    # Additive per-phase fields (batching engine; the fifo path leaves
+    # them at their defaults, where the scalar fields above are the
+    # whole story).
+    extra_prefill_seconds_per_token: float = 0.0
+    extra_decode_seconds_per_token: float = 0.0
+    measured_prefill_seconds_per_token: float = 0.0
+    measured_decode_seconds_per_token: float = 0.0
+    serving_ttft_p99: float = 0.0
+    serving_queue_delay_p99: float = 0.0
 
 
 @dataclass
@@ -147,13 +216,17 @@ class CosimResult:
     #: final iteration's DRAM trace (exportable via write_trace)
     final_trace: Optional[ReplayTrace] = None
     final_dram_stats: Optional[ControllerStats] = None
-    #: converged per-token surcharge (seconds)
+    #: converged per-token surcharge (seconds); on the batching path
+    #: this is the token-weighted combination of the per-phase values
     extra_seconds_per_token: float = 0.0
     #: self-consistency residual |measured - applied| of the reported
     #: iterate (0 means a true fixed point; meaningful mostly when
     #: ``converged`` is False, where it sizes how far off the best
     #: iterate still was)
     residual_seconds_per_token: float = 0.0
+    #: distinct per-phase surcharges (batching engine; zero on fifo)
+    extra_prefill_seconds_per_token: float = 0.0
+    extra_decode_seconds_per_token: float = 0.0
 
     @property
     def n_iterations(self) -> int:
@@ -203,27 +276,40 @@ class CosimDriver:
         )
 
     @staticmethod
-    def _per_request_makespans(
-        trace: ReplayTrace, complete: np.ndarray
+    def _burst_makespans(
+        ids: np.ndarray, arrive: np.ndarray, complete: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """(unique request ids, burst makespan in cycles per id)."""
-        uniq, inverse = np.unique(trace.request_ids, return_inverse=True)
+        """(unique burst ids, burst makespan in cycles per id)."""
+        uniq, inverse = np.unique(ids, return_inverse=True)
         makespans = np.zeros(len(uniq), dtype=np.int64)
-        np.maximum.at(makespans, inverse, complete - trace.arrive_cycles)
+        np.maximum.at(makespans, inverse, complete - arrive)
         return uniq, makespans
 
-    def _isolated_makespans(self, trace: ReplayTrace) -> dict[int, int]:
-        """Makespan of each request's burst when it has the memory
-        system to itself: the same addresses, with bursts serialized
-        far enough apart that they can never overlap.  The difference
-        between an iteration's measured makespan and this baseline is
-        pure cross-request contention."""
+    def _per_request_makespans(
+        self, trace: ReplayTrace, complete: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(unique request ids, burst makespan in cycles per id)."""
+        return self._burst_makespans(
+            trace.request_ids, trace.arrive_cycles, complete
+        )
+
+    def _isolated_makespans(
+        self, trace: ReplayTrace, ids: Optional[np.ndarray] = None
+    ) -> dict[int, int]:
+        """Makespan of each burst when it has the memory system to
+        itself: the same addresses, with bursts serialized far enough
+        apart that they can never overlap.  The difference between an
+        iteration's measured makespan and this baseline is pure
+        cross-burst contention.  Bursts are the contiguous runs of
+        ``ids`` (the trace's request ids by default; phase-aware
+        traces pass their finer-grained ``burst_ids``)."""
         t = self.planner.config.timing
         # Loose per-access upper bound (full row cycle + read latency
         # + data) so consecutive bursts cannot interact; idle-gap
         # jumping makes the stretched timeline free to simulate.
         per_access = t.tRC + t.tCL + t.burst_cycles + 2
-        ids = trace.request_ids
+        if ids is None:
+            ids = trace.request_ids
         boundaries = np.flatnonzero(np.diff(ids)) + 1
         run_starts = np.concatenate(([0], boundaries))
         run_lengths = np.diff(np.concatenate((run_starts, [len(ids)])))
@@ -240,6 +326,32 @@ class CosimDriver:
         return {
             int(ids[lo]): int(mk) for lo, mk in zip(run_starts.tolist(), makespans)
         }
+
+    def _isolated_element_latencies(self, trace: ReplayTrace) -> np.ndarray:
+        """Per-element DRAM latencies when each REQUEST has the memory
+        system to itself: requests are serialized far enough apart
+        that they can never overlap, but each request's bursts keep
+        their real relative arrival offsets.  A request pipelining its
+        own decode steps faster than DRAM drains them is therefore
+        part of the baseline, and the difference from a measured
+        latency is cross-request interference only -- the same
+        quantity the fifo path's per-request baseline measures."""
+        t = self.planner.config.timing
+        per_access = t.tRC + t.tCL + t.burst_cycles + 2
+        rids = trace.request_ids
+        boundaries = np.flatnonzero(np.diff(rids)) + 1
+        run_starts = np.concatenate(([0], boundaries))
+        run_ends = np.concatenate((boundaries, [len(rids)]))
+        arrive = np.empty(len(rids), dtype=np.int64)
+        base = 0
+        for lo, hi in zip(run_starts.tolist(), run_ends.tolist()):
+            offsets = trace.arrive_cycles[lo:hi] - trace.arrive_cycles[lo]
+            arrive[lo:hi] = base + offsets
+            base += int(offsets[-1]) + (hi - lo) * per_access + 64
+        _, timings = self._fresh_controller().simulate_arrays(
+            trace.addrs, arrive, trace.flags, detail=True
+        )
+        return timings.complete_cycles - arrive
 
     def _isolation_baseline(self, trace: ReplayTrace) -> dict[int, int]:
         stable = getattr(self.planner, "stable_addresses", True)
@@ -268,6 +380,8 @@ class CosimDriver:
         """Run the fixed-point loop over one serving request list."""
         if not requests:
             raise ValueError("cosim needs at least one serving request")
+        if self.config.engine == "batching":
+            return self._run_batching(requests)
         # Baselines are only reusable across the iterations of one
         # run: a different request list can reuse request_ids with
         # different token counts (and so different bursts).
@@ -279,9 +393,7 @@ class CosimDriver:
         result = CosimResult(scheme=self.scheme)
         extra = 0.0
         prev_p99 = None
-        # Bisection bracket on the self-consistency residual
-        # measured(extra) - extra: lo under-corrects, hi over-corrects.
-        lo, hi = 0.0, None
+        search = _SurchargeSearch(cfg)
         # Best iterate so far by |measured - extra|: what the run
         # reports if it exhausts max_iterations without converging
         # (the last iterate of a limit cycle can be the worst one).
@@ -355,19 +467,7 @@ class CosimDriver:
                 result.converged = True
                 break
             prev_p99 = p99
-            if measured > extra:
-                lo = max(lo, extra)
-            elif hi is None or extra < hi:
-                hi = extra
-            if hi is None:
-                extra += cfg.step(index) * (measured - extra)
-            elif hi > lo:
-                extra = 0.5 * (lo + hi)
-            else:
-                # Noise collapsed the bracket; restart the damped
-                # search from the latest measurement.
-                lo, hi = 0.0, None
-                extra = measured
+            extra = search.update(index, measured)
         if not result.converged and best is not None:
             # Ran out of iterations: report the iterate with the
             # smallest self-consistency residual, not whichever one a
@@ -377,5 +477,184 @@ class CosimDriver:
             result.final_trace = trace_b
             result.final_dram_stats = stats_b
             result.extra_seconds_per_token = extra_b
+            result.residual_seconds_per_token = best_residual
+        return result
+
+    # -- the batching loop -------------------------------------------------
+
+    def _run_batching(self, requests: list[Request]) -> CosimResult:
+        """Fixed-point loop over the continuous-batching engine with
+        distinct prefill/decode surcharges.
+
+        Contention is measured against an isolation baseline that
+        serializes requests but preserves each request's intra-step
+        arrival offsets; each request's extra wait is charged once
+        (the fifo estimator) and split between the phases by the
+        phase's share of the request's emitted traffic, and each
+        phase runs its own scalar surcharge search.  Isolation
+        baselines are recalibrated every iteration: decode-burst
+        traffic and arrival offsets depend on the step batch
+        composition, which shifts as the surcharges reshape the
+        serving timeline, so the fifo path's per-request baseline
+        cache does not apply.
+        """
+        from repro.serving.engine import BatchConfig, BatchingEngine, PhaseCostModel
+
+        cfg = self.config
+        base = PhaseCostModel.from_cost_model(
+            self.cost_model,
+            decode_marginal_fraction=cfg.decode_marginal_fraction,
+        )
+        batch_config = BatchConfig(
+            max_batch=cfg.max_batch,
+            prefill_token_budget=cfg.prefill_token_budget,
+            priority=cfg.priority,
+            queue_limit=cfg.queue_limit,
+        )
+        cycle_time = self.planner.config.timing.cycle_time
+        result = CosimResult(scheme=self.scheme)
+        extra_p = extra_d = 0.0
+        prev_p99 = None
+        search_p = _SurchargeSearch(cfg)
+        search_d = _SurchargeSearch(cfg)
+        best = None
+        best_residual = float("inf")
+
+        for index in range(cfg.max_iterations):
+            serving = BatchingEngine(
+                base,
+                self.scheme,
+                batch_config,
+                extra_prefill_seconds_per_token=extra_p,
+                extra_decode_seconds_per_token=extra_d,
+            ).run(requests)
+            if index == 0:
+                result.open_loop = serving
+            result.closed_loop = serving
+
+            trace = self.planner.replay(serving)
+            if len(trace) == 0:
+                result.converged = True
+                break
+            stats, timings = self._fresh_controller().simulate_arrays(
+                trace.addrs, trace.arrive_cycles, trace.flags, detail=True
+            )
+            result.final_trace = trace
+            result.final_dram_stats = stats
+
+            prompt_tokens = float(
+                sum(c.request.prompt_tokens for c in serving.completed)
+            )
+            decode_tokens = float(
+                sum(c.request.decode_tokens for c in serving.completed)
+            )
+            if trace.phases is not None:
+                # The fifo estimator, phase-attributed: each request's
+                # extra DRAM wait (worst element latency vs the
+                # isolated baseline) is charged exactly once -- one
+                # congestion episode delays a request once, however
+                # many of its step-bursts overlap it -- and split
+                # between the phases by each phase's share of the
+                # request's *emitted* traffic.  Batch-amortized decode
+                # bursts carry 1/batch of the weight stream, so at
+                # high batch the split automatically shifts the charge
+                # toward prefill, whose traffic is not amortizable.
+                lat = timings.complete_cycles - trace.arrive_cycles
+                lat_iso = self._isolated_element_latencies(trace)
+                uniq, inverse = np.unique(trace.request_ids, return_inverse=True)
+                measured_max = np.zeros(len(uniq), dtype=np.int64)
+                np.maximum.at(measured_max, inverse, lat)
+                iso_max = np.zeros(len(uniq), dtype=np.int64)
+                np.maximum.at(iso_max, inverse, lat_iso)
+                waits = np.maximum(measured_max - iso_max, 0).astype(np.float64)
+                pre_counts = np.bincount(
+                    inverse, weights=(trace.phases == 0), minlength=len(uniq)
+                )
+                tot_counts = np.bincount(inverse, minlength=len(uniq))
+                pre_share = pre_counts / np.maximum(tot_counts, 1)
+                prefill_cycles = float((waits * pre_share).sum())
+                decode_cycles = float(waits.sum()) - prefill_cycles
+            else:
+                # Planner without phase bursts (synthetic replay): the
+                # fifo per-request estimator, with the lump contention
+                # split by token share.
+                uniq, makespans = self._per_request_makespans(
+                    trace, timings.complete_cycles
+                )
+                iso = self._isolated_makespans(trace)
+                iso_arr = np.array(
+                    [iso[int(b)] for b in uniq.tolist()], dtype=np.int64
+                )
+                contention = np.maximum(makespans - iso_arr, 0).astype(np.float64)
+                total = float(contention.sum())
+                total_tokens = max(prompt_tokens + decode_tokens, 1.0)
+                prefill_cycles = total * prompt_tokens / total_tokens
+                decode_cycles = total - prefill_cycles
+            measured_p = (
+                prefill_cycles * cycle_time / prompt_tokens if prompt_tokens else 0.0
+            )
+            measured_d = (
+                decode_cycles * cycle_time / decode_tokens if decode_tokens else 0.0
+            )
+            total_tokens = max(prompt_tokens + decode_tokens, 1.0)
+            measured = (prefill_cycles + decode_cycles) * cycle_time / total_tokens
+            extra_scalar = (
+                extra_p * prompt_tokens + extra_d * decode_tokens
+            ) / total_tokens
+            residual = abs(measured_p - extra_p) + abs(measured_d - extra_d)
+            result.residual_seconds_per_token = residual
+            if residual < best_residual:
+                best_residual = residual
+                best = (serving, trace, stats, extra_scalar, extra_p, extra_d)
+
+            p99 = serving.latency_percentile(99)
+            delta = (
+                float("inf")
+                if prev_p99 is None
+                else abs(p99 - prev_p99) / max(prev_p99, 1e-12)
+            )
+            result.iterations.append(
+                CosimIteration(
+                    index=index,
+                    extra_seconds_per_token=extra_scalar,
+                    measured_seconds_per_token=measured,
+                    serving_p50=serving.latency_percentile(50),
+                    serving_p99=p99,
+                    serving_max=serving.latency_percentile(100),
+                    serving_mean=serving.mean_latency,
+                    utilization=serving.utilization,
+                    completed=serving.n_completed,
+                    rejected=serving.rejected,
+                    dram_queue_delay_mean=stats.queue_delay_mean,
+                    dram_queue_delay_p99=stats.queue_delay_p99,
+                    dram_queue_delay_max=stats.queue_delay_max,
+                    dram_idle_cycles=sum(stats.idle_channel_cycles.values()),
+                    dram_total_cycles=stats.total_cycles,
+                    p99_delta=delta,
+                    extra_prefill_seconds_per_token=extra_p,
+                    extra_decode_seconds_per_token=extra_d,
+                    measured_prefill_seconds_per_token=measured_p,
+                    measured_decode_seconds_per_token=measured_d,
+                    serving_ttft_p99=serving.ttft_percentile(99),
+                    serving_queue_delay_p99=serving.queue_delay_percentile(99),
+                )
+            )
+            result.extra_seconds_per_token = extra_scalar
+            result.extra_prefill_seconds_per_token = extra_p
+            result.extra_decode_seconds_per_token = extra_d
+            if prev_p99 is not None and delta <= cfg.p99_tolerance:
+                result.converged = True
+                break
+            prev_p99 = p99
+            extra_p = search_p.update(index, measured_p)
+            extra_d = search_d.update(index, measured_d)
+        if not result.converged and best is not None:
+            serving_b, trace_b, stats_b, scalar_b, extra_p_b, extra_d_b = best
+            result.closed_loop = serving_b
+            result.final_trace = trace_b
+            result.final_dram_stats = stats_b
+            result.extra_seconds_per_token = scalar_b
+            result.extra_prefill_seconds_per_token = extra_p_b
+            result.extra_decode_seconds_per_token = extra_d_b
             result.residual_seconds_per_token = best_residual
         return result

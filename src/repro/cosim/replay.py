@@ -36,6 +36,11 @@ from repro.workloads.distributions import sample_expert_counts
 from repro.workloads.traces import RoutingProfile
 
 
+#: ``phases`` column values: prefill bursts vs per-step decode bursts.
+PHASE_PREFILL = 0
+PHASE_DECODE = 1
+
+
 @dataclass(frozen=True)
 class ReplayTrace:
     """One serving run rendered as DRAM trace columns.
@@ -44,6 +49,15 @@ class ReplayTrace:
     emitted DRAM request ``i``; ``tokens_by_request`` maps each
     replayed serving request to its prompt+decode token count (used to
     convert per-request delay into per-token cost inflation).
+
+    Phase-aware replays (batching-engine serving runs) additionally
+    carry ``burst_ids`` -- a unique id per contiguous burst, since one
+    request then emits several bursts (one prefill, one per decode
+    step) -- and ``phases`` (:data:`PHASE_PREFILL` /
+    :data:`PHASE_DECODE` per DRAM request), which the co-simulation
+    driver uses to attribute measured contention to prefill vs decode
+    and apply distinct surcharges.  Both are ``None`` for legacy
+    one-burst-per-request replays.
     """
 
     addrs: np.ndarray
@@ -51,6 +65,8 @@ class ReplayTrace:
     flags: np.ndarray
     request_ids: np.ndarray
     tokens_by_request: dict[int, int]
+    burst_ids: Optional[np.ndarray] = None
+    phases: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self.addrs.shape[0]
@@ -196,8 +212,20 @@ class ExpertReplayPlanner:
     # -- whole-run replay --------------------------------------------------
 
     def replay(self, result: ServingResult) -> ReplayTrace:
-        """Render a serving run as DRAM columns whose arrivals are the
-        serving requests' service-start cycles."""
+        """Render a serving run as DRAM columns.
+
+        FIFO results replay as one burst per request at its
+        service-start cycle (the seed behavior).  Batching-engine
+        results replay phase-aware: a prefill burst at the request's
+        admission step, then one decode burst per engine step --
+        each decode step's weight traffic divided by that step's
+        decode batch size, because a batched step streams the expert
+        weights once for the whole batch (the memory-traffic
+        amortization that lets continuous batching recover part of
+        the FIFO saturation hockey stick).
+        """
+        if getattr(result, "engine", "fifo") == "batching":
+            return self._replay_phases(result)
         clock_hz = self.config.timing.clock_hz
         addr_chunks: list[np.ndarray] = []
         arrive_chunks: list[np.ndarray] = []
@@ -226,6 +254,104 @@ class ExpertReplayPlanner:
             flags=np.zeros(len(addrs), dtype=np.uint8),
             request_ids=request_ids,
             tokens_by_request=tokens_by_request,
+        )
+
+    def _replay_phases(self, result: ServingResult) -> ReplayTrace:
+        """Per-phase bursts for a batching-engine serving run.
+
+        A request's *union* of blocks is exactly
+        :meth:`request_blocks` -- deterministic in (seed, request_id,
+        tokens) as before.  The prompt-token share of that stream
+        forms the prefill burst where the request's prefill compute
+        actually runs inside its admission step
+        (``prefill_start``, falling back to ``start``); the remainder
+        is split evenly across the request's decode steps, and each
+        step's share is truncated to ``ceil(share / batch)`` blocks at
+        the step's decode-stream start (weights fetched once per step,
+        amortized over the step's decode batch).  Emitting at the
+        in-step offsets rather than the step boundary keeps one step's
+        traffic spread the way the cost model spends its time, instead
+        of spiking everything at the step start.
+        """
+        clock_hz = self.config.timing.clock_hz
+        addr_chunks: list[np.ndarray] = []
+        arrive_chunks: list[np.ndarray] = []
+        id_chunks: list[np.ndarray] = []
+        burst_chunks: list[np.ndarray] = []
+        phase_chunks: list[np.ndarray] = []
+        tokens_by_request: dict[int, int] = {}
+        burst_id = 0
+
+        def emit(blocks: np.ndarray, cycle: int, rid: int, phase: int) -> None:
+            nonlocal burst_id
+            if len(blocks) == 0:
+                return
+            addr_chunks.append(blocks * self._step)
+            arrive_chunks.append(np.full(len(blocks), cycle, dtype=np.int64))
+            id_chunks.append(np.full(len(blocks), rid, dtype=np.int64))
+            burst_chunks.append(np.full(len(blocks), burst_id, dtype=np.int64))
+            phase_chunks.append(np.full(len(blocks), phase, dtype=np.uint8))
+            burst_id += 1
+
+        for completed in sorted(result.completed, key=lambda c: c.request.request_id):
+            request = completed.request
+            tokens = request.prompt_tokens + request.decode_tokens
+            blocks = self.request_blocks(request.request_id, tokens)
+            tokens_by_request[request.request_id] = tokens
+            n_pre = min(
+                len(blocks),
+                -(-(request.prompt_tokens * self.bytes_per_token) // self._step),
+            )
+            prefill_at = (
+                completed.start
+                if completed.prefill_start is None
+                else completed.prefill_start
+            )
+            emit(
+                blocks[:n_pre],
+                int(round(prefill_at * clock_hz)),
+                request.request_id,
+                PHASE_PREFILL,
+            )
+            rest = blocks[n_pre:]
+            steps = completed.decode_step_starts
+            batches = completed.decode_step_batches
+            if len(rest) == 0 or not steps:
+                continue
+            base, remainder = divmod(len(rest), len(steps))
+            offset = 0
+            for s, (start, batch) in enumerate(zip(steps, batches)):
+                share = base + (1 if s < remainder else 0)
+                if share == 0:
+                    continue
+                chunk = rest[offset : offset + share]
+                offset += share
+                emit(
+                    chunk[: -(-share // max(1, batch))],
+                    int(round(start * clock_hz)),
+                    request.request_id,
+                    PHASE_DECODE,
+                )
+        if addr_chunks:
+            addrs = np.concatenate(addr_chunks)
+            arrive = np.concatenate(arrive_chunks)
+            request_ids = np.concatenate(id_chunks)
+            burst_ids = np.concatenate(burst_chunks)
+            phases = np.concatenate(phase_chunks)
+        else:
+            addrs = np.zeros(0, dtype=np.int64)
+            arrive = np.zeros(0, dtype=np.int64)
+            request_ids = np.zeros(0, dtype=np.int64)
+            burst_ids = np.zeros(0, dtype=np.int64)
+            phases = np.zeros(0, dtype=np.uint8)
+        return ReplayTrace(
+            addrs=addrs,
+            arrive_cycles=arrive,
+            flags=np.zeros(len(addrs), dtype=np.uint8),
+            request_ids=request_ids,
+            tokens_by_request=tokens_by_request,
+            burst_ids=burst_ids,
+            phases=phases,
         )
 
     @classmethod

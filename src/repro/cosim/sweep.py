@@ -86,6 +86,18 @@ class SweepPoint:
     failed: bool = False
     #: the raising exception, as ``TypeName: message`` (empty if ok)
     error: str = ""
+    # Per-phase closed-loop latency columns (batching engine; the
+    # fifo path fills TTFT/queue-delay from its coalesced steps and
+    # leaves the surcharge split at zero).
+    #: closed-loop time-to-first-token p99 (seconds)
+    closed_ttft_p99: float = 0.0
+    #: closed-loop admission-delay p99 (seconds)
+    closed_queue_delay_p99: float = 0.0
+    #: closed-loop per-output-token decode latency p99 (seconds)
+    closed_tpot_p99: float = 0.0
+    #: distinct per-phase surcharges of the reported iterate
+    extra_prefill_seconds_per_token: float = 0.0
+    extra_decode_seconds_per_token: float = 0.0
 
 
 @dataclass
@@ -99,6 +111,18 @@ class SweepResult:
     points: list[SweepPoint] = field(default_factory=list)
     #: free-form provenance (cost model, planner geometry, loop knobs)
     config: dict = field(default_factory=dict)
+    # Additive fields with defaults (format version unchanged).
+    #: serving model the sweep ran: "fifo" or "batching"
+    engine: str = "fifo"
+    #: closed-loop p99 threshold the capacity answer used (seconds;
+    #: auto-derived as 5x the lowest-rate closed p99 unless given)
+    slo_p99_seconds: float = 0.0
+    #: max sustained offered load with closed p99 under the threshold
+    #: (req/s, linearly interpolated to the crossing; 0 when even the
+    #: lowest grid rate violates the SLO)
+    slo_capacity_rps: float = 0.0
+    #: True when the threshold was auto-derived rather than user-given
+    slo_auto: bool = True
 
     # -- codec -----------------------------------------------------------
 
@@ -110,6 +134,10 @@ class SweepResult:
             "arrival": self.arrival,
             "n_requests": self.n_requests,
             "seed": self.seed,
+            "engine": self.engine,
+            "slo_p99_seconds": self.slo_p99_seconds,
+            "slo_capacity_rps": self.slo_capacity_rps,
+            "slo_auto": self.slo_auto,
             "config": self.config,
             "points": [asdict(p) for p in self.points],
         }
@@ -126,6 +154,10 @@ class SweepResult:
             arrival=data["arrival"],
             n_requests=int(data["n_requests"]),
             seed=int(data["seed"]),
+            engine=str(data.get("engine", "fifo")),
+            slo_p99_seconds=float(data.get("slo_p99_seconds", 0.0)),
+            slo_capacity_rps=float(data.get("slo_capacity_rps", 0.0)),
+            slo_auto=bool(data.get("slo_auto", True)),
             config=dict(data.get("config", {})),
             points=[SweepPoint(**p) for p in data["points"]],
         )
@@ -141,7 +173,8 @@ class SweepResult:
 
 
 def format_sweep(result: SweepResult) -> str:
-    """The hockey-stick table: open vs closed tails across the grid."""
+    """The hockey-stick table: open vs closed tails across the grid,
+    with the closed loop's per-phase tails (TTFT, queue delay)."""
     rows = []
     for p in result.points:
         rows.append(
@@ -151,6 +184,8 @@ def format_sweep(result: SweepResult) -> str:
                 p.open_p99,
                 p.closed_p50,
                 p.closed_p99,
+                p.closed_ttft_p99,
+                p.closed_queue_delay_p99,
                 round(p.closed_p99 / p.open_p99, 3) if p.open_p99 > 0 else 1.0,
                 p.n_iterations,
                 "FAILED" if p.failed else ("yes" if p.converged else "NO"),
@@ -164,6 +199,8 @@ def format_sweep(result: SweepResult) -> str:
         "open p99",
         "closed p50",
         "closed p99",
+        "ttft p99",
+        "qdelay p99",
         "p99 ratio",
         "iters",
         "conv",
@@ -171,6 +208,34 @@ def format_sweep(result: SweepResult) -> str:
         "dram idle",
     ]
     return format_table(header, rows)
+
+
+def slo_capacity(points: list[SweepPoint], p99_threshold: float) -> float:
+    """Max sustained offered load (req/s) whose closed-loop p99 stays
+    under ``p99_threshold`` seconds.
+
+    Walks the (ascending) rate grid to the first point violating the
+    threshold and interpolates the crossing rate linearly between the
+    last compliant point and the violator -- the standard way an SLO
+    capacity is read off a load-sweep curve.  Returns the highest grid
+    rate when every point complies, and 0.0 when even the lowest rate
+    violates (failed points are treated as violations).
+    """
+    if p99_threshold <= 0:
+        raise ValueError("p99_threshold must be positive")
+    last_ok: Optional[SweepPoint] = None
+    for p in points:
+        if p.failed or p.closed_p99 >= p99_threshold:
+            if last_ok is None:
+                return 0.0
+            if p.failed or p.closed_p99 <= last_ok.closed_p99:
+                return last_ok.rate
+            frac = (p99_threshold - last_ok.closed_p99) / (
+                p.closed_p99 - last_ok.closed_p99
+            )
+            return last_ok.rate + frac * (p.rate - last_ok.rate)
+        last_ok = p
+    return last_ok.rate if last_ok is not None else 0.0
 
 
 def _run_rate_point(
@@ -192,6 +257,13 @@ def _run_rate_point(
     process pool.  Each point builds its own generator and driver from
     the same seed, so results are identical whether points run
     serially, in parallel, or in any order.
+
+    With ``planner=None`` the point runs serving-only (open loop, no
+    DRAM feedback): the configured engine simulates the rate once and
+    the result is wrapped as a trivially-converged
+    :class:`CosimResult` whose open and closed loops coincide -- the
+    engine-aware successor of the old standalone
+    ``repro.serving.load_sweep`` loop.
     """
     generator = RequestGenerator(
         rate,
@@ -200,6 +272,34 @@ def _run_rate_point(
         seed=seed,
         arrival=arrival,
     )
+    if planner is None:
+        from repro.serving.engine import BatchConfig, BatchingEngine, PhaseCostModel
+        from repro.serving.simulator import ServingSimulator
+
+        if cfg.engine == "batching":
+            serving = BatchingEngine(
+                PhaseCostModel.from_cost_model(
+                    cost_model,
+                    decode_marginal_fraction=cfg.decode_marginal_fraction,
+                ),
+                scheme,
+                BatchConfig(
+                    max_batch=cfg.max_batch,
+                    prefill_token_budget=cfg.prefill_token_budget,
+                    priority=cfg.priority,
+                    queue_limit=cfg.queue_limit,
+                ),
+            ).run(generator.generate(n_requests))
+        else:
+            serving = ServingSimulator(
+                cost_model, scheme, queue_limit=cfg.queue_limit
+            ).run(generator.generate(n_requests))
+        return CosimResult(
+            scheme=scheme,
+            converged=True,
+            open_loop=serving,
+            closed_loop=serving,
+        )
     driver = CosimDriver(cost_model, scheme, planner, config=cfg)
     try:
         return driver.run(generator.generate(n_requests))
@@ -230,6 +330,11 @@ def _point_from_run(rate: float, run: CosimResult) -> SweepPoint:
         dram_idle_cycles=last.dram_idle_cycles if last else 0,
         dram_total_cycles=last.dram_total_cycles if last else 0,
         residual_seconds_per_token=run.residual_seconds_per_token,
+        closed_ttft_p99=closed.ttft_percentile(99),
+        closed_queue_delay_p99=closed.queue_delay_percentile(99),
+        closed_tpot_p99=closed.tpot_percentile(99),
+        extra_prefill_seconds_per_token=run.extra_prefill_seconds_per_token,
+        extra_decode_seconds_per_token=run.extra_decode_seconds_per_token,
     )
 
 
@@ -333,8 +438,22 @@ def run_load_sweep(
     checkpoint_path=None,
     resume: bool = False,
     on_point: Optional[Callable[[float, SweepPoint], None]] = None,
+    slo_p99_seconds: Optional[float] = None,
 ) -> tuple[SweepResult, list[Optional[CosimResult]]]:
     """Run the closed loop at every rate in the grid.
+
+    ``planner=None`` runs the grid serving-only (no DRAM feedback):
+    every point is a trivially-converged open-loop run of the
+    configured engine -- the one sweep implementation behind both the
+    co-simulation CLI and the deprecated ``repro.serving.load_sweep``
+    adapter.
+
+    The result carries an SLO capacity answer: the max sustained
+    offered load whose closed-loop p99 stays under ``slo_p99_seconds``
+    (interpolated between grid points; see :func:`slo_capacity`).
+    When no threshold is given, one is auto-derived as 5x the
+    lowest-rate point's closed p99 -- "how far can load grow before
+    the tail is 5x the uncongested tail".
 
     Returns the serializable :class:`SweepResult` plus the per-rate
     :class:`CosimResult` objects (which keep the full iteration
@@ -380,15 +499,31 @@ def run_load_sweep(
             "damping": cfg.damping,
             "max_iterations": cfg.max_iterations,
             "p99_tolerance": cfg.p99_tolerance,
-            "bytes_per_token": planner.bytes_per_token,
-            "max_blocks_per_request": planner.max_blocks_per_request,
-            "dram_channels": planner.config.organization.n_channels,
+            "bytes_per_token": planner.bytes_per_token if planner is not None else 0,
+            "max_blocks_per_request": (
+                planner.max_blocks_per_request if planner is not None else 0
+            ),
+            "dram_channels": (
+                planner.config.organization.n_channels if planner is not None else 0
+            ),
             "encode_seconds_per_token": cost_model.encode_seconds_per_token,
             "decode_seconds_per_token": cost_model.decode_seconds_per_token,
             "mean_prompt_tokens": mean_prompt_tokens,
             "mean_decode_tokens": mean_decode_tokens,
+            "engine": cfg.engine,
+            "serving_only": planner is None,
         },
+        engine=cfg.engine,
     )
+    if cfg.engine == "batching":
+        sweep.config.update(
+            {
+                "max_batch": cfg.max_batch,
+                "priority": cfg.priority,
+                "prefill_token_budget": cfg.prefill_token_budget,
+                "decode_marginal_fraction": cfg.decode_marginal_fraction,
+            }
+        )
     fingerprint = {
         "scheme": sweep.scheme,
         "arrival": arrival,
@@ -520,6 +655,17 @@ def run_load_sweep(
             ckpt_fh.close()
 
     sweep.points.extend(done[rate] for rate in rates)
+    ok_points = [p for p in sweep.points if not p.failed]
+    if ok_points:
+        if slo_p99_seconds is not None:
+            sweep.slo_p99_seconds = float(slo_p99_seconds)
+            sweep.slo_auto = False
+        else:
+            # "How far can load grow before the tail is 5x the
+            # uncongested tail" -- anchor on the lowest-rate point.
+            sweep.slo_p99_seconds = 5.0 * ok_points[0].closed_p99
+            sweep.slo_auto = True
+        sweep.slo_capacity_rps = slo_capacity(ok_points, sweep.slo_p99_seconds)
     if checkpoint_path is not None:
         # The grid is complete; the sidecar has served its purpose.
         checkpoint_path.unlink(missing_ok=True)

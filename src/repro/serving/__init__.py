@@ -4,23 +4,56 @@ The paper evaluates isolated encoder passes and decoder generations.
 A deployment cares about the next level up: sustained request traffic.
 This package drives the per-scheme costs from
 :class:`~repro.core.runtime.MoNDERuntime` through a discrete-event
-server model (Poisson arrivals, bounded queue, one inference engine)
-and reports throughput, utilization, and latency percentiles -- the
-numbers a capacity planner would derive from the paper's results.
+server model and reports throughput, utilization, and latency
+percentiles -- the numbers a capacity planner would derive from the
+paper's results.
+
+Two serving models share one implementation
+(:class:`~repro.serving.engine.BatchingEngine`):
+
+- ``fifo`` -- one request per inference step (the seed behavior);
+  :class:`ServingSimulator` is this configuration, pinned
+  bit-identical to the reference loop in
+  :mod:`repro.serving.reference`.
+- ``batching`` -- phase-aware continuous batching: each step admits
+  prefills under a token budget alongside one decode token per
+  in-flight request, priced per phase by a :class:`PhaseCostModel`
+  (or :class:`RuntimePhaseCostModel`, calibrated at the composed
+  batch geometry), with TTFT / queue-delay / per-token decode
+  percentiles on the result.
 """
 
+from repro.serving.engine import (
+    BatchConfig,
+    BatchingEngine,
+    PhaseCostModel,
+    RuntimePhaseCostModel,
+)
 from repro.serving.simulator import (
+    CompletedRequest,
     CostModel,
     ServingResult,
     ServingSimulator,
     load_sweep,
 )
-from repro.serving.workload import Request, RequestGenerator
+from repro.serving.workload import (
+    Request,
+    RequestGenerator,
+    RequestPhase,
+    SERVING_ARRIVALS,
+)
 
 __all__ = [
+    "SERVING_ARRIVALS",
+    "BatchConfig",
+    "BatchingEngine",
+    "CompletedRequest",
     "CostModel",
+    "PhaseCostModel",
     "Request",
     "RequestGenerator",
+    "RequestPhase",
+    "RuntimePhaseCostModel",
     "ServingResult",
     "ServingSimulator",
     "load_sweep",

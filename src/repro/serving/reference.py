@@ -1,0 +1,71 @@
+"""Reference FIFO serving simulator (equivalence oracle).
+
+This is the seed ``ServingSimulator.run`` loop, kept verbatim as an
+executable specification -- the same role :mod:`repro.dram.reference`
+plays for the memory controller.  The production path is
+:class:`~repro.serving.engine.BatchingEngine` at ``max_batch=1``,
+which :mod:`tests.serving.test_engine_equivalence` pins bit-identical
+(same completions, starts, finishes, horizon, busy seconds, rejects)
+to this loop across arrival processes and seeds.
+
+Do not optimize this module; its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+from repro.serving.simulator import CompletedRequest, CostModel, ServingResult
+from repro.serving.workload import Request
+from repro.sim.engine import SimEngine
+
+from repro.core.strategies import Scheme
+
+
+class ReferenceFIFOSimulator:
+    """FIFO single-server queue over a scheme's cost model."""
+
+    def __init__(
+        self, cost_model: CostModel, scheme: Scheme, queue_limit: int = 512
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.cost_model = cost_model
+        self.scheme = scheme
+        self.queue_limit = queue_limit
+
+    def run(self, requests: list[Request]) -> ServingResult:
+        """Simulate the full request list; returns aggregate metrics."""
+        engine = SimEngine()
+        result = ServingResult(scheme=self.scheme)
+        queue: list[Request] = []
+        state = {"busy": False}
+
+        def start_service(request: Request) -> None:
+            state["busy"] = True
+            start = engine.now
+            service = self.cost_model.service_time(request)
+            result.busy_seconds += service
+
+            def finish() -> None:
+                result.completed.append(
+                    CompletedRequest(request=request, start=start, finish=engine.now)
+                )
+                if queue:
+                    start_service(queue.pop(0))
+                else:
+                    state["busy"] = False
+
+            engine.schedule_in(service, finish)
+
+        def arrive(request: Request) -> None:
+            if state["busy"]:
+                if len(queue) >= self.queue_limit:
+                    result.rejected += 1
+                    return
+                queue.append(request)
+            else:
+                start_service(request)
+
+        for request in sorted(requests, key=lambda r: r.arrival):
+            engine.schedule(request.arrival, lambda r=request: arrive(r))
+        result.horizon = engine.run()
+        return result

@@ -19,7 +19,6 @@ from repro.core.runtime import InferenceConfig, MoNDERuntime
 from repro.core.strategies import Scheme
 from repro.moe.config import MoEModelConfig
 from repro.serving.workload import Request
-from repro.sim.engine import SimEngine
 from repro.workloads.traces import RoutingProfile
 
 
@@ -97,11 +96,28 @@ class CostModel:
 
 @dataclass
 class CompletedRequest:
-    """Bookkeeping for one finished request."""
+    """Bookkeeping for one finished request.
+
+    ``first_token`` is when the request's prefill produced its first
+    output token (``None`` for records built by code predating the
+    phase-aware engine, where TTFT falls back to end-to-end latency).
+    ``decode_step_starts``/``decode_step_batches`` record, for each
+    engine step in which this request decoded, the time the step's
+    decode stream begins (after the step's admitted prefills) and the
+    decode batch size -- what the co-simulation replay uses to emit
+    per-step decode bursts with batch-amortized weight traffic.
+    ``prefill_start`` is when this request's prefill actually begins
+    within its admission step (prefills run sequentially, so later
+    admits start later); ``None`` means "same as ``start``".
+    """
 
     request: Request
     start: float
     finish: float
+    first_token: Optional[float] = None
+    prefill_start: Optional[float] = None
+    decode_step_starts: list = field(default_factory=list)
+    decode_step_batches: list = field(default_factory=list)
 
     @property
     def latency(self) -> float:
@@ -110,6 +126,20 @@ class CompletedRequest:
     @property
     def queue_delay(self) -> float:
         return self.start - self.request.arrival
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (arrival -> end of prefill)."""
+        anchor = self.finish if self.first_token is None else self.first_token
+        return anchor - self.request.arrival
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token across the decode phase (0 for
+        prefill-only requests)."""
+        if self.request.decode_tokens == 0 or self.first_token is None:
+            return 0.0
+        return (self.finish - self.first_token) / self.request.decode_tokens
 
 
 @dataclass
@@ -121,6 +151,12 @@ class ServingResult:
     rejected: int = 0
     horizon: float = 0.0
     busy_seconds: float = 0.0
+    #: which serving model produced this result: "fifo" (one request
+    #: per step, the seed behavior) or "batching" (stepped continuous
+    #: batching with per-step decode records)
+    engine: str = "fifo"
+    #: inference steps executed (0 on the fifo path)
+    n_steps: int = 0
 
     @property
     def n_completed(self) -> int:
@@ -149,9 +185,46 @@ class ServingResult:
             return 0.0
         return float(np.mean([c.latency for c in self.completed]))
 
+    # -- per-phase views --------------------------------------------------
+
+    def ttft_percentile(self, q: float) -> float:
+        """Time-to-first-token percentile (the prefill phase's tail)."""
+        if not self.completed:
+            return 0.0
+        return float(np.percentile([c.ttft for c in self.completed], q))
+
+    def queue_delay_percentile(self, q: float) -> float:
+        """Admission-delay percentile (arrival -> first scheduled)."""
+        if not self.completed:
+            return 0.0
+        return float(np.percentile([c.queue_delay for c in self.completed], q))
+
+    def tpot_percentile(self, q: float) -> float:
+        """Per-output-token decode latency percentile, over requests
+        that decoded at least one token."""
+        samples = [c.tpot for c in self.completed if c.request.decode_tokens > 0]
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, q))
+
+    @property
+    def mean_ttft(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([c.ttft for c in self.completed]))
+
 
 class ServingSimulator:
-    """FIFO single-server queue over a scheme's cost model."""
+    """FIFO single-server queue over a scheme's cost model.
+
+    Since the continuous-batching refactor this is a thin
+    ``max_batch=1`` configuration of
+    :class:`~repro.serving.engine.BatchingEngine`, pinned bit-identical
+    (same completions, starts, finishes, horizon, busy seconds,
+    rejects) to the seed FIFO loop preserved in
+    :class:`~repro.serving.reference.ReferenceFIFOSimulator` by the
+    equivalence suite.
+    """
 
     def __init__(self, cost_model: CostModel, scheme: Scheme, queue_limit: int = 512) -> None:
         if queue_limit < 1:
@@ -162,41 +235,14 @@ class ServingSimulator:
 
     def run(self, requests: list[Request]) -> ServingResult:
         """Simulate the full request list; returns aggregate metrics."""
-        engine = SimEngine()
-        result = ServingResult(scheme=self.scheme)
-        queue: list[Request] = []
-        state = {"busy": False}
+        from repro.serving.engine import BatchConfig, BatchingEngine, PhaseCostModel
 
-        def start_service(request: Request) -> None:
-            state["busy"] = True
-            start = engine.now
-            service = self.cost_model.service_time(request)
-            result.busy_seconds += service
-
-            def finish() -> None:
-                result.completed.append(
-                    CompletedRequest(request=request, start=start, finish=engine.now)
-                )
-                if queue:
-                    start_service(queue.pop(0))
-                else:
-                    state["busy"] = False
-
-            engine.schedule_in(service, finish)
-
-        def arrive(request: Request) -> None:
-            if state["busy"]:
-                if len(queue) >= self.queue_limit:
-                    result.rejected += 1
-                    return
-                queue.append(request)
-            else:
-                start_service(request)
-
-        for request in sorted(requests, key=lambda r: r.arrival):
-            engine.schedule(request.arrival, lambda r=request: arrive(r))
-        result.horizon = engine.run()
-        return result
+        engine = BatchingEngine(
+            PhaseCostModel.from_cost_model(self.cost_model),
+            self.scheme,
+            BatchConfig(max_batch=1, queue_limit=self.queue_limit),
+        )
+        return engine.run(requests)
 
 
 def dram_replay_trace_arrays(
@@ -329,17 +375,40 @@ def load_sweep(
     mean_decode_tokens: int = 32,
 ) -> list[tuple[float, ServingResult]]:
     """Run the simulator across offered loads (the classic
-    latency-vs-throughput hockey stick)."""
-    from repro.serving.workload import RequestGenerator
+    latency-vs-throughput hockey stick).
 
-    results = []
-    for rate in rates:
-        generator = RequestGenerator(
-            rate,
-            mean_prompt_tokens=mean_prompt_tokens,
-            mean_decode_tokens=mean_decode_tokens,
-            seed=seed,
-        )
-        sim = ServingSimulator(cost_model, scheme)
-        results.append((rate, sim.run(generator.generate(n_requests))))
-    return results
+    .. deprecated::
+        Thin adapter over :func:`repro.cosim.run_load_sweep` with
+        ``planner=None`` (the serving-only, open-loop mode); call that
+        directly for checkpointing, parallel grid points, the batching
+        engine, and SLO capacity.  The per-rate results are identical
+        to the pre-refactor standalone loop.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.serving.load_sweep is deprecated; use "
+        "repro.cosim.run_load_sweep(planner=None) for the engine-aware "
+        "sweep path",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cosim.driver import CosimConfig
+    from repro.cosim.sweep import run_load_sweep
+
+    sorted_rates = sorted(set(float(r) for r in rates))
+    _, runs = run_load_sweep(
+        cost_model,
+        scheme,
+        None,
+        sorted_rates,
+        n_requests=n_requests,
+        seed=seed,
+        mean_prompt_tokens=mean_prompt_tokens,
+        mean_decode_tokens=mean_decode_tokens,
+        # The historical standalone loop ran ServingSimulator at its
+        # default queue_limit; keep the per-point results identical.
+        cosim_config=CosimConfig(queue_limit=512),
+    )
+    by_rate = dict(zip(sorted_rates, runs))
+    return [(rate, by_rate[float(rate)].closed_loop) for rate in rates]

@@ -2,19 +2,60 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
 
 import numpy as np
 
 
+class RequestPhase(Enum):
+    """Lifecycle phases of a request inside the serving engine."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass
+class PhaseLifecycle:
+    """Mutable per-request phase state, written by the serving engine.
+
+    Timestamps are simulated seconds; ``None`` until the request
+    reaches that phase.  ``first_token`` is when the prefill produced
+    its first output token (the TTFT anchor); for zero-decode requests
+    it coincides with ``finished``.
+    """
+
+    phase: RequestPhase = RequestPhase.QUEUED
+    admitted: Optional[float] = None
+    first_token: Optional[float] = None
+    finished: Optional[float] = None
+
+    def reset(self) -> None:
+        self.phase = RequestPhase.QUEUED
+        self.admitted = None
+        self.first_token = None
+        self.finished = None
+
+
 @dataclass(frozen=True)
 class Request:
-    """One inference request: a prompt to encode and tokens to decode."""
+    """One inference request: a prompt to encode and tokens to decode.
+
+    ``lifecycle`` carries the engine-side phase state; it is excluded
+    from equality/repr so two requests with the same identity compare
+    equal regardless of how far each has been served.
+    """
 
     request_id: int
     arrival: float
     prompt_tokens: int
     decode_tokens: int
+    lifecycle: PhaseLifecycle = field(
+        default_factory=PhaseLifecycle, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -38,6 +79,11 @@ class RequestGenerator:
     :data:`SERVING_ARRIVALS` (Poisson by default).  Prompt and decode
     lengths vary geometrically around their means, which matches the
     heavy-ish tails of real serving traces without extra parameters.
+    ``mean_prompt_tokens`` is the realized mean prompt length over the
+    support {1, 2, ...}; ``mean_decode_tokens`` the realized mean
+    decode length over {0, 1, ...} (0 models requests that only score
+    a prompt, so a mean of 0 -- every request pure-prefill -- is
+    valid).
     """
 
     def __init__(
@@ -51,8 +97,10 @@ class RequestGenerator:
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
-        if mean_prompt_tokens < 1 or mean_decode_tokens < 1:
-            raise ValueError("token means must be >= 1")
+        if mean_prompt_tokens < 1:
+            raise ValueError("mean_prompt_tokens must be >= 1")
+        if mean_decode_tokens < 0:
+            raise ValueError("mean_decode_tokens must be >= 0")
         if arrival not in SERVING_ARRIVALS:
             raise ValueError(
                 f"unknown arrival process {arrival!r}; choose from {SERVING_ARRIVALS}"
@@ -89,8 +137,15 @@ class RequestGenerator:
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
         arrivals = self._arrival_times(n_requests)
-        prompts = 1 + self._rng.geometric(1.0 / self.mean_prompt_tokens, n_requests)
-        decodes = 1 + self._rng.geometric(1.0 / self.mean_decode_tokens, n_requests)
+        # Geometric on {1, 2, ...} with p = 1/mean realizes the stated
+        # prompt mean exactly; decode lengths are the same distribution
+        # shifted onto {0, 1, ...} (p = 1/(mean+1)), so the realized
+        # decode mean is mean_decode_tokens and zero-length decodes
+        # (prefill-only requests) occur naturally.
+        prompts = self._rng.geometric(1.0 / self.mean_prompt_tokens, n_requests)
+        decodes = (
+            self._rng.geometric(1.0 / (self.mean_decode_tokens + 1.0), n_requests) - 1
+        )
         return [
             Request(
                 request_id=i,

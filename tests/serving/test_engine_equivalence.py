@@ -1,0 +1,91 @@
+"""Equivalence suite: the fused ``max_batch=1`` engine IS the seed FIFO.
+
+The refactor's contract is that :class:`ServingSimulator` (now a thin
+``max_batch=1`` configuration of :class:`BatchingEngine`) produces
+*bit-identical* results to the seed loop preserved in
+:mod:`repro.serving.reference` -- same completions in the same order,
+same float starts/finishes, same horizon, busy seconds, and rejects.
+Not approximately: the surcharge terms are exact float no-ops at 0.0
+and the event structure is unchanged, so ``==`` must hold.
+"""
+
+import pytest
+
+from repro.core.strategies import Scheme
+from repro.serving.engine import BatchConfig, BatchingEngine, PhaseCostModel
+from repro.serving.reference import ReferenceFIFOSimulator
+from repro.serving.simulator import CostModel, ServingSimulator
+from repro.serving.workload import RequestGenerator
+
+SCHEME = Scheme.MD_LB
+COST = CostModel(encode_seconds_per_token=2e-9, decode_seconds_per_token=2e-8)
+
+
+def assert_bit_identical(result, reference):
+    assert len(result.completed) == len(reference.completed)
+    for got, want in zip(result.completed, reference.completed):
+        assert got.request.request_id == want.request.request_id
+        assert got.start == want.start  # exact float equality
+        assert got.finish == want.finish
+    assert result.rejected == reference.rejected
+    assert result.horizon == reference.horizon
+    assert result.busy_seconds == reference.busy_seconds
+    assert result.latency_percentile(99) == reference.latency_percentile(99)
+
+
+@pytest.mark.parametrize("arrival", ["poisson", "batched", "onoff"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_serving_simulator_matches_reference(arrival, seed):
+    gen = RequestGenerator(
+        rate=2e6,  # saturating: exercises queueing and busy chains
+        mean_prompt_tokens=24,
+        mean_decode_tokens=6,
+        seed=seed,
+        arrival=arrival,
+    )
+    requests = gen.generate(300)
+    result = ServingSimulator(COST, SCHEME).run(requests)
+    reference = ReferenceFIFOSimulator(COST, SCHEME).run(requests)
+    assert_bit_identical(result, reference)
+    assert result.engine == "fifo"
+
+
+def test_fused_engine_matches_reference_directly():
+    gen = RequestGenerator(rate=1e6, mean_prompt_tokens=16, mean_decode_tokens=8, seed=7)
+    requests = gen.generate(200)
+    fused = BatchingEngine(
+        PhaseCostModel.from_cost_model(COST), SCHEME, BatchConfig(max_batch=1)
+    ).run(requests)
+    reference = ReferenceFIFOSimulator(COST, SCHEME).run(requests)
+    assert_bit_identical(fused, reference)
+
+
+def test_queue_limit_rejection_matches_reference():
+    gen = RequestGenerator(rate=1e8, mean_prompt_tokens=64, mean_decode_tokens=16, seed=4)
+    requests = gen.generate(400)
+    result = ServingSimulator(COST, SCHEME, queue_limit=8).run(requests)
+    reference = ReferenceFIFOSimulator(COST, SCHEME, queue_limit=8).run(requests)
+    assert reference.rejected > 0  # the limit actually bites
+    assert_bit_identical(result, reference)
+
+
+def test_zero_decode_requests_match_reference():
+    gen = RequestGenerator(
+        rate=5e6, mean_prompt_tokens=32, mean_decode_tokens=0, seed=5
+    )
+    requests = gen.generate(150)
+    result = ServingSimulator(COST, SCHEME).run(requests)
+    reference = ReferenceFIFOSimulator(COST, SCHEME).run(requests)
+    assert_bit_identical(result, reference)
+
+
+def test_fused_ttft_is_bookkeeping_only():
+    # The fused path records TTFT arithmetically; it must never perturb
+    # the event timeline, and it lands at start + prefill time.
+    gen = RequestGenerator(rate=1e5, mean_prompt_tokens=16, mean_decode_tokens=8, seed=6)
+    requests = gen.generate(50)
+    result = ServingSimulator(COST, SCHEME).run(requests)
+    for c in result.completed:
+        expected = c.start + COST.encode_seconds_per_token * c.request.prompt_tokens
+        assert c.first_token == pytest.approx(expected)
+        assert c.start <= c.first_token <= c.finish

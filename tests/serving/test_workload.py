@@ -22,10 +22,22 @@ def test_mean_rate_approximate():
 
 
 def test_token_means_approximate():
+    # The generator realizes the configured means exactly (prompts on
+    # {1, ...}, decodes on {0, ...}) -- not mean+1 as the earlier
+    # parameterization did.
     gen = RequestGenerator(rate=1.0, mean_prompt_tokens=256, mean_decode_tokens=16, seed=3)
     requests = gen.generate(3000)
-    assert np.mean([r.prompt_tokens for r in requests]) == pytest.approx(257, rel=0.1)
-    assert np.mean([r.decode_tokens for r in requests]) == pytest.approx(17, rel=0.1)
+    assert np.mean([r.prompt_tokens for r in requests]) == pytest.approx(256, rel=0.1)
+    assert np.mean([r.decode_tokens for r in requests]) == pytest.approx(16, rel=0.1)
+
+
+def test_zero_decode_mean_is_valid():
+    # mean_decode_tokens=0 must be accepted and produce all
+    # prefill-only requests (decode_tokens == 0 is a legal request).
+    gen = RequestGenerator(rate=1.0, mean_prompt_tokens=8, mean_decode_tokens=0, seed=5)
+    requests = gen.generate(500)
+    assert all(r.decode_tokens == 0 for r in requests)
+    assert all(r.prompt_tokens >= 1 for r in requests)
 
 
 def test_deterministic_per_seed():
@@ -66,6 +78,8 @@ def test_validation():
         RequestGenerator(rate=0)
     with pytest.raises(ValueError):
         RequestGenerator(rate=1, mean_prompt_tokens=0)
+    with pytest.raises(ValueError):
+        RequestGenerator(rate=1, mean_decode_tokens=-1)
     gen = RequestGenerator(rate=1)
     with pytest.raises(ValueError):
         gen.generate(0)
