@@ -28,6 +28,58 @@ import sys
 
 GATED_IMPLEMENTATIONS = ("indexed", "arrays")
 
+#: parallel-drain runs recorded on a multi-core machine must keep at
+#: least this fraction of the serial throughput (a pool that *loses*
+#: badly signals a serialization bug, not machine variance)
+PARALLEL_MIN_SPEEDUP = 0.75
+
+
+def check_parallel(baseline: dict) -> list[str]:
+    """Gate the baseline's recorded ``parallel`` section.
+
+    Bit-identity must hold on any hardware.  Speedup assertions are
+    meaningful only when the recording machine had multiple cores: the
+    committed baseline may have been recorded in a 1-core container
+    (``cpu_count`` is stamped into the section), where a process pool
+    cannot beat the serial drain -- those are skipped, not failed.
+    """
+    section = baseline.get("parallel")
+    if not section:
+        return []
+    problems = []
+    cores = section.get("cpu_count", baseline.get("cpu_count", 0)) or 0
+    gate_speedups = cores > 1
+    if not gate_speedups:
+        print(
+            f"parallel speedup gate skipped: baseline recorded on "
+            f"{cores} core(s) (re-record on multi-core hardware via "
+            "run_controller_bench.py --refresh-baseline)"
+        )
+    for size, entry in section.get("traces", {}).items():
+        for workers, run in entry.get("workers", {}).items():
+            if not run.get("identical", True):
+                problems.append(
+                    f"parallel {size} requests / {workers} workers: "
+                    "stats diverged from the serial drain"
+                )
+            if not gate_speedups:
+                continue
+            speedup = run.get("speedup")
+            if speedup is None:
+                continue
+            verdict = "REGRESSION" if speedup < PARALLEL_MIN_SPEEDUP else "ok"
+            print(
+                f"{'parallel':>12} {workers:>2}w/{size}: "
+                f"speedup {speedup:.2f}x (floor {PARALLEL_MIN_SPEEDUP}) {verdict}"
+            )
+            if speedup < PARALLEL_MIN_SPEEDUP:
+                problems.append(
+                    f"parallel {size} requests / {workers} workers: "
+                    f"speedup {speedup:.2f}x below {PARALLEL_MIN_SPEEDUP}x "
+                    f"on a {cores}-core recording"
+                )
+    return problems
+
 
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Returns a list of human-readable regression descriptions."""
@@ -73,6 +125,7 @@ def main(argv=None) -> int:
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     current = json.loads(pathlib.Path(args.current).read_text())
     regressions = compare(baseline, current, args.tolerance)
+    regressions += check_parallel(baseline)
     if regressions:
         print("\nthroughput regression(s) beyond tolerance:", file=sys.stderr)
         for line in regressions:

@@ -37,6 +37,7 @@ def _csv_ints(argv: list[str], flag: str, default: tuple[int, ...]) -> tuple[int
 
 def refresh_baseline(argv: list[str]) -> int:
     import json
+    import os
 
     from repro.dram.bench import (
         bench_controller,
@@ -64,6 +65,11 @@ def refresh_baseline(argv: list[str]) -> int:
     print(json.dumps(parallel, indent=2))
     payload = {
         "benchmark": "dram-controller-baseline",
+        # Stamped so consumers (check_regression.py) can tell whether
+        # the parallel section's speedups were measured on hardware
+        # where a process pool could possibly win (a 1-core container
+        # cannot beat the serial drain).
+        "cpu_count": os.cpu_count() or 1,
         "full": full,
         "open_loop_poisson": poisson,
         "smoke": smoke,

@@ -9,7 +9,8 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.core.strategies import Scheme
-from repro.serving.simulator import CostModel, load_sweep
+from repro.cosim import CosimConfig, run_load_sweep
+from repro.serving.simulator import CostModel
 from repro.workloads import flores_like
 
 RATES = (0.5, 2.0, 6.0)  # requests/second
@@ -24,10 +25,15 @@ def build_rows():
         cost = CostModel.from_runtime(
             sc.model, scheme, profile=sc.profile, ref_decode_steps=4
         )
-        sweep = load_sweep(
-            cost, scheme, rates=list(RATES), n_requests=N_REQUESTS,
+        # planner=None: serving-only open loop; queue_limit 512
+        # matches the historical standalone loop the deleted
+        # repro.serving.load_sweep adapter preserved.
+        _, runs = run_load_sweep(
+            cost, scheme, None, list(RATES), n_requests=N_REQUESTS,
             mean_prompt_tokens=512, mean_decode_tokens=16,
+            cosim_config=CosimConfig(queue_limit=512),
         )
+        sweep = list(zip(RATES, (r.closed_loop for r in runs)))
         for rate, result in sweep:
             rows.append(
                 [scheme.value, rate, round(result.mean_latency, 3),

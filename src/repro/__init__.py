@@ -22,6 +22,12 @@ implements the paper's contribution and every substrate it depends on:
   generators calibrated to the paper's measured expert skew (Fig. 3).
 - :mod:`repro.cosim` -- closed-loop serving<->DRAM co-simulation: the
   fixed-point driver, expert-faithful replay, and load-sweep runner.
+- :mod:`repro.cluster` -- cluster-scale sharded serving simulation:
+  N replicas behind a load balancer, experts sharded across NDP
+  devices, replica x policy capacity curves.
+- :mod:`repro.experiments` -- the unified experiment-config API: one
+  serializable :class:`ExperimentConfig` describes a cosim or cluster
+  run; presets and ``run_experiment`` execute it.
 - :mod:`repro.analysis` -- characterization (Fig. 2), area/power
   (Table 3), and report helpers.
 - :mod:`repro.sim` -- the discrete-event kernel and stream timeline
@@ -31,18 +37,38 @@ implements the paper's contribution and every substrate it depends on:
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchingEngine",
+    "ClusterConfig",
+    "CosimConfig",
+    "CosimDriver",
+    "ExperimentConfig",
     "InferenceConfig",
     "MoNDERuntime",
     "Scheme",
     "SchemeResult",
+    "ServingSimulator",
     "__version__",
+    "get_preset",
+    "run_cluster_sweep",
+    "run_experiment",
+    "run_load_sweep",
 ]
 
 _LAZY = {
+    "BatchingEngine": ("repro.serving.engine", "BatchingEngine"),
+    "ClusterConfig": ("repro.cluster.config", "ClusterConfig"),
+    "CosimConfig": ("repro.cosim.driver", "CosimConfig"),
+    "CosimDriver": ("repro.cosim.driver", "CosimDriver"),
+    "ExperimentConfig": ("repro.experiments.config", "ExperimentConfig"),
     "InferenceConfig": ("repro.core.runtime", "InferenceConfig"),
     "MoNDERuntime": ("repro.core.runtime", "MoNDERuntime"),
     "SchemeResult": ("repro.core.runtime", "SchemeResult"),
     "Scheme": ("repro.core.strategies", "Scheme"),
+    "ServingSimulator": ("repro.serving.simulator", "ServingSimulator"),
+    "get_preset": ("repro.experiments.presets", "get_preset"),
+    "run_cluster_sweep": ("repro.cluster.sweep", "run_cluster_sweep"),
+    "run_experiment": ("repro.experiments.runner", "run_experiment"),
+    "run_load_sweep": ("repro.cosim.sweep", "run_load_sweep"),
 }
 
 

@@ -305,86 +305,152 @@ _COSIM_DEFAULTS = {
 }
 
 
-def _cosim_setup(args: argparse.Namespace):
-    """Shared ``repro cosim`` / ``repro cosim sweep`` assembly:
-    (cost_model, planner, CosimConfig), honoring --smoke."""
-    from repro.cosim import CosimConfig, ExpertReplayPlanner, SyntheticReplayPlanner
-    from repro.cosim.driver import small_cosim_dram
-    from repro.dram.config import LPDDR5X_8533
-    from repro.serving.simulator import CostModel
+def _parse_rates(spec: Optional[str]) -> Optional[tuple[float, ...]]:
+    if spec is None:
+        return None
+    return tuple(sorted(float(r) for r in spec.split(",") if r.strip()))
 
-    if getattr(args, "smoke", False):
+
+def _experiment_config(args: argparse.Namespace, provided: set[str]):
+    """Resolve flags into one :class:`repro.experiments.ExperimentConfig`.
+
+    Three sources, in precedence order: a ``--config`` JSON file or
+    ``--preset`` name as the base, then any flag the user actually
+    typed (``provided`` -- captured before default-fill) layered on
+    top; with neither, the config is built from flags alone, honoring
+    the legacy ``--smoke`` mutations exactly.
+    """
+    from dataclasses import replace
+
+    from repro.experiments import (
+        CostConfig,
+        ExperimentConfig,
+        LoopConfig,
+        ReplayConfig,
+        ServingConfig,
+        get_preset,
+    )
+
+    preset = getattr(args, "preset", None)
+    config_path = getattr(args, "config", None)
+    if preset and config_path:
+        raise ValueError("--preset and --config are mutually exclusive")
+    rates = _parse_rates(getattr(args, "rates", None))
+
+    if preset or config_path:
+        base = ExperimentConfig.load(config_path) if config_path else get_preset(preset)
+        cost, replay = base.cost, base.replay
+        serving, loop = base.serving, base.loop
+        if "workload" in provided:
+            cost = replace(cost, workload=args.workload)
+        if "encode_us" in provided or "decode_us" in provided:
+            cost = replace(cost, encode_us=args.encode_us, decode_us=args.decode_us)
+        if "small_dram" in provided:
+            replay = replace(replay, dram="small")
+        if "synthetic_regions" in provided:
+            replay = replace(replay, synthetic=True)
+        if "bytes_per_token" in provided:
+            replay = replace(replay, bytes_per_token=args.bytes_per_token)
+        if "max_blocks" in provided:
+            replay = replace(replay, max_blocks_per_request=args.max_blocks)
+        for flag, fname in (
+            ("arrival", "arrival"),
+            ("mean_prompt_tokens", "mean_prompt_tokens"),
+            ("mean_decode_tokens", "mean_decode_tokens"),
+            ("engine", "engine"),
+            ("max_batch", "max_batch"),
+            ("prefill_budget", "prefill_token_budget"),
+            ("priority", "priority"),
+            ("decode_marginal", "decode_marginal_fraction"),
+        ):
+            if flag in provided:
+                serving = replace(serving, **{fname: getattr(args, flag)})
+        for flag, fname in (
+            ("damping", "damping"),
+            ("max_iters", "max_iterations"),
+            ("tol", "p99_tolerance"),
+            ("dram_workers", "dram_workers"),
+        ):
+            if flag in provided:
+                loop = replace(loop, **{fname: getattr(args, flag)})
+        return replace(
+            base,
+            scheme=args.scheme if "scheme" in provided else base.scheme,
+            seed=args.seed if "seed" in provided else base.seed,
+            n_requests=args.requests if "requests" in provided else base.n_requests,
+            slo_p99_ms=(
+                args.slo_p99_ms if "slo_p99_ms" in provided else base.slo_p99_ms
+            ),
+            rates=rates or base.rates,
+            cost=cost,
+            replay=replay,
+            serving=serving,
+            loop=loop,
+        )
+
+    smoke = getattr(args, "smoke", False)
+    if smoke:
         # CI-sized closed loop: synthetic per-token costs and a small
         # DRAM config tuned so memory saturates within ~100k DRAM
-        # requests per serving run (finishes in seconds).
+        # requests per serving run (finishes in seconds).  Decode-heavy
+        # mix: the paper's bandwidth-bound regime, and the one where
+        # continuous batching's amortized weight streaming separates
+        # from fifo at the saturating grid point.  The saturating grid
+        # point needs ~12 bisection iterations.
         args.encode_us = 0.002
         args.decode_us = 0.02
         args.small_dram = True
         args.bytes_per_token = 8192
         args.max_blocks = 1024
         args.requests = min(args.requests, 60)
-        # Decode-heavy mix: the paper's bandwidth-bound regime, and
-        # the one where continuous batching's amortized weight
-        # streaming separates from fifo at the saturating grid point.
         args.mean_prompt_tokens = 8
         args.mean_decode_tokens = 24
-        # The saturating grid point needs ~12 bisection iterations.
         args.max_iters = max(args.max_iters, 16)
-
-    dram = small_cosim_dram() if args.small_dram else LPDDR5X_8533
-    scheme = Scheme(args.scheme)
+        rates = (1e5, 1e6, 4e6)
+    if rates is None:
+        rates = (0.5, 1.0, 2.0, 4.0)
     if (args.encode_us is None) != (args.decode_us is None):
         raise ValueError("--encode-us and --decode-us must be given together")
-    if args.encode_us is not None:
-        cost = CostModel(
-            encode_seconds_per_token=args.encode_us * 1e-6,
-            decode_seconds_per_token=args.decode_us * 1e-6,
-        )
-    else:
-        scenario = SCENARIOS[args.workload](batch=1)
-        cost = CostModel.from_runtime(
-            scenario.model, scheme, profile=scenario.profile, ref_decode_steps=4
-        )
-    if args.synthetic_regions:
-        planner = SyntheticReplayPlanner(
-            dram_config=dram,
+    return ExperimentConfig(
+        mode="cosim",
+        scheme=args.scheme,
+        seed=args.seed,
+        n_requests=args.requests,
+        rates=rates,
+        slo_p99_ms=args.slo_p99_ms,
+        cost=CostConfig(
+            workload=args.workload,
+            encode_us=args.encode_us,
+            decode_us=args.decode_us,
+        ),
+        replay=ReplayConfig(
+            dram="small" if args.small_dram else "lpddr5x",
+            synthetic=args.synthetic_regions,
             bytes_per_token=args.bytes_per_token,
             max_blocks_per_request=args.max_blocks,
-            seed=args.seed,
-        )
-    elif getattr(args, "smoke", False):
-        planner = ExpertReplayPlanner(
-            n_experts=16,
-            top_k=2,
-            n_moe_layers=2,
-            dram_config=dram,
-            bytes_per_token=args.bytes_per_token,
-            max_blocks_per_request=args.max_blocks,
-            expert_bytes=1 << 18,
-            seed=args.seed,
-        )
-    else:
-        scenario = SCENARIOS[args.workload](batch=1)
-        planner = ExpertReplayPlanner.for_model(
-            scenario.model,
-            profile=scenario.profile,
-            dram_config=dram,
-            bytes_per_token=args.bytes_per_token,
-            max_blocks_per_request=args.max_blocks,
-            seed=args.seed,
-        )
-    config = CosimConfig(
-        damping=args.damping,
-        max_iterations=args.max_iters,
-        p99_tolerance=args.tol,
-        dram_workers=args.dram_workers,
-        engine=args.engine,
-        max_batch=args.max_batch,
-        prefill_token_budget=args.prefill_budget,
-        priority=args.priority,
-        decode_marginal_fraction=args.decode_marginal,
+            # --smoke pins the 16-expert geometry; otherwise the
+            # planner is sized from the workload model.
+            n_experts=16 if smoke else None,
+        ),
+        serving=ServingConfig(
+            engine=args.engine,
+            arrival=args.arrival,
+            mean_prompt_tokens=args.mean_prompt_tokens,
+            mean_decode_tokens=args.mean_decode_tokens,
+            max_batch=args.max_batch,
+            prefill_token_budget=args.prefill_budget,
+            priority=args.priority,
+            decode_marginal_fraction=args.decode_marginal,
+        ),
+        loop=LoopConfig(
+            damping=args.damping,
+            max_iterations=args.max_iters,
+            p99_tolerance=args.tol,
+            dram_workers=args.dram_workers,
+        ),
     )
-    return cost, scheme, planner, config
+
+
 
 
 def _cosim_export(trace, path: str) -> None:
@@ -395,21 +461,21 @@ def _cosim_export(trace, path: str) -> None:
 
 
 def _cmd_cosim(args: argparse.Namespace) -> int:
-    from repro.cosim import CosimDriver, format_sweep, run_load_sweep
+    from repro.cosim import CosimDriver, format_sweep
     from repro.serving.workload import RequestGenerator
 
+    provided = {key for key in _COSIM_DEFAULTS if hasattr(args, key)}
     for key, value in _COSIM_DEFAULTS.items():
         if not hasattr(args, key):
             setattr(args, key, value)
     try:
-        cost, scheme, planner, config = _cosim_setup(args)
+        exp = _experiment_config(args, provided)
 
         if args.cosim_command == "sweep":
             from repro.cosim import SWEEP_CKPT_SUFFIX, SweepInterrupted
+            from repro.experiments import run_experiment
 
-            rates = sorted(float(r) for r in args.rates.split(",") if r.strip())
-            if getattr(args, "smoke", False):
-                rates = [1e5, 1e6, 4e6]
+            rates = list(exp.rates)
             ckpt = args.checkpoint or (args.output + SWEEP_CKPT_SUFFIX)
             on_point = None
             if args.interrupt_after is not None:
@@ -417,26 +483,12 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
 
                 on_point = interrupt_after(args.interrupt_after)
             try:
-                sweep, runs = run_load_sweep(
-                    cost,
-                    scheme,
-                    planner,
-                    rates,
-                    n_requests=args.requests,
-                    seed=args.seed,
-                    arrival=args.arrival,
-                    mean_prompt_tokens=args.mean_prompt_tokens,
-                    mean_decode_tokens=args.mean_decode_tokens,
-                    cosim_config=config,
+                sweep, runs = run_experiment(
+                    exp,
                     workers=args.workers,
                     checkpoint_path=ckpt,
                     resume=args.resume,
                     on_point=on_point,
-                    slo_p99_seconds=(
-                        args.slo_p99_ms * 1e-3
-                        if args.slo_p99_ms is not None
-                        else None
-                    ),
                 )
             except SweepInterrupted as exc:
                 print(
@@ -496,26 +548,29 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                 best = sweep.points[0].residual_seconds_per_token
                 print(
                     "repro cosim sweep: lowest offered load failed to converge "
-                    f"within {config.max_iterations} iterations "
+                    f"within {exp.loop.max_iterations} iterations "
                     f"(best-iterate residual {best * 1e9:.3f} ns/token)",
                     file=sys.stderr,
                 )
                 return 1
             return 1 if failed else 0
 
+        from repro.experiments import build_components
+
+        cost, scheme, planner, config = build_components(exp)
         generator = RequestGenerator(
             args.rate,
-            mean_prompt_tokens=args.mean_prompt_tokens,
-            mean_decode_tokens=args.mean_decode_tokens,
-            seed=args.seed,
-            arrival=args.arrival,
+            mean_prompt_tokens=exp.serving.mean_prompt_tokens,
+            mean_decode_tokens=exp.serving.mean_decode_tokens,
+            seed=exp.seed,
+            arrival=exp.serving.arrival,
         )
         driver = CosimDriver(cost, scheme, planner, config=config)
         try:
-            result = driver.run(generator.generate(args.requests))
+            result = driver.run(generator.generate(exp.n_requests))
         finally:
             driver.close()
-    except ValueError as exc:
+    except (OSError, ValueError) as exc:
         print(f"repro cosim: {exc}", file=sys.stderr)
         return 2
 
@@ -555,6 +610,77 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
     if args.export_trace is not None and result.final_trace is not None:
         _cosim_export(result.final_trace, args.export_trace)
     return 0 if result.converged else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.cluster import format_cluster_sweep
+    from repro.experiments import run_experiment
+
+    provided = {key for key in _COSIM_DEFAULTS if hasattr(args, key)}
+    for key, value in _COSIM_DEFAULTS.items():
+        if not hasattr(args, key):
+            setattr(args, key, value)
+    try:
+        exp = _experiment_config(args, provided)
+        cluster = exp.cluster
+        overrides = {}
+        if args.replicas is not None:
+            overrides["replicas"] = tuple(
+                int(r) for r in args.replicas.split(",") if r.strip()
+            )
+        if args.devices_per_replica is not None:
+            overrides["devices_per_replica"] = args.devices_per_replica
+        if args.policies is not None:
+            overrides["policies"] = tuple(
+                p.strip() for p in args.policies.split(",") if p.strip()
+            )
+        if args.balancer is not None:
+            overrides["balancer"] = args.balancer
+        if args.hot_fraction is not None:
+            overrides["hot_fraction"] = args.hot_fraction
+        if args.activation_bytes is not None:
+            overrides["activation_bytes_per_token"] = args.activation_bytes
+        if overrides:
+            cluster = replace(cluster, **overrides)
+        exp = exp.replaced(mode="cluster", cluster=cluster)
+        result, _runs = run_experiment(exp)
+    except (OSError, ValueError) as exc:
+        print(f"repro cluster sweep: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_cluster_sweep(result))
+    if result.slo_p99_seconds > 0.0:
+        source = "auto, 5x uncongested p99" if result.slo_auto else "--slo-p99-ms"
+        print(
+            f"SLO threshold: p99 <= {result.slo_p99_seconds * 1e3:.3g} ms "
+            f"({source})"
+        )
+        top_rate = exp.rates[-1]
+        devices = result.devices_for_load(top_rate)
+        if devices is not None:
+            print(
+                f"devices for {top_rate:g} req/s within SLO: {devices} "
+                f"({result.cluster.devices_per_replica} per replica)"
+            )
+        else:
+            print(
+                f"devices for {top_rate:g} req/s within SLO: none -- no "
+                "swept fleet size sustains it"
+            )
+    result.save(args.output)
+    print(f"wrote {args.output}")
+    failed = [
+        (c, p) for c in result.curves for p in c.points if p.failed
+    ]
+    for c, p in failed:
+        print(
+            f"repro cluster sweep: replicas={c.replicas} policy={c.policy} "
+            f"rate {p.rate:g} FAILED: {p.error}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -718,6 +844,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="sweep: closed-loop p99 SLO threshold "
                                    "for the capacity answer (default: "
                                    "auto, 5x the uncongested p99)")
+    from repro.experiments import PRESET_NAMES
+
+    cosim_common.add_argument("--preset", choices=PRESET_NAMES,
+                              help="named experiment preset as the base "
+                                   "config; explicit flags override "
+                                   "individual fields")
+    cosim_common.add_argument("--config", metavar="PATH.json",
+                              help="experiment config file "
+                                   "(repro.experiments.ExperimentConfig "
+                                   "JSON) as the base; explicit flags "
+                                   "override individual fields")
 
     cosim = sub.add_parser(
         "cosim", parents=[cosim_common],
@@ -730,8 +867,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", parents=[cosim_common],
         help="drive the loop across an offered-load grid",
     )
-    cosim_sweep.add_argument("--rates", default="0.5,1.0,2.0,4.0",
-                             help="comma-separated requests/second grid")
+    cosim_sweep.add_argument("--rates", default=None,
+                             help="comma-separated requests/second grid "
+                                  "(default: 0.5,1.0,2.0,4.0, or the "
+                                  "preset/config grid)")
     cosim_sweep.add_argument("--workers", type=int, default=0, metavar="N",
                              help="run independent rate-grid points over an "
                                   "N-worker process pool (bit-identical to "
@@ -755,6 +894,50 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fault injection: abort the sweep after N "
                                   "completed points (exercises the "
                                   "checkpoint/--resume path)")
+
+    from repro.cluster.balancer import BALANCERS
+    from repro.cluster.sharding import SHARDING_POLICIES
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="cluster-scale sharded serving simulation",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_sweep = cluster_sub.add_parser(
+        "sweep", parents=[cosim_common],
+        help="replica-count x sharding-policy capacity curves "
+             "(how many NDP devices serve offered load R at p99 <= X)",
+    )
+    cluster_sweep.add_argument("--rates", default=None,
+                               help="comma-separated requests/second grid "
+                                    "(default: 0.5,1.0,2.0,4.0, or the "
+                                    "preset/config grid)")
+    cluster_sweep.add_argument("--replicas", default=None,
+                               help="comma-separated replica counts, "
+                                    "ascending (default: 1,2)")
+    cluster_sweep.add_argument("--devices-per-replica", type=int,
+                               default=None, metavar="N",
+                               help="NDP devices each replica shards its "
+                                    "experts across (default: 1)")
+    cluster_sweep.add_argument("--policies", default=None,
+                               help="comma-separated sharding policies "
+                                    f"from {', '.join(SHARDING_POLICIES)} "
+                                    "(default: replicated)")
+    cluster_sweep.add_argument("--balancer", choices=BALANCERS,
+                               default=None,
+                               help="request placement across replicas "
+                                    "(default: round_robin)")
+    cluster_sweep.add_argument("--hot-fraction", type=float, default=None,
+                               metavar="F",
+                               help="hot_cold: fraction of each layer's "
+                                    "experts kept replicated "
+                                    "(default: 0.125)")
+    cluster_sweep.add_argument("--activation-bytes", type=int, default=None,
+                               metavar="B",
+                               help="activation payload per token shipped "
+                                    "over PCIe for remote-expert accesses "
+                                    "(default: 0 = transfers free)")
+    cluster_sweep.add_argument("--output", default="cluster_sweep.json")
     return parser
 
 
@@ -767,6 +950,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "cosim": _cmd_cosim,
+    "cluster": _cmd_cluster,
 }
 
 

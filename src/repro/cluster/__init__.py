@@ -1,0 +1,52 @@
+"""Cluster-scale sharded serving simulation.
+
+Scales the closed serving<->DRAM loop out to a fleet: N model replicas
+behind a pluggable load balancer (:mod:`repro.cluster.balancer`), each
+replica's experts sharded across NDP devices by a
+:class:`~repro.cluster.sharding.ShardingPolicy`, every device backed
+by its own memory controller
+(:class:`~repro.cluster.backend.ShardedDramBackend`) with cross-device
+activations paying PCIe transfer costs, and a replica x policy x rate
+capacity sweep (:func:`~repro.cluster.sweep.run_cluster_sweep`)
+answering "how many NDP devices serve offered load R at p99 <= X".
+CLI surface: ``repro cluster sweep``.
+"""
+
+from repro.cluster.backend import ShardedDramBackend
+from repro.cluster.balancer import BALANCERS, assign_replicas
+from repro.cluster.config import ClusterConfig
+from repro.cluster.sharding import (
+    SHARDING_POLICIES,
+    ExpertParallelSharding,
+    HotColdSharding,
+    ReplicatedSharding,
+    ShardingPolicy,
+    make_sharding_policy,
+    place_experts,
+)
+from repro.cluster.sweep import (
+    CLUSTER_SWEEP_FORMAT_VERSION,
+    ClusterCurve,
+    ClusterSweepResult,
+    format_cluster_sweep,
+    run_cluster_sweep,
+)
+
+__all__ = [
+    "BALANCERS",
+    "CLUSTER_SWEEP_FORMAT_VERSION",
+    "SHARDING_POLICIES",
+    "ClusterConfig",
+    "ClusterCurve",
+    "ClusterSweepResult",
+    "ExpertParallelSharding",
+    "HotColdSharding",
+    "ReplicatedSharding",
+    "ShardedDramBackend",
+    "ShardingPolicy",
+    "assign_replicas",
+    "format_cluster_sweep",
+    "make_sharding_policy",
+    "place_experts",
+    "run_cluster_sweep",
+]

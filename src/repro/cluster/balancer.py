@@ -1,0 +1,75 @@
+"""Request placement across model replicas.
+
+A balancer splits one offered-load request stream across N identical
+replicas; each replica then runs its own closed serving<->DRAM loop on
+the subset it received.  Placement is deterministic (seeded streams in,
+reproducible curves out) and happens *before* simulation -- the
+balancer sees arrival times, token counts, and (router-aware) the
+planner's routing, never measured latencies.
+
+- ``round_robin`` -- arrival-order dealing, the classic L4 baseline.
+- ``least_loaded`` -- greedy: each request goes to the replica with
+  the least *expected* accumulated work (open-loop service time from
+  the cost model), the join-shortest-queue stand-in an L7 balancer
+  with queue-depth feedback approximates.
+- ``router_aware`` -- requests that activate the same experts land on
+  the same replica (keyed by the first expert region the request's
+  replay will touch), concentrating expert reuse per replica at the
+  price of popularity skew.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.serving.simulator import CostModel
+from repro.serving.workload import Request
+
+
+BALANCERS = ("round_robin", "least_loaded", "router_aware")
+
+
+def assign_replicas(
+    requests: Sequence[Request],
+    n_replicas: int,
+    balancer: str = "round_robin",
+    cost_model: Optional[CostModel] = None,
+    planner=None,
+) -> list[int]:
+    """Replica index per request (input order)."""
+    if n_replicas < 1:
+        raise ValueError("n_replicas must be >= 1")
+    if balancer not in BALANCERS:
+        raise ValueError(f"unknown balancer {balancer!r}; choose from {BALANCERS}")
+    if n_replicas == 1:
+        return [0] * len(requests)
+
+    order = sorted(range(len(requests)), key=lambda i: (requests[i].arrival, i))
+    assignment = [0] * len(requests)
+    if balancer == "round_robin":
+        for slot, i in enumerate(order):
+            assignment[i] = slot % n_replicas
+        return assignment
+    if balancer == "least_loaded":
+        if cost_model is None:
+            raise ValueError("least_loaded balancing needs a cost model")
+        load = [0.0] * n_replicas
+        for i in order:
+            r = requests[i]
+            replica = min(range(n_replicas), key=lambda d: (load[d], d))
+            load[replica] += cost_model.service_time(r)
+            assignment[i] = replica
+        return assignment
+    # router_aware: hash the first expert region the request's replay
+    # will stream.  Planner-less runs (serving-only) degrade to
+    # round-robin rather than failing.
+    if planner is None or not hasattr(planner, "request_blocks"):
+        return assign_replicas(requests, n_replicas, "round_robin")
+    for i in order:
+        r = requests[i]
+        tokens = r.prompt_tokens + r.decode_tokens
+        first_block = int(planner.request_blocks(r.request_id, tokens)[0])
+        step = planner.config.organization.access_bytes
+        region = int(planner.region_of_addrs(first_block * step))
+        assignment[i] = region % n_replicas
+    return assignment

@@ -1,0 +1,139 @@
+"""Expert-to-device placement policies.
+
+A sharding policy answers one question per DRAM access: *which NDP
+device holds the bytes this access touches?*  The unit of placement is
+the planner's physical expert region
+(:meth:`~repro.cosim.replay.ExpertReplayPlanner.region_of_addrs`), so
+placement is deterministic in the address alone and identical across
+co-simulation iterations.
+
+Three policies span the design space the paper's comparison implies:
+
+- ``replicated`` -- every device holds every expert (the all-PMove
+  baseline): a request is served whole by its home device, nothing
+  crosses a link.
+- ``expert_parallel`` -- each region lives on exactly one device
+  (``region % n_devices``): maximum capacity per device, every access
+  to a remote expert pays an activation round trip.
+- ``hot_cold`` -- the MoNDE-style split: the per-layer hottest
+  experts stay replicated (served at home, no transfer), the cold
+  tail is sharded expert-parallel.  ``hot_fraction`` is the knob the
+  MoNDE-vs-DynaNDE comparison turns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+SHARDING_POLICIES = ("replicated", "expert_parallel", "hot_cold")
+
+
+class ShardingPolicy:
+    """Maps each DRAM access to the device that serves it.
+
+    ``device_map(addrs, home, n_devices, planner)`` returns one device
+    index per element; ``home`` is each element's request home device
+    (where the request's activations already live), so any element
+    mapped elsewhere pays an inter-device transfer.
+    """
+
+    name: str = "?"
+
+    def device_map(
+        self,
+        addrs: np.ndarray,
+        home: np.ndarray,
+        n_devices: int,
+        planner,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ReplicatedSharding(ShardingPolicy):
+    """Every device holds every expert; requests never leave home."""
+
+    name = "replicated"
+
+    def device_map(self, addrs, home, n_devices, planner):
+        return home
+
+
+class ExpertParallelSharding(ShardingPolicy):
+    """Each expert region lives on exactly one device."""
+
+    name = "expert_parallel"
+
+    def device_map(self, addrs, home, n_devices, planner):
+        return planner.region_of_addrs(addrs) % n_devices
+
+
+class HotColdSharding(ShardingPolicy):
+    """Hot experts replicated everywhere, cold tail sharded."""
+
+    name = "hot_cold"
+
+    def __init__(self, hot_fraction: float = 0.125) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.hot_fraction = hot_fraction
+
+    def device_map(self, addrs, home, n_devices, planner):
+        regions = planner.region_of_addrs(addrs)
+        hot = planner.hot_region_ids(self.hot_fraction)
+        if not hot:
+            return regions % n_devices
+        hot_arr = np.fromiter(hot, dtype=np.int64)
+        is_hot = np.isin(regions, hot_arr)
+        return np.where(is_hot, home, regions % n_devices)
+
+
+def make_sharding_policy(name: str, hot_fraction: float = 0.125) -> ShardingPolicy:
+    """Policy instance by name (the config-file spelling)."""
+    if name == "replicated":
+        return ReplicatedSharding()
+    if name == "expert_parallel":
+        return ExpertParallelSharding()
+    if name == "hot_cold":
+        return HotColdSharding(hot_fraction)
+    raise ValueError(
+        f"unknown sharding policy {name!r}; choose from {SHARDING_POLICIES}"
+    )
+
+
+def place_experts(
+    n_experts: int,
+    n_devices: int,
+    intensities=None,
+    policy: str = "round_robin_by_intensity",
+    start_slot: int = 0,
+) -> list[int]:
+    """Device index per expert for the analytical cluster model
+    (:class:`repro.core.cluster.MoNDECluster`).
+
+    ``round_robin_by_intensity`` is the paper's Section 3.3 placement:
+    experts sorted by descending intensity (ties by index) are dealt
+    round-robin, so each device gets an even share of hot and cold
+    experts.  ``block`` assigns contiguous expert ranges (the naive
+    layout the round-robin placement beats when intensities are
+    skewed).  ``start_slot`` offsets the deal, letting a caller that
+    places experts incrementally keep its round-robin cursor across
+    calls.
+    """
+    if n_experts < 0 or n_devices < 1:
+        raise ValueError("need n_experts >= 0 and n_devices >= 1")
+    if policy == "block":
+        per = -(-n_experts // n_devices) if n_experts else 1
+        return [min(e // per, n_devices - 1) for e in range(n_experts)]
+    if policy != "round_robin_by_intensity":
+        raise ValueError(f"unknown placement policy {policy!r}")
+    if intensities is None:
+        order = list(range(n_experts))
+    else:
+        if len(intensities) != n_experts:
+            raise ValueError("intensities length must match n_experts")
+        order = sorted(range(n_experts), key=lambda e: (-intensities[e], e))
+    device_of = [0] * n_experts
+    for slot, expert in enumerate(order, start=start_slot):
+        device_of[expert] = slot % n_devices
+    return device_of

@@ -1,0 +1,448 @@
+"""Replica-count x sharding-policy capacity sweep.
+
+The millions-of-users question asked directly: for each (replica
+count, sharding policy) pair in the grid, run the closed
+serving<->DRAM loop at every offered load -- requests split across
+replicas by the balancer, each replica's experts sharded across its
+NDP devices by the policy, per-device contention and inter-device
+activation transfers fed back through the fixed point -- and read off
+the SLO capacity ("max req/s with closed p99 under X seconds") per
+curve.  The capacity-vs-replicas table answers *how many devices serve
+offered load R at p99 <= X*.
+
+Degenerate anchor: one replica, ``replicated`` sharding, one device
+per replica, zero activation bytes is bit-identical to
+:func:`repro.cosim.sweep.run_load_sweep` on the same arguments (the
+equivalence CI asserts it), so cluster curves and single-device curves
+live on the same scale.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.strategies import Scheme
+from repro.serving.simulator import CostModel
+from repro.serving.workload import RequestGenerator
+from repro.util.atomic_io import atomic_write_json
+from repro.workloads.serialization import check_format_version
+
+from repro.cluster.balancer import assign_replicas
+from repro.cluster.backend import ShardedDramBackend
+from repro.cluster.config import ClusterConfig
+from repro.cosim.driver import CosimConfig, CosimDriver, CosimResult
+from repro.cosim.sweep import (
+    SweepPoint,
+    _failed_point,
+    _point_from_run,
+    slo_capacity,
+)
+
+CLUSTER_SWEEP_FORMAT_VERSION = 1
+
+logger = logging.getLogger(__name__)
+
+
+def _merged_point(rate: float, runs: list[CosimResult]) -> SweepPoint:
+    """Collapse one rate's per-replica closed-loop runs into a single
+    fleet-level grid point.  Latency tails are percentiles over the
+    *union* of all replicas' completed requests -- a per-replica
+    percentile-of-percentiles would understate the fleet tail."""
+
+    def union(attr: str, value):
+        samples = []
+        for run in runs:
+            for c in getattr(run, attr).completed:
+                samples.append(value(c))
+        return samples
+
+    def pct(samples, q):
+        return float(np.percentile(samples, q)) if samples else 0.0
+
+    open_lat = union("open_loop", lambda c: c.latency)
+    closed_lat = union("closed_loop", lambda c: c.latency)
+    ttft = union("closed_loop", lambda c: c.ttft)
+    qdelay = union("closed_loop", lambda c: c.queue_delay)
+    tpot = [
+        c.tpot
+        for run in runs
+        for c in run.closed_loop.completed
+        if c.request.decode_tokens > 0
+    ]
+    total_tokens = [
+        float(
+            sum(
+                c.request.prompt_tokens + c.request.decode_tokens
+                for c in run.closed_loop.completed
+            )
+        )
+        or 1.0
+        for run in runs
+    ]
+    weight = sum(total_tokens)
+
+    def token_weighted(values):
+        return sum(v * t for v, t in zip(values, total_tokens)) / weight
+
+    lasts = [run.iterations[-1] for run in runs if run.iterations]
+    return SweepPoint(
+        rate=rate,
+        open_p50=pct(open_lat, 50),
+        open_p99=pct(open_lat, 99),
+        open_max=pct(open_lat, 100),
+        closed_p50=pct(closed_lat, 50),
+        closed_p99=pct(closed_lat, 99),
+        closed_max=pct(closed_lat, 100),
+        # Replicas run concurrently; the fleet is as utilized as its
+        # average replica.
+        utilization=float(
+            np.mean([run.closed_loop.utilization for run in runs])
+        ),
+        completed=sum(run.closed_loop.n_completed for run in runs),
+        rejected=sum(run.closed_loop.rejected for run in runs),
+        n_iterations=max(run.n_iterations for run in runs),
+        converged=all(run.converged for run in runs),
+        extra_seconds_per_token=token_weighted(
+            [run.extra_seconds_per_token for run in runs]
+        ),
+        dram_queue_delay_mean=(
+            float(np.mean([it.dram_queue_delay_mean for it in lasts]))
+            if lasts
+            else 0.0
+        ),
+        dram_queue_delay_p99=(
+            max(it.dram_queue_delay_p99 for it in lasts) if lasts else 0.0
+        ),
+        dram_idle_cycles=sum(it.dram_idle_cycles for it in lasts),
+        dram_total_cycles=(
+            max(it.dram_total_cycles for it in lasts) if lasts else 0
+        ),
+        residual_seconds_per_token=max(
+            run.residual_seconds_per_token for run in runs
+        ),
+        closed_ttft_p99=pct(ttft, 99),
+        closed_queue_delay_p99=pct(qdelay, 99),
+        closed_tpot_p99=pct(tpot, 99),
+        extra_prefill_seconds_per_token=token_weighted(
+            [run.extra_prefill_seconds_per_token for run in runs]
+        ),
+        extra_decode_seconds_per_token=token_weighted(
+            [run.extra_decode_seconds_per_token for run in runs]
+        ),
+    )
+
+
+@dataclass
+class ClusterCurve:
+    """One (replica count, sharding policy) capacity curve."""
+
+    replicas: int
+    policy: str
+    points: list[SweepPoint] = field(default_factory=list)
+    #: max sustained req/s with fleet closed p99 under the shared SLO
+    slo_capacity_rps: float = 0.0
+
+
+@dataclass
+class ClusterSweepResult:
+    """A full replica x policy x rate grid, serializable."""
+
+    scheme: str
+    arrival: str
+    n_requests: int
+    seed: int
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    curves: list[ClusterCurve] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    #: shared closed-loop p99 threshold all curves were read against
+    slo_p99_seconds: float = 0.0
+    slo_auto: bool = True
+
+    def curve(self, replicas: int, policy: str) -> ClusterCurve:
+        for c in self.curves:
+            if c.replicas == replicas and c.policy == policy:
+                return c
+        raise KeyError(f"no curve for replicas={replicas} policy={policy!r}")
+
+    def devices_for_load(
+        self, rate: float, policy: Optional[str] = None
+    ) -> Optional[int]:
+        """Smallest device count whose curve sustains ``rate`` within
+        the SLO (``replicas * devices_per_replica``), or ``None`` if
+        no swept size does."""
+        best: Optional[int] = None
+        for c in self.curves:
+            if policy is not None and c.policy != policy:
+                continue
+            if c.slo_capacity_rps >= rate:
+                devices = c.replicas * self.cluster.devices_per_replica
+                if best is None or devices < best:
+                    best = devices
+        return best
+
+    # -- codec -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CLUSTER_SWEEP_FORMAT_VERSION,
+            "kind": "cluster_sweep",
+            "scheme": self.scheme,
+            "arrival": self.arrival,
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+            "slo_p99_seconds": self.slo_p99_seconds,
+            "slo_auto": self.slo_auto,
+            "cluster": self.cluster.to_dict(),
+            "config": self.config,
+            "curves": [
+                {
+                    "replicas": c.replicas,
+                    "policy": c.policy,
+                    "slo_capacity_rps": c.slo_capacity_rps,
+                    "points": [asdict(p) for p in c.points],
+                }
+                for c in self.curves
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSweepResult":
+        check_format_version(
+            data.get("version"), CLUSTER_SWEEP_FORMAT_VERSION, "cluster sweep"
+        )
+        if data.get("kind") != "cluster_sweep":
+            raise ValueError(
+                f"not a cluster sweep document (kind={data.get('kind')!r})"
+            )
+        return cls(
+            scheme=data["scheme"],
+            arrival=data["arrival"],
+            n_requests=int(data["n_requests"]),
+            seed=int(data["seed"]),
+            slo_p99_seconds=float(data.get("slo_p99_seconds", 0.0)),
+            slo_auto=bool(data.get("slo_auto", True)),
+            cluster=ClusterConfig.from_dict(data.get("cluster", {})),
+            config=dict(data.get("config", {})),
+            curves=[
+                ClusterCurve(
+                    replicas=int(c["replicas"]),
+                    policy=str(c["policy"]),
+                    slo_capacity_rps=float(c.get("slo_capacity_rps", 0.0)),
+                    points=[SweepPoint(**p) for p in c["points"]],
+                )
+                for c in data.get("curves", [])
+            ],
+        )
+
+    def save(self, path) -> None:
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path) -> "ClusterSweepResult":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def format_cluster_sweep(result: ClusterSweepResult) -> str:
+    """Capacity table: one row per (replicas, policy) curve, plus the
+    device-count answer at each curve's knee."""
+    rows = []
+    for c in result.curves:
+        worst = max((p.closed_p99 for p in c.points if not p.failed), default=0.0)
+        rows.append(
+            [
+                c.replicas,
+                c.replicas * result.cluster.devices_per_replica,
+                c.policy,
+                c.slo_capacity_rps,
+                worst,
+                sum(1 for p in c.points if p.failed),
+            ]
+        )
+    header = [
+        "replicas",
+        "devices",
+        "policy",
+        "slo cap (req/s)",
+        "worst closed p99",
+        "failed pts",
+    ]
+    return format_table(header, rows)
+
+
+def run_cluster_sweep(
+    cost_model: CostModel,
+    scheme: Scheme,
+    planner,
+    rates: list[float],
+    cluster: Optional[ClusterConfig] = None,
+    n_requests: int = 100,
+    seed: int = 0,
+    arrival: str = "poisson",
+    mean_prompt_tokens: int = 512,
+    mean_decode_tokens: int = 32,
+    cosim_config: Optional[CosimConfig] = None,
+    slo_p99_seconds: Optional[float] = None,
+    on_point: Optional[Callable[[int, str, float, SweepPoint], None]] = None,
+) -> tuple[ClusterSweepResult, dict[tuple[int, str], list[Optional[CosimResult]]]]:
+    """Sweep the full replica x policy x rate grid.
+
+    Every (curve, rate) point regenerates the request stream with the
+    *same* seeded generator the single-device sweep uses -- offered
+    load is a property of the outside world, not of the fleet shape --
+    then splits it across replicas with the configured balancer and
+    runs each replica's closed loop on its own
+    :class:`~repro.cluster.backend.ShardedDramBackend`.  Per-curve SLO
+    capacities are read against one shared threshold (given, or
+    auto-derived from the *first* curve's lowest-rate point) so curves
+    are comparable.
+
+    Returns the serializable result plus per-curve lists of the live
+    per-rate :class:`CosimResult` s (single-replica curves; multi-
+    replica rates carry ``None`` -- their per-replica runs were merged
+    into the recorded point).
+    """
+    if not rates:
+        raise ValueError("rates must be non-empty")
+    if sorted(rates) != list(rates):
+        raise ValueError("rates must be sorted ascending")
+    if planner is None:
+        raise ValueError("cluster sweeps need a replay planner")
+    cluster = cluster or ClusterConfig()
+    cfg = cosim_config or CosimConfig()
+    result = ClusterSweepResult(
+        scheme=scheme.value,
+        arrival=arrival,
+        n_requests=n_requests,
+        seed=seed,
+        cluster=cluster,
+        config={
+            "damping": cfg.damping,
+            "max_iterations": cfg.max_iterations,
+            "p99_tolerance": cfg.p99_tolerance,
+            "bytes_per_token": planner.bytes_per_token,
+            "max_blocks_per_request": planner.max_blocks_per_request,
+            "dram_channels": planner.config.organization.n_channels,
+            "encode_seconds_per_token": cost_model.encode_seconds_per_token,
+            "decode_seconds_per_token": cost_model.decode_seconds_per_token,
+            "mean_prompt_tokens": mean_prompt_tokens,
+            "mean_decode_tokens": mean_decode_tokens,
+            "engine": cfg.engine,
+            "rates": [float(r) for r in rates],
+        },
+    )
+    runs_by_curve: dict[tuple[int, str], list[Optional[CosimResult]]] = {}
+    for policy in cluster.policies:
+        for n_replicas in cluster.replicas:
+            curve = ClusterCurve(replicas=n_replicas, policy=policy)
+            curve_runs: list[Optional[CosimResult]] = []
+            for rate in rates:
+                requests = list(
+                    RequestGenerator(
+                        rate,
+                        mean_prompt_tokens=mean_prompt_tokens,
+                        mean_decode_tokens=mean_decode_tokens,
+                        seed=seed,
+                        arrival=arrival,
+                    ).generate(n_requests)
+                )
+                try:
+                    point, run = _run_cluster_point(
+                        cost_model,
+                        scheme,
+                        planner,
+                        cfg,
+                        cluster,
+                        n_replicas,
+                        policy,
+                        rate,
+                        requests,
+                    )
+                except Exception as exc:
+                    logger.warning(
+                        "cluster point replicas=%d policy=%s rate=%g failed: %s",
+                        n_replicas,
+                        policy,
+                        rate,
+                        exc,
+                    )
+                    point, run = _failed_point(rate, exc), None
+                curve.points.append(point)
+                curve_runs.append(run)
+                if on_point is not None:
+                    on_point(n_replicas, policy, rate, point)
+            result.curves.append(curve)
+            runs_by_curve[(n_replicas, policy)] = curve_runs
+
+    ok_anchor = [
+        p for p in result.curves[0].points if not p.failed
+    ]
+    if slo_p99_seconds is not None:
+        result.slo_p99_seconds = float(slo_p99_seconds)
+        result.slo_auto = False
+    elif ok_anchor:
+        result.slo_p99_seconds = 5.0 * ok_anchor[0].closed_p99
+        result.slo_auto = True
+    if result.slo_p99_seconds > 0:
+        for curve in result.curves:
+            ok = [p for p in curve.points if not p.failed]
+            if ok:
+                curve.slo_capacity_rps = slo_capacity(ok, result.slo_p99_seconds)
+    return result, runs_by_curve
+
+
+def _run_cluster_point(
+    cost_model: CostModel,
+    scheme: Scheme,
+    planner,
+    cfg: CosimConfig,
+    cluster: ClusterConfig,
+    n_replicas: int,
+    policy: str,
+    rate: float,
+    requests,
+) -> tuple[SweepPoint, Optional[CosimResult]]:
+    """One (curve, rate) point: balance, run each replica's closed
+    loop, merge."""
+    assignment = assign_replicas(
+        requests,
+        n_replicas,
+        cluster.balancer,
+        cost_model=cost_model,
+        planner=planner,
+    )
+    runs: list[CosimResult] = []
+    for replica in range(n_replicas):
+        subset = [r for r, a in zip(requests, assignment) if a == replica]
+        if not subset:
+            continue
+        backend = ShardedDramBackend(
+            planner.config,
+            n_devices=cluster.devices_per_replica,
+            policy=policy,
+            planner=planner,
+            window=cfg.scheduler_window,
+            activation_bytes_per_token=cluster.activation_bytes_per_token,
+            hot_fraction=cluster.hot_fraction,
+            dram_workers=cfg.dram_workers,
+        )
+        driver = CosimDriver(
+            cost_model, scheme, planner, config=cfg, backend=backend
+        )
+        try:
+            runs.append(driver.run(subset))
+        finally:
+            backend.close()
+    if not runs:
+        raise ValueError(f"no replica received requests at rate {rate}")
+    if len(runs) == 1:
+        # Single-replica curves report the run verbatim -- the
+        # bit-identity anchor against the single-device sweep.
+        return _point_from_run(rate, runs[0]), runs[0]
+    return _merged_point(rate, runs), None

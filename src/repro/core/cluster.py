@@ -57,18 +57,34 @@ class MoNDECluster:
         experts: dict[int, tuple[np.ndarray, np.ndarray]],
         intensities: dict[int, float] | None = None,
         activation: str = "relu",
+        policy: str = "round_robin_by_intensity",
     ) -> list[ExpertPlacement]:
-        """Place experts round-robin, most intense first (Section 3.3:
+        """Place experts via :func:`repro.cluster.sharding.place_experts`
+        (default: round-robin, most intense first -- Section 3.3:
         'distributing expert workloads sorted by compute intensity in
         a round-robin manner')."""
+        # Local import: the sharding helpers are shared with the
+        # cluster-scale serving simulation, whose package pulls in the
+        # serving/DRAM stack this functional model does not need.
+        from repro.cluster.sharding import place_experts
+
+        ids = sorted(experts)
+        intens = (
+            None
+            if intensities is None
+            else [intensities.get(e, 0.0) for e in ids]
+        )
+        device_of = place_experts(
+            len(ids), self.n_devices, intens, policy, start_slot=self._next
+        )
+        self._next += len(ids)
         order = sorted(
-            experts,
-            key=lambda e: (-(intensities or {}).get(e, 0.0), e),
+            range(len(ids)),
+            key=lambda i: (-(intens[i] if intens else 0.0), ids[i]),
         )
         placements = []
-        for expert_id in order:
-            device_id = self._next % self.n_devices
-            self._next += 1
+        for i in order:
+            expert_id, device_id = ids[i], device_of[i]
             w1, w2 = experts[expert_id]
             self.drivers[device_id].load_expert(expert_id, w1, w2, activation)
             self._placement[expert_id] = device_id

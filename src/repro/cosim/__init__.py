@@ -16,6 +16,7 @@ from repro.cosim.driver import (
     CosimDriver,
     CosimIteration,
     CosimResult,
+    SingleDeviceBackend,
     small_cosim_dram,
 )
 from repro.cosim.replay import (
@@ -46,6 +47,7 @@ __all__ = [
     "CosimIteration",
     "CosimResult",
     "ExpertReplayPlanner",
+    "SingleDeviceBackend",
     "ReplayTrace",
     "SweepInterrupted",
     "SweepPoint",

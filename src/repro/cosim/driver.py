@@ -57,6 +57,73 @@ def small_cosim_dram(n_channels: int = 2) -> DRAMConfig:
     )
 
 
+class SingleDeviceBackend:
+    """Default DRAM backend: one memory device behind the cosim loop.
+
+    The driver measures contention by simulating a replay trace on a
+    *fresh* :class:`~repro.dram.controller.MemoryController` per
+    measurement (controllers carry channel state across ``simulate``
+    calls, and each measurement must start cold).  This class owns
+    that construction -- DRAM config, scheduler window, and the shared
+    per-channel drain pool (``dram_workers`` >= 2) that outlives the
+    per-measurement controllers.
+
+    The backend protocol (duck-typed; :class:`repro.cluster.backend.
+    ShardedDramBackend` is the multi-device implementation):
+
+    - ``simulate(addrs, arrive_cycles, flags, request_ids=None)`` ->
+      ``(ControllerStats, RequestTimings)`` with per-element timings in
+      input order;
+    - ``transfer_seconds(trace)`` -> per-request inter-device transfer
+      seconds (``{}`` when nothing crosses a device boundary -- the
+      single-device case by construction);
+    - ``close()`` releases any worker pool.
+    """
+
+    def __init__(self, dram_config, window: int = 64, dram_workers: int = 0) -> None:
+        self.config = dram_config
+        self.window = window
+        self.dram_workers = int(dram_workers)
+        self._executor = None
+
+    def _shared_executor(self):
+        if self.dram_workers < 2:
+            return None
+        if self._executor is None:
+            # One pool outlives the per-measurement controllers, so
+            # the fixed-point loop pays worker startup once.
+            from repro.dram.parallel import ParallelDrainExecutor
+
+            self._executor = ParallelDrainExecutor(self.dram_workers)
+        return self._executor
+
+    def simulate(self, addrs, arrive_cycles, flags, request_ids=None):
+        """Simulate one arrival stream on a cold controller; returns
+        ``(stats, per-element timings)`` in input order."""
+        controller = MemoryController(
+            self.config, window=self.window, executor=self._shared_executor()
+        )
+        return controller.simulate_arrays(
+            addrs, arrive_cycles, flags, detail=True
+        )
+
+    def transfer_seconds(self, trace) -> dict[int, float]:
+        """Per-request inter-device activation-transfer seconds.  One
+        device, no boundaries to cross: always empty."""
+        return {}
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "SingleDeviceBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 @dataclass(frozen=True)
 class CosimConfig:
     """Fixed-point loop knobs.
@@ -242,38 +309,49 @@ class CosimDriver:
         scheme: Scheme,
         planner,
         config: Optional[CosimConfig] = None,
+        backend=None,
     ) -> None:
         self.cost_model = cost_model
         self.scheme = scheme
         self.planner = planner
         self.config = config or CosimConfig()
+        if backend is None:
+            backend = SingleDeviceBackend(
+                planner.config,
+                window=self.config.scheduler_window,
+                dram_workers=self.config.dram_workers,
+            )
+            self._owns_backend = True
+        else:
+            self._owns_backend = False
+        self.backend = backend
         self._iso_cache: dict[int, int] = {}
-        self._dram_executor = None
 
     def close(self) -> None:
-        """Shut down the shared DRAM worker pool (no-op when
-        ``dram_workers`` < 2 or no replay ran yet)."""
-        if self._dram_executor is not None:
-            self._dram_executor.close()
-            self._dram_executor = None
+        """Shut down the DRAM backend's worker pool, when the driver
+        built the backend itself (injected backends are caller-owned
+        and may be shared across drivers)."""
+        if self._owns_backend:
+            self.backend.close()
 
     # -- contention measurement -------------------------------------------
 
-    def _fresh_controller(self) -> MemoryController:
-        executor = None
-        if self.config.dram_workers >= 2:
-            # One pool outlives the per-iteration controllers, so the
-            # fixed-point loop pays worker startup once.
-            if self._dram_executor is None:
-                from repro.dram.parallel import ParallelDrainExecutor
-
-                self._dram_executor = ParallelDrainExecutor(self.config.dram_workers)
-            executor = self._dram_executor
-        return MemoryController(
-            self.planner.config,
-            window=self.config.scheduler_window,
-            executor=executor,
+    def _transfer_surcharge(
+        self, trace: ReplayTrace, contention: np.ndarray, uniq: np.ndarray
+    ) -> np.ndarray:
+        """Fold the backend's per-request inter-device transfer costs
+        (seconds) into per-request contention (cycles).  Empty
+        transfer maps -- always, for the single-device backend --
+        leave the contention array untouched, byte for byte."""
+        xfer = self.backend.transfer_seconds(trace)
+        if not xfer:
+            return contention
+        cycle_time = self.planner.config.timing.cycle_time
+        extra = np.array(
+            [xfer.get(int(r), 0.0) / cycle_time for r in uniq.tolist()],
+            dtype=np.float64,
         )
+        return contention + extra
 
     @staticmethod
     def _burst_makespans(
@@ -316,8 +394,8 @@ class CosimDriver:
         gaps = run_lengths * per_access + 64
         run_arrivals = np.concatenate(([0], np.cumsum(gaps)[:-1]))
         arrive = np.repeat(run_arrivals, run_lengths)
-        _, timings = self._fresh_controller().simulate_arrays(
-            trace.addrs, arrive, trace.flags, detail=True
+        _, timings = self.backend.simulate(
+            trace.addrs, arrive, trace.flags, trace.request_ids
         )
         makespans = np.zeros(len(run_starts), dtype=np.int64)
         complete = timings.complete_cycles
@@ -348,8 +426,8 @@ class CosimDriver:
             offsets = trace.arrive_cycles[lo:hi] - trace.arrive_cycles[lo]
             arrive[lo:hi] = base + offsets
             base += int(offsets[-1]) + (hi - lo) * per_access + 64
-        _, timings = self._fresh_controller().simulate_arrays(
-            trace.addrs, arrive, trace.flags, detail=True
+        _, timings = self.backend.simulate(
+            trace.addrs, arrive, trace.flags, trace.request_ids
         )
         return timings.complete_cycles - arrive
 
@@ -413,8 +491,8 @@ class CosimDriver:
             if len(trace) == 0:
                 result.converged = True
                 break
-            stats, timings = self._fresh_controller().simulate_arrays(
-                trace.addrs, trace.arrive_cycles, trace.flags, detail=True
+            stats, timings = self.backend.simulate(
+                trace.addrs, trace.arrive_cycles, trace.flags, trace.request_ids
             )
             result.final_trace = trace
             result.final_dram_stats = stats
@@ -425,6 +503,7 @@ class CosimDriver:
             )
             iso_arr = np.array([iso[int(r)] for r in uniq.tolist()], dtype=np.int64)
             contention = np.maximum(makespans - iso_arr, 0).astype(np.float64)
+            contention = self._transfer_surcharge(trace, contention, uniq)
             tokens = np.array(
                 [trace.tokens_by_request[int(r)] for r in uniq.tolist()],
                 dtype=np.float64,
@@ -536,8 +615,8 @@ class CosimDriver:
             if len(trace) == 0:
                 result.converged = True
                 break
-            stats, timings = self._fresh_controller().simulate_arrays(
-                trace.addrs, trace.arrive_cycles, trace.flags, detail=True
+            stats, timings = self.backend.simulate(
+                trace.addrs, trace.arrive_cycles, trace.flags, trace.request_ids
             )
             result.final_trace = trace
             result.final_dram_stats = stats
@@ -567,6 +646,7 @@ class CosimDriver:
                 iso_max = np.zeros(len(uniq), dtype=np.int64)
                 np.maximum.at(iso_max, inverse, lat_iso)
                 waits = np.maximum(measured_max - iso_max, 0).astype(np.float64)
+                waits = self._transfer_surcharge(trace, waits, uniq)
                 pre_counts = np.bincount(
                     inverse, weights=(trace.phases == 0), minlength=len(uniq)
                 )
@@ -586,6 +666,7 @@ class CosimDriver:
                     [iso[int(b)] for b in uniq.tolist()], dtype=np.int64
                 )
                 contention = np.maximum(makespans - iso_arr, 0).astype(np.float64)
+                contention = self._transfer_surcharge(trace, contention, uniq)
                 total = float(contention.sum())
                 total_tokens = max(prompt_tokens + decode_tokens, 1.0)
                 prefill_cycles = total * prompt_tokens / total_tokens

@@ -147,6 +147,38 @@ class ExpertReplayPlanner:
             for rank in range(n_moe_layers)
         ]
 
+    # -- region geometry (consumed by repro.cluster sharding) -------------
+
+    @property
+    def n_regions(self) -> int:
+        """Distinct physical expert-weight regions in the address
+        space (sharding granularity for expert-parallel placement)."""
+        return max(1, self._total_blocks // self._region_blocks)
+
+    def region_of_addrs(self, addrs: np.ndarray) -> np.ndarray:
+        """Physical expert-region index of each DRAM address -- the
+        unit a :class:`repro.cluster.sharding.ShardingPolicy` places
+        on a device.  Inverse of the region layout in
+        :meth:`request_blocks` wherever regions do not wrap."""
+        return (addrs // self._step) // self._region_blocks
+
+    def hot_region_ids(self, hot_fraction: float) -> frozenset[int]:
+        """Physical regions of the per-layer hottest experts: the top
+        ``ceil(hot_fraction * n_experts)`` experts by the planner's
+        calibrated popularity, per MoE layer -- the MoNDE-style
+        hot/cold split where hot experts stay replicated and only the
+        cold tail is sharded."""
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        n_hot = max(0, min(self.n_experts, int(np.ceil(hot_fraction * self.n_experts))))
+        hot: set[int] = set()
+        for layer, pop in enumerate(self._popularity):
+            for expert in np.argsort(-pop, kind="stable")[:n_hot].tolist():
+                region_id = layer * self.n_experts + int(expert)
+                base = (region_id * self._region_blocks) % self._total_blocks
+                hot.add(int(base // self._region_blocks))
+        return frozenset(hot)
+
     # -- per-request routing + addressing ---------------------------------
 
     def _layer_counts(self, rng: np.random.Generator, tokens: int) -> list[np.ndarray]:
@@ -404,6 +436,28 @@ class SyntheticReplayPlanner:
         self.region_bytes = region_bytes
         self.n_regions = n_regions
         self.seed = seed
+        org = self.config.organization
+        # Mirror of dram_replay_trace_arrays' region sizing, so
+        # region_of_addrs inverts the addresses that function emits.
+        self._step = org.access_bytes
+        self._region_blocks = max(
+            1,
+            min(region_bytes, org.total_capacity_bytes // n_regions) // self._step,
+        )
+
+    def region_of_addrs(self, addrs: np.ndarray) -> np.ndarray:
+        """Synthetic-region index of each DRAM address (see
+        :meth:`ExpertReplayPlanner.region_of_addrs`)."""
+        return (addrs // self._step) // self._region_blocks
+
+    def hot_region_ids(self, hot_fraction: float) -> frozenset[int]:
+        """Synthetic regions have no popularity model; the first
+        ``ceil(hot_fraction * n_regions)`` regions stand in as the
+        hot set."""
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        n_hot = max(0, min(self.n_regions, int(np.ceil(hot_fraction * self.n_regions))))
+        return frozenset(range(n_hot))
 
     def replay(self, result: ServingResult) -> ReplayTrace:
         from repro.serving.simulator import dram_replay_trace_arrays

@@ -262,8 +262,8 @@ def _run_rate_point(
     DRAM feedback): the configured engine simulates the rate once and
     the result is wrapped as a trivially-converged
     :class:`CosimResult` whose open and closed loops coincide -- the
-    engine-aware successor of the old standalone
-    ``repro.serving.load_sweep`` loop.
+    engine-aware successor of the old standalone serving load sweep
+    (the removed ``repro.serving.load_sweep``).
     """
     generator = RequestGenerator(
         rate,
@@ -444,9 +444,8 @@ def run_load_sweep(
 
     ``planner=None`` runs the grid serving-only (no DRAM feedback):
     every point is a trivially-converged open-loop run of the
-    configured engine -- the one sweep implementation behind both the
-    co-simulation CLI and the deprecated ``repro.serving.load_sweep``
-    adapter.
+    configured engine -- the one sweep implementation behind the
+    co-simulation CLI and the serving-only benches.
 
     The result carries an SLO capacity answer: the max sustained
     offered load whose closed-loop p99 stays under ``slo_p99_seconds``

@@ -694,3 +694,47 @@ class ParallelDrainExecutor:
             self.close()
         except Exception:
             pass
+
+
+class DeviceDrainPool:
+    """One drain-worker pool shared by a fleet of per-device
+    controllers.
+
+    The cluster backend builds a fresh :class:`MemoryController` per
+    device per measurement; giving each its own
+    :class:`ParallelDrainExecutor` would spawn ``devices x workers``
+    processes and pay pool startup on every measurement.  This pool
+    generalizes the per-channel executor to the per-device level: the
+    devices of one replica drain *sequentially* (each measurement is an
+    independent cold-start simulation), so a single executor -- sized
+    to the channel count of one device -- can be vended to every
+    controller in turn.  ``workers < 2`` vends ``None`` (serial
+    drains), so callers need no special-casing.
+    """
+
+    def __init__(self, workers: int = 0, **executor_kwargs) -> None:
+        self.workers = int(workers)
+        self._executor_kwargs = executor_kwargs
+        self._executor: Optional[ParallelDrainExecutor] = None
+
+    def executor(self) -> Optional[ParallelDrainExecutor]:
+        """The shared executor (created on first use), or ``None``
+        when the pool is sized below 2 workers."""
+        if self.workers < 2:
+            return None
+        if self._executor is None:
+            self._executor = ParallelDrainExecutor(
+                self.workers, **self._executor_kwargs
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "DeviceDrainPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,29 @@
+"""Unified experiment-config API.
+
+One :class:`ExperimentConfig` describes a complete co-simulation or
+cluster experiment; :func:`run_experiment` executes it; presets give
+named, fully-resolved starting points.  See
+:mod:`repro.experiments.config` for the layer-by-layer breakdown.
+"""
+
+from repro.experiments.config import (
+    CostConfig,
+    ExperimentConfig,
+    LoopConfig,
+    ReplayConfig,
+    ServingConfig,
+)
+from repro.experiments.presets import PRESET_NAMES, get_preset
+from repro.experiments.runner import build_components, run_experiment
+
+__all__ = [
+    "CostConfig",
+    "ExperimentConfig",
+    "LoopConfig",
+    "PRESET_NAMES",
+    "ReplayConfig",
+    "ServingConfig",
+    "build_components",
+    "get_preset",
+    "run_experiment",
+]

@@ -1,0 +1,267 @@
+"""Layered experiment configuration.
+
+One :class:`ExperimentConfig` is the complete, serializable recipe for
+a co-simulation or cluster experiment -- what seven PRs of CLI flags
+accreted, folded into a frozen dataclass hierarchy:
+
+- :class:`CostConfig` -- where per-token serving costs come from
+  (runtime-calibrated workload model, or synthetic us/token);
+- :class:`ReplayConfig` -- the DRAM side: which config
+  (paper LPDDR5X vs the small saturating test config), replay planner
+  geometry;
+- :class:`ServingConfig` -- the serving engine and its admission
+  knobs (absorbs the old ``BatchConfig`` surface) plus the request
+  stream shape;
+- :class:`LoopConfig` -- fixed-point iteration knobs;
+- :class:`~repro.cluster.config.ClusterConfig` -- fleet shape
+  (cluster mode only).
+
+``to_dict``/``from_dict`` round-trip exactly (unknown keys are
+rejected, so a typo'd config file fails loudly instead of silently
+running defaults), named presets live in
+:mod:`repro.experiments.presets`, and
+:func:`repro.experiments.runner.run_experiment` executes one config.
+The CLI subcommands are thin flag -> config adapters over this API.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.core.strategies import Scheme
+from repro.cosim.driver import CosimConfig
+
+
+def _check_keys(cls, data: dict, name: str) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {name} keys: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Per-token serving cost source.
+
+    With both ``encode_us`` and ``decode_us`` set, costs are synthetic
+    (microseconds per token); otherwise they are calibrated from the
+    ``workload`` scenario's runtime model under the experiment's
+    scheme.
+    """
+
+    workload: str = "flores"
+    encode_us: Optional[float] = None
+    decode_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.encode_us is None) != (self.decode_us is None):
+            raise ValueError("encode_us and decode_us must be given together")
+
+    @property
+    def synthetic(self) -> bool:
+        return self.encode_us is not None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostConfig":
+        _check_keys(cls, data, "CostConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """DRAM config reference and replay-planner geometry.
+
+    ``n_experts=None`` sizes the expert-faithful planner from the
+    workload's model (the production shape); explicit geometry is what
+    the smoke presets pin.  ``synthetic=True`` swaps in the seeded
+    synthetic-region planner (no expert model at all).
+    """
+
+    #: "lpddr5x" (the paper's LPDDR5X-8533) or "small" (the
+    #: test/smoke config whose bandwidth saturates at smoke loads)
+    dram: str = "lpddr5x"
+    synthetic: bool = False
+    bytes_per_token: int = 2048
+    max_blocks_per_request: int = 4096
+    #: None derives (n_experts, top_k, n_moe_layers, expert_bytes)
+    #: from the workload model via ExpertReplayPlanner.for_model
+    n_experts: Optional[int] = None
+    top_k: int = 2
+    n_moe_layers: int = 2
+    expert_bytes: int = 1 << 18
+
+    def __post_init__(self) -> None:
+        if self.dram not in ("lpddr5x", "small"):
+            raise ValueError(f"dram must be 'lpddr5x' or 'small', got {self.dram!r}")
+        if self.bytes_per_token < 1 or self.max_blocks_per_request < 1:
+            raise ValueError("bytes_per_token and max_blocks_per_request must be >= 1")
+
+    def dram_config(self):
+        from repro.cosim.driver import small_cosim_dram
+        from repro.dram.config import LPDDR5X_8533
+
+        return small_cosim_dram() if self.dram == "small" else LPDDR5X_8533
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplayConfig":
+        _check_keys(cls, data, "ReplayConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Serving engine, admission knobs, and request-stream shape
+    (absorbs the old standalone ``BatchConfig`` surface)."""
+
+    engine: str = "fifo"
+    arrival: str = "poisson"
+    mean_prompt_tokens: int = 512
+    mean_decode_tokens: int = 32
+    queue_limit: int = 4096
+    # batching-engine admission (ignored by fifo)
+    max_batch: int = 8
+    prefill_token_budget: int = 4096
+    priority: str = "prefill"
+    decode_marginal_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fifo", "batching"):
+            raise ValueError(f"engine must be 'fifo' or 'batching', got {self.engine!r}")
+        if self.mean_prompt_tokens < 1 or self.mean_decode_tokens < 0:
+            raise ValueError("token means out of range")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingConfig":
+        _check_keys(cls, data, "ServingConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class LoopConfig:
+    """Fixed-point loop knobs (the iteration half of the legacy
+    :class:`repro.cosim.CosimConfig`; the serving half lives in
+    :class:`ServingConfig`)."""
+
+    damping: float = 0.6
+    damping_decay: float = 0.5
+    max_iterations: int = 8
+    p99_tolerance: float = 0.02
+    scheduler_window: int = 64
+    dram_workers: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopConfig":
+        _check_keys(cls, data, "LoopConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """The complete recipe for one experiment run."""
+
+    #: "cosim" (single-replica rate sweep) or "cluster"
+    #: (replica x sharding-policy capacity grid)
+    mode: str = "cosim"
+    scheme: str = "md+lb"
+    seed: int = 1
+    n_requests: int = 100
+    rates: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+    #: closed-loop p99 SLO threshold for the capacity answer
+    #: (milliseconds; None auto-derives 5x the uncongested p99)
+    slo_p99_ms: Optional[float] = None
+    cost: CostConfig = field(default_factory=CostConfig)
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    loop: LoopConfig = field(default_factory=LoopConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cosim", "cluster"):
+            raise ValueError(f"mode must be 'cosim' or 'cluster', got {self.mode!r}")
+        Scheme(self.scheme)  # raises on unknown scheme
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if not self.rates:
+            raise ValueError("rates must be non-empty")
+        if sorted(self.rates) != list(self.rates):
+            raise ValueError("rates must be sorted ascending")
+
+    def cosim_config(self) -> CosimConfig:
+        """The legacy flat knob bundle the driver consumes, assembled
+        from the serving + loop layers."""
+        return CosimConfig(
+            damping=self.loop.damping,
+            damping_decay=self.loop.damping_decay,
+            max_iterations=self.loop.max_iterations,
+            p99_tolerance=self.loop.p99_tolerance,
+            queue_limit=self.serving.queue_limit,
+            scheduler_window=self.loop.scheduler_window,
+            dram_workers=self.loop.dram_workers,
+            engine=self.serving.engine,
+            max_batch=self.serving.max_batch,
+            prefill_token_budget=self.serving.prefill_token_budget,
+            priority=self.serving.priority,
+            decode_marginal_fraction=self.serving.decode_marginal_fraction,
+        )
+
+    # -- codec -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "rates": list(self.rates),
+            "slo_p99_ms": self.slo_p99_ms,
+            "cost": self.cost.to_dict(),
+            "replay": self.replay.to_dict(),
+            "serving": self.serving.to_dict(),
+            "loop": self.loop.to_dict(),
+            "cluster": self.cluster.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        _check_keys(cls, data, "ExperimentConfig")
+        kwargs = dict(data)
+        if "rates" in kwargs:
+            kwargs["rates"] = tuple(float(r) for r in kwargs["rates"])
+        for key, sub in (
+            ("cost", CostConfig),
+            ("replay", ReplayConfig),
+            ("serving", ServingConfig),
+            ("loop", LoopConfig),
+            ("cluster", ClusterConfig),
+        ):
+            if key in kwargs and isinstance(kwargs[key], dict):
+                kwargs[key] = sub.from_dict(kwargs[key])
+        return cls(**kwargs)
+
+    def save(self, path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ExperimentConfig":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    def replaced(self, **kwargs) -> "ExperimentConfig":
+        """dataclasses.replace passthrough (reads better at call
+        sites applying CLI flag overrides)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,127 @@
+"""Execute one :class:`ExperimentConfig`.
+
+:func:`build_components` turns the declarative config into the live
+objects the simulation layers consume (cost model, scheme, replay
+planner, legacy ``CosimConfig``); :func:`run_experiment` dispatches on
+``config.mode`` to the single-replica rate sweep or the cluster
+capacity grid.  Both CLI subcommands and programmatic callers go
+through here, so a config file reproduces a CLI run exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.cluster.sweep import ClusterSweepResult, run_cluster_sweep
+from repro.core.strategies import Scheme
+from repro.cosim.driver import CosimConfig
+from repro.cosim.sweep import SweepResult, run_load_sweep
+from repro.experiments.config import ExperimentConfig
+from repro.serving.simulator import CostModel
+
+
+def build_components(
+    config: ExperimentConfig,
+) -> tuple[CostModel, Scheme, object, CosimConfig]:
+    """(cost_model, scheme, planner, cosim_config) for one experiment."""
+    from repro.cosim.replay import ExpertReplayPlanner, SyntheticReplayPlanner
+    from repro.workloads import SCENARIOS
+
+    scheme = Scheme(config.scheme)
+    dram = config.replay.dram_config()
+
+    if config.cost.synthetic:
+        cost = CostModel(
+            encode_seconds_per_token=config.cost.encode_us * 1e-6,
+            decode_seconds_per_token=config.cost.decode_us * 1e-6,
+        )
+    else:
+        scenario = SCENARIOS[config.cost.workload](batch=1)
+        cost = CostModel.from_runtime(
+            scenario.model, scheme, profile=scenario.profile, ref_decode_steps=4
+        )
+
+    if config.replay.synthetic:
+        planner = SyntheticReplayPlanner(
+            dram_config=dram,
+            bytes_per_token=config.replay.bytes_per_token,
+            max_blocks_per_request=config.replay.max_blocks_per_request,
+            seed=config.seed,
+        )
+    elif config.replay.n_experts is not None:
+        planner = ExpertReplayPlanner(
+            n_experts=config.replay.n_experts,
+            top_k=config.replay.top_k,
+            n_moe_layers=config.replay.n_moe_layers,
+            dram_config=dram,
+            bytes_per_token=config.replay.bytes_per_token,
+            max_blocks_per_request=config.replay.max_blocks_per_request,
+            expert_bytes=config.replay.expert_bytes,
+            seed=config.seed,
+        )
+    else:
+        scenario = SCENARIOS[config.cost.workload](batch=1)
+        planner = ExpertReplayPlanner.for_model(
+            scenario.model,
+            profile=scenario.profile,
+            dram_config=dram,
+            bytes_per_token=config.replay.bytes_per_token,
+            max_blocks_per_request=config.replay.max_blocks_per_request,
+            seed=config.seed,
+        )
+
+    return cost, scheme, planner, config.cosim_config()
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    workers: int = 0,
+    checkpoint_path=None,
+    resume: bool = False,
+    on_point: Optional[Callable] = None,
+) -> tuple[Union[SweepResult, ClusterSweepResult], object]:
+    """Run one experiment end to end.
+
+    Returns ``(result, runs)``: a :class:`~repro.cosim.sweep.SweepResult`
+    plus per-rate runs in cosim mode, a
+    :class:`~repro.cluster.sweep.ClusterSweepResult` plus a
+    ``(replicas, policy) -> runs`` dict in cluster mode.  ``workers``,
+    ``checkpoint_path``, and ``resume`` are execution details (not part
+    of the experiment's identity, so not config fields) and apply to
+    cosim mode only.
+    """
+    cost, scheme, planner, cosim_cfg = build_components(config)
+    slo = config.slo_p99_ms * 1e-3 if config.slo_p99_ms is not None else None
+    if config.mode == "cluster":
+        return run_cluster_sweep(
+            cost,
+            scheme,
+            planner,
+            list(config.rates),
+            cluster=config.cluster,
+            n_requests=config.n_requests,
+            seed=config.seed,
+            arrival=config.serving.arrival,
+            mean_prompt_tokens=config.serving.mean_prompt_tokens,
+            mean_decode_tokens=config.serving.mean_decode_tokens,
+            cosim_config=cosim_cfg,
+            slo_p99_seconds=slo,
+            on_point=on_point,
+        )
+    return run_load_sweep(
+        cost,
+        scheme,
+        planner,
+        list(config.rates),
+        n_requests=config.n_requests,
+        seed=config.seed,
+        arrival=config.serving.arrival,
+        mean_prompt_tokens=config.serving.mean_prompt_tokens,
+        mean_decode_tokens=config.serving.mean_decode_tokens,
+        cosim_config=cosim_cfg,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        on_point=on_point,
+        slo_p99_seconds=slo,
+    )

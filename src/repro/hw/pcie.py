@@ -34,3 +34,13 @@ class PCIeLink:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
         return nbytes / self.spec.effective_bandwidth
+
+    def round_trip_time(self, nbytes: float) -> float:
+        """Seconds to ship ``nbytes`` of activations to a remote
+        device and the (same-sized, to first order) result back --
+        the AMove cost a sharded expert pays when its tokens live on
+        another device.  Zero bytes cross for free: no transfer, no
+        doorbell."""
+        if nbytes == 0:
+            return 0.0
+        return 2.0 * self.transfer_time(nbytes)

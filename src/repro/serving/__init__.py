@@ -34,7 +34,6 @@ from repro.serving.simulator import (
     CostModel,
     ServingResult,
     ServingSimulator,
-    load_sweep,
 )
 from repro.serving.workload import (
     Request,
@@ -56,5 +55,4 @@ __all__ = [
     "RuntimePhaseCostModel",
     "ServingResult",
     "ServingSimulator",
-    "load_sweep",
 ]

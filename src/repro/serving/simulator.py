@@ -363,52 +363,3 @@ def dram_replay_trace(
         seed=seed,
     )
     return requests_from_arrays(addrs, arrive, flags)
-
-
-def load_sweep(
-    cost_model: CostModel,
-    scheme: Scheme,
-    rates: list[float],
-    n_requests: int = 200,
-    seed: int = 0,
-    mean_prompt_tokens: int = 512,
-    mean_decode_tokens: int = 32,
-) -> list[tuple[float, ServingResult]]:
-    """Run the simulator across offered loads (the classic
-    latency-vs-throughput hockey stick).
-
-    .. deprecated::
-        Thin adapter over :func:`repro.cosim.run_load_sweep` with
-        ``planner=None`` (the serving-only, open-loop mode); call that
-        directly for checkpointing, parallel grid points, the batching
-        engine, and SLO capacity.  The per-rate results are identical
-        to the pre-refactor standalone loop.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.serving.load_sweep is deprecated; use "
-        "repro.cosim.run_load_sweep(planner=None) for the engine-aware "
-        "sweep path",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.cosim.driver import CosimConfig
-    from repro.cosim.sweep import run_load_sweep
-
-    sorted_rates = sorted(set(float(r) for r in rates))
-    _, runs = run_load_sweep(
-        cost_model,
-        scheme,
-        None,
-        sorted_rates,
-        n_requests=n_requests,
-        seed=seed,
-        mean_prompt_tokens=mean_prompt_tokens,
-        mean_decode_tokens=mean_decode_tokens,
-        # The historical standalone loop ran ServingSimulator at its
-        # default queue_limit; keep the per-point results identical.
-        cosim_config=CosimConfig(queue_limit=512),
-    )
-    by_rate = dict(zip(sorted_rates, runs))
-    return [(rate, by_rate[float(rate)].closed_loop) for rate in rates]

@@ -1,0 +1,78 @@
+"""Request placement across replicas."""
+
+import pytest
+
+from repro.cluster.balancer import BALANCERS, assign_replicas
+from repro.cosim import ExpertReplayPlanner, small_cosim_dram
+from repro.serving.simulator import CostModel
+from repro.serving.workload import Request
+
+
+def req(i, arrival, prompt=100, decode=10):
+    return Request(
+        request_id=i, arrival=arrival, prompt_tokens=prompt, decode_tokens=decode
+    )
+
+
+@pytest.fixture
+def cost():
+    return CostModel(encode_seconds_per_token=1e-4, decode_seconds_per_token=1e-3)
+
+
+def test_round_robin_deals_in_arrival_order():
+    requests = [req(0, 3.0), req(1, 1.0), req(2, 2.0), req(3, 4.0)]
+    out = assign_replicas(requests, 2, "round_robin")
+    # Arrival order is 1, 2, 0, 3 -> slots 0, 1, 0, 1.
+    assert out == [0, 0, 1, 1]
+
+
+def test_single_replica_gets_everything():
+    requests = [req(i, float(i)) for i in range(5)]
+    for balancer in BALANCERS:
+        assert assign_replicas(requests, 1, balancer) == [0] * 5
+
+
+def test_least_loaded_tracks_expected_work(cost):
+    # One giant request then small ones: the greedy balancer parks the
+    # giant on replica 0 and packs the small ones onto replica 1 until
+    # their accumulated work catches up.
+    requests = [req(0, 0.0, prompt=5000, decode=500)] + [
+        req(i, float(i), prompt=10, decode=1) for i in range(1, 6)
+    ]
+    out = assign_replicas(requests, 2, "least_loaded", cost_model=cost)
+    assert out[0] == 0
+    assert all(a == 1 for a in out[1:])
+    with pytest.raises(ValueError, match="cost model"):
+        assign_replicas(requests, 2, "least_loaded")
+
+
+def test_router_aware_keys_on_expert_region(cost):
+    planner = ExpertReplayPlanner(
+        n_experts=8, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=4096,
+        max_blocks_per_request=256, expert_bytes=1 << 17, seed=3,
+    )
+    requests = [req(i, float(i)) for i in range(24)]
+    out = assign_replicas(requests, 2, "router_aware", planner=planner)
+    assert set(out) <= {0, 1}
+    # Deterministic: same stream, same placement.
+    assert out == assign_replicas(requests, 2, "router_aware", planner=planner)
+    # A request's placement is keyed by its first expert region, so it
+    # is a function of the request alone -- stable under reordering.
+    shuffled = list(reversed(requests))
+    shuffled_out = assign_replicas(shuffled, 2, "router_aware", planner=planner)
+    assert shuffled_out == list(reversed(out))
+
+
+def test_router_aware_degrades_without_planner():
+    requests = [req(i, float(i)) for i in range(4)]
+    assert assign_replicas(requests, 2, "router_aware") == assign_replicas(
+        requests, 2, "round_robin"
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="unknown balancer"):
+        assign_replicas([], 2, "random")
+    with pytest.raises(ValueError, match="n_replicas"):
+        assign_replicas([], 0, "round_robin")

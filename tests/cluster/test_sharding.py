@@ -1,0 +1,107 @@
+"""Sharding policies and analytical expert placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharding import (
+    ExpertParallelSharding,
+    HotColdSharding,
+    ReplicatedSharding,
+    SHARDING_POLICIES,
+    make_sharding_policy,
+    place_experts,
+)
+from repro.cosim import ExpertReplayPlanner, small_cosim_dram
+
+EXPERT_BYTES = 1 << 17
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return ExpertReplayPlanner(
+        n_experts=8, top_k=2, n_moe_layers=2,
+        dram_config=small_cosim_dram(), bytes_per_token=4096,
+        max_blocks_per_request=256, expert_bytes=EXPERT_BYTES, seed=3,
+    )
+
+
+def _sample(planner, n=256):
+    """Addresses spread across the expert regions that replay traffic
+    actually hits (region id = layer * n_experts + expert)."""
+    step = planner.config.organization.access_bytes
+    rng = np.random.default_rng(0)
+    region = rng.integers(0, planner.n_experts * planner.n_moe_layers, size=n)
+    offset = rng.integers(0, EXPERT_BYTES // step, size=n)
+    addrs = (region * EXPERT_BYTES + offset * step).astype(np.int64)
+    home = rng.integers(0, 2, size=n).astype(np.int64)
+    return addrs, home
+
+
+def test_replicated_serves_at_home(planner):
+    addrs, home = _sample(planner)
+    out = ReplicatedSharding().device_map(addrs, home, 2, planner)
+    assert np.array_equal(out, home)
+
+
+def test_expert_parallel_is_region_mod_devices(planner):
+    addrs, home = _sample(planner)
+    out = ExpertParallelSharding().device_map(addrs, home, 3, planner)
+    assert np.array_equal(out, planner.region_of_addrs(addrs) % 3)
+    # Placement depends on the address alone, never on the home device.
+    out2 = ExpertParallelSharding().device_map(addrs, 1 - home, 3, planner)
+    assert np.array_equal(out, out2)
+
+
+def test_hot_cold_splits_by_popularity(planner):
+    addrs, home = _sample(planner)
+    policy = HotColdSharding(hot_fraction=0.25)
+    out = policy.device_map(addrs, home, 2, planner)
+    regions = planner.region_of_addrs(addrs)
+    hot = np.isin(regions, np.fromiter(planner.hot_region_ids(0.25), dtype=np.int64))
+    assert hot.any() and (~hot).any()
+    # Hot experts are replicated (served at home); the cold tail shards.
+    assert np.array_equal(out[hot], home[hot])
+    assert np.array_equal(out[~hot], regions[~hot] % 2)
+
+
+def test_hot_cold_extremes(planner):
+    addrs, home = _sample(planner)
+    all_hot = HotColdSharding(hot_fraction=1.0).device_map(addrs, home, 2, planner)
+    assert np.array_equal(all_hot, home)
+    none_hot = HotColdSharding(hot_fraction=0.0).device_map(addrs, home, 2, planner)
+    assert np.array_equal(none_hot, planner.region_of_addrs(addrs) % 2)
+
+
+def test_make_sharding_policy():
+    for name in SHARDING_POLICIES:
+        assert make_sharding_policy(name).name == name
+    with pytest.raises(ValueError, match="unknown sharding policy"):
+        make_sharding_policy("striped")
+    with pytest.raises(ValueError, match="hot_fraction"):
+        HotColdSharding(hot_fraction=1.5)
+
+
+def test_place_experts_round_robin_by_intensity():
+    # Hottest expert first, dealt round-robin: intensities 4,3,2,1 on
+    # 2 devices -> experts 0,2 (slots 0,2) on device 0, 1,3 on device 1.
+    device_of = place_experts(4, 2, [4.0, 3.0, 2.0, 1.0])
+    assert device_of == [0, 1, 0, 1]
+    # Skewed intensities still land an even expert count per device.
+    device_of = place_experts(6, 3, [100.0, 1.0, 50.0, 2.0, 25.0, 3.0])
+    counts = [device_of.count(d) for d in range(3)]
+    assert counts == [2, 2, 2]
+
+
+def test_place_experts_start_slot_continues_the_deal():
+    first = place_experts(3, 2, None, start_slot=0)
+    second = place_experts(3, 2, None, start_slot=3)
+    assert first == [0, 1, 0]
+    assert second == [1, 0, 1]
+
+
+def test_place_experts_block_policy():
+    assert place_experts(6, 3, policy="block") == [0, 0, 1, 1, 2, 2]
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        place_experts(4, 2, policy="hash")
+    with pytest.raises(ValueError, match="length"):
+        place_experts(4, 2, [1.0])

@@ -92,3 +92,46 @@ def test_cosim_sweep(capsys, tmp_path):
 def test_cosim_mismatched_cost_flags(capsys):
     assert main(["cosim", "--encode-us", "1.0"]) == 2
     assert "together" in capsys.readouterr().err
+
+
+def test_cosim_preset_and_config_are_exclusive(capsys, tmp_path):
+    assert main(["cosim", "sweep", "--preset", "smoke", "--config", "x.json"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["cosim", "sweep", "--config", str(tmp_path / "no.json")]) == 2
+
+
+def test_cosim_preset_flag_overrides(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    code = main([
+        "cosim", "sweep", "--preset", "smoke",
+        "--rates", "2e4,1e6", "--requests", "30", "--output", str(output),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    from repro.cosim import SweepResult
+
+    loaded = SweepResult.load(output)
+    assert [p.rate for p in loaded.points] == [2e4, 1e6]
+    assert loaded.n_requests == 30
+
+
+def test_cluster_sweep_from_config_file(capsys, tmp_path):
+    from repro.cluster import ClusterSweepResult
+    from repro.experiments import get_preset
+
+    config = tmp_path / "cluster.json"
+    get_preset("cluster_smoke").replaced(
+        rates=(2e4, 1e6), n_requests=30
+    ).save(config)
+    output = tmp_path / "cluster_sweep.json"
+    code = main([
+        "cluster", "sweep", "--config", str(config),
+        "--replicas", "1,2", "--policies", "replicated",
+        "--output", str(output),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "slo cap (req/s)" in out
+    loaded = ClusterSweepResult.load(output)
+    assert [c.replicas for c in loaded.curves] == [1, 2]
+    assert all(len(c.points) == 2 for c in loaded.curves)

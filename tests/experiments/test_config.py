@@ -1,0 +1,115 @@
+"""Experiment-config API: round-trips, validation, presets, bridge."""
+
+import pytest
+
+from repro.experiments import (
+    CostConfig,
+    ExperimentConfig,
+    LoopConfig,
+    PRESET_NAMES,
+    ReplayConfig,
+    ServingConfig,
+    get_preset,
+)
+
+
+def test_round_trip_defaults(tmp_path):
+    config = ExperimentConfig()
+    path = tmp_path / "exp.json"
+    config.save(path)
+    assert ExperimentConfig.load(path) == config
+
+
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_round_trip_presets(name, tmp_path):
+    config = get_preset(name)
+    assert ExperimentConfig.from_dict(config.to_dict()) == config
+    path = tmp_path / f"{name}.json"
+    config.save(path)
+    assert ExperimentConfig.load(path) == config
+
+
+def test_get_preset_unknown():
+    with pytest.raises(ValueError, match="cluster_smoke"):
+        get_preset("smokey")
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ValueError, match="unknown ExperimentConfig keys"):
+        ExperimentConfig.from_dict({"mode": "cosim", "turbo": True})
+    with pytest.raises(ValueError, match="unknown LoopConfig keys"):
+        ExperimentConfig.from_dict({"loop": {"dampening": 0.5}})
+    with pytest.raises(ValueError, match="unknown ReplayConfig keys"):
+        ReplayConfig.from_dict({"dram": "small", "channels": 4})
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="mode"):
+        ExperimentConfig(mode="fleet")
+    with pytest.raises(ValueError):
+        ExperimentConfig(scheme="warp")
+    with pytest.raises(ValueError, match="n_requests"):
+        ExperimentConfig(n_requests=0)
+    with pytest.raises(ValueError, match="rates"):
+        ExperimentConfig(rates=())
+    with pytest.raises(ValueError, match="sorted"):
+        ExperimentConfig(rates=(2.0, 1.0))
+    with pytest.raises(ValueError, match="together"):
+        CostConfig(encode_us=1.0)
+    with pytest.raises(ValueError, match="together"):
+        CostConfig(decode_us=1.0)
+    with pytest.raises(ValueError, match="dram"):
+        ReplayConfig(dram="hbm3")
+    with pytest.raises(ValueError, match="engine"):
+        ServingConfig(engine="vllm")
+
+
+def test_cost_synthetic_property():
+    assert not CostConfig().synthetic
+    assert CostConfig(encode_us=0.002, decode_us=0.02).synthetic
+
+
+def test_cosim_config_bridge_defaults():
+    """A default ExperimentConfig flattens to a default CosimConfig --
+    the invariant keeping the config path bit-identical to the legacy
+    flag path."""
+    from repro.cosim import CosimConfig
+
+    assert ExperimentConfig().cosim_config() == CosimConfig()
+
+
+def test_cosim_config_bridge_routes_layers():
+    config = ExperimentConfig(
+        serving=ServingConfig(engine="batching", queue_limit=512, max_batch=4),
+        loop=LoopConfig(damping=0.3, max_iterations=5, dram_workers=2),
+    )
+    bridge = config.cosim_config()
+    assert bridge.engine == "batching"
+    assert bridge.queue_limit == 512
+    assert bridge.max_batch == 4
+    assert bridge.damping == 0.3
+    assert bridge.max_iterations == 5
+    assert bridge.dram_workers == 2
+
+
+def test_replaced_is_functional_update():
+    base = get_preset("smoke")
+    cluster_mode = base.replaced(mode="cluster")
+    assert cluster_mode.mode == "cluster"
+    assert base.mode == "cosim"
+    assert cluster_mode.replay == base.replay
+
+
+def test_preset_shapes():
+    smoke = get_preset("smoke")
+    assert smoke.mode == "cosim"
+    assert smoke.cost.synthetic
+    assert smoke.replay.dram == "small"
+    decode_heavy = get_preset("decode_heavy")
+    assert decode_heavy.serving.engine == "batching"
+    cluster = get_preset("cluster_smoke")
+    assert cluster.mode == "cluster"
+    assert cluster.cluster.replicas == (1, 2)
+    assert set(cluster.cluster.policies) <= {
+        "replicated", "expert_parallel", "hot_cold"
+    }

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.strategies import Scheme
-from repro.serving.simulator import CostModel, ServingSimulator, load_sweep
+from repro.serving.simulator import CostModel, ServingSimulator
 from repro.serving.workload import Request, RequestGenerator
 
 
@@ -54,14 +54,20 @@ def test_queue_limit_rejects(cheap_model):
 
 def test_latency_grows_with_load(cheap_model):
     """The hockey stick: near-saturation latency blows up."""
+    from repro.cosim import CosimConfig, run_load_sweep
+
     service = cheap_model.service_time(req(0, 0, prompt=512, decode=32))
     capacity = 1.0 / service
-    sweep = load_sweep(
-        cheap_model, Scheme.MD_LB,
-        rates=[0.2 * capacity, 0.95 * capacity],
+    # planner=None runs the grid serving-only (open loop); queue_limit
+    # 512 matches the historical standalone loop the deleted
+    # repro.serving.load_sweep adapter preserved.
+    _, runs = run_load_sweep(
+        cheap_model, Scheme.MD_LB, None,
+        [0.2 * capacity, 0.95 * capacity],
         n_requests=300,
+        cosim_config=CosimConfig(queue_limit=512),
     )
-    low, high = sweep[0][1], sweep[1][1]
+    low, high = runs[0].closed_loop, runs[1].closed_loop
     assert high.mean_latency > 1.5 * low.mean_latency
     assert high.utilization > low.utilization
 
