@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.moe import nllb_moe_128
 from repro.workloads import FIG3_BUCKETS, FIG3_REFERENCE, bucket_histogram
-from repro.workloads.scenarios import flores_like
+from repro.workloads.catalog import flores_like
 from repro.workloads.traces import RoutingTraceGenerator
 
 N_TRIALS = 16

@@ -20,6 +20,11 @@ implements the paper's contribution and every substrate it depends on:
   streams (Fig. 5), and end-to-end runtimes for every evaluated scheme.
 - :mod:`repro.workloads` -- synthetic routing traces and batch
   generators calibrated to the paper's measured expert skew (Fig. 3).
+- :mod:`repro.traffic` -- the production-traffic subsystem: real
+  routing-trace ingestion (CSV -> trace-faithful ``.dramtrace``),
+  time-varying load shapes (diurnal, flash crowd, popularity drift),
+  and the named multi-tenant scenario zoo, each registered as an
+  experiment preset.
 - :mod:`repro.cosim` -- closed-loop serving<->DRAM co-simulation: the
   fixed-point driver, expert-faithful replay, and load-sweep runner.
 - :mod:`repro.cluster` -- cluster-scale sharded serving simulation:
@@ -44,11 +49,14 @@ __all__ = [
     "ExperimentConfig",
     "InferenceConfig",
     "MoNDERuntime",
+    "SCENARIOS",
     "Scheme",
     "SchemeResult",
     "ServingSimulator",
+    "TrafficConfig",
     "__version__",
     "get_preset",
+    "load_routing_trace",
     "run_cluster_sweep",
     "run_experiment",
     "run_load_sweep",
@@ -62,10 +70,13 @@ _LAZY = {
     "ExperimentConfig": ("repro.experiments.config", "ExperimentConfig"),
     "InferenceConfig": ("repro.core.runtime", "InferenceConfig"),
     "MoNDERuntime": ("repro.core.runtime", "MoNDERuntime"),
+    "SCENARIOS": ("repro.traffic.scenarios", "SCENARIOS"),
     "SchemeResult": ("repro.core.runtime", "SchemeResult"),
     "Scheme": ("repro.core.strategies", "Scheme"),
     "ServingSimulator": ("repro.serving.simulator", "ServingSimulator"),
+    "TrafficConfig": ("repro.experiments.config", "TrafficConfig"),
     "get_preset": ("repro.experiments.presets", "get_preset"),
+    "load_routing_trace": ("repro.traffic.routing_trace", "load_routing_trace"),
     "run_cluster_sweep": ("repro.cluster.sweep", "run_cluster_sweep"),
     "run_experiment": ("repro.experiments.runner", "run_experiment"),
     "run_load_sweep": ("repro.cosim.sweep", "run_load_sweep"),

@@ -17,6 +17,11 @@ Commands:
                      offered load; ``cosim sweep`` drives the loop
                      across a rate grid (the tail-latency hockey
                      stick) and writes a versioned JSON result.
+- ``traffic``        Production-traffic subsystem: ``traffic list``
+                     and ``traffic describe`` browse the named
+                     scenario zoo (each runnable via ``--preset``),
+                     ``traffic export`` turns a real routing-trace
+                     CSV into a trace-faithful ``.dramtrace``.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from repro.analysis.characterize import compute_vs_transfer, param_scaling
 from repro.analysis.report import format_table
 from repro.core.runtime import InferenceConfig, MoNDERuntime
 from repro.core.strategies import Scheme
-from repro.workloads import SCENARIOS
+from repro.workloads import WORKLOADS
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -52,12 +57,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scenario = SCENARIOS[args.workload](batch=args.batch)
+    workload = WORKLOADS[args.workload](batch=args.batch)
     config = InferenceConfig(
-        model=scenario.model,
+        model=workload.model,
         batch=args.batch,
         decode_steps=args.decode_steps,
-        profile=scenario.profile,
+        profile=workload.profile,
     )
     runtime = MoNDERuntime(config)
     schemes = (Scheme.GPU_PM, Scheme.MD_AM, Scheme.MD_LB, Scheme.IDEAL)
@@ -70,7 +75,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                  round(result.throughput, 0),
                  round(runtime.normalized_throughput(scheme, part), 3)]
             )
-    print(scenario.describe())
+    print(workload.describe())
     print(format_table(["part", "scheme", "ms", "tok/s", "vs Ideal"], rows))
     for part in ("encoder", "decoder"):
         print(f"MD+LB over GPU+PM ({part}): "
@@ -84,14 +89,14 @@ def _cmd_skew(args: argparse.Namespace) -> int:
     from repro.workloads import bucket_histogram
     from repro.workloads.traces import RoutingTraceGenerator
 
-    scenario = SCENARIOS[args.workload](batch=args.batch)
+    workload = WORKLOADS[args.workload](batch=args.batch)
     gen = RoutingTraceGenerator(
-        scenario.model, args.batch, scenario.seq_len,
-        profile=scenario.profile, seed=args.seed,
+        workload.model, args.batch, workload.seq_len,
+        profile=workload.profile, seed=args.seed,
     )
     labels = ["0", "1-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+"]
     rows = []
-    for rank in range(scenario.model.n_moe_encoder_layers):
+    for rank in range(workload.model.n_moe_encoder_layers):
         counts = gen.encoder_layer_counts(rank)
         hist = bucket_histogram(counts)
         rows.append([rank, int(np.count_nonzero(counts))] + hist.tolist())
@@ -271,6 +276,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   f"arrive_cycle [{int(arrive.min())}, {int(arrive.max())}]")
         return 0
     raise AssertionError(f"unhandled trace subcommand {args.trace_command!r}")
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.traffic import SCENARIOS
+
+    if args.traffic_command == "list":
+        rows = [[s.name, s.intent] for s in SCENARIOS.values()]
+        print(format_table(["scenario", "intent"], rows))
+        print(
+            "run one end to end: repro cosim sweep --preset <scenario> "
+            "(or repro cluster sweep --preset <scenario>)"
+        )
+        return 0
+    if args.traffic_command == "describe":
+        import json
+
+        scenario = SCENARIOS.get(args.name)
+        if scenario is None:
+            print(
+                f"repro traffic describe: unknown scenario {args.name!r}; "
+                f"choose from {', '.join(sorted(SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(scenario.describe())
+        print(json.dumps(scenario.experiment().to_dict(), indent=2))
+        return 0
+    if args.traffic_command == "export":
+        from dataclasses import replace as dataclasses_replace
+
+        from repro.cosim.driver import small_cosim_dram
+        from repro.traffic import (
+            TraceExportSpec,
+            export_routing_trace,
+            load_routing_trace,
+        )
+
+        try:
+            trace = load_routing_trace(args.trace, top_k=args.top_k)
+            spec = TraceExportSpec(
+                expert_bytes=args.expert_bytes,
+                burst_blocks=args.burst_blocks,
+                write_fraction=args.write_fraction,
+                seed=args.seed,
+            )
+            if args.small_dram:
+                spec = dataclasses_replace(spec, config=small_cosim_dram())
+            n = export_routing_trace(trace, args.output, spec)
+        except (OSError, ValueError) as exc:
+            print(f"repro traffic export: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{args.trace}: {trace.n_layers} layer(s) x {trace.n_tokens} "
+            f"token(s) x {trace.n_experts} expert(s), top-{trace.top_k}"
+        )
+        print(f"exported {n} DRAM requests to {args.output}")
+        return 0
+    raise AssertionError(f"unhandled traffic subcommand {args.traffic_command!r}")
 
 
 #: Defaults for the SUPPRESS-defaulted shared cosim options (see
@@ -453,6 +516,57 @@ def _experiment_config(args: argparse.Namespace, provided: set[str]):
 
 
 
+def _print_traffic_columns(sweep) -> None:
+    """Per-tenant tails (against their scenario SLOs) and flash-window
+    vs steady-window tails, for sweeps driven by a traffic scenario.
+    Silent on legacy sweeps -- the columns are empty there."""
+    tenants = sorted(
+        {name for p in sweep.points for name in p.tenant_closed_p99}
+    )
+    if tenants:
+        rows = []
+        for name in tenants:
+            worst = max(
+                (p.tenant_closed_p99.get(name, 0.0) for p in sweep.points),
+                default=0.0,
+            )
+            done = sum(p.tenant_completed.get(name, 0) for p in sweep.points)
+            slo_ms = sweep.tenant_slo_p99_ms.get(name)
+            if slo_ms is None:
+                verdict = "-"
+            else:
+                verdict = "ok" if worst * 1e3 <= slo_ms else "VIOLATED"
+            rows.append(
+                [
+                    name,
+                    done,
+                    f"{worst * 1e3:.4g}",
+                    "-" if slo_ms is None else f"{slo_ms:g}",
+                    verdict,
+                ]
+            )
+        print(
+            format_table(
+                ["tenant", "completed", "worst closed p99 ms",
+                 "slo p99 ms", "slo"],
+                rows,
+            )
+        )
+    flashy = [p for p in sweep.points if p.closed_flash_p99 > 0.0]
+    if flashy:
+        worst = max(flashy, key=lambda p: p.closed_flash_p99)
+        ratio = (
+            worst.closed_flash_p99 / worst.closed_steady_p99
+            if worst.closed_steady_p99 > 0
+            else float("inf")
+        )
+        print(
+            f"flash window p99 {worst.closed_flash_p99:.3e} s vs steady "
+            f"{worst.closed_steady_p99:.3e} s ({ratio:.2f}x) at rate "
+            f"{worst.rate:g}"
+        )
+
+
 def _cosim_export(trace, path: str) -> None:
     from repro.workloads.trace_io import write_trace
 
@@ -513,6 +627,7 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
                         f"{sweep.slo_p99_seconds * 1e3:.3g} ms ({source}) at "
                         "every grid point"
                     )
+            _print_traffic_columns(sweep)
             sweep.save(args.output)
             print(f"wrote {args.output}")
             if args.export_trace is not None:
@@ -692,12 +807,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("characterize", help="Fig. 2 characterization tables")
 
     evaluate = sub.add_parser("evaluate", help="Fig. 6-style scheme comparison")
-    evaluate.add_argument("--workload", choices=sorted(SCENARIOS), default="flores")
+    evaluate.add_argument("--workload", choices=sorted(WORKLOADS), default="flores")
     evaluate.add_argument("--batch", type=int, default=4)
     evaluate.add_argument("--decode-steps", type=int, default=16)
 
     skew = sub.add_parser("skew", help="Fig. 3-style expert-load histogram")
-    skew.add_argument("--workload", choices=sorted(SCENARIOS), default="flores")
+    skew.add_argument("--workload", choices=sorted(WORKLOADS), default="flores")
     skew.add_argument("--batch", type=int, default=4)
     skew.add_argument("--seed", type=int, default=0)
 
@@ -772,6 +887,43 @@ def build_parser() -> argparse.ArgumentParser:
     info = trace_sub.add_parser("info", help="inspect a .dramtrace header")
     info.add_argument("path")
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="production-traffic scenarios and routing-trace ingestion",
+    )
+    traffic_sub = traffic.add_subparsers(dest="traffic_command", required=True)
+    traffic_sub.add_parser("list", help="the named scenario zoo")
+    describe = traffic_sub.add_parser(
+        "describe", help="one scenario's intent + resolved experiment JSON"
+    )
+    describe.add_argument("name")
+    texport = traffic_sub.add_parser(
+        "export",
+        help="render a routing-trace CSV (layer_id,token_id,"
+             "expert_0_prob,...) as a trace-faithful .dramtrace",
+    )
+    texport.add_argument("--trace", required=True, metavar="PATH.csv",
+                         help="routing-trace CSV (see README: one row per "
+                              "(layer, token) with per-expert probabilities)")
+    texport.add_argument("--output", required=True, metavar="PATH.dramtrace")
+    texport.add_argument("--top-k", type=int, default=2,
+                         help="experts each token routes to (default: 2)")
+    texport.add_argument("--expert-bytes", type=int, default=1 << 18,
+                         help="weight bytes per expert region "
+                              "(default: 262144)")
+    texport.add_argument("--burst-blocks", type=int, default=32,
+                         help="64B blocks per routing event (default: 32)")
+    texport.add_argument("--write-fraction", type=float, default=0.1,
+                         help="fraction of bursts that are writebacks "
+                              "(default: 0.1)")
+    texport.add_argument("--seed", type=int, default=0,
+                         help="writeback/resume draw seed; same trace + "
+                              "same seed => byte-identical file "
+                              "(default: 0)")
+    texport.add_argument("--small-dram", action="store_true",
+                         help="address-map against the small test DRAM "
+                              "config instead of LPDDR5X-8533")
+
     # Shared options appear on both `cosim` and `cosim sweep`.  All
     # defaults are SUPPRESS (applied later from _COSIM_DEFAULTS): the
     # sweep subparser shares the namespace with its parent, so a real
@@ -780,7 +932,7 @@ def build_parser() -> argparse.ArgumentParser:
     supp = argparse.SUPPRESS
     cosim_common = argparse.ArgumentParser(add_help=False, argument_default=supp)
     cosim_common.add_argument("--scheme", choices=[s.value for s in Scheme])
-    cosim_common.add_argument("--workload", choices=sorted(SCENARIOS),
+    cosim_common.add_argument("--workload", choices=sorted(WORKLOADS),
                               help="model/profile for the runtime cost model "
                                    "and the expert replay geometry "
                                    "(default: flores)")
@@ -949,6 +1101,7 @@ _HANDLERS = {
     "dram": _cmd_dram,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "traffic": _cmd_traffic,
     "cosim": _cmd_cosim,
     "cluster": _cmd_cluster,
 }

@@ -23,6 +23,7 @@ import json
 import logging
 import pathlib
 from dataclasses import asdict, dataclass, field
+from types import SimpleNamespace
 from typing import Callable, Optional
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.cosim.sweep import (
     SweepPoint,
     _failed_point,
     _point_from_run,
+    _traffic_columns,
     slo_capacity,
 )
 
@@ -50,7 +52,9 @@ CLUSTER_SWEEP_FORMAT_VERSION = 1
 logger = logging.getLogger(__name__)
 
 
-def _merged_point(rate: float, runs: list[CosimResult]) -> SweepPoint:
+def _merged_point(
+    rate: float, runs: list[CosimResult], traffic=None
+) -> SweepPoint:
     """Collapse one rate's per-replica closed-loop runs into a single
     fleet-level grid point.  Latency tails are percentiles over the
     *union* of all replicas' completed requests -- a per-replica
@@ -136,6 +140,16 @@ def _merged_point(rate: float, runs: list[CosimResult]) -> SweepPoint:
         extra_decode_seconds_per_token=token_weighted(
             [run.extra_decode_seconds_per_token for run in runs]
         ),
+        # Tenant / flash-window tails over the same fleet-wide union of
+        # completions the plain percentiles use.
+        **_traffic_columns(
+            SimpleNamespace(
+                completed=[
+                    c for run in runs for c in run.closed_loop.completed
+                ]
+            ),
+            traffic,
+        ),
     )
 
 
@@ -164,6 +178,10 @@ class ClusterSweepResult:
     #: shared closed-loop p99 threshold all curves were read against
     slo_p99_seconds: float = 0.0
     slo_auto: bool = True
+    #: per-tenant closed-loop p99 SLO thresholds (milliseconds) from
+    #: the traffic scenario, keyed by tenant name (empty when the
+    #: sweep ran without tenants)
+    tenant_slo_p99_ms: dict = field(default_factory=dict)
 
     def curve(self, replicas: int, policy: str) -> ClusterCurve:
         for c in self.curves:
@@ -199,6 +217,7 @@ class ClusterSweepResult:
             "seed": self.seed,
             "slo_p99_seconds": self.slo_p99_seconds,
             "slo_auto": self.slo_auto,
+            "tenant_slo_p99_ms": self.tenant_slo_p99_ms,
             "cluster": self.cluster.to_dict(),
             "config": self.config,
             "curves": [
@@ -228,6 +247,7 @@ class ClusterSweepResult:
             seed=int(data["seed"]),
             slo_p99_seconds=float(data.get("slo_p99_seconds", 0.0)),
             slo_auto=bool(data.get("slo_auto", True)),
+            tenant_slo_p99_ms=dict(data.get("tenant_slo_p99_ms", {})),
             cluster=ClusterConfig.from_dict(data.get("cluster", {})),
             config=dict(data.get("config", {})),
             curves=[
@@ -290,6 +310,7 @@ def run_cluster_sweep(
     cosim_config: Optional[CosimConfig] = None,
     slo_p99_seconds: Optional[float] = None,
     on_point: Optional[Callable[[int, str, float, SweepPoint], None]] = None,
+    traffic=None,
 ) -> tuple[ClusterSweepResult, dict[tuple[int, str], list[Optional[CosimResult]]]]:
     """Sweep the full replica x policy x rate grid.
 
@@ -307,6 +328,12 @@ def run_cluster_sweep(
     per-rate :class:`CosimResult` s (single-replica curves; multi-
     replica rates carry ``None`` -- their per-replica runs were merged
     into the recorded point).
+
+    An active ``traffic`` config swaps request generation to
+    :func:`repro.traffic.generate.generate_requests` (tenant mixes,
+    load shapes) and fills the per-tenant / flash-window columns on
+    every point -- the same semantics as the single-device sweep, so
+    the 1-replica anchor stays bit-identical under any scenario.
     """
     if not rates:
         raise ValueError("rates must be non-empty")
@@ -337,21 +364,42 @@ def run_cluster_sweep(
             "rates": [float(r) for r in rates],
         },
     )
+    if traffic is not None:
+        # Scenario provenance; key absent on legacy sweeps.
+        result.config["traffic"] = traffic.to_dict()
+        result.tenant_slo_p99_ms = {
+            t.name: t.slo_p99_ms for t in traffic.tenants
+        }
     runs_by_curve: dict[tuple[int, str], list[Optional[CosimResult]]] = {}
     for policy in cluster.policies:
         for n_replicas in cluster.replicas:
             curve = ClusterCurve(replicas=n_replicas, policy=policy)
             curve_runs: list[Optional[CosimResult]] = []
             for rate in rates:
-                requests = list(
-                    RequestGenerator(
-                        rate,
-                        mean_prompt_tokens=mean_prompt_tokens,
-                        mean_decode_tokens=mean_decode_tokens,
-                        seed=seed,
-                        arrival=arrival,
-                    ).generate(n_requests)
-                )
+                if traffic is not None:
+                    from repro.traffic.generate import generate_requests
+
+                    requests = list(
+                        generate_requests(
+                            rate,
+                            n_requests,
+                            mean_prompt_tokens=mean_prompt_tokens,
+                            mean_decode_tokens=mean_decode_tokens,
+                            seed=seed,
+                            arrival=arrival,
+                            traffic=traffic,
+                        )
+                    )
+                else:
+                    requests = list(
+                        RequestGenerator(
+                            rate,
+                            mean_prompt_tokens=mean_prompt_tokens,
+                            mean_decode_tokens=mean_decode_tokens,
+                            seed=seed,
+                            arrival=arrival,
+                        ).generate(n_requests)
+                    )
                 try:
                     point, run = _run_cluster_point(
                         cost_model,
@@ -363,6 +411,7 @@ def run_cluster_sweep(
                         policy,
                         rate,
                         requests,
+                        traffic,
                     )
                 except Exception as exc:
                     logger.warning(
@@ -407,6 +456,7 @@ def _run_cluster_point(
     policy: str,
     rate: float,
     requests,
+    traffic=None,
 ) -> tuple[SweepPoint, Optional[CosimResult]]:
     """One (curve, rate) point: balance, run each replica's closed
     loop, merge."""
@@ -444,5 +494,5 @@ def _run_cluster_point(
     if len(runs) == 1:
         # Single-replica curves report the run verbatim -- the
         # bit-identity anchor against the single-device sweep.
-        return _point_from_run(rate, runs[0]), runs[0]
-    return _merged_point(rate, runs), None
+        return _point_from_run(rate, runs[0], traffic), runs[0]
+    return _merged_point(rate, runs, traffic), None

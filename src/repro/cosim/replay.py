@@ -181,7 +181,21 @@ class ExpertReplayPlanner:
 
     # -- per-request routing + addressing ---------------------------------
 
-    def _layer_counts(self, rng: np.random.Generator, tokens: int) -> list[np.ndarray]:
+    def _popularity_for(self, request_id: int) -> list[np.ndarray]:
+        """Per-layer popularity in effect for one request.  The base
+        planner's popularity is fixed for its lifetime; subclasses
+        (e.g. :class:`repro.traffic.drift.DriftingReplayPlanner`)
+        override this to drift the distribution across the request
+        stream while keeping addresses a pure function of
+        ``(seed, request_id, tokens)``."""
+        return self._popularity
+
+    def _layer_counts(
+        self,
+        rng: np.random.Generator,
+        tokens: int,
+        popularity: Optional[list] = None,
+    ) -> list[np.ndarray]:
         """Routed-token counts per expert for each MoE layer of one
         request's pass."""
         routed = min(tokens, self.max_routed_tokens)
@@ -194,7 +208,7 @@ class ExpertReplayPlanner:
         events = routed * self.top_k
         return [
             sample_expert_counts(self.n_experts, events, 0.0, rng, popularity=pop)
-            for pop in self._popularity
+            for pop in (popularity if popularity is not None else self._popularity)
         ]
 
     def request_blocks(self, request_id: int, tokens: int) -> np.ndarray:
@@ -207,7 +221,9 @@ class ExpertReplayPlanner:
             -(-(tokens * self.bytes_per_token) // self._step),
         )
         rng = np.random.default_rng((self.seed, request_id))
-        layer_counts = self._layer_counts(rng, tokens)
+        layer_counts = self._layer_counts(
+            rng, tokens, self._popularity_for(request_id)
+        )
         total_events = sum(int(c.sum()) for c in layer_counts)
         if total_events == 0:
             # Degenerate routing (no events): stream the first expert.

@@ -98,6 +98,17 @@ class SweepPoint:
     #: distinct per-phase surcharges of the reported iterate
     extra_prefill_seconds_per_token: float = 0.0
     extra_decode_seconds_per_token: float = 0.0
+    # Traffic-scenario columns (populated only for sweeps driven by an
+    # active repro.traffic configuration; empty/zero otherwise).
+    #: per-tenant closed-loop latency p99 (seconds), keyed by tenant
+    tenant_closed_p99: dict = field(default_factory=dict)
+    #: per-tenant completed-request counts, keyed by tenant
+    tenant_completed: dict = field(default_factory=dict)
+    #: closed-loop latency p99 of requests arriving inside the
+    #: flash-crowd window (flash_crowd shapes only)
+    closed_flash_p99: float = 0.0
+    #: closed-loop latency p99 of requests arriving outside the window
+    closed_steady_p99: float = 0.0
 
 
 @dataclass
@@ -123,6 +134,10 @@ class SweepResult:
     slo_capacity_rps: float = 0.0
     #: True when the threshold was auto-derived rather than user-given
     slo_auto: bool = True
+    #: per-tenant closed-loop p99 SLO thresholds (milliseconds) from
+    #: the traffic scenario, keyed by tenant name (empty when the
+    #: sweep ran without tenants)
+    tenant_slo_p99_ms: dict = field(default_factory=dict)
 
     # -- codec -----------------------------------------------------------
 
@@ -138,6 +153,7 @@ class SweepResult:
             "slo_p99_seconds": self.slo_p99_seconds,
             "slo_capacity_rps": self.slo_capacity_rps,
             "slo_auto": self.slo_auto,
+            "tenant_slo_p99_ms": self.tenant_slo_p99_ms,
             "config": self.config,
             "points": [asdict(p) for p in self.points],
         }
@@ -158,6 +174,7 @@ class SweepResult:
             slo_p99_seconds=float(data.get("slo_p99_seconds", 0.0)),
             slo_capacity_rps=float(data.get("slo_capacity_rps", 0.0)),
             slo_auto=bool(data.get("slo_auto", True)),
+            tenant_slo_p99_ms=dict(data.get("tenant_slo_p99_ms", {})),
             config=dict(data.get("config", {})),
             points=[SweepPoint(**p) for p in data["points"]],
         )
@@ -249,6 +266,7 @@ def _run_rate_point(
     arrival: str,
     mean_prompt_tokens: int,
     mean_decode_tokens: int,
+    traffic=None,
 ) -> CosimResult:
     """Run the closed loop at one offered-load point.
 
@@ -264,14 +282,31 @@ def _run_rate_point(
     :class:`CosimResult` whose open and closed loops coincide -- the
     engine-aware successor of the old standalone serving load sweep
     (the removed ``repro.serving.load_sweep``).
+
+    An active ``traffic`` config (tenants / load shape) swaps request
+    generation to :func:`repro.traffic.generate.generate_requests`;
+    ``traffic=None`` keeps the legacy single-tenant stream exactly.
     """
-    generator = RequestGenerator(
-        rate,
-        mean_prompt_tokens=mean_prompt_tokens,
-        mean_decode_tokens=mean_decode_tokens,
-        seed=seed,
-        arrival=arrival,
-    )
+    if traffic is not None:
+        from repro.traffic.generate import generate_requests
+
+        requests = generate_requests(
+            rate,
+            n_requests,
+            mean_prompt_tokens=mean_prompt_tokens,
+            mean_decode_tokens=mean_decode_tokens,
+            seed=seed,
+            arrival=arrival,
+            traffic=traffic,
+        )
+    else:
+        requests = RequestGenerator(
+            rate,
+            mean_prompt_tokens=mean_prompt_tokens,
+            mean_decode_tokens=mean_decode_tokens,
+            seed=seed,
+            arrival=arrival,
+        ).generate(n_requests)
     if planner is None:
         from repro.serving.engine import BatchConfig, BatchingEngine, PhaseCostModel
         from repro.serving.simulator import ServingSimulator
@@ -289,11 +324,11 @@ def _run_rate_point(
                     priority=cfg.priority,
                     queue_limit=cfg.queue_limit,
                 ),
-            ).run(generator.generate(n_requests))
+            ).run(requests)
         else:
             serving = ServingSimulator(
                 cost_model, scheme, queue_limit=cfg.queue_limit
-            ).run(generator.generate(n_requests))
+            ).run(requests)
         return CosimResult(
             scheme=scheme,
             converged=True,
@@ -302,12 +337,56 @@ def _run_rate_point(
         )
     driver = CosimDriver(cost_model, scheme, planner, config=cfg)
     try:
-        return driver.run(generator.generate(n_requests))
+        return driver.run(requests)
     finally:
         driver.close()
 
 
-def _point_from_run(rate: float, run: CosimResult) -> SweepPoint:
+def _traffic_columns(closed, traffic) -> dict:
+    """Per-tenant and flash-window latency columns for one closed run.
+
+    Empty when the sweep ran without an active traffic config (the
+    legacy path), so the plain columns are untouched.  The flash
+    window is expressed in fractions of the request horizon -- the
+    same coordinates :class:`~repro.traffic.shapes.FlashCrowdShape`
+    warped the arrivals into.
+    """
+    import numpy as np
+
+    cols: dict = {}
+    if traffic is None or not closed.completed:
+        return cols
+    if traffic.tenants:
+        by_tenant: dict[str, list[float]] = {}
+        for c in closed.completed:
+            by_tenant.setdefault(c.request.tenant, []).append(c.latency)
+        cols["tenant_closed_p99"] = {
+            name: float(np.percentile(lats, 99))
+            for name, lats in sorted(by_tenant.items())
+        }
+        cols["tenant_completed"] = {
+            name: len(lats) for name, lats in sorted(by_tenant.items())
+        }
+    if traffic.shape == "flash_crowd":
+        horizon = max(c.request.arrival for c in closed.completed)
+        lo = traffic.flash_at * horizon
+        hi = (traffic.flash_at + traffic.flash_duration) * horizon
+        flash = [
+            c.latency for c in closed.completed if lo <= c.request.arrival < hi
+        ]
+        steady = [
+            c.latency
+            for c in closed.completed
+            if not (lo <= c.request.arrival < hi)
+        ]
+        if flash:
+            cols["closed_flash_p99"] = float(np.percentile(flash, 99))
+        if steady:
+            cols["closed_steady_p99"] = float(np.percentile(steady, 99))
+    return cols
+
+
+def _point_from_run(rate: float, run: CosimResult, traffic=None) -> SweepPoint:
     """Collapse one closed-loop run into its sweep-grid point."""
     open_loop, closed = run.open_loop, run.closed_loop
     last = run.iterations[-1] if run.iterations else None
@@ -335,6 +414,7 @@ def _point_from_run(rate: float, run: CosimResult) -> SweepPoint:
         closed_tpot_p99=closed.tpot_percentile(99),
         extra_prefill_seconds_per_token=run.extra_prefill_seconds_per_token,
         extra_decode_seconds_per_token=run.extra_decode_seconds_per_token,
+        **_traffic_columns(closed, traffic),
     )
 
 
@@ -439,6 +519,7 @@ def run_load_sweep(
     resume: bool = False,
     on_point: Optional[Callable[[float, SweepPoint], None]] = None,
     slo_p99_seconds: Optional[float] = None,
+    traffic=None,
 ) -> tuple[SweepResult, list[Optional[CosimResult]]]:
     """Run the closed loop at every rate in the grid.
 
@@ -481,6 +562,14 @@ def run_load_sweep(
     ``on_point(rate, point)`` is called after each completed point's
     checkpoint is durable -- the hook the fault-injection harness uses
     to interrupt at exact point counts.
+
+    ``traffic`` (a :class:`~repro.experiments.config.TrafficConfig`,
+    or ``None``) drives scenario request generation: tenant mixes and
+    load shapes swap in :func:`repro.traffic.generate.generate_requests`
+    per point, per-tenant / flash-window latency columns are filled,
+    and the traffic dict joins the checkpoint fingerprint (so a resume
+    against a different scenario is rejected).  ``None`` keeps the
+    legacy single-tenant path bit-identical.
     """
     if not rates:
         raise ValueError("rates must be non-empty")
@@ -523,6 +612,11 @@ def run_load_sweep(
                 "decode_marginal_fraction": cfg.decode_marginal_fraction,
             }
         )
+    if traffic is not None:
+        # Scenario provenance; key absent on legacy sweeps so their
+        # checkpoint fingerprints are unchanged.
+        sweep.config["traffic"] = traffic.to_dict()
+        sweep.tenant_slo_p99_ms = {t.name: t.slo_p99_ms for t in traffic.tenants}
     fingerprint = {
         "scheme": sweep.scheme,
         "arrival": arrival,
@@ -558,6 +652,7 @@ def run_load_sweep(
             arrival,
             mean_prompt_tokens,
             mean_decode_tokens,
+            traffic,
         )
         for rate in todo
     }
@@ -632,7 +727,7 @@ def run_load_sweep(
                             )
                             record(rate, _failed_point(rate, exc), None)
                         else:
-                            record(rate, _point_from_run(rate, run), run)
+                            record(rate, _point_from_run(rate, run, traffic), run)
             finally:
                 pool.terminate()
                 pool.join()
@@ -646,7 +741,7 @@ def run_load_sweep(
                     logger.warning("sweep point rate=%g failed: %s", rate, exc)
                     record(rate, _failed_point(rate, exc), None)
                 else:
-                    record(rate, _point_from_run(rate, run), run)
+                    record(rate, _point_from_run(rate, run, traffic), run)
     finally:
         for sig, previous in installed:
             signal.signal(sig, previous)

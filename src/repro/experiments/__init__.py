@@ -12,6 +12,8 @@ from repro.experiments.config import (
     LoopConfig,
     ReplayConfig,
     ServingConfig,
+    TenantConfig,
+    TrafficConfig,
 )
 from repro.experiments.presets import PRESET_NAMES, get_preset
 from repro.experiments.runner import build_components, run_experiment
@@ -23,6 +25,8 @@ __all__ = [
     "PRESET_NAMES",
     "ReplayConfig",
     "ServingConfig",
+    "TenantConfig",
+    "TrafficConfig",
     "build_components",
     "get_preset",
     "run_experiment",

@@ -14,7 +14,11 @@ accreted, folded into a frozen dataclass hierarchy:
   stream shape;
 - :class:`LoopConfig` -- fixed-point iteration knobs;
 - :class:`~repro.cluster.config.ClusterConfig` -- fleet shape
-  (cluster mode only).
+  (cluster mode only);
+- :class:`TrafficConfig` -- production traffic shaping (time-varying
+  load, multi-tenant mixes, popularity drift, real routing traces);
+  the default is inactive and preserves the legacy request path
+  exactly.
 
 ``to_dict``/``from_dict`` round-trip exactly (unknown keys are
 rejected, so a typo'd config file fails loudly instead of silently
@@ -150,6 +154,157 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class TenantConfig:
+    """One tenant in a multi-tenant request mix.
+
+    ``share`` is the tenant's fraction of the offered load; token
+    means override the experiment-wide ones for this tenant's
+    requests; ``slo_p99_ms`` is the tenant's own closed-loop p99
+    threshold (reported per tenant in sweep output; ``None`` means the
+    tenant rides the shared SLO only).
+    """
+
+    name: str
+    share: float
+    mean_prompt_tokens: int = 512
+    mean_decode_tokens: int = 32
+    slo_p99_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ValueError("tenant share must be positive")
+        if self.mean_prompt_tokens < 1 or self.mean_decode_tokens < 0:
+            raise ValueError("tenant token means out of range")
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ValueError("tenant slo_p99_ms must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantConfig":
+        _check_keys(cls, data, "TenantConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Production traffic shaping over the seeded request stream.
+
+    The default (``steady`` shape, no tenants, no drift, no trace) is
+    *inactive*: the experiment runs the exact legacy request path, so
+    every existing preset, checkpoint fingerprint, and bit-identity
+    anchor is untouched.  Any non-default field routes request
+    generation through :mod:`repro.traffic`.
+
+    - ``shape`` + its knobs: time-varying rate modulation
+      (:mod:`repro.traffic.shapes`), expressed in fractions of the
+      request horizon so the same scenario is meaningful at smoke and
+      production rates alike.
+    - ``drift_window_requests``/``drift_mix``: expert-popularity drift
+      (:mod:`repro.traffic.drift`); 0 windows disables drift.
+    - ``tenants``: multi-tenant mix with per-tenant token means and
+      SLO thresholds (per-tenant tail columns in sweep output).
+    - ``routing_trace``: path to a real routing-trace CSV; its
+      empirical per-layer popularity parameterizes the replay planner
+      instead of the synthetic profile.
+    """
+
+    shape: str = "steady"
+    # diurnal knobs
+    period_fraction: float = 1.0
+    trough: float = 0.25
+    peak: float = 1.75
+    # flash-crowd knobs (fractions of the horizon; magnitude is a
+    # rate multiplier inside the window)
+    flash_at: float = 0.5
+    flash_duration: float = 0.1
+    flash_magnitude: float = 8.0
+    # popularity drift
+    drift_window_requests: int = 0
+    drift_mix: float = 0.5
+    # multi-tenant mix
+    tenants: tuple[TenantConfig, ...] = ()
+    # real routing trace
+    routing_trace: Optional[str] = None
+    routing_top_k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shape not in ("steady", "diurnal", "flash_crowd"):
+            raise ValueError(
+                "shape must be 'steady', 'diurnal', or 'flash_crowd', "
+                f"got {self.shape!r}"
+            )
+        if self.period_fraction <= 0:
+            raise ValueError("period_fraction must be positive")
+        if not 0 < self.trough <= self.peak:
+            raise ValueError("need 0 < trough <= peak")
+        if not 0.0 <= self.flash_at < 1.0:
+            raise ValueError("flash_at must be in [0, 1)")
+        if not 0.0 < self.flash_duration <= 1.0 - self.flash_at:
+            raise ValueError("flash_duration must be in (0, 1 - flash_at]")
+        if self.flash_magnitude <= 0:
+            raise ValueError("flash_magnitude must be positive")
+        if self.drift_window_requests < 0:
+            raise ValueError("drift_window_requests must be >= 0")
+        if not 0.0 <= self.drift_mix <= 1.0:
+            raise ValueError("drift_mix must be in [0, 1]")
+        if self.routing_top_k < 1:
+            raise ValueError("routing_top_k must be >= 1")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+
+    @property
+    def active(self) -> bool:
+        """False iff this config is the do-nothing default (legacy
+        request path, bit-identical to pre-traffic behavior)."""
+        return bool(
+            self.shape != "steady"
+            or self.tenants
+            or self.drift_window_requests
+            or self.routing_trace
+        )
+
+    def load_shape(self):
+        """The composed :class:`repro.traffic.shapes.LoadShape` for
+        this config, or ``None`` for steady traffic."""
+        from repro.traffic.shapes import DiurnalShape, FlashCrowdShape
+
+        if self.shape == "diurnal":
+            return DiurnalShape(
+                period_fraction=self.period_fraction,
+                trough=self.trough,
+                peak=self.peak,
+            )
+        if self.shape == "flash_crowd":
+            return FlashCrowdShape(
+                at=self.flash_at,
+                duration=self.flash_duration,
+                magnitude=self.flash_magnitude,
+            )
+        return None
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["tenants"] = [t.to_dict() for t in self.tenants]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficConfig":
+        _check_keys(cls, data, "TrafficConfig")
+        kwargs = dict(data)
+        if "tenants" in kwargs:
+            kwargs["tenants"] = tuple(
+                t if isinstance(t, TenantConfig) else TenantConfig.from_dict(t)
+                for t in kwargs["tenants"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class LoopConfig:
     """Fixed-point loop knobs (the iteration half of the legacy
     :class:`repro.cosim.CosimConfig`; the serving half lives in
@@ -190,6 +345,7 @@ class ExperimentConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
     loop: LoopConfig = field(default_factory=LoopConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
 
     def __post_init__(self) -> None:
         if self.mode not in ("cosim", "cluster"):
@@ -235,6 +391,7 @@ class ExperimentConfig:
             "serving": self.serving.to_dict(),
             "loop": self.loop.to_dict(),
             "cluster": self.cluster.to_dict(),
+            "traffic": self.traffic.to_dict(),
         }
 
     @classmethod
@@ -249,6 +406,7 @@ class ExperimentConfig:
             ("serving", ServingConfig),
             ("loop", LoopConfig),
             ("cluster", ClusterConfig),
+            ("traffic", TrafficConfig),
         ):
             if key in kwargs and isinstance(kwargs[key], dict):
                 kwargs[key] = sub.from_dict(kwargs[key])

@@ -17,6 +17,13 @@ started life as one.
   replicas x {replicated, expert_parallel} on 2 NDP devices per
   replica, with a nonzero activation payload so expert-parallel pays
   visible PCIe round trips.
+
+Every named traffic scenario (:data:`repro.traffic.SCENARIOS`) is
+also registered here under its own name -- ``diurnal``,
+``flash_crowd``, ``multi_tenant``, ``popularity_drift``,
+``flash_crowd_smoke`` -- so the scenario zoo is reachable through the
+same ``--preset`` flag and ``get_preset`` call as the hand-written
+presets.
 """
 
 from __future__ import annotations
@@ -80,6 +87,15 @@ _PRESETS = {
     "decode_heavy": _decode_heavy,
     "cluster_smoke": _cluster_smoke,
 }
+
+from repro.traffic.scenarios import SCENARIOS as _TRAFFIC_SCENARIOS  # noqa: E402
+
+_collisions = set(_PRESETS) & set(_TRAFFIC_SCENARIOS)
+if _collisions:  # pragma: no cover - registry bug, caught at import
+    raise RuntimeError(f"traffic scenarios shadow presets: {sorted(_collisions)}")
+_PRESETS.update(
+    {name: scenario.experiment for name, scenario in _TRAFFIC_SCENARIOS.items()}
+)
 
 PRESET_NAMES = tuple(sorted(_PRESETS))
 

@@ -25,7 +25,7 @@ def build_components(
 ) -> tuple[CostModel, Scheme, object, CosimConfig]:
     """(cost_model, scheme, planner, cosim_config) for one experiment."""
     from repro.cosim.replay import ExpertReplayPlanner, SyntheticReplayPlanner
-    from repro.workloads import SCENARIOS
+    from repro.workloads import WORKLOADS
 
     scheme = Scheme(config.scheme)
     dram = config.replay.dram_config()
@@ -36,12 +36,43 @@ def build_components(
             decode_seconds_per_token=config.cost.decode_us * 1e-6,
         )
     else:
-        scenario = SCENARIOS[config.cost.workload](batch=1)
+        workload = WORKLOADS[config.cost.workload](batch=1)
         cost = CostModel.from_runtime(
-            scenario.model, scheme, profile=scenario.profile, ref_decode_steps=4
+            workload.model, scheme, profile=workload.profile, ref_decode_steps=4
         )
 
+    # A real routing trace overrides the synthetic routing profile;
+    # popularity drift swaps in the drifting planner subclass.  Both
+    # ride the same expert-faithful replay geometry.
+    profile = None
+    if config.traffic.routing_trace is not None:
+        from repro.traffic.routing_trace import (
+            EmpiricalRoutingProfile,
+            load_routing_trace,
+        )
+
+        profile = EmpiricalRoutingProfile.from_trace(
+            load_routing_trace(
+                config.traffic.routing_trace, top_k=config.traffic.routing_top_k
+            )
+        )
+    planner_cls = ExpertReplayPlanner
+    planner_extra = {}
+    if config.traffic.drift_window_requests:
+        from repro.traffic.drift import DriftingReplayPlanner
+
+        planner_cls = DriftingReplayPlanner
+        planner_extra = {
+            "drift_window_requests": config.traffic.drift_window_requests,
+            "drift_mix": config.traffic.drift_mix,
+        }
+
     if config.replay.synthetic:
+        if profile is not None or planner_extra:
+            raise ValueError(
+                "routing traces and popularity drift need expert-faithful "
+                "replay; unset replay.synthetic"
+            )
         planner = SyntheticReplayPlanner(
             dram_config=dram,
             bytes_per_token=config.replay.bytes_per_token,
@@ -49,25 +80,28 @@ def build_components(
             seed=config.seed,
         )
     elif config.replay.n_experts is not None:
-        planner = ExpertReplayPlanner(
+        planner = planner_cls(
             n_experts=config.replay.n_experts,
             top_k=config.replay.top_k,
             n_moe_layers=config.replay.n_moe_layers,
+            profile=profile,
             dram_config=dram,
             bytes_per_token=config.replay.bytes_per_token,
             max_blocks_per_request=config.replay.max_blocks_per_request,
             expert_bytes=config.replay.expert_bytes,
             seed=config.seed,
+            **planner_extra,
         )
     else:
-        scenario = SCENARIOS[config.cost.workload](batch=1)
-        planner = ExpertReplayPlanner.for_model(
-            scenario.model,
-            profile=scenario.profile,
+        workload = WORKLOADS[config.cost.workload](batch=1)
+        planner = planner_cls.for_model(
+            workload.model,
+            profile=profile if profile is not None else workload.profile,
             dram_config=dram,
             bytes_per_token=config.replay.bytes_per_token,
             max_blocks_per_request=config.replay.max_blocks_per_request,
             seed=config.seed,
+            **planner_extra,
         )
 
     return cost, scheme, planner, config.cosim_config()
@@ -92,6 +126,7 @@ def run_experiment(
     """
     cost, scheme, planner, cosim_cfg = build_components(config)
     slo = config.slo_p99_ms * 1e-3 if config.slo_p99_ms is not None else None
+    traffic = config.traffic if config.traffic.active else None
     if config.mode == "cluster":
         return run_cluster_sweep(
             cost,
@@ -107,6 +142,7 @@ def run_experiment(
             cosim_config=cosim_cfg,
             slo_p99_seconds=slo,
             on_point=on_point,
+            traffic=traffic,
         )
     return run_load_sweep(
         cost,
@@ -124,4 +160,5 @@ def run_experiment(
         resume=resume,
         on_point=on_point,
         slo_p99_seconds=slo,
+        traffic=traffic,
     )

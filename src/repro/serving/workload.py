@@ -46,13 +46,17 @@ class Request:
 
     ``lifecycle`` carries the engine-side phase state; it is excluded
     from equality/repr so two requests with the same identity compare
-    equal regardless of how far each has been served.
+    equal regardless of how far each has been served.  ``tenant``
+    names the traffic-mix tenant the request belongs to (empty for
+    single-tenant streams); sweep output groups per-tenant tail
+    columns by it.
     """
 
     request_id: int
     arrival: float
     prompt_tokens: int
     decode_tokens: int
+    tenant: str = ""
     lifecycle: PhaseLifecycle = field(
         default_factory=PhaseLifecycle, compare=False, repr=False
     )

@@ -1,0 +1,61 @@
+"""Production traffic subsystem.
+
+Three layers over the closed serving<->DRAM loop:
+
+- :mod:`repro.traffic.routing_trace` -- ingestion of real
+  ``layer_id,token_id,expert_0_prob,...`` routing-trace CSVs: top-k
+  assignment, empirical popularity extraction
+  (:class:`EmpiricalRoutingProfile` duck-types
+  :class:`~repro.workloads.traces.RoutingProfile`), and trace-faithful
+  ``.dramtrace`` export through the existing MoE burst generator.
+- :mod:`repro.traffic.shapes` / :mod:`repro.traffic.drift` --
+  time-varying load (diurnal curves, flash crowds, applied by
+  count-preserving time-warping of the seeded arrival processes) and
+  deterministic expert-popularity drift across the request stream.
+- :mod:`repro.traffic.scenarios` -- the named scenario zoo: each
+  scenario is an :class:`~repro.experiments.config.ExperimentConfig`
+  preset (``repro cosim sweep --preset flash_crowd``), with
+  multi-tenant mixes and per-tenant SLO columns in sweep output.
+"""
+
+from repro.traffic.drift import DriftingReplayPlanner, DriftSchedule
+from repro.traffic.generate import generate_requests
+from repro.traffic.routing_trace import (
+    EmpiricalRoutingProfile,
+    RoutingTrace,
+    TraceExportSpec,
+    export_routing_trace,
+    load_routing_trace,
+    routing_dram_arrays,
+    save_routing_trace,
+)
+from repro.traffic.scenarios import SCENARIOS, TrafficScenario
+from repro.traffic.shapes import (
+    ComposedShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    LoadShape,
+    SteadyShape,
+    warp_times,
+)
+
+__all__ = [
+    "ComposedShape",
+    "DiurnalShape",
+    "DriftSchedule",
+    "DriftingReplayPlanner",
+    "EmpiricalRoutingProfile",
+    "FlashCrowdShape",
+    "LoadShape",
+    "RoutingTrace",
+    "SCENARIOS",
+    "SteadyShape",
+    "TraceExportSpec",
+    "TrafficScenario",
+    "export_routing_trace",
+    "generate_requests",
+    "load_routing_trace",
+    "routing_dram_arrays",
+    "save_routing_trace",
+    "warp_times",
+]

@@ -1,0 +1,112 @@
+"""Traffic-shaped request-stream generation.
+
+:func:`generate_requests` is the traffic-aware sibling of
+``RequestGenerator.generate``: it splits the offered load across the
+configured tenants (each tenant gets its own seeded generator with its
+own token means), merges the per-tenant arrivals into one stream,
+re-times it through the configured load shape, and renumbers request
+ids in final arrival order.  Deterministic in
+``(rate, n_requests, seed, traffic)`` alone -- the same contract the
+legacy single-tenant path has -- so sweeps stay bit-identical across
+serial/parallel/resumed runs.
+
+With an inactive :class:`~repro.experiments.config.TrafficConfig` the
+callers (the sweep runners) skip this module entirely and use the
+legacy generator, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.workload import Request, RequestGenerator
+
+#: Namespacing code for per-tenant generator seeds
+#: (``default_rng((seed, _TENANT_CODE, tenant_index))`` idiom).
+_TENANT_CODE = 0x7E
+
+
+def _tenant_counts(n_requests: int, shares: list[float]) -> list[int]:
+    """Split ``n_requests`` across tenants proportionally to share,
+    largest-remainder rounding so the total is exact and every tenant
+    with positive share gets at least the rounding allows."""
+    total = sum(shares)
+    raw = [n_requests * s / total for s in shares]
+    counts = [int(x) for x in raw]
+    shortfall = n_requests - sum(counts)
+    remainders = sorted(
+        range(len(shares)), key=lambda i: (-(raw[i] - counts[i]), i)
+    )
+    for i in remainders[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+def generate_requests(
+    rate: float,
+    n_requests: int,
+    mean_prompt_tokens: int,
+    mean_decode_tokens: int,
+    seed: int,
+    arrival: str,
+    traffic,
+) -> list[Request]:
+    """Generate one traffic-shaped request stream.
+
+    ``traffic`` is a :class:`~repro.experiments.config.TrafficConfig`.
+    Tenants partition the request count by share and the offered rate
+    accordingly (so the aggregate rate is preserved); with no tenants
+    a single anonymous tenant with the experiment-wide token means is
+    used.  The merged stream is sorted by arrival, warped through the
+    config's load shape (count-, horizon-, and order-preserving), and
+    renumbered 0..n-1 in arrival order.
+    """
+    from repro.traffic.shapes import warp_times
+
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    tenants = list(traffic.tenants) or [None]
+    shares = [1.0 if t is None else t.share for t in tenants]
+    counts = _tenant_counts(n_requests, shares)
+    total_share = sum(shares)
+
+    drafts: list[tuple[float, int, str, int, int]] = []
+    for index, (tenant, count) in enumerate(zip(tenants, counts)):
+        if count == 0:
+            continue
+        name = "" if tenant is None else tenant.name
+        prompt_mean = (
+            mean_prompt_tokens if tenant is None else tenant.mean_prompt_tokens
+        )
+        decode_mean = (
+            mean_decode_tokens if tenant is None else tenant.mean_decode_tokens
+        )
+        share = shares[index] / total_share
+        generator = RequestGenerator(
+            rate * share,
+            mean_prompt_tokens=prompt_mean,
+            mean_decode_tokens=decode_mean,
+            seed=(seed, _TENANT_CODE, index),
+            arrival=arrival,
+        )
+        for r in generator.generate(count):
+            drafts.append(
+                (r.arrival, index, name, r.prompt_tokens, r.decode_tokens)
+            )
+
+    # Stable order: by arrival, tenant-index tiebreak (deterministic).
+    drafts.sort(key=lambda d: (d[0], d[1]))
+    times = np.array([d[0] for d in drafts], dtype=np.float64)
+    shape = traffic.load_shape()
+    if shape is not None:
+        times = warp_times(times, shape)
+    return [
+        Request(
+            request_id=i,
+            arrival=float(times[i]),
+            prompt_tokens=draft[3],
+            decode_tokens=draft[4],
+            tenant=draft[2],
+        )
+        for i, draft in enumerate(drafts)
+    ]

@@ -1,0 +1,350 @@
+"""Real routing-trace ingestion.
+
+Production MoE deployments log per-token gate outputs as CSV rows of
+``layer_id,token_id,expert_0_prob,expert_1_prob,...`` -- one row per
+(layer, token) with the full gate-probability vector.  This module
+reads that format into a :class:`RoutingTrace`, assigns each token its
+top-k experts (stable ties: the lowest expert id wins, matching the
+argmax convention of real gates), and exposes the trace in the two
+forms the rest of the repo consumes:
+
+- an *empirical popularity* per layer
+  (:meth:`RoutingTrace.popularity`), wrapped by
+  :class:`EmpiricalRoutingProfile` so a real trace can parameterize
+  everything that takes a
+  :class:`~repro.workloads.traces.RoutingProfile` -- the replay
+  planner, the runtime cost model, the Fig. 3 histogram;
+- a *trace-faithful DRAM burst stream*
+  (:func:`routing_dram_arrays` / :func:`export_routing_trace`): the
+  exact (layer, expert) visit sequence rendered through the existing
+  :func:`~repro.workloads.traces.moe_expert_memory_trace_arrays`
+  region layout, resume offsets, and writeback draws, written as a
+  ``.dramtrace`` whose bytes depend only on (trace, seed).
+
+Malformed input fails loudly: every validation error names the file
+and 1-based line number of the offending row.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.config import DRAMConfig, LPDDR5X_8533
+
+
+def _parse_float(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class RoutingTrace:
+    """A loaded routing trace: per-layer top-k expert assignments.
+
+    ``assignments[i]`` is an ``(n_tokens, top_k)`` int64 array for
+    ``layers[i]`` -- token t's top-k experts in descending gate
+    probability.  ``probs[i]`` keeps the renormalized gate vectors
+    (``(n_tokens, n_experts)`` float64) so a loaded trace can be
+    written back out (:func:`save_routing_trace`) and re-read to the
+    same assignments.
+    """
+
+    layers: tuple[int, ...]
+    assignments: tuple[np.ndarray, ...]
+    probs: tuple[np.ndarray, ...]
+    n_experts: int
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.layers) != len(self.assignments):
+            raise ValueError("one assignment array per layer required")
+        if len(self.layers) != len(self.probs):
+            raise ValueError("one probability array per layer required")
+        if not self.layers:
+            raise ValueError("a routing trace needs at least one layer")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.assignments[0].shape[0])
+
+    @property
+    def top_k(self) -> int:
+        return int(self.assignments[0].shape[1])
+
+    def popularity(self, layer_index: int) -> np.ndarray:
+        """Empirical expert popularity of one layer: normalized
+        top-k assignment counts over ``n_experts``."""
+        counts = np.bincount(
+            self.assignments[layer_index].ravel(), minlength=self.n_experts
+        ).astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self.n_experts, 1.0 / self.n_experts)
+        return counts / total
+
+    def popularities(self) -> list[np.ndarray]:
+        return [self.popularity(i) for i in range(self.n_layers)]
+
+    def expert_sequence(self) -> np.ndarray:
+        """The flat (layer, expert) visit sequence of one forward
+        pass: layer by layer, token-major, each token's top-k experts
+        in rank order, with layer ``i``'s experts offset by
+        ``i * n_experts`` so every (layer, expert) pair owns a
+        distinct weight region."""
+        chunks = [
+            a.ravel() + i * self.n_experts for i, a in enumerate(self.assignments)
+        ]
+        return np.concatenate(chunks).astype(np.int64)
+
+
+def load_routing_trace(
+    path,
+    top_k: int = 2,
+    n_tokens: Optional[int] = None,
+) -> RoutingTrace:
+    """Read a ``layer_id,token_id,expert_0_prob,...`` CSV.
+
+    - An optional header row (any row whose third column is not a
+      number) is skipped.
+    - Probability rows that do not sum to 1 are renormalized; rows
+      that sum to 0, carry negative/non-finite entries, or disagree on
+      the expert count are rejected with the offending line number.
+    - Layers may disagree on token count (real traces truncate
+      mid-batch): every layer is reconciled to a reference count --
+      ``n_tokens`` if given, else the first layer's count -- by
+      truncating longer layers and padding shorter ones (cycling from
+      the layer's own start, preserving its empirical distribution).
+    - Top-k assignment breaks probability ties toward the lowest
+      expert id (stable sort), matching real argmax gates.
+    """
+    path = pathlib.Path(path)
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    rows_by_layer: dict[int, list[np.ndarray]] = {}
+    layer_order: list[int] = []
+    n_experts: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected "
+                    "'layer_id,token_id,expert_0_prob,...' with at least one "
+                    f"expert column, got {len(parts)} column(s)"
+                )
+            if lineno == 1 and _parse_float(parts[2]) is None:
+                continue  # header row
+            try:
+                layer_id = int(parts[0])
+                token_id = int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: layer_id and token_id must be "
+                    f"integers, got {parts[0]!r}, {parts[1]!r}"
+                ) from None
+            if layer_id < 0 or token_id < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: layer_id and token_id must be "
+                    f"non-negative, got {layer_id}, {token_id}"
+                )
+            probs = np.empty(len(parts) - 2, dtype=np.float64)
+            for j, cell in enumerate(parts[2:]):
+                value = _parse_float(cell)
+                if value is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: expert_{j}_prob is not a "
+                        f"number: {cell!r}"
+                    )
+                probs[j] = value
+            if n_experts is None:
+                n_experts = len(probs)
+            elif len(probs) != n_experts:
+                raise ValueError(
+                    f"{path}:{lineno}: {len(probs)} expert columns, but "
+                    f"earlier rows had {n_experts}"
+                )
+            if not np.all(np.isfinite(probs)) or np.any(probs < 0):
+                raise ValueError(
+                    f"{path}:{lineno}: probabilities must be finite and "
+                    "non-negative"
+                )
+            total = probs.sum()
+            if total <= 0:
+                raise ValueError(
+                    f"{path}:{lineno}: probability row sums to 0 -- no "
+                    "routable expert"
+                )
+            if layer_id not in rows_by_layer:
+                rows_by_layer[layer_id] = []
+                layer_order.append(layer_id)
+            rows_by_layer[layer_id].append(probs / total)
+    if not layer_order:
+        raise ValueError(f"{path}: empty routing trace (no data rows)")
+    assert n_experts is not None
+    if top_k > n_experts:
+        raise ValueError(
+            f"{path}: top_k={top_k} exceeds the trace's {n_experts} experts"
+        )
+
+    reference = n_tokens if n_tokens is not None else len(rows_by_layer[layer_order[0]])
+    if reference < 1:
+        raise ValueError("n_tokens must be >= 1")
+    assignments = []
+    prob_arrays = []
+    for layer_id in layer_order:
+        mat = np.vstack(rows_by_layer[layer_id])
+        if len(mat) >= reference:
+            mat = mat[:reference]  # truncate
+        else:
+            # Pad by cycling the layer's own rows from its start.
+            reps = np.arange(reference) % len(mat)
+            mat = mat[reps]
+        # Stable descending sort: ties resolve to the lowest expert id.
+        order = np.argsort(-mat, axis=1, kind="stable")
+        assignments.append(np.ascontiguousarray(order[:, :top_k], dtype=np.int64))
+        prob_arrays.append(mat)
+    return RoutingTrace(
+        layers=tuple(layer_order),
+        assignments=tuple(assignments),
+        probs=tuple(prob_arrays),
+        n_experts=n_experts,
+        source=str(path),
+    )
+
+
+def save_routing_trace(path, trace: RoutingTrace, decimals: int = 6) -> int:
+    """Write a :class:`RoutingTrace` back to the CSV format
+    :func:`load_routing_trace` reads; returns the row count.  A
+    save -> load round trip reproduces the assignments exactly (the
+    stored probabilities are already renormalized)."""
+    path = pathlib.Path(path)
+    rows = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        header = ["layer_id", "token_id"] + [
+            f"expert_{e}_prob" for e in range(trace.n_experts)
+        ]
+        fh.write(",".join(header) + "\n")
+        for layer_id, mat in zip(trace.layers, trace.probs):
+            for token_id in range(mat.shape[0]):
+                cells = [str(layer_id), str(token_id)] + [
+                    format(p, f".{decimals}f") for p in mat[token_id]
+                ]
+                fh.write(",".join(cells) + "\n")
+                rows += 1
+    return rows
+
+
+@dataclass(frozen=True)
+class EmpiricalRoutingProfile:
+    """A trace's measured per-layer popularity wearing the
+    :class:`~repro.workloads.traces.RoutingProfile` interface.
+
+    ``popularity(n_experts, rank, n_layers, decoder, rng)`` returns
+    the stored distribution of trace layer ``rank % trace.n_layers``
+    (deeper model layers reuse the trace cyclically when the model is
+    deeper than the trace), resized to the requested expert count --
+    deterministic, so the ``rng`` argument is accepted but unused.
+    """
+
+    layer_popularity: tuple[tuple[float, ...], ...]
+    source: str = ""
+
+    @classmethod
+    def from_trace(cls, trace: RoutingTrace) -> "EmpiricalRoutingProfile":
+        return cls(
+            layer_popularity=tuple(
+                tuple(float(x) for x in pop) for pop in trace.popularities()
+            ),
+            source=trace.source,
+        )
+
+    def popularity(
+        self,
+        n_experts: int,
+        rank: int,
+        n_layers: int,
+        decoder: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        pop = np.asarray(
+            self.layer_popularity[rank % len(self.layer_popularity)],
+            dtype=np.float64,
+        )
+        if n_experts < len(pop):
+            pop = pop[:n_experts]
+        elif n_experts > len(pop):
+            pop = np.concatenate([pop, np.zeros(n_experts - len(pop))])
+        total = pop.sum()
+        if total <= 0:
+            return np.full(n_experts, 1.0 / n_experts)
+        return pop / total
+
+
+@dataclass(frozen=True)
+class TraceExportSpec:
+    """Geometry knobs for rendering a trace as DRAM bursts (the same
+    knobs :func:`~repro.workloads.traces.moe_expert_memory_trace_arrays`
+    takes, minus the popularity-sampling ones the trace replaces)."""
+
+    expert_bytes: int = 1 << 18
+    burst_blocks: int = 32
+    write_fraction: float = 0.1
+    seed: int = 0
+    config: DRAMConfig = field(default=LPDDR5X_8533)
+
+
+def routing_dram_arrays(
+    trace: RoutingTrace,
+    spec: Optional[TraceExportSpec] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Render the trace's exact expert visit sequence as DRAM
+    ``(addrs, write_mask)`` columns.
+
+    One burst per (token, layer, k) routing event, in forward-pass
+    order, through the same region layout / per-expert resume offsets
+    / writeback draws as the synthetic generator -- only the *choice*
+    of expert comes from the trace instead of sampled popularity.
+    Deterministic in (trace, spec.seed) alone.
+    """
+    from repro.workloads.traces import moe_expert_memory_trace_arrays
+
+    spec = spec or TraceExportSpec()
+    seq = trace.expert_sequence()
+    return moe_expert_memory_trace_arrays(
+        n_requests=len(seq) * spec.burst_blocks,
+        config=spec.config,
+        n_experts=trace.n_layers * trace.n_experts,
+        expert_bytes=spec.expert_bytes,
+        burst_blocks=spec.burst_blocks,
+        write_fraction=spec.write_fraction,
+        seed=spec.seed,
+        experts=seq,
+    )
+
+
+def export_routing_trace(
+    trace: RoutingTrace,
+    path,
+    spec: Optional[TraceExportSpec] = None,
+) -> int:
+    """Write the trace-faithful burst stream to a ``.dramtrace``;
+    returns the record count.  The file carries no timestamps, so two
+    exports of the same trace with the same seed are byte-identical.
+    """
+    from repro.workloads.trace_io import pack_flags, write_trace
+
+    addrs, write_mask = routing_dram_arrays(trace, spec)
+    return write_trace(path, addrs, flags=pack_flags(write_mask))

@@ -1,0 +1,208 @@
+"""Named production-traffic scenarios.
+
+The one scenario registry: each entry is a fully-resolved
+:class:`~repro.experiments.config.ExperimentConfig` factory plus a
+one-line statement of intent, registered as an experiment preset so
+``repro cosim sweep --preset <name>`` and
+``repro cluster sweep --preset <name>`` run it end to end through the
+closed serving<->DRAM loop.  (Table-2 *model workloads* -- which
+model/task a cost model calibrates against -- live in
+:data:`repro.workloads.WORKLOADS`; scenarios here describe *traffic*.)
+
+All scenarios are smoke-sized (synthetic costs, the small saturating
+DRAM config, the 16-expert replay geometry) so they finish in seconds
+and the interesting regime -- the saturation knee -- is reachable at
+CI scale.  Scale them up by overriding fields
+(``get_preset(name).replaced(...)`` or CLI flags on top of
+``--preset``).
+
+All :mod:`repro.experiments` imports live inside the factory bodies:
+``repro.experiments.presets`` imports this module to register the
+zoo, so a module-level import here would be a cycle in either import
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+
+def _smoke_base():
+    """The CI-sized closed loop every scenario builds on (same knobs
+    as the ``smoke`` preset; duplicated here rather than imported so
+    ``repro.experiments.presets`` can import this module without a
+    cycle)."""
+    from repro.experiments.config import (
+        CostConfig,
+        ExperimentConfig,
+        LoopConfig,
+        ReplayConfig,
+        ServingConfig,
+    )
+
+    return ExperimentConfig(
+        mode="cosim",
+        scheme="md+lb",
+        seed=1,
+        n_requests=60,
+        rates=(1e5, 1e6, 4e6),
+        cost=CostConfig(encode_us=0.002, decode_us=0.02),
+        replay=ReplayConfig(
+            dram="small",
+            bytes_per_token=8192,
+            max_blocks_per_request=1024,
+            n_experts=16,
+            top_k=2,
+            n_moe_layers=2,
+            expert_bytes=1 << 18,
+        ),
+        serving=ServingConfig(mean_prompt_tokens=8, mean_decode_tokens=24),
+        loop=LoopConfig(max_iterations=16),
+    )
+
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """A named traffic scenario: intent + experiment factory."""
+
+    name: str
+    intent: str
+    factory: Callable[[], object]
+
+    def experiment(self):
+        """A fresh, fully-resolved :class:`ExperimentConfig`."""
+        return self.factory()
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.intent}"
+
+
+def _chat():
+    from repro.experiments.config import TenantConfig
+
+    return TenantConfig(
+        name="chat", share=0.5, mean_prompt_tokens=8, mean_decode_tokens=24,
+        slo_p99_ms=1.0,
+    )
+
+
+def _batch():
+    from repro.experiments.config import TenantConfig
+
+    return TenantConfig(
+        name="batch", share=0.3, mean_prompt_tokens=24, mean_decode_tokens=4,
+        slo_p99_ms=None,
+    )
+
+
+def _long_context():
+    from repro.experiments.config import TenantConfig
+
+    return TenantConfig(
+        name="long_context", share=0.2, mean_prompt_tokens=48,
+        mean_decode_tokens=16, slo_p99_ms=5.0,
+    )
+
+
+def _diurnal():
+    from repro.experiments.config import TrafficConfig
+
+    return replace(
+        _smoke_base(),
+        traffic=TrafficConfig(shape="diurnal", trough=0.2, peak=1.8),
+    )
+
+
+def _flash_crowd():
+    from repro.experiments.config import TrafficConfig
+
+    return replace(
+        _smoke_base(),
+        traffic=TrafficConfig(
+            shape="flash_crowd",
+            flash_at=0.5,
+            flash_duration=0.15,
+            flash_magnitude=6.0,
+        ),
+    )
+
+
+def _multi_tenant():
+    from repro.experiments.config import TrafficConfig
+
+    return replace(
+        _smoke_base(),
+        traffic=TrafficConfig(tenants=(_chat(), _batch(), _long_context())),
+    )
+
+
+def _popularity_drift():
+    from repro.experiments.config import TrafficConfig
+
+    return replace(
+        _smoke_base(),
+        traffic=TrafficConfig(drift_window_requests=20, drift_mix=0.75),
+    )
+
+
+def _flash_crowd_smoke():
+    # The CI scenario: a flash crowd over a two-tenant mix, sized so
+    # the spike window congests while the steady windows stay under
+    # the knee -- CI asserts flash-window p99 strictly above
+    # steady-window p99 and per-tenant SLO columns populated.
+    from repro.experiments.config import TrafficConfig
+
+    return replace(
+        _smoke_base(),
+        rates=(1e5, 1e6),
+        traffic=TrafficConfig(
+            shape="flash_crowd",
+            flash_at=0.5,
+            flash_duration=0.1,
+            flash_magnitude=8.0,
+            tenants=(
+                replace(_chat(), share=0.7),
+                replace(_batch(), share=0.3, slo_p99_ms=10.0),
+            ),
+        ),
+    )
+
+
+SCENARIOS: dict[str, TrafficScenario] = {
+    s.name: s
+    for s in (
+        TrafficScenario(
+            "diurnal",
+            "day/night rate cycling (0.2x-1.8x) over the run; the tail "
+            "hockey stick visits both sides of the knee in one sweep",
+            _diurnal,
+        ),
+        TrafficScenario(
+            "flash_crowd",
+            "6x traffic spike over 15% of the horizon; queueing from "
+            "the spike window dominates the closed-loop tail",
+            _flash_crowd,
+        ),
+        TrafficScenario(
+            "multi_tenant",
+            "chat + batch + long-context mix (50/30/20) with per-tenant "
+            "SLO thresholds and per-tenant tail columns",
+            _multi_tenant,
+        ),
+        TrafficScenario(
+            "popularity_drift",
+            "expert popularity re-mixes every 20 requests (seeded, "
+            "deterministic), churning the hot set under the LRU "
+            "expert cache",
+            _popularity_drift,
+        ),
+        TrafficScenario(
+            "flash_crowd_smoke",
+            "CI gate: 8x flash over a chat+batch mix; asserts "
+            "flash-window p99 > steady-window p99 and populated "
+            "per-tenant columns",
+            _flash_crowd_smoke,
+        ),
+    )
+}

@@ -1,0 +1,145 @@
+"""Time-varying load shapes over the seeded arrival processes.
+
+A :class:`LoadShape` is a positive rate-modulation profile over the
+*normalized* request horizon ``t in [0, 1]`` -- rate-independent, so
+the same shape means the same thing at smoke-scale microsecond
+horizons and production multi-hour windows.  Shapes compose
+multiplicatively (``diurnal * flash``).
+
+:func:`warp_times` applies a shape to an existing seeded arrival
+sequence by inverse-transforming through the shape's normalized
+cumulative intensity: arrivals are *re-timed*, never added or
+dropped, so the request count, the horizon, the mean offered rate,
+and the arrival order are all preserved -- only the local density
+changes.  That keeps every downstream determinism anchor intact (the
+warped stream is a pure function of the base stream and the shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Grid resolution for the cumulative-intensity inversion.  2048 knots
+#: over the horizon resolves shapes down to ~0.05% of the horizon.
+_GRID = 2048
+
+
+class LoadShape:
+    """Base class: a positive modulation factor over ``t in [0, 1]``."""
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __mul__(self, other: "LoadShape") -> "LoadShape":
+        return ComposedShape((self, other))
+
+
+@dataclass(frozen=True)
+class ComposedShape(LoadShape):
+    """Pointwise product of component shapes."""
+
+    components: tuple[LoadShape, ...]
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        out = np.ones_like(t, dtype=np.float64)
+        for shape in self.components:
+            out = out * shape.factor(t)
+        return out
+
+    def __mul__(self, other: LoadShape) -> "ComposedShape":
+        return ComposedShape(self.components + (other,))
+
+
+@dataclass(frozen=True)
+class SteadyShape(LoadShape):
+    """The identity shape (factor 1 everywhere)."""
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        return np.ones_like(t, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DiurnalShape(LoadShape):
+    """Smooth day/night cycling between ``trough`` and ``peak``.
+
+    ``period_fraction`` is the cycle length as a fraction of the
+    horizon (1.0 = one full day across the run); ``phase`` shifts
+    where in the cycle the run starts (0.0 starts at the mean on the
+    way up).
+    """
+
+    period_fraction: float = 1.0
+    trough: float = 0.25
+    peak: float = 1.75
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_fraction <= 0:
+            raise ValueError("period_fraction must be positive")
+        if not 0 < self.trough <= self.peak:
+            raise ValueError("need 0 < trough <= peak")
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        mid = (self.peak + self.trough) / 2.0
+        amp = (self.peak - self.trough) / 2.0
+        return mid + amp * np.sin(
+            2.0 * np.pi * (t / self.period_fraction - self.phase)
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdShape(LoadShape):
+    """A sudden ``magnitude``-x spike over a window of the horizon.
+
+    Baseline factor 1 everywhere except ``[at, at + duration)``
+    (fractions of the horizon), where the rate multiplies by
+    ``magnitude`` -- the retweeted-link / breaking-news burst that
+    folds a quiet service into its saturation knee.
+    """
+
+    at: float = 0.5
+    duration: float = 0.1
+    magnitude: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at < 1.0:
+            raise ValueError("at must be in [0, 1)")
+        if not 0.0 < self.duration <= 1.0 - self.at:
+            raise ValueError("duration must be in (0, 1 - at]")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        out = np.ones_like(t, dtype=np.float64)
+        window = (t >= self.at) & (t < self.at + self.duration)
+        out[window] = self.magnitude
+        return out
+
+
+def warp_times(times: np.ndarray, shape: LoadShape) -> np.ndarray:
+    """Re-time sorted arrivals through a load shape.
+
+    Maps each normalized arrival ``u`` to ``v = L^{-1}(u)`` where
+    ``L`` is the shape's normalized cumulative intensity: where the
+    factor is high, ``L`` rises steeply and ``L^{-1}`` flattens, so a
+    wide span of original arrivals lands in a narrow warped window --
+    locally multiplying the rate by the factor.  Monotone, count-,
+    horizon-, and mean-rate-preserving.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) == 0:
+        return times.copy()
+    horizon = float(times.max())
+    if horizon <= 0:
+        return times.copy()
+    knots = np.linspace(0.0, 1.0, _GRID + 1)
+    centers = (knots[:-1] + knots[1:]) / 2.0
+    intensity = np.asarray(shape.factor(centers), dtype=np.float64)
+    if np.any(intensity <= 0) or not np.all(np.isfinite(intensity)):
+        raise ValueError("load shape factors must be positive and finite")
+    cumulative = np.concatenate([[0.0], np.cumsum(intensity)])
+    cumulative /= cumulative[-1]
+    warped = np.interp(times / horizon, cumulative, knots)
+    return warped * horizon

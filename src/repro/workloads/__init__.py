@@ -15,9 +15,9 @@ from repro.workloads.distributions import (
     sample_expert_counts,
     zipf_popularity,
 )
-from repro.workloads.scenarios import (
-    SCENARIOS,
-    Scenario,
+from repro.workloads.catalog import (
+    WORKLOADS,
+    Workload,
     flores_like,
     xsum_like,
 )
@@ -31,10 +31,10 @@ __all__ = [
     "MappedTrace",
     "RoutingProfile",
     "RoutingTraceGenerator",
-    "SCENARIOS",
     "SavedTrace",
-    "Scenario",
     "TraceWriter",
+    "WORKLOADS",
+    "Workload",
     "bucket_histogram",
     "capture_trace",
     "flores_like",

@@ -1,4 +1,11 @@
-"""Named evaluation scenarios (Table 2 workloads)."""
+"""Named model workloads (Table 2).
+
+A :class:`Workload` fixes *what is being served*: model, task, batch
+geometry, and calibrated routing profile -- the inputs to the runtime
+cost model and the expert replay geometry.  (Traffic *scenarios* --
+how load arrives over time, tenant mixes, popularity drift -- are a
+separate concept and live in :data:`repro.traffic.SCENARIOS`.)
+"""
 
 from __future__ import annotations
 
@@ -10,7 +17,7 @@ from repro.workloads.traces import RoutingProfile
 
 
 @dataclass(frozen=True)
-class Scenario:
+class Workload:
     """A workload: model, task name, batch geometry, routing profile."""
 
     name: str
@@ -29,10 +36,10 @@ class Scenario:
         )
 
 
-def xsum_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> Scenario:
+def xsum_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> Workload:
     """Switch-Large-128 on an XSum-like language-modeling workload
     (top-1 gating, Table 2)."""
-    return Scenario(
+    return Workload(
         name=f"xsum-b{batch}",
         model=switch_large_128(),
         task="XSum language modeling",
@@ -46,10 +53,10 @@ def xsum_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> Sce
     )
 
 
-def flores_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> Scenario:
+def flores_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> Workload:
     """NLLB-MoE on a FLORES-200-like machine-translation workload
     (top-2 gating, Table 2)."""
-    return Scenario(
+    return Workload(
         name=f"flores-b{batch}",
         model=nllb_moe_128(),
         task="FLORES-200 machine translation",
@@ -64,7 +71,7 @@ def flores_like(batch: int = 4, seq_len: int = 512, decode_steps: int = 32) -> S
     )
 
 
-SCENARIOS = {
+WORKLOADS = {
     "xsum": xsum_like,
     "flores": flores_like,
 }

@@ -271,6 +271,7 @@ def moe_expert_memory_trace_arrays(
     tail_shape: float = 0.4,
     write_fraction: float = 0.1,
     seed: int = 0,
+    experts: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Skewed MoE expert-weight traffic; returns ``(addrs,
     write_mask)`` columns.
@@ -283,6 +284,13 @@ def moe_expert_memory_trace_arrays(
     result interleaves long sequential runs (hot experts, row hits)
     with scattered cold-expert fetches (row misses) -- the mix that
     makes FR-FCFS lookahead matter.
+
+    With an explicit ``experts`` array (one expert id per burst) the
+    popularity sampling is skipped and the bursts target exactly that
+    sequence -- the trace-faithful path
+    :func:`repro.traffic.routing_trace.routing_dram_arrays` uses to
+    replay real routing traces through the identical region layout,
+    resume-offset, and writeback math.
     """
     if n_requests < 0:
         raise ValueError("n_requests must be non-negative")
@@ -302,11 +310,28 @@ def moe_expert_memory_trace_arrays(
         expert_blocks = total_blocks // n_experts
 
     rng = np.random.default_rng(seed)
-    popularity = mixture_popularity(
-        n_experts, rng, hot_fraction=hot_fraction, n_hot=n_hot, tail_shape=tail_shape
-    )
-    n_bursts = -(-n_requests // burst_blocks)
-    experts = rng.choice(n_experts, size=n_bursts, p=popularity)
+    if experts is not None:
+        experts = np.asarray(experts, dtype=np.int64)
+        if experts.ndim != 1:
+            raise ValueError("experts must be a 1-D array of expert ids")
+        if len(experts) and (experts.min() < 0 or experts.max() >= n_experts):
+            raise ValueError(
+                f"expert ids must be in [0, {n_experts}), got "
+                f"[{int(experts.min())}, {int(experts.max())}]"
+            )
+        n_bursts = len(experts)
+        if n_requests > n_bursts * burst_blocks:
+            raise ValueError(
+                f"{n_requests} requests need more than the "
+                f"{n_bursts} provided expert bursts x {burst_blocks} blocks"
+            )
+    else:
+        popularity = mixture_popularity(
+            n_experts, rng, hot_fraction=hot_fraction, n_hot=n_hot,
+            tail_shape=tail_shape,
+        )
+        n_bursts = -(-n_requests // burst_blocks)
+        experts = rng.choice(n_experts, size=n_bursts, p=popularity)
 
     # Per-burst resume offset: the k-th fetch of an expert starts
     # where its (k-1)-th left off (vectorized cumulative count).

@@ -1,0 +1,114 @@
+"""Tenant-mixed, shape-warped request-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import TenantConfig, TrafficConfig
+from repro.serving.workload import RequestGenerator
+from repro.traffic.generate import _tenant_counts, generate_requests
+
+_TENANTS = (
+    TenantConfig(name="chat", share=0.5, mean_prompt_tokens=8,
+                 mean_decode_tokens=24, slo_p99_ms=1.0),
+    TenantConfig(name="batch", share=0.3, mean_prompt_tokens=64,
+                 mean_decode_tokens=4),
+    TenantConfig(name="long", share=0.2, mean_prompt_tokens=128,
+                 mean_decode_tokens=16, slo_p99_ms=5.0),
+)
+
+
+def test_tenant_counts_largest_remainder():
+    assert _tenant_counts(10, [0.5, 0.3, 0.2]) == [5, 3, 2]
+    assert _tenant_counts(7, [0.5, 0.3, 0.2]) == [4, 2, 1]
+    assert sum(_tenant_counts(101, [1, 1, 1])) == 101
+
+
+def test_requests_renumbered_in_arrival_order():
+    reqs = generate_requests(
+        5.0, 40, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=3, arrival="poisson", traffic=TrafficConfig(tenants=_TENANTS),
+    )
+    assert [r.request_id for r in reqs] == list(range(40))
+    arrivals = [r.arrival for r in reqs]
+    assert arrivals == sorted(arrivals)
+
+
+def test_tenant_shares_partition_the_count():
+    reqs = generate_requests(
+        5.0, 40, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=3, arrival="poisson", traffic=TrafficConfig(tenants=_TENANTS),
+    )
+    by_tenant = {}
+    for r in reqs:
+        by_tenant[r.tenant] = by_tenant.get(r.tenant, 0) + 1
+    assert by_tenant == {"chat": 20, "batch": 12, "long": 8}
+
+
+def test_tenant_token_means_differ():
+    reqs = generate_requests(
+        5.0, 300, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=3, arrival="poisson", traffic=TrafficConfig(tenants=_TENANTS),
+    )
+    mean_prompt = {
+        name: np.mean([r.prompt_tokens for r in reqs if r.tenant == name])
+        for name in ("chat", "long")
+    }
+    # 8-token chat prompts vs 128-token long-context prompts.
+    assert mean_prompt["long"] > 4 * mean_prompt["chat"]
+
+
+def test_deterministic_across_calls():
+    kwargs = dict(
+        rate=5.0, n_requests=50, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=11, arrival="poisson",
+        traffic=TrafficConfig(shape="diurnal", tenants=_TENANTS),
+    )
+    a = generate_requests(**kwargs)
+    b = generate_requests(**kwargs)
+    assert [(r.arrival, r.tenant, r.prompt_tokens) for r in a] == [
+        (r.arrival, r.tenant, r.prompt_tokens) for r in b
+    ]
+
+
+def test_no_tenants_no_shape_matches_stream_shape():
+    # A bare (but active) traffic config still produces the anonymous
+    # single-tenant stream: same count, ids in order, empty tenant.
+    reqs = generate_requests(
+        5.0, 30, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=7, arrival="poisson",
+        traffic=TrafficConfig(drift_window_requests=8),
+    )
+    assert len(reqs) == 30
+    assert all(r.tenant == "" for r in reqs)
+
+
+def test_flash_crowd_compresses_window():
+    traffic = TrafficConfig(
+        shape="flash_crowd", flash_at=0.5, flash_duration=0.1,
+        flash_magnitude=8.0,
+    )
+    reqs = generate_requests(
+        10.0, 400, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=5, arrival="poisson", traffic=traffic,
+    )
+    horizon = max(r.arrival for r in reqs)
+    in_window = sum(
+        1 for r in reqs if 0.5 * horizon <= r.arrival < 0.6 * horizon
+    )
+    assert in_window / len(reqs) > 0.3
+
+
+def test_mean_rate_preserved_by_shape():
+    plain = RequestGenerator(
+        10.0, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=5, arrival="poisson",
+    ).generate(200)
+    shaped = generate_requests(
+        10.0, 200, mean_prompt_tokens=16, mean_decode_tokens=8,
+        seed=5, arrival="poisson", traffic=TrafficConfig(shape="diurnal"),
+    )
+    # Warping preserves the horizon, so the average offered rate of
+    # the shaped stream matches the legacy generator's.
+    assert max(r.arrival for r in shaped) == pytest.approx(
+        max(r.arrival for r in plain), rel=0.3
+    )

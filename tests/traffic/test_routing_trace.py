@@ -1,0 +1,190 @@
+"""Routing-trace CSV ingestion: corners, errors, round trips."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.traffic.routing_trace import (
+    EmpiricalRoutingProfile,
+    TraceExportSpec,
+    export_routing_trace,
+    load_routing_trace,
+    routing_dram_arrays,
+    save_routing_trace,
+)
+
+EXAMPLE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples"
+    / "routing_trace_example.csv"
+)
+
+
+def _write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def test_basic_load_with_header(tmp_path):
+    path = _write(
+        tmp_path,
+        "layer_id,token_id,expert_0_prob,expert_1_prob,expert_2_prob\n"
+        "0,0,0.7,0.2,0.1\n"
+        "0,1,0.1,0.6,0.3\n",
+    )
+    trace = load_routing_trace(path, top_k=2)
+    assert trace.n_layers == 1
+    assert trace.n_tokens == 2
+    assert trace.n_experts == 3
+    assert trace.top_k == 2
+    assert trace.assignments[0].tolist() == [[0, 1], [1, 2]]
+
+
+def test_headerless_load(tmp_path):
+    path = _write(tmp_path, "0,0,0.5,0.5\n0,1,0.9,0.1\n")
+    trace = load_routing_trace(path, top_k=1)
+    assert trace.n_tokens == 2
+
+
+def test_top_k_ties_break_toward_lowest_expert_id(tmp_path):
+    path = _write(tmp_path, "0,0,0.25,0.25,0.25,0.25\n")
+    trace = load_routing_trace(path, top_k=2)
+    assert trace.assignments[0].tolist() == [[0, 1]]
+
+
+def test_rows_not_summing_to_one_are_renormalized(tmp_path):
+    path = _write(tmp_path, "0,0,2.0,1.0,1.0\n")
+    trace = load_routing_trace(path, top_k=1)
+    np.testing.assert_allclose(trace.probs[0][0], [0.5, 0.25, 0.25])
+
+
+def test_truncate_longer_layers(tmp_path):
+    # Layer 0 has 2 tokens, layer 1 has 4: layer 1 truncates to 2.
+    path = _write(
+        tmp_path,
+        "0,0,1,0\n0,1,0,1\n"
+        "1,0,1,0\n1,1,0,1\n1,2,1,0\n1,3,0,1\n",
+    )
+    trace = load_routing_trace(path, top_k=1)
+    assert trace.n_tokens == 2
+    assert all(a.shape == (2, 1) for a in trace.assignments)
+
+
+def test_pad_shorter_layers_by_cycling(tmp_path):
+    # Layer 0 has 3 tokens, layer 1 has 2: layer 1 pads to 3 by
+    # cycling from its own start.
+    path = _write(
+        tmp_path,
+        "0,0,1,0\n0,1,0,1\n0,2,1,0\n"
+        "1,0,1,0\n1,1,0,1\n",
+    )
+    trace = load_routing_trace(path, top_k=1)
+    assert trace.n_tokens == 3
+    assert trace.assignments[1].ravel().tolist() == [0, 1, 0]
+
+
+def test_explicit_n_tokens_override(tmp_path):
+    path = _write(tmp_path, "0,0,1,0\n0,1,0,1\n0,2,1,0\n")
+    trace = load_routing_trace(path, top_k=1, n_tokens=5)
+    assert trace.n_tokens == 5
+    assert trace.assignments[0].ravel().tolist() == [0, 1, 0, 0, 1]
+
+
+@pytest.mark.parametrize(
+    "body, lineno, fragment",
+    [
+        ("0,0,0.5,0.5\n0,nope,0.5,0.5\n", 2, "must be integers"),
+        ("0,0,0.5,0.5\n0,1,0.5,abc\n", 2, "expert_1_prob is not a number"),
+        ("0,0,0.5,0.5\n0,1,0.5,0.4,0.1\n", 2, "expert columns"),
+        ("0,0,0.5,0.5\n0,1,0.5,-0.5\n", 2, "finite and non-negative"),
+        ("0,0,0.5,0.5\n0,1,0,0\n", 2, "sums to 0"),
+        ("0,0,0.5,0.5\n0,1\n", 2, "at least one expert column"),
+        ("0,0,0.5,0.5\n-1,0,0.5,0.5\n", 2, "non-negative"),
+    ],
+)
+def test_malformed_rows_name_the_line(tmp_path, body, lineno, fragment):
+    path = _write(tmp_path, body)
+    with pytest.raises(ValueError) as err:
+        load_routing_trace(path)
+    assert f"{path}:{lineno}:" in str(err.value)
+    assert fragment in str(err.value)
+
+
+def test_empty_trace_rejected(tmp_path):
+    path = _write(tmp_path, "layer_id,token_id,expert_0_prob,expert_1_prob\n")
+    with pytest.raises(ValueError, match="empty routing trace"):
+        load_routing_trace(path)
+
+
+def test_top_k_exceeding_experts_rejected(tmp_path):
+    path = _write(tmp_path, "0,0,0.5,0.5\n")
+    with pytest.raises(ValueError, match="top_k=3 exceeds"):
+        load_routing_trace(path, top_k=3)
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = load_routing_trace(EXAMPLE, top_k=2)
+    out = tmp_path / "resaved.csv"
+    save_routing_trace(out, trace)
+    again = load_routing_trace(out, top_k=2)
+    assert again.layers == trace.layers
+    for a, b in zip(trace.assignments, again.assignments):
+        np.testing.assert_array_equal(a, b)
+    for a, b in zip(trace.popularities(), again.popularities()):
+        np.testing.assert_allclose(a, b)
+
+
+def test_example_trace_has_the_documented_asymmetry():
+    trace = load_routing_trace(EXAMPLE, top_k=2)
+    assert trace.n_layers == 4 and trace.n_tokens == 256
+    pops = trace.popularities()
+    # Encoder layers route broadly; decoder layers concentrate on a
+    # small hot set (the Fig. 3 / Fig. 6 asymmetry the CSV encodes).
+    assert max(pops[0]) < 0.3
+    assert max(pops[2]) > 0.4
+
+
+def test_empirical_profile_parameterizes_routing_profile():
+    trace = load_routing_trace(EXAMPLE, top_k=2)
+    profile = EmpiricalRoutingProfile.from_trace(trace)
+    pop = profile.popularity(trace.n_experts, rank=0, n_layers=trace.n_layers)
+    np.testing.assert_allclose(pop, trace.popularity(0))
+    np.testing.assert_allclose(pop.sum(), 1.0)
+    # Wider geometry than the trace: zero-padded then renormalized.
+    wide = profile.popularity(16, rank=1, n_layers=trace.n_layers)
+    assert wide.shape == (16,)
+    np.testing.assert_allclose(wide.sum(), 1.0)
+    assert np.all(wide[trace.n_experts:] == 0)
+
+
+def test_expert_sequence_offsets_layers():
+    seq_trace = load_routing_trace(EXAMPLE, top_k=2)
+    seq = seq_trace.expert_sequence()
+    per_layer = seq_trace.n_tokens * seq_trace.top_k
+    assert len(seq) == seq_trace.n_layers * per_layer
+    for i in range(seq_trace.n_layers):
+        chunk = seq[i * per_layer : (i + 1) * per_layer]
+        assert chunk.min() >= i * seq_trace.n_experts
+        assert chunk.max() < (i + 1) * seq_trace.n_experts
+
+
+def test_routing_dram_arrays_deterministic():
+    trace = load_routing_trace(EXAMPLE, top_k=2)
+    spec = TraceExportSpec(seed=5, burst_blocks=4)
+    addrs_a, writes_a = routing_dram_arrays(trace, spec)
+    addrs_b, writes_b = routing_dram_arrays(trace, spec)
+    np.testing.assert_array_equal(addrs_a, addrs_b)
+    np.testing.assert_array_equal(writes_a, writes_b)
+    assert len(addrs_a) == len(trace.expert_sequence()) * spec.burst_blocks
+
+
+def test_export_twice_is_byte_identical(tmp_path):
+    trace = load_routing_trace(EXAMPLE, top_k=2)
+    spec = TraceExportSpec(seed=9, burst_blocks=4)
+    a, b = tmp_path / "a.dramtrace", tmp_path / "b.dramtrace"
+    n1 = export_routing_trace(trace, a, spec)
+    n2 = export_routing_trace(trace, b, spec)
+    assert n1 == n2 > 0
+    assert a.read_bytes() == b.read_bytes()

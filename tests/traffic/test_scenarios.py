@@ -1,0 +1,60 @@
+"""The scenario zoo: registry, preset registration, JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, PRESET_NAMES, get_preset
+from repro.traffic import SCENARIOS
+
+EXPECTED = {
+    "diurnal",
+    "flash_crowd",
+    "multi_tenant",
+    "popularity_drift",
+    "flash_crowd_smoke",
+}
+
+
+def test_registry_contents():
+    assert set(SCENARIOS) == EXPECTED
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.intent
+        assert name in scenario.describe()
+
+
+def test_every_scenario_is_a_preset():
+    assert EXPECTED <= set(PRESET_NAMES)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_scenario_config_round_trips_exactly(name):
+    config = get_preset(name)
+    assert config.traffic.active
+    payload = json.dumps(config.to_dict())
+    again = ExperimentConfig.from_dict(json.loads(payload))
+    assert again == config
+    assert again.to_dict() == config.to_dict()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_scenario_factories_return_fresh_configs(name):
+    assert get_preset(name) is not get_preset(name)
+
+
+def test_scenario_traffic_knobs():
+    assert get_preset("diurnal").traffic.shape == "diurnal"
+    assert get_preset("flash_crowd").traffic.shape == "flash_crowd"
+    mt = get_preset("multi_tenant").traffic
+    assert [t.name for t in mt.tenants] == ["chat", "batch", "long_context"]
+    assert mt.tenants[0].slo_p99_ms == 1.0
+    assert get_preset("popularity_drift").traffic.drift_window_requests == 20
+    smoke = get_preset("flash_crowd_smoke").traffic
+    assert smoke.shape == "flash_crowd" and len(smoke.tenants) == 2
+
+
+def test_plain_presets_have_inactive_traffic():
+    # The legacy presets must take the exact legacy code path.
+    for name in ("smoke", "decode_heavy", "cluster_smoke"):
+        assert not get_preset(name).traffic.active

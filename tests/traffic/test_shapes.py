@@ -1,0 +1,90 @@
+"""Load shapes and the arrival time-warp invariants."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.shapes import (
+    DiurnalShape,
+    FlashCrowdShape,
+    SteadyShape,
+    warp_times,
+)
+
+
+def _poisson_times(n=400, rate=10.0, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=n))
+
+
+def test_steady_warp_is_identity():
+    times = _poisson_times()
+    np.testing.assert_allclose(warp_times(times, SteadyShape()), times)
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [
+        DiurnalShape(trough=0.25, peak=1.75),
+        FlashCrowdShape(at=0.4, duration=0.2, magnitude=6.0),
+        DiurnalShape() * FlashCrowdShape(),
+    ],
+)
+def test_warp_preserves_count_horizon_and_order(shape):
+    times = _poisson_times()
+    warped = warp_times(times, shape)
+    assert len(warped) == len(times)
+    # Endpoints pinned: same horizon, so the mean offered rate is
+    # unchanged -- only the within-run timing moves.
+    np.testing.assert_allclose(warped[-1], times[-1])
+    assert np.all(np.diff(warped) >= 0)
+    assert warped[0] >= 0
+
+
+def test_flash_crowd_concentrates_arrivals_in_window():
+    times = np.linspace(0.0, 100.0, 1001)
+    shape = FlashCrowdShape(at=0.5, duration=0.1, magnitude=8.0)
+    warped = warp_times(times, shape)
+    horizon = warped[-1]
+    in_window = np.sum((warped >= 0.5 * horizon) & (warped < 0.6 * horizon))
+    # Uniform input puts ~10% of arrivals there; an 8x spike pulls in
+    # far more.
+    assert in_window / len(warped) > 0.3
+
+
+def test_diurnal_modulates_both_directions():
+    shape = DiurnalShape(trough=0.2, peak=1.8)
+    t = np.linspace(0, 1, 101)
+    f = shape.factor(t)
+    assert f.min() == pytest.approx(0.2, abs=1e-6)
+    assert f.max() == pytest.approx(1.8, abs=1e-6)
+
+
+def test_composed_shape_multiplies_factors():
+    a = DiurnalShape(trough=0.5, peak=1.5)
+    b = FlashCrowdShape(at=0.2, duration=0.2, magnitude=3.0)
+    t = np.linspace(0, 1, 11)
+    np.testing.assert_allclose((a * b).factor(t), a.factor(t) * b.factor(t))
+
+
+def test_empty_and_zero_horizon_inputs_pass_through():
+    shape = DiurnalShape()
+    assert warp_times(np.array([]), shape).size == 0
+    np.testing.assert_allclose(
+        warp_times(np.zeros(3), shape), np.zeros(3)
+    )
+
+
+@pytest.mark.parametrize(
+    "ctor",
+    [
+        lambda: DiurnalShape(trough=0.0),
+        lambda: DiurnalShape(trough=1.5, peak=1.0),
+        lambda: DiurnalShape(period_fraction=0.0),
+        lambda: FlashCrowdShape(at=1.0),
+        lambda: FlashCrowdShape(at=0.5, duration=0.6),
+        lambda: FlashCrowdShape(magnitude=0.0),
+    ],
+)
+def test_invalid_shape_parameters_rejected(ctor):
+    with pytest.raises(ValueError):
+        ctor()

@@ -1,6 +1,6 @@
-"""Named workloads (Table 2)."""
+"""Named model workloads (Table 2)."""
 
-from repro.workloads.scenarios import SCENARIOS, flores_like, xsum_like
+from repro.workloads.catalog import WORKLOADS, flores_like, xsum_like
 
 
 def test_xsum_uses_switch_large():
@@ -36,7 +36,7 @@ def test_describe():
     assert "Switch-Large-128" in text and "B=4" in text
 
 
-def test_scenario_catalog():
-    assert set(SCENARIOS) == {"xsum", "flores"}
-    for fn in SCENARIOS.values():
+def test_workload_catalog():
+    assert set(WORKLOADS) == {"xsum", "flores"}
+    for fn in WORKLOADS.values():
         assert fn().model.is_moe
